@@ -1,0 +1,43 @@
+//! Criterion bench: whole-simulation throughput — a small W1 batch run end
+//! to end under Yarn-CS and under Corral (planning included). Tracks
+//! regressions in the event loop, fabric and scheduler hot paths.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use corral_bench::{run_variant, RunConfig, Variant};
+use corral_core::Objective;
+use corral_workloads::{w1, Scale};
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let jobs = w1::generate(
+        &w1::W1Params {
+            jobs: 15,
+            ..w1::W1Params::with_seed(9)
+        },
+        Scale {
+            task_divisor: 10.0,
+            data_divisor: 4.0,
+        },
+    );
+    let rc = RunConfig::testbed(Objective::Makespan);
+
+    let mut group = c.benchmark_group("end_to_end_w1_15jobs");
+    group.sample_size(10);
+    group.bench_function("yarn_cs", |b| {
+        b.iter(|| {
+            let r = run_variant(Variant::YarnCs, &jobs, &rc);
+            assert_eq!(r.unfinished, 0);
+            r.makespan.0
+        })
+    });
+    group.bench_function("corral_plan_and_run", |b| {
+        b.iter(|| {
+            let r = run_variant(Variant::Corral, &jobs, &rc);
+            assert_eq!(r.unfinished, 0);
+            r.makespan.0
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

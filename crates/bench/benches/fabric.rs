@@ -1,0 +1,82 @@
+//! Criterion bench: the fluid-fabric kernels — max-min progressive filling
+//! and Varys SEBF allocation — at realistic flow counts, plus end-to-end
+//! fabric drain throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use corral_model::{Bytes, ClusterConfig, MachineId};
+use corral_simnet::allocator::{FlowView, RateAllocator};
+use corral_simnet::{Fabric, FairShare, FlowKind, FlowSpec, FlowTag, VarysSebf};
+use corral_simnet::{CoflowId, Topology};
+use corral_model::Bandwidth;
+
+/// Builds a deterministic set of `n` flow views on the testbed topology.
+fn flow_set(topo: &Topology, n: usize) -> (Vec<Vec<corral_simnet::LinkId>>, Vec<Bytes>, Vec<Option<CoflowId>>) {
+    let m = topo.config().total_machines();
+    let mut paths = Vec::with_capacity(n);
+    let mut sizes = Vec::with_capacity(n);
+    let mut coflows = Vec::with_capacity(n);
+    for i in 0..n {
+        let src = MachineId(((i * 37) % m) as u32);
+        let dst = MachineId(((i * 101 + 13) % m) as u32);
+        if src == dst {
+            continue;
+        }
+        paths.push(topo.path(src, dst).as_slice().to_vec());
+        sizes.push(Bytes::mb(64.0 + (i % 100) as f64));
+        coflows.push(Some(CoflowId((i % 24) as u64)));
+    }
+    (paths, sizes, coflows)
+}
+
+fn bench_allocators(c: &mut Criterion) {
+    let topo = Topology::new(ClusterConfig::testbed_210());
+    let mut group = c.benchmark_group("rate_allocation");
+    for &n in &[500usize, 2000] {
+        let (paths, sizes, coflows) = flow_set(&topo, n);
+        let views: Vec<FlowView<'_>> = paths
+            .iter()
+            .zip(&sizes)
+            .zip(&coflows)
+            .map(|((p, &s), &cf)| FlowView { path: p, remaining: s, coflow: cf })
+            .collect();
+        let mut rates = vec![Bandwidth::ZERO; views.len()];
+
+        group.bench_with_input(BenchmarkId::new("maxmin", n), &views, |b, views| {
+            let mut alloc = FairShare;
+            b.iter(|| alloc.allocate(topo.links(), views, &mut rates));
+        });
+        group.bench_with_input(BenchmarkId::new("varys_sebf", n), &views, |b, views| {
+            let mut alloc = VarysSebf;
+            b.iter(|| alloc.allocate(topo.links(), views, &mut rates));
+        });
+    }
+    group.finish();
+}
+
+fn bench_fabric_drain(c: &mut Criterion) {
+    c.bench_function("fabric_drain_1000_flows", |b| {
+        b.iter(|| {
+            let mut fabric = Fabric::new(ClusterConfig::testbed_210(), Box::new(FairShare));
+            let m = fabric.topology().config().total_machines();
+            for i in 0..1000u32 {
+                fabric.start_flow(FlowSpec {
+                    src: MachineId((i as usize * 29 % m) as u32),
+                    dst: MachineId((i as usize * 53 + 7) as u32 % m as u32),
+                    bytes: Bytes::mb(32.0),
+                    tag: FlowTag::infrastructure(FlowKind::Shuffle),
+                    coflow: None,
+                });
+            }
+            let done = fabric.drain();
+            assert_eq!(done.len(), 1000);
+            done.len()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_allocators, bench_fabric_drain
+}
+criterion_main!(benches);

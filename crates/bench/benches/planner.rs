@@ -1,0 +1,44 @@
+//! Criterion bench: offline planner runtime (the paper's Figure 5 axes —
+//! number of jobs on a 100-rack / 4000-machine cluster). The paper's Java
+//! implementation needs ~55 s for 500 jobs; the full 500-job point is
+//! measured once by `repro fig5`, while this bench tracks the smaller
+//! points precisely.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use corral_core::{plan_jobs, Objective, PlannerConfig};
+use corral_model::{Bandwidth, Bytes, ClusterConfig};
+use corral_workloads::w3::{self, W3Params};
+use corral_workloads::Scale;
+
+fn planner_cluster() -> ClusterConfig {
+    ClusterConfig {
+        racks: 100,
+        machines_per_rack: 40,
+        slots_per_machine: 1,
+        nic_bandwidth: Bandwidth::gbps(10.0),
+        oversubscription: 5.0,
+        chunk_size: Bytes::mb(256.0),
+        replication: 3,
+    }
+}
+
+fn bench_planner(c: &mut Criterion) {
+    let cfg = planner_cluster();
+    let mut group = c.benchmark_group("planner_fig5");
+    group.sample_size(10);
+    for jobs in [25usize, 50, 100] {
+        let specs = w3::generate(&W3Params { jobs, ..Default::default() }, Scale::full());
+        group.bench_with_input(BenchmarkId::from_parameter(jobs), &specs, |b, specs| {
+            b.iter(|| {
+                let plan =
+                    plan_jobs(&cfg, specs, Objective::Makespan, &PlannerConfig::default());
+                assert_eq!(plan.len(), specs.len());
+                plan.objective_value
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_planner);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion bench: the dense two-phase simplex on LP-Batch instances of
+//! increasing size (the Appendix-A relaxation the lpgap experiment solves).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use corral_core::latency::{LatencyModel, ResponseOptions};
+use corral_core::lp::batch_lower_bound;
+use corral_model::ClusterConfig;
+use corral_workloads::w1::{self, W1Params};
+use corral_workloads::Scale;
+
+fn bench_lp_batch(c: &mut Criterion) {
+    let cfg = ClusterConfig::testbed_210();
+    let opts = ResponseOptions::default();
+    let mut group = c.benchmark_group("lp_batch");
+    group.sample_size(10);
+    for jobs in [10usize, 25, 50] {
+        let specs = w1::generate(
+            &W1Params {
+                jobs,
+                ..W1Params::with_seed(5)
+            },
+            Scale::bench_default(),
+        );
+        let tables: Vec<Vec<f64>> = specs
+            .iter()
+            .map(|j| {
+                let m = LatencyModel::build(&j.profile, &cfg, &opts);
+                (1..=cfg.racks).map(|r| m.latency(r).as_secs()).collect()
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(jobs), &tables, |b, t| {
+            b.iter(|| batch_lower_bound(t, cfg.racks).expect("lp optimal"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lp_batch);
+criterion_main!(benches);

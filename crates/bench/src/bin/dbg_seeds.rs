@@ -1,0 +1,18 @@
+//! Diagnostic: arrival-seed sensitivity of the W1 online comparison.
+use corral_bench::experiments::workload;
+use corral_bench::{run_variant, RunConfig, Variant};
+use corral_cluster::metrics::reduction_pct;
+use corral_core::Objective;
+use corral_model::SimTime;
+use corral_workloads::assign_uniform_arrivals;
+
+fn main() {
+    for seed in [0xF13u64, 0xF18, 0xF19, 1, 2] {
+        let mut jobs = workload("W1");
+        assign_uniform_arrivals(&mut jobs, SimTime::minutes(60.0), seed);
+        let rc = RunConfig::testbed(Objective::AvgCompletionTime);
+        let y = run_variant(Variant::YarnCs, &jobs, &rc).avg_completion_time();
+        let c = run_variant(Variant::Corral, &jobs, &rc).avg_completion_time();
+        println!("seed {seed:#x}: yarn={y:.1}s corral={c:.1}s gain={:+.1}%", reduction_pct(y, c));
+    }
+}

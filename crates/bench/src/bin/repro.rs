@@ -1,0 +1,42 @@
+//! Experiment driver: `repro <id>...` or `repro all`.
+use corral_bench::experiments as ex;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let ids: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        vec![
+            "fig1", "fig2", "table1", "pred", "fig5", "fig6", "fig7", "bal", "fig8", "fig9",
+            "fig10", "fig11", "fig12", "fig13", "fig14", "lpgap", "latmodel", "phases", "netseries", "replan", "ablations",
+        ]
+    } else {
+        args.iter().map(|s| s.as_str()).collect()
+    };
+    for id in ids {
+        let t = Instant::now();
+        match id {
+            "fig1" => ex::fig1::main(),
+            "fig2" => ex::fig2::main(),
+            "table1" => ex::table1::main(),
+            "pred" => ex::pred::main(),
+            "fig5" => ex::fig5::main(),
+            "fig6" => ex::fig6::main(),
+            "fig7" | "bal" => ex::fig7::main(),
+            "fig8" => ex::fig8::main(),
+            "fig9" => ex::fig9::main(),
+            "fig10" => ex::fig10::main(),
+            "fig11" => ex::fig11::main(),
+            "fig12" => ex::fig12::main(),
+            "fig13" => ex::fig13::main(),
+            "fig14" => ex::fig14::main(),
+            "lpgap" => ex::lpgap::main(),
+            "ablations" => ex::ablations::main(),
+            "latmodel" => ex::latmodel::main(),
+            "phases" => ex::phases::main(),
+            "replan" => ex::replan::main(),
+            "netseries" => ex::netseries::main(),
+            other => eprintln!("unknown experiment: {other}"),
+        }
+        eprintln!("[{id}: {:.1}s]", t.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,30 @@
+//! Figure 1 — normalized input sizes of six recurring jobs over ten days
+//! (log10 y-axis; the motivation for planning ahead).
+
+use crate::table;
+use corral_workloads::history::fig1_jobs;
+
+/// Prints the six series and writes `results/fig1_recurring_sizes.csv`.
+pub fn main() {
+    table::section("Figure 1: input size of six recurring jobs over 10 days (log10 GB)");
+    let jobs = fig1_jobs();
+    let days = 10;
+    let histories: Vec<_> = jobs.iter().map(|j| j.history(days)).collect();
+
+    let mut header = vec!["day".to_string()];
+    header.extend(jobs.iter().map(|j| format!("job{}_log10_gb", j.id)));
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+
+    let mut rows = Vec::new();
+    table::row(&header_refs);
+    for d in 0..days as usize {
+        let mut r = vec![d as f64];
+        for h in &histories {
+            r.push((h[d].value / 1e9).log10());
+        }
+        rows.push(r.clone());
+        let cells: Vec<String> = r.iter().map(|v| format!("{v:.2}")).collect();
+        table::row(&cells);
+    }
+    table::write_csv("fig1_recurring_sizes", &header_refs, &rows);
+}

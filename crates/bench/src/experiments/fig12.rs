@@ -1,0 +1,53 @@
+//! Figure 12 — Corral's benefit vs Yarn-CS as background traffic grows:
+//! per-rack core usage 30 / 35 / 40 Gbps of the 60 Gbps uplinks. Paper:
+//! gains more than double from 30 to 40 Gbps, for both batch makespan and
+//! online average job time (workload W1).
+
+use crate::experiments::{workload, workload_online};
+use crate::runner::{run_variant, RunConfig, Variant};
+use crate::table;
+use corral_cluster::metrics::reduction_pct;
+use corral_core::Objective;
+
+/// Returns `(batch makespan reduction %, online avg-time reduction %)` for
+/// one background level.
+pub fn gains_at(gbps_equiv: f64) -> (f64, f64) {
+    // `gbps_equiv` is in paper units: Gbps of the testbed's 60 Gbps rack
+    // uplink; the scaled cluster applies the same *fraction*.
+    let frac = gbps_equiv / 60.0;
+    let mut rc = RunConfig::testbed(Objective::Makespan);
+    rc.params.background = crate::runner::background_fraction(&rc.params.cluster, frac);
+    let batch_jobs = workload("W1");
+    let yarn = run_variant(Variant::YarnCs, &batch_jobs, &rc).makespan.as_secs();
+    let corral = run_variant(Variant::Corral, &batch_jobs, &rc).makespan.as_secs();
+    let batch_gain = reduction_pct(yarn, corral);
+
+    let mut rc = RunConfig::testbed(Objective::AvgCompletionTime);
+    rc.params.background = crate::runner::background_fraction(&rc.params.cluster, frac);
+    let online_jobs = workload_online("W1", 0xF12);
+    let yarn = run_variant(Variant::YarnCs, &online_jobs, &rc).avg_completion_time();
+    let corral = run_variant(Variant::Corral, &online_jobs, &rc).avg_completion_time();
+    let online_gain = reduction_pct(yarn, corral);
+    (batch_gain, online_gain)
+}
+
+/// Prints the sweep.
+pub fn main() {
+    table::section("Figure 12: Corral gains vs Yarn-CS as background traffic grows (W1)");
+    table::row(&["background", "makespan (batch)", "avg job time (online)"]);
+    let mut csv = Vec::new();
+    for &g in &[30.0, 35.0, 40.0] {
+        let (batch, online) = gains_at(g);
+        table::row(&[
+            format!("{g:.0}Gbps"),
+            table::pct(batch),
+            table::pct(online),
+        ]);
+        csv.push(vec![g, batch, online]);
+    }
+    table::write_csv(
+        "fig12_background_sweep",
+        &["background_gbps", "batch_gain_pct", "online_gain_pct"],
+        &csv,
+    );
+}

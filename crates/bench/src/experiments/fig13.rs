@@ -1,0 +1,94 @@
+//! Figure 13 — robustness of Corral to planning-input errors (workload W1):
+//!
+//! * 13a: the planner's data-size estimates are off by up to 50% —
+//!   the paper's benefit stays in the 25–35% band;
+//! * 13b: a fraction f of jobs' *actual* start times shift by up to ±4 min
+//!   relative to what was planned — benefits degrade gracefully
+//!   (~40% → ≥25% at f = 50%).
+
+use crate::experiments::{workload, workload_online};
+use crate::runner::{run_variant, RunConfig, Variant};
+use crate::table;
+use corral_cluster::config::DataPlacement;
+use corral_cluster::engine::Engine;
+use corral_cluster::metrics::reduction_pct;
+use corral_cluster::scheduler::SchedulerKind;
+use corral_core::planner::{perturb_arrivals, perturb_volumes};
+use corral_core::{plan_jobs, Objective};
+use corral_model::SimTime;
+
+/// 13a: batch makespan reduction vs Yarn-CS when the planner's per-job
+/// data-size estimates are off by up to ±`err` (0.0–0.5). The plan is
+/// built from the erroneous estimates; execution uses the true volumes.
+pub fn gain_with_volume_error(err: f64) -> f64 {
+    let true_jobs = workload("W1");
+    let rc = RunConfig::testbed(Objective::Makespan);
+    let yarn = run_variant(Variant::YarnCs, &true_jobs, &rc).makespan.as_secs();
+
+    let mut gains = Vec::new();
+    for seed in [0xA13u64, 0xB13, 0xC13] {
+        let predicted = perturb_volumes(&true_jobs, err, seed);
+        let plan = plan_jobs(&rc.params.cluster, &predicted, Objective::Makespan, &rc.planner);
+        let mut params = rc.params.clone();
+        params.placement = DataPlacement::PerPlan;
+        let corral = Engine::new(params, true_jobs.clone(), &plan, SchedulerKind::Planned)
+            .run()
+            .makespan
+            .as_secs();
+        gains.push(reduction_pct(yarn, corral));
+    }
+    gains.iter().sum::<f64>() / gains.len() as f64
+}
+
+/// 13b: online average-completion reduction when a fraction `f` of jobs
+/// start up to ±4 min away from their planned arrival.
+pub fn gain_with_arrival_error(f: f64) -> f64 {
+    let rc = RunConfig::testbed(Objective::AvgCompletionTime);
+    let mut gains = Vec::new();
+    for seed in crate::experiments::fig8::ARRIVAL_SEEDS {
+        let planned_jobs = workload_online("W1", seed);
+        let actual_jobs = perturb_arrivals(&planned_jobs, f, SimTime::minutes(4.0), seed ^ 0xD13);
+
+        // Yarn-CS baseline sees the *actual* arrivals.
+        let yarn = run_variant(Variant::YarnCs, &actual_jobs, &rc).avg_completion_time();
+
+        // Corral plans against the *planned* arrivals but executes the
+        // actual ones — exactly the mismatch the experiment probes.
+        let plan = plan_jobs(
+            &rc.params.cluster,
+            &planned_jobs,
+            Objective::AvgCompletionTime,
+            &rc.planner,
+        );
+        let mut params = rc.params.clone();
+        params.placement = DataPlacement::PerPlan;
+        let corral = Engine::new(params, actual_jobs, &plan, SchedulerKind::Planned)
+            .run()
+            .avg_completion_time();
+        gains.push(reduction_pct(yarn, corral));
+    }
+    gains.iter().sum::<f64>() / gains.len() as f64
+}
+
+/// Prints both sweeps.
+pub fn main() {
+    table::section("Figure 13a: Corral gain vs data-size estimation error (W1 batch)");
+    table::row(&["error", "makespan gain"]);
+    let mut csv = Vec::new();
+    for &e in &[0.0, 0.1, 0.2, 0.3, 0.4, 0.5] {
+        let g = gain_with_volume_error(e);
+        table::row(&[format!("{:.0}%", e * 100.0), table::pct(g)]);
+        csv.push(vec![e * 100.0, g]);
+    }
+    table::write_csv("fig13a_volume_error", &["error_pct", "gain_pct"], &csv);
+
+    table::section("Figure 13b: Corral gain vs % of jobs with perturbed arrivals (W1 online)");
+    table::row(&["% delayed", "avg-time gain"]);
+    let mut csv = Vec::new();
+    for &f in &[0.0, 0.1, 0.2, 0.3, 0.4, 0.5] {
+        let g = gain_with_arrival_error(f);
+        table::row(&[format!("{:.0}%", f * 100.0), table::pct(g)]);
+        csv.push(vec![f * 100.0, g]);
+    }
+    table::write_csv("fig13b_arrival_error", &["fraction_pct", "gain_pct"], &csv);
+}

@@ -1,0 +1,56 @@
+//! Figure 5 — running time of the offline planner for a 4000-machine
+//! cluster (100 racks × 40 machines) as the number of jobs grows to 500.
+//! The paper reports ~55 s for 500 jobs on a 6-core desktop; our Rust
+//! implementation is expected to be substantially faster at the same
+//! O(J²R²) complexity.
+
+use crate::table;
+use corral_core::{plan_jobs, Objective, PlannerConfig};
+use corral_model::{Bandwidth, Bytes, ClusterConfig, SimTime};
+use corral_workloads::w3::{self, W3Params};
+use corral_workloads::Scale;
+use std::time::Instant;
+
+fn planner_cluster() -> ClusterConfig {
+    ClusterConfig {
+        racks: 100,
+        machines_per_rack: 40,
+        slots_per_machine: 1,
+        nic_bandwidth: Bandwidth::gbps(10.0),
+        oversubscription: 5.0,
+        chunk_size: Bytes::mb(256.0),
+        replication: 3,
+    }
+}
+
+/// Measures planner wall time for `jobs` jobs; returns seconds.
+pub fn plan_time(jobs: usize) -> f64 {
+    let cfg = planner_cluster();
+    let specs = w3::generate(
+        &W3Params {
+            jobs,
+            ..Default::default()
+        },
+        Scale::full(),
+    );
+    let t = Instant::now();
+    let plan = plan_jobs(&cfg, &specs, Objective::Makespan, &PlannerConfig::default());
+    assert_eq!(plan.len(), jobs);
+    assert!(plan.objective_value > 0.0);
+    let dt = t.elapsed().as_secs_f64();
+    let _ = SimTime::ZERO;
+    dt
+}
+
+/// Prints the runtime curve (Fig. 5's axes).
+pub fn main() {
+    table::section("Figure 5: offline planner runtime, 4000-machine cluster (100 racks)");
+    table::row(&["jobs", "seconds"]);
+    let mut csv = Vec::new();
+    for &jobs in &[50usize, 100, 200, 300, 400, 500] {
+        let dt = plan_time(jobs);
+        table::row(&[format!("{jobs}"), format!("{dt:.2}")]);
+        csv.push(vec![jobs as f64, dt]);
+    }
+    table::write_csv("fig5_planner_runtime", &["jobs", "seconds"], &csv);
+}

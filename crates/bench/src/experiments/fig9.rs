@@ -1,0 +1,77 @@
+//! Figure 9 — reduction in *average* job completion time vs Yarn-CS for
+//! workload W1 in the online scenario, binned by job size. The paper:
+//! Corral gains 30–36% across all bins; ShuffleWatcher helps small/medium
+//! jobs but hurts large ones.
+
+use crate::experiments::workload_online;
+use crate::runner::{run_variant, RunConfig, Variant};
+use crate::table;
+use corral_cluster::metrics::{reduction_pct, RunReport};
+use corral_core::Objective;
+use corral_model::JobSpec;
+use corral_workloads::w1::SizeClass;
+
+fn bin_means(jobs: &[JobSpec], report: &RunReport, slots_per_rack: usize) -> [f64; 3] {
+    let mut sums = [0.0; 3];
+    let mut counts = [0usize; 3];
+    for j in jobs {
+        let Some(m) = report.jobs.get(&j.id) else { continue };
+        let Some(ct) = m.completion_time() else { continue };
+        let class = SizeClass::of_slots(m.slots_requested, slots_per_rack);
+        let b = match class {
+            SizeClass::Small => 0,
+            SizeClass::Medium => 1,
+            SizeClass::Large => 2,
+        };
+        sums[b] += ct.as_secs();
+        counts[b] += 1;
+    }
+    let mut out = [0.0; 3];
+    for b in 0..3 {
+        out[b] = if counts[b] > 0 { sums[b] / counts[b] as f64 } else { 0.0 };
+    }
+    out
+}
+
+/// Prints the per-bin reductions (pooled over the fig8 arrival seeds).
+pub fn main() {
+    table::section("Figure 9: % reduction in avg completion time by job size, W1 online");
+    let rc = RunConfig::testbed(Objective::AvgCompletionTime);
+    let spr = rc.params.cluster.slots_per_rack();
+
+    let seeds = crate::experiments::fig8::ARRIVAL_SEEDS;
+    let mut means = vec![[0.0f64; 3]; Variant::ALL.len()];
+    for seed in seeds {
+        let jobs = workload_online("W1", seed);
+        for (vi, v) in Variant::ALL.iter().enumerate() {
+            let r = run_variant(*v, &jobs, &rc);
+            let m = bin_means(&jobs, &r, spr);
+            for b in 0..3 {
+                means[vi][b] += m[b] / seeds.len() as f64;
+            }
+        }
+    }
+    table::row(&["size", "corral", "localshuffle", "shufflewatcher"]);
+    let labels = ["small", "medium", "large"];
+    let mut csv = Vec::new();
+    for b in 0..3 {
+        table::row(&[
+            labels[b].to_string(),
+            table::pct(reduction_pct(means[0][b], means[1][b])),
+            table::pct(reduction_pct(means[0][b], means[2][b])),
+            table::pct(reduction_pct(means[0][b], means[3][b])),
+        ]);
+        csv.push(vec![
+            b as f64,
+            means[0][b],
+            means[1][b],
+            means[2][b],
+            means[3][b],
+        ]);
+    }
+    table::write_csv(
+        "fig9_size_bins",
+        &["bin", "yarn_cs_s", "corral_s", "localshuffle_s", "shufflewatcher_s"],
+        &csv,
+    );
+}

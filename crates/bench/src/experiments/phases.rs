@@ -1,0 +1,45 @@
+//! Task-time breakdown ("where does the time go") — the mechanism view
+//! behind the paper's results: Corral's joint placement should convert
+//! network-wait (fetch) time into useful compute time, which is exactly how
+//! its cross-rack reductions (Fig. 7a) become completion-time reductions
+//! (Figs. 6, 8).
+
+use crate::experiments::workload;
+use crate::runner::{run_variant, RunConfig, Variant};
+use crate::table;
+use corral_core::Objective;
+
+/// Prints the fetch/compute/write split (% of total task time) per system,
+/// plus the fabric utilization columns.
+pub fn main() {
+    table::section("Task-time breakdown, W1 batch (% of task-seconds per phase)");
+    table::row(&["system", "fetch", "compute", "write", "core util"]);
+    let rc = RunConfig::testbed(Objective::Makespan);
+    let jobs = workload("W1");
+    let mut csv = Vec::new();
+    for (si, v) in Variant::ALL.iter().enumerate() {
+        let r = run_variant(*v, &jobs, &rc);
+        let (fetch, compute, write) = r.phase_breakdown();
+        let total = (fetch + compute + write).max(1e-9);
+        table::row(&[
+            v.label().to_string(),
+            format!("{:.1}%", fetch / total * 100.0),
+            format!("{:.1}%", compute / total * 100.0),
+            format!("{:.1}%", write / total * 100.0),
+            format!("{:.1}%", r.core_utilization * 100.0),
+        ]);
+        csv.push(vec![
+            si as f64,
+            fetch / total * 100.0,
+            compute / total * 100.0,
+            write / total * 100.0,
+            r.core_utilization * 100.0,
+        ]);
+    }
+    println!("   corral should shift fetch-time (network wait) into a larger compute share");
+    table::write_csv(
+        "phases",
+        &["system_idx", "fetch_pct", "compute_pct", "write_pct", "core_util_pct"],
+        &csv,
+    );
+}

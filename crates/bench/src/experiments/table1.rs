@@ -1,0 +1,52 @@
+//! Table 1 — characteristics of workload W3 (Microsoft Cosmos):
+//! 50th/95th percentiles of task count, input size and shuffle size.
+
+use crate::table;
+use corral_model::JobProfile;
+use corral_workloads::w3::{self, pctile, W3Params};
+use corral_workloads::Scale;
+
+/// Prints generated-vs-paper percentiles.
+pub fn main() {
+    table::section("Table 1: workload W3 characteristics (paper vs generated)");
+    // Generate at full scale with a large sample for tight percentiles.
+    let jobs = w3::generate(
+        &W3Params {
+            jobs: 4000,
+            ..Default::default()
+        },
+        Scale::full(),
+    );
+    let mut tasks = Vec::new();
+    let mut input = Vec::new();
+    let mut shuffle = Vec::new();
+    for j in &jobs {
+        if let JobProfile::MapReduce(mr) = &j.profile {
+            tasks.push((mr.maps + mr.reduces) as f64);
+            input.push(mr.input.0 / 1e9);
+            shuffle.push(mr.shuffle.0 / 1e9);
+        }
+    }
+    table::row(&["metric", "paper 50%", "gen 50%", "paper 95%", "gen 95%"]);
+    let rows = [
+        ("tasks", 180.0, pctile(&mut tasks, 50.0), 2060.0, pctile(&mut tasks, 95.0)),
+        ("input GB", 7.1, pctile(&mut input, 50.0), 162.3, pctile(&mut input, 95.0)),
+        ("shuffle GB", 6.0, pctile(&mut shuffle, 50.0), 71.5, pctile(&mut shuffle, 95.0)),
+    ];
+    let mut csv = Vec::new();
+    for (i, (name, p50, g50, p95, g95)) in rows.iter().enumerate() {
+        table::row(&[
+            name.to_string(),
+            format!("{p50:.1}"),
+            format!("{g50:.1}"),
+            format!("{p95:.1}"),
+            format!("{g95:.1}"),
+        ]);
+        csv.push(vec![i as f64, *p50, *g50, *p95, *g95]);
+    }
+    table::write_csv(
+        "table1_w3",
+        &["metric_idx", "paper_p50", "gen_p50", "paper_p95", "gen_p95"],
+        &csv,
+    );
+}

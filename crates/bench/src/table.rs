@@ -1,0 +1,105 @@
+//! Plain-text table printing and CSV output for experiment results.
+
+use std::fmt::Display;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Directory where experiments drop their CSV series.
+pub fn results_dir() -> PathBuf {
+    let p = PathBuf::from("results");
+    let _ = fs::create_dir_all(&p);
+    p
+}
+
+/// Prints a section header.
+pub fn section(title: &str) {
+    println!("\n== {title} ==");
+}
+
+/// Prints one aligned row of cells.
+pub fn row<D: Display>(cells: &[D]) {
+    let line = cells
+        .iter()
+        .map(|c| format!("{c:>14}"))
+        .collect::<Vec<_>>()
+        .join(" ");
+    println!("{line}");
+}
+
+/// Formats a percentage.
+pub fn pct(v: f64) -> String {
+    format!("{v:+.1}%")
+}
+
+/// Formats seconds.
+pub fn secs(v: f64) -> String {
+    format!("{v:.1}s")
+}
+
+/// Writes rows of `(x, columns...)` as CSV under `results/<name>.csv`.
+pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<f64>]) -> PathBuf {
+    let path = results_dir().join(format!("{name}.csv"));
+    let mut out = String::new();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for r in rows {
+        let line = r
+            .iter()
+            .map(|v| format!("{v}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        out.push_str(&line);
+        out.push('\n');
+    }
+    write_file(&path, &out);
+    path
+}
+
+fn write_file(path: &Path, contents: &str) {
+    let mut f = fs::File::create(path).expect("create results file");
+    f.write_all(contents.as_bytes()).expect("write results file");
+}
+
+/// CDF rows `(value, cumulative_fraction)` from an unsorted sample.
+pub fn cdf_rows(sample: &[f64]) -> Vec<Vec<f64>> {
+    let mut v = sample.to_vec();
+    v.sort_by(f64::total_cmp);
+    let n = v.len().max(1) as f64;
+    v.iter()
+        .enumerate()
+        .map(|(i, &x)| vec![x, (i + 1) as f64 / n])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_rows_are_monotone() {
+        let rows = cdf_rows(&[3.0, 1.0, 2.0]);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0], vec![1.0, 1.0 / 3.0]);
+        assert_eq!(rows[2], vec![3.0, 1.0]);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(pct(12.34), "+12.3%");
+        assert_eq!(pct(-3.0), "-3.0%");
+        assert_eq!(secs(1.25), "1.2s");
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let p = write_csv(
+            "test_table_unit",
+            &["x", "y"],
+            &[vec![1.0, 2.0], vec![3.0, 4.0]],
+        );
+        let body = std::fs::read_to_string(&p).unwrap();
+        assert!(body.starts_with("x,y\n1,2\n3,4\n"));
+        let _ = std::fs::remove_file(p);
+    }
+}

@@ -1,0 +1,1310 @@
+//! The discrete-event cluster engine.
+//!
+//! Co-simulates the cluster (slots, tasks, stage DAGs, DFS) with the fluid
+//! network fabric: the clock repeatedly jumps to whichever of (next cluster
+//! event, next flow completion) is earlier. Identical inputs produce
+//! bit-identical runs — all randomness flows from the seed in
+//! [`SimParams`], and all iteration is over deterministic orders.
+
+use crate::config::{DataPlacement, FailureSpec, NetPolicy, SimParams};
+use crate::job::{RtJob, RtTask, StageState, TaskPhase};
+use crate::metrics::{JobMetrics, RunReport};
+use crate::scheduler::{SchedulerKind, TaskScheduler};
+use corral_core::plan::Plan;
+use corral_dfs::{CorralPlacement, Dfs, HdfsDefault, PlacementPolicy};
+use corral_model::{
+    Bytes, FlowId, JobId, JobSpec, MachineId, RackId, SimTime, StageId, TaskId,
+};
+use corral_simnet::{
+    CoflowId, EventQueue, Fabric, FairShare, FlowKind, FlowSpec, FlowTag, VarysSebf,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Cluster-side events.
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    /// A job's submission time arrived (`jobs` index).
+    JobArrival(usize),
+    /// Begin uploading a job's input data (`jobs` index; Simulated ingest).
+    IngestStart(usize),
+    /// A task finished its compute phase.
+    ComputeDone(TaskId),
+    /// Background traffic on a rack changed.
+    Background(RackId, corral_model::Bandwidth),
+    /// Infrastructure failure.
+    Failure(FailureSpec),
+    /// A transiently-failed machine rejoins.
+    Repair(MachineId),
+}
+
+/// Read-only cluster state handed to scheduling policies.
+pub struct ClusterState {
+    /// Run parameters.
+    pub params: SimParams,
+    /// Current simulation time.
+    pub now: SimTime,
+    /// All jobs (stable order; indices are policy handles).
+    pub jobs: Vec<RtJob>,
+    /// Job indices in FIFO order (arrival, then id).
+    pub fifo_order: Vec<usize>,
+    /// Job indices in priority order (priority, arrival, id).
+    pub prio_order: Vec<usize>,
+    /// Free slots per machine.
+    pub free_slots: Vec<u32>,
+    /// Machine liveness.
+    pub dead: Vec<bool>,
+}
+
+/// The simulator. Construct with [`Engine::new`], then call [`Engine::run`].
+pub struct Engine {
+    st: ClusterState,
+    policy: Box<dyn TaskScheduler>,
+    fabric: Fabric,
+    dfs: Dfs,
+    queue: EventQueue<Event>,
+    /// Live task attempts.
+    tasks: BTreeMap<TaskId, RtTask>,
+    /// Flows owned by each live task (flow, src, dst).
+    task_flows: BTreeMap<TaskId, Vec<(FlowId, MachineId, MachineId)>>,
+    /// Reverse map: flow → owning task.
+    flow_task: BTreeMap<FlowId, TaskId>,
+    /// Ingress upload flows → owning job index.
+    ingest_flows: BTreeMap<FlowId, usize>,
+    next_task_id: u64,
+    next_coflow: u64,
+    /// Coflow ids per (job, stage, phase-kind) so related flows share one.
+    coflows: BTreeMap<(JobId, StageId, u8), CoflowId>,
+    rng: StdRng,
+    metrics: BTreeMap<JobId, JobMetrics>,
+    /// Machines worth re-offering to the policy.
+    dirty_machines: BTreeSet<MachineId>,
+    job_index: BTreeMap<JobId, usize>,
+    scheduler_label: String,
+    horizon_hit: bool,
+    task_log: Vec<crate::metrics::TaskRecord>,
+}
+
+impl Engine {
+    /// Builds a run: validates inputs, ingests job input data into the DFS
+    /// (placement per `params.placement` and `plan`), derives constraints
+    /// and priorities, and schedules arrival / background / failure events.
+    pub fn new(params: SimParams, jobs: Vec<JobSpec>, plan: &Plan, kind: SchedulerKind) -> Self {
+        params.cluster.validate().expect("invalid cluster config");
+        for j in &jobs {
+            j.validate().expect("invalid job spec");
+        }
+        let machines = params.cluster.total_machines();
+        let allocator: Box<dyn corral_simnet::RateAllocator> = match params.net {
+            NetPolicy::Tcp => Box::new(FairShare),
+            NetPolicy::Varys => Box::new(VarysSebf),
+        };
+        let mut fabric = Fabric::new(params.cluster.clone(), allocator);
+        if let Some(bucket) = params.sample_core_utilization {
+            fabric.enable_utilization_sampling(bucket);
+        }
+        let dfs = Dfs::new(params.cluster.clone());
+        let mut rng = StdRng::seed_from_u64(params.seed);
+
+        let mut rt_jobs: Vec<RtJob> = jobs
+            .iter()
+            .map(|s| RtJob::new(s.clone(), &params.cluster))
+            .collect();
+        let mut job_index = BTreeMap::new();
+        for (i, j) in rt_jobs.iter().enumerate() {
+            let prev = job_index.insert(j.spec.id, i);
+            assert!(prev.is_none(), "duplicate job id {}", j.spec.id);
+        }
+
+        // Constraints + priorities.
+        match kind {
+            SchedulerKind::Planned => {
+                for j in rt_jobs.iter_mut() {
+                    if let Some(entry) = plan.entry(j.spec.id) {
+                        j.constrain_to(entry.racks.clone());
+                        j.priority = entry.priority;
+                    }
+                }
+            }
+            SchedulerKind::Capacity | SchedulerKind::ShuffleWatcher => {
+                // FIFO priorities by (arrival, id).
+                let mut order: Vec<usize> = (0..rt_jobs.len()).collect();
+                order.sort_by(|&a, &b| {
+                    rt_jobs[a]
+                        .spec
+                        .arrival
+                        .total_cmp(rt_jobs[b].spec.arrival)
+                        .then(rt_jobs[a].spec.id.cmp(&rt_jobs[b].spec.id))
+                });
+                for (rank, &i) in order.iter().enumerate() {
+                    rt_jobs[i].priority = rank as u32;
+                }
+            }
+        }
+
+        let mut engine = Engine {
+            st: ClusterState {
+                params,
+                now: SimTime::ZERO,
+                jobs: rt_jobs,
+                fifo_order: Vec::new(),
+                prio_order: Vec::new(),
+                free_slots: vec![0; machines],
+                dead: vec![false; machines],
+            },
+            policy: kind.build(0),
+            fabric,
+            dfs,
+            queue: EventQueue::new(),
+            tasks: BTreeMap::new(),
+            task_flows: BTreeMap::new(),
+            flow_task: BTreeMap::new(),
+            ingest_flows: BTreeMap::new(),
+            next_task_id: 0,
+            next_coflow: 0,
+            coflows: BTreeMap::new(),
+            rng: StdRng::seed_from_u64(0),
+            metrics: BTreeMap::new(),
+            dirty_machines: BTreeSet::new(),
+            job_index,
+            scheduler_label: String::new(),
+            horizon_hit: false,
+            task_log: Vec::new(),
+        };
+        engine.policy = kind.build(engine.st.params.locality_wait_slots);
+        engine.scheduler_label = match (kind, engine.st.params.placement) {
+            (SchedulerKind::Planned, DataPlacement::PerPlan) => "corral".to_string(),
+            (SchedulerKind::Planned, DataPlacement::HdfsRandom) => "localshuffle".to_string(),
+            _ => engine.policy.name().to_string(),
+        };
+        engine.st.free_slots =
+            vec![engine.st.params.cluster.slots_per_machine as u32; machines];
+        engine.rng = rng.clone();
+
+        // --- Ingest input data (offline, before execution; §3.1 step 2).
+        for ji in 0..engine.st.jobs.len() {
+            engine.ingest_job_inputs(ji, &mut rng);
+        }
+        engine.rng = rng;
+
+        // ShuffleWatcher rack assignment: needs input locality, hence after
+        // ingest.
+        if kind == SchedulerKind::ShuffleWatcher {
+            for ji in 0..engine.st.jobs.len() {
+                let racks = engine.shufflewatcher_racks(ji);
+                engine.st.jobs[ji].constrain_to(racks);
+            }
+        }
+
+        // Sort orders.
+        let jobs = &engine.st.jobs;
+        let mut fifo: Vec<usize> = (0..jobs.len()).collect();
+        fifo.sort_by(|&a, &b| {
+            jobs[a]
+                .spec
+                .arrival
+                .total_cmp(jobs[b].spec.arrival)
+                .then(jobs[a].spec.id.cmp(&jobs[b].spec.id))
+        });
+        let mut prio: Vec<usize> = (0..jobs.len()).collect();
+        prio.sort_by(|&a, &b| {
+            jobs[a]
+                .priority
+                .cmp(&jobs[b].priority)
+                .then(jobs[a].spec.arrival.total_cmp(jobs[b].spec.arrival))
+                .then(jobs[a].spec.id.cmp(&jobs[b].spec.id))
+        });
+        engine.st.fifo_order = fifo;
+        engine.st.prio_order = prio;
+
+        // --- Events: arrivals, uploads, failures, background changes.
+        for (i, j) in engine.st.jobs.iter().enumerate() {
+            engine.queue.schedule(j.spec.arrival, Event::JobArrival(i));
+        }
+        if let crate::config::IngestMode::Simulated { lead_time } = engine.st.params.ingest {
+            for i in 0..engine.st.jobs.len() {
+                if !engine.st.jobs[i].files.is_empty() {
+                    let at = (engine.st.jobs[i].spec.arrival - lead_time).max(SimTime::ZERO);
+                    engine.queue.schedule(at, Event::IngestStart(i));
+                    // Placeholder so an arrival firing before the upload
+                    // begins still gates on it; start_ingest replaces it
+                    // with the real outstanding-flow count.
+                    engine.st.jobs[i].ingest_remaining = 1;
+                }
+            }
+        }
+        for f in engine.st.params.failures.clone() {
+            engine.queue.schedule(f.at(), Event::Failure(f));
+        }
+        let horizon = engine.st.params.horizon;
+        for r in 0..engine.st.params.cluster.racks {
+            for (t, bw) in engine
+                .st
+                .params
+                .background
+                .schedule_for_rack(r, horizon)
+            {
+                engine
+                    .queue
+                    .schedule(t, Event::Background(RackId::from_index(r), bw));
+            }
+        }
+
+        // Metrics skeletons.
+        for j in &engine.st.jobs {
+            engine.metrics.insert(
+                j.spec.id,
+                JobMetrics {
+                    arrival: j.spec.arrival,
+                    slots_requested: j.spec.profile.slots_requested(),
+                    ..Default::default()
+                },
+            );
+        }
+        engine
+    }
+
+    /// Runs the simulation to completion (all jobs done, or the horizon).
+    pub fn run(mut self) -> RunReport {
+        self.step_until(SimTime::INFINITY);
+        self.finalize()
+    }
+
+    /// Advances the simulation until `limit` (events strictly after `limit`
+    /// stay queued). Returns `true` while work remains. Used together with
+    /// [`Engine::apply_plan_update`] for the paper's §3.1 periodic
+    /// replanning loop, and with [`Engine::finish`] to collect the report.
+    pub fn run_until(&mut self, limit: SimTime) -> bool {
+        self.step_until(limit)
+    }
+
+    /// Completes the simulation and produces the report (the `&mut`-style
+    /// counterpart of [`Engine::run`] for stepped drivers).
+    pub fn finish(mut self) -> RunReport {
+        self.step_until(SimTime::INFINITY);
+        self.finalize()
+    }
+
+    /// §3.1: "The offline planner will periodically receive updated
+    /// estimates of future workload, rerun the planning problem, and update
+    /// the guidelines to the cluster scheduler." Applies new guidelines to
+    /// every planned job that has not started yet (running jobs keep their
+    /// allocation — the model assumes no preemption, §4.1). Input data
+    /// placement is *not* redone: replicas were written at upload time.
+    pub fn apply_plan_update(&mut self, plan: &Plan) {
+        for ji in 0..self.st.jobs.len() {
+            let job = &mut self.st.jobs[ji];
+            if job.first_task_at.is_some() || job.is_finished() {
+                continue;
+            }
+            if let Some(entry) = plan.entry(job.spec.id) {
+                job.constrain_to(entry.racks.clone());
+                job.priority = entry.priority;
+            }
+        }
+        // Priorities changed: rebuild the priority order.
+        let jobs = &self.st.jobs;
+        let mut prio: Vec<usize> = (0..jobs.len()).collect();
+        prio.sort_by(|&a, &b| {
+            jobs[a]
+                .priority
+                .cmp(&jobs[b].priority)
+                .then(jobs[a].spec.arrival.total_cmp(jobs[b].spec.arrival))
+                .then(jobs[a].spec.id.cmp(&jobs[b].spec.id))
+        });
+        self.st.prio_order = prio;
+        self.mark_all_machines_dirty();
+        self.dispatch();
+    }
+
+    /// Jobs that have not launched any task yet (candidates for
+    /// replanning), with their arrival times.
+    pub fn unstarted_jobs(&self) -> Vec<(JobId, SimTime)> {
+        self.st
+            .jobs
+            .iter()
+            .filter(|j| j.first_task_at.is_none() && !j.is_finished())
+            .map(|j| (j.spec.id, j.spec.arrival))
+            .collect()
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.st.now
+    }
+
+    fn step_until(&mut self, limit: SimTime) -> bool {
+        loop {
+            let tq = self.queue.peek_time();
+            let tf = self.fabric.next_completion();
+            let next = match (tq, tf) {
+                (None, None) => return false,
+                (Some(a), None) => a,
+                (None, Some(b)) => b,
+                (Some(a), Some(b)) => a.min(b),
+            };
+            if next > limit {
+                return true;
+            }
+            if next > self.st.params.horizon {
+                self.horizon_hit = true;
+                return false;
+            }
+            self.st.now = next;
+            // Always advance the fabric to `next` so flows started by this
+            // iteration's dispatch are timestamped correctly. Completions at
+            // exactly `next` fire first: they unblock tasks whose follow-up
+            // events land at the same instant.
+            for done in self.fabric.advance_to(next) {
+                self.on_flow_done(done.id);
+            }
+            while self.queue.peek_time().is_some_and(|t| t <= next) {
+                let (_, ev) = self.queue.pop().unwrap();
+                self.handle_event(ev);
+            }
+            self.dispatch();
+            if self.all_jobs_finished() {
+                return false;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Setup helpers
+    // ------------------------------------------------------------------
+
+    /// Writes every source stage's DFS input for job `ji`, then fills the
+    /// per-task preferred machine lists.
+    fn ingest_job_inputs(&mut self, ji: usize, rng: &mut StdRng) {
+        let use_plan = self.st.params.placement == DataPlacement::PerPlan;
+        let (planned, racks) = {
+            let j = &self.st.jobs[ji];
+            (
+                !j.constrained_racks.is_empty(),
+                j.constrained_racks.clone(),
+            )
+        };
+        let corral_policy = CorralPlacement::new(racks);
+        let hdfs = HdfsDefault;
+        let policy: &dyn PlacementPolicy = if use_plan && planned {
+            &corral_policy
+        } else {
+            &hdfs
+        };
+
+        let stage_count = self.st.jobs[ji].stages.len();
+        for si in 0..stage_count {
+            let sid = StageId::from_index(si);
+            let (is_source, dfs_input, tasks, name) = {
+                let j = &self.st.jobs[ji];
+                let st = j.dag.stage(sid);
+                (
+                    j.stages[si].is_source,
+                    st.dfs_input,
+                    st.tasks,
+                    format!("{}/{}", j.spec.name, st.name),
+                )
+            };
+            if !is_source || dfs_input.0 <= 0.0 {
+                continue;
+            }
+            let file = self.dfs.write_file(name, dfs_input, policy, rng);
+            let chunks = self.dfs.chunks_of(file);
+            let n_chunks = chunks.len();
+            let mut preferred: Vec<Vec<MachineId>> = Vec::with_capacity(tasks);
+            for t in 0..tasks {
+                if n_chunks == 0 {
+                    preferred.push(Vec::new());
+                } else {
+                    // Representative chunk: contiguous split of the file.
+                    let c = (t * n_chunks) / tasks;
+                    preferred.push(chunks[c].replicas.clone());
+                }
+            }
+            let j = &mut self.st.jobs[ji];
+            j.input_file = j.input_file.or(Some(file));
+            j.files.push(file);
+            j.stages[si].preferred = preferred;
+        }
+    }
+
+    /// ShuffleWatcher's greedy, contention-oblivious rack choice: the
+    /// minimum number of racks that fit the job's widest stage, ranked by
+    /// the job's input-data locality (ties by rack id). Because it looks
+    /// only at its own job, concurrent large jobs gravitate to the same
+    /// racks — the pathology §6.2.1 observes.
+    fn shufflewatcher_racks(&self, ji: usize) -> Vec<RackId> {
+        let cfg = &self.st.params.cluster;
+        let j = &self.st.jobs[ji];
+        let need = j
+            .spec
+            .profile
+            .slots_requested()
+            .div_ceil(cfg.slots_per_rack())
+            .clamp(1, cfg.racks);
+        let frac = j
+            .input_file
+            .map(|f| self.dfs.rack_locality_fractions(f))
+            .unwrap_or_else(|| vec![0.0; cfg.racks]);
+        let mut order: Vec<usize> = (0..cfg.racks).collect();
+        order.sort_by(|&a, &b| frac[b].total_cmp(&frac[a]).then(a.cmp(&b)));
+        let mut racks: Vec<RackId> = order[..need].iter().map(|&r| RackId::from_index(r)).collect();
+        racks.sort_unstable();
+        racks
+    }
+
+    // ------------------------------------------------------------------
+    // Event handling
+    // ------------------------------------------------------------------
+
+    fn handle_event(&mut self, ev: Event) {
+        match ev {
+            Event::JobArrival(ji) => {
+                let job = &mut self.st.jobs[ji];
+                job.arrival_passed = true;
+                let uploading = matches!(
+                    self.st.params.ingest,
+                    crate::config::IngestMode::Simulated { .. }
+                ) && job.ingest_remaining > 0;
+                if !uploading {
+                    job.arrived = true;
+                    self.mark_all_machines_dirty();
+                }
+            }
+            Event::IngestStart(ji) => self.start_ingest(ji),
+            Event::ComputeDone(tid) => self.on_compute_done(tid),
+            Event::Background(rack, bw) => {
+                self.fabric.set_rack_background(rack, bw);
+            }
+            Event::Failure(f) => self.on_failure(f),
+            Event::Repair(m) => self.on_repair(m),
+        }
+    }
+
+    fn all_jobs_finished(&self) -> bool {
+        self.st.jobs.iter().all(|j| j.is_finished())
+    }
+
+    // ------------------------------------------------------------------
+    // Dispatch
+    // ------------------------------------------------------------------
+
+    fn mark_all_machines_dirty(&mut self) {
+        for m in 0..self.st.dead.len() {
+            if !self.st.dead[m] && self.st.free_slots[m] > 0 {
+                self.dirty_machines.insert(MachineId::from_index(m));
+            }
+        }
+    }
+
+    /// Offers dirty machines' free slots to the policy until it declines.
+    ///
+    /// Machines are visited in *rack-interleaved* order (position within the
+    /// rack first, rack id second) so that a wide stage's tasks spread
+    /// across all of its racks instead of packing into the lowest-numbered
+    /// ones. The planner's latency model assumes exactly this uniform
+    /// spread (§4.3), and packing would saturate individual racks and
+    /// starve the jobs planned onto them.
+    fn dispatch(&mut self) {
+        let k = self.st.params.cluster.machines_per_rack;
+        loop {
+            let Some(&m) = self
+                .dirty_machines
+                .iter()
+                .min_by_key(|m| (m.index() % k, m.index() / k))
+            else {
+                break;
+            };
+            while !self.st.dead[m.index()] && self.st.free_slots[m.index()] > 0 {
+                match self.policy.pick(m, &self.st) {
+                    Some(pick) => self.launch(pick, m),
+                    None => break,
+                }
+            }
+            self.dirty_machines.remove(&m);
+        }
+    }
+
+    /// Places a task attempt on machine `m` per the policy's `pick`.
+    fn launch(&mut self, pick: crate::scheduler::Pick, m: MachineId) {
+        let now = self.st.now;
+        let ji = pick.job_idx;
+        let sid = pick.stage;
+        let si = sid.index();
+
+        let (index, job_id, is_source) = {
+            let job = &mut self.st.jobs[ji];
+            let stage = &mut job.stages[si];
+            let index = stage.pending.remove(pick.pending_pos);
+            stage.running += 1;
+            if stage.state == StageState::Ready && job.first_task_at.is_none() {
+                job.first_task_at = Some(now);
+                if let Some(mm) = self.metrics.get_mut(&job.spec.id) {
+                    mm.started = Some(now);
+                }
+            }
+            (index, job.spec.id, stage.is_source)
+        };
+        self.st.free_slots[m.index()] -= 1;
+
+        // Local-launch hook for delay scheduling.
+        if is_source {
+            let local = self.st.jobs[ji].stages[si]
+                .preferred
+                .get(index as usize)
+                .is_some_and(|p| p.contains(&m));
+            if local {
+                self.policy.on_local_launch(ji);
+            }
+        }
+        self.spawn_attempt(ji, sid, index, m);
+        let _ = (job_id, now);
+    }
+
+    /// Creates a task attempt (fetch flows + state) on machine `m`. The
+    /// caller has already accounted for the slot and stage bookkeeping.
+    fn spawn_attempt(&mut self, ji: usize, sid: StageId, index: u32, m: MachineId) {
+        let now = self.st.now;
+        let si = sid.index();
+        let job_id = self.st.jobs[ji].spec.id;
+        let is_source = self.st.jobs[ji].stages[si].is_source;
+        let tid = TaskId(self.next_task_id);
+        self.next_task_id += 1;
+        let mut task = RtTask {
+            id: tid,
+            job: job_id,
+            stage: sid,
+            index,
+            machine: m,
+            phase: TaskPhase::Fetching,
+            pending_flows: 0,
+            scheduled_at: now,
+            compute_started: None,
+            write_started: None,
+        };
+
+        // --- Create fetch flows.
+        let mut flows: Vec<(FlowId, MachineId, MachineId)> = Vec::new();
+        if is_source {
+            self.make_input_read_flow(ji, sid, index, m, tid, &mut flows);
+        } else {
+            self.make_shuffle_flows(ji, sid, index, m, tid, &mut flows);
+        }
+        task.pending_flows = flows.len() as u32;
+        let fetch_empty = flows.is_empty();
+        for &(f, _, _) in &flows {
+            self.flow_task.insert(f, tid);
+        }
+        self.task_flows.insert(tid, flows);
+        self.tasks.insert(tid, task);
+
+        if fetch_empty {
+            self.begin_compute(tid);
+        }
+    }
+
+    /// Source-stage input read: local replica ⇒ no flow; otherwise a flow
+    /// from the best replica (same rack preferred).
+    fn make_input_read_flow(
+        &mut self,
+        ji: usize,
+        sid: StageId,
+        index: u32,
+        m: MachineId,
+        tid: TaskId,
+        flows: &mut Vec<(FlowId, MachineId, MachineId)>,
+    ) {
+        let cfg = self.st.params.cluster.clone();
+        let job = &self.st.jobs[ji];
+        let share = job.dfs_share(sid);
+        if share.is_negligible() {
+            return;
+        }
+        let replicas: Vec<MachineId> = job.stages[sid.index()]
+            .preferred
+            .get(index as usize)
+            .map(|p| {
+                p.iter()
+                    .copied()
+                    .filter(|r| !self.st.dead[r.index()])
+                    .collect()
+            })
+            .unwrap_or_default();
+        if replicas.contains(&m) {
+            return; // machine-local read; disk folded into compute
+        }
+        let my_rack = cfg.rack_of(m);
+        let src = replicas
+            .iter()
+            .copied()
+            .find(|&r| cfg.rack_of(r) == my_rack)
+            .or_else(|| replicas.first().copied())
+            .unwrap_or_else(|| {
+                // All replicas dead: re-fetch from an arbitrary live machine
+                // (stand-in for re-replication / re-upload).
+                self.first_live_machine()
+            });
+        if src == m {
+            return;
+        }
+        let job_id = self.st.jobs[ji].spec.id;
+        let coflow = self.coflow_for(job_id, sid, 0);
+        let f = self.fabric.start_flow(FlowSpec {
+            src,
+            dst: m,
+            bytes: share,
+            tag: FlowTag::task(job_id, sid, tid, FlowKind::InputRead),
+            coflow: Some(coflow),
+        });
+        flows.push((f, src, m));
+    }
+
+    /// Upper bound on distinct network flows created for one task's shuffle
+    /// fetch (per incoming edge). On large topologies a stage's producers
+    /// can span dozens of racks; creating a flow per rack makes the fluid
+    /// model quadratically slow, so racks beyond the cap are merged into
+    /// the flows of the largest producer racks. Rack-confined (planned)
+    /// jobs never hit the cap.
+    const MAX_FETCH_FLOWS: usize = 8;
+
+    /// Shuffle / broadcast fetch: per incoming edge, one aggregated flow per
+    /// producer rack (deterministically rotated across that rack's
+    /// producers to spread NIC load), capped at [`Self::MAX_FETCH_FLOWS`]
+    /// flows by merging the smallest rack contributions.
+    fn make_shuffle_flows(
+        &mut self,
+        ji: usize,
+        sid: StageId,
+        index: u32,
+        m: MachineId,
+        tid: TaskId,
+        flows: &mut Vec<(FlowId, MachineId, MachineId)>,
+    ) {
+        let cfg = self.st.params.cluster.clone();
+        let job_id = self.st.jobs[ji].spec.id;
+        let edges: Vec<(StageId, f64, corral_model::EdgeKind)> = self.st.jobs[ji]
+            .dag
+            .in_edges(sid)
+            .map(|e| (e.from, e.bytes.0, e.kind))
+            .collect();
+        let dst_tasks = self.st.jobs[ji].dag.stage(sid).tasks as f64;
+
+        for (from, edge_bytes, kind) in edges {
+            let share = match kind {
+                corral_model::EdgeKind::Shuffle => edge_bytes / dst_tasks,
+                corral_model::EdgeKind::Broadcast => edge_bytes,
+            };
+            if share < 1.0 {
+                continue;
+            }
+            // Group producers by rack.
+            let producers = self.st.jobs[ji].stages[from.index()].producers.clone();
+            let total: u32 = producers.iter().map(|(_, c)| c).sum();
+            if total == 0 {
+                continue;
+            }
+            let mut by_rack: BTreeMap<RackId, Vec<(MachineId, u32)>> = BTreeMap::new();
+            for (pm, c) in producers {
+                by_rack.entry(cfg.rack_of(pm)).or_default().push((pm, c));
+            }
+            // Group racks: the largest MAX_FETCH_FLOWS-1 racks get their own
+            // flow; the rest merge into one flow sourced from the largest
+            // remaining rack (deterministic: sort by count desc, rack asc).
+            let mut rack_list: Vec<(RackId, Vec<(MachineId, u32)>, u32)> = by_rack
+                .into_iter()
+                .map(|(r, members)| {
+                    let count: u32 = members.iter().map(|(_, c)| c).sum();
+                    (r, members, count)
+                })
+                .collect();
+            rack_list.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)));
+            let coflow = self.coflow_for(job_id, sid, 1);
+            let distinct = rack_list.len().min(Self::MAX_FETCH_FLOWS);
+            for (i, (_rack, members, count)) in rack_list.iter().enumerate().take(distinct) {
+                let mut group_count = *count;
+                if i == distinct - 1 {
+                    // Absorb the merged tail.
+                    group_count += rack_list[distinct..].iter().map(|(_, _, c)| c).sum::<u32>();
+                }
+                let bytes = share * group_count as f64 / total as f64;
+                if bytes < 1.0 {
+                    continue;
+                }
+                // Rotate source across the rack's producers.
+                let src = members[(index as usize) % members.len()].0;
+                let f = self.fabric.start_flow(FlowSpec {
+                    src,
+                    dst: m,
+                    bytes: Bytes(bytes),
+                    tag: FlowTag::task(job_id, sid, tid, FlowKind::Shuffle),
+                    coflow: Some(coflow),
+                });
+                flows.push((f, src, m));
+            }
+        }
+    }
+
+    /// Sink-stage output write: one same-rack replica flow plus one
+    /// cross-rack replica flow (HDFS's fault-tolerance shape; the primary
+    /// replica is the local disk and costs no network).
+    fn make_output_flows(&mut self, tid: TaskId) -> Vec<(FlowId, MachineId, MachineId)> {
+        let task = self.tasks.get(&tid).expect("task missing").clone();
+        let ji = self.job_index[&task.job];
+        let cfg = self.st.params.cluster.clone();
+        let share = self.st.jobs[ji].dfs_out_share(task.stage);
+        let mut flows = Vec::new();
+        if share.is_negligible() {
+            return flows;
+        }
+        let m = task.machine;
+        let my_rack = cfg.rack_of(m);
+        // Same-rack replica: next live machine in the rack.
+        let rack_machines: Vec<MachineId> = cfg
+            .machines_in_rack(my_rack)
+            .filter(|x| !self.st.dead[x.index()] && *x != m)
+            .collect();
+        if let Some(&dst) = rack_machines
+            .get((task.index as usize) % rack_machines.len().max(1))
+            .or(rack_machines.first())
+        {
+            let coflow = self.coflow_for(task.job, task.stage, 2);
+            let f = self.fabric.start_flow(FlowSpec {
+                src: m,
+                dst,
+                bytes: share,
+                tag: FlowTag::task(task.job, task.stage, tid, FlowKind::OutputWrite),
+                coflow: Some(coflow),
+            });
+            flows.push((f, m, dst));
+        }
+        // Cross-rack replica: rotate over other racks.
+        if cfg.racks > 1 {
+            let mut rack_off = 1 + (task.index as usize) % (cfg.racks - 1);
+            for _ in 0..cfg.racks {
+                let r = RackId::from_index((my_rack.index() + rack_off) % cfg.racks);
+                if r != my_rack {
+                    let live: Vec<MachineId> = cfg
+                        .machines_in_rack(r)
+                        .filter(|x| !self.st.dead[x.index()])
+                        .collect();
+                    if !live.is_empty() {
+                        let dst = live[(task.index as usize) % live.len()];
+                        let coflow = self.coflow_for(task.job, task.stage, 2);
+                        let f = self.fabric.start_flow(FlowSpec {
+                            src: m,
+                            dst,
+                            bytes: share,
+                            tag: FlowTag::task(task.job, task.stage, tid, FlowKind::OutputWrite),
+                            coflow: Some(coflow),
+                        });
+                        flows.push((f, m, dst));
+                        break;
+                    }
+                }
+                rack_off += 1;
+            }
+        }
+        flows
+    }
+
+    fn first_live_machine(&self) -> MachineId {
+        MachineId::from_index(
+            self.st
+                .dead
+                .iter()
+                .position(|d| !d)
+                .expect("entire cluster is dead"),
+        )
+    }
+
+    fn coflow_for(&mut self, job: JobId, stage: StageId, phase: u8) -> CoflowId {
+        if let Some(&c) = self.coflows.get(&(job, stage, phase)) {
+            return c;
+        }
+        let c = CoflowId(self.next_coflow);
+        self.next_coflow += 1;
+        self.coflows.insert((job, stage, phase), c);
+        c
+    }
+
+    // ------------------------------------------------------------------
+    // Task lifecycle
+    // ------------------------------------------------------------------
+
+    fn on_flow_done(&mut self, f: FlowId) {
+        if let Some(ji) = self.ingest_flows.remove(&f) {
+            let job = &mut self.st.jobs[ji];
+            debug_assert!(job.ingest_remaining > 0);
+            job.ingest_remaining -= 1;
+            if job.ingest_remaining == 0 && job.arrival_passed && !job.arrived {
+                job.arrived = true;
+                self.mark_all_machines_dirty();
+            }
+            return;
+        }
+        let Some(tid) = self.flow_task.remove(&f) else {
+            return; // flow of a task killed meanwhile
+        };
+        let Some(task) = self.tasks.get_mut(&tid) else {
+            return;
+        };
+        debug_assert!(task.pending_flows > 0);
+        task.pending_flows -= 1;
+        if task.pending_flows > 0 {
+            return;
+        }
+        match task.phase {
+            TaskPhase::Fetching => self.begin_compute(tid),
+            TaskPhase::Writing => self.complete_task(tid),
+            TaskPhase::Computing => unreachable!("no flows pending during compute"),
+        }
+    }
+
+    fn begin_compute(&mut self, tid: TaskId) {
+        let now = self.st.now;
+        let (ji, sid) = {
+            let task = self.tasks.get_mut(&tid).expect("task missing");
+            task.phase = TaskPhase::Computing;
+            task.compute_started = Some(now);
+            (self.job_index[&task.job], task.stage)
+        };
+        let mut dur = self.st.jobs[ji].compute_time(sid);
+        if let Some(sm) = self.st.params.stragglers {
+            use rand::Rng;
+            if self.rng.gen::<f64>() < sm.probability {
+                dur = dur * sm.slowdown;
+            }
+        }
+        let at = self.st.now + dur;
+        self.queue
+            .schedule(at.max(SimTime(self.queue.now().0)), Event::ComputeDone(tid));
+    }
+
+    /// Begins uploading a job's input: one ingress flow per destination
+    /// rack, carrying every replica byte placed there (upload and pipeline
+    /// replication combined). The flows share the rack downlinks with job
+    /// traffic; the job's arrival is gated on their completion.
+    fn start_ingest(&mut self, ji: usize) {
+        let cfg = self.st.params.cluster.clone();
+        let files = self.st.jobs[ji].files.clone();
+        let job_id = self.st.jobs[ji].spec.id;
+        // Aggregate replica bytes per rack, remembering the heaviest
+        // destination machine per rack as the flow endpoint.
+        let mut rack_bytes: BTreeMap<RackId, BTreeMap<MachineId, f64>> = BTreeMap::new();
+        for f in files {
+            for c in self.dfs.chunks_of(f) {
+                for &m in &c.replicas {
+                    *rack_bytes
+                        .entry(cfg.rack_of(m))
+                        .or_default()
+                        .entry(m)
+                        .or_insert(0.0) += c.size.0;
+                }
+            }
+        }
+        let coflow = self.coflow_for(job_id, StageId(0), 3);
+        let mut started = 0u32;
+        for (_rack, machines) in rack_bytes {
+            let total: f64 = machines.values().sum();
+            if total < 1.0 {
+                continue;
+            }
+            let dst = machines
+                .iter()
+                .max_by(|a, b| a.1.total_cmp(b.1).then(b.0.cmp(a.0)))
+                .map(|(m, _)| *m)
+                .expect("non-empty rack group");
+            let flow = self.fabric.start_ingress_flow(
+                dst,
+                Bytes(total),
+                FlowTag {
+                    job: Some(job_id),
+                    stage: None,
+                    task: None,
+                    kind: FlowKind::Ingest,
+                },
+                Some(coflow),
+            );
+            self.ingest_flows.insert(flow, ji);
+            started += 1;
+        }
+        self.st.jobs[ji].ingest_remaining = started;
+        if started == 0 && self.st.jobs[ji].arrival_passed {
+            self.st.jobs[ji].arrived = true;
+            self.mark_all_machines_dirty();
+        }
+    }
+
+    fn on_compute_done(&mut self, tid: TaskId) {
+        if !self.tasks.contains_key(&tid) {
+            return; // killed while computing
+        }
+        let flows = self.make_output_flows(tid);
+        let now = self.st.now;
+        let task = self.tasks.get_mut(&tid).unwrap();
+        task.phase = TaskPhase::Writing;
+        task.write_started = Some(now);
+        task.pending_flows = flows.len() as u32;
+        for &(f, _, _) in &flows {
+            self.flow_task.insert(f, tid);
+        }
+        self.task_flows
+            .get_mut(&tid)
+            .expect("flow table missing")
+            .extend(flows);
+        if self.tasks[&tid].pending_flows == 0 {
+            self.complete_task(tid);
+        }
+    }
+
+    fn complete_task(&mut self, tid: TaskId) {
+        let task = self.tasks.remove(&tid).expect("task missing");
+        self.task_flows.remove(&tid);
+        let now = self.st.now;
+        self.task_log.push(crate::metrics::TaskRecord {
+            job: task.job,
+            stage: task.stage,
+            index: task.index,
+            machine: task.machine,
+            scheduled: task.scheduled_at,
+            compute_started: task.compute_started,
+            write_started: task.write_started,
+            finished: now,
+            killed: false,
+        });
+        let ji = self.job_index[&task.job];
+        let m = task.machine;
+
+        if !self.st.dead[m.index()] {
+            self.st.free_slots[m.index()] += 1;
+            self.dirty_machines.insert(m);
+        }
+
+        // Metrics (charged for every attempt, including redundant
+        // speculative copies — they consumed real resources).
+        let dur = (now - task.scheduled_at).as_secs();
+        let is_source = self.st.jobs[ji].stages[task.stage.index()].is_source;
+        if let Some(mm) = self.metrics.get_mut(&task.job) {
+            mm.task_seconds += dur;
+        }
+
+        // A speculative duplicate finishing after its sibling is redundant:
+        // the slot is back, nothing else to do.
+        if self.st.jobs[ji].stages[task.stage.index()].completed[task.index as usize] {
+            let stage = &mut self.st.jobs[ji].stages[task.stage.index()];
+            stage.running -= 1;
+            return;
+        }
+
+        if let Some(mm) = self.metrics.get_mut(&task.job) {
+            mm.tasks_completed += 1;
+            if !is_source {
+                mm.reduce_task_seconds.push(dur);
+            }
+        }
+
+        // Stage bookkeeping.
+        let stage_done = {
+            let job = &mut self.st.jobs[ji];
+            let stage = &mut job.stages[task.stage.index()];
+            stage.running -= 1;
+            stage.done += 1;
+            stage.completed[task.index as usize] = true;
+            stage.duration_sum += dur;
+            stage.record_producer(m);
+            stage.done == stage.total
+        };
+
+        // Cancel any sibling attempts of the now-complete index (their
+        // output is redundant; no re-queue).
+        let siblings: Vec<TaskId> = self
+            .tasks
+            .iter()
+            .filter(|(_, t)| t.job == task.job && t.stage == task.stage && t.index == task.index)
+            .map(|(id, _)| *id)
+            .collect();
+        for s in siblings {
+            self.kill_task_inner(s, false);
+        }
+
+        if stage_done {
+            self.on_stage_done(ji, task.stage);
+        } else if self
+            .st
+            .params
+            .stragglers
+            .is_some_and(|sm| sm.speculate)
+        {
+            self.maybe_speculate(ji, task.stage);
+        }
+    }
+
+    /// Hadoop-style speculative execution: once a stage has completed
+    /// attempts to average over, any still-running attempt that exceeds
+    /// `spec_threshold ×` the average gets a duplicate on a free slot in an
+    /// allowed rack. First finisher wins; the loser is cancelled.
+    fn maybe_speculate(&mut self, ji: usize, sid: StageId) {
+        let sm = self.st.params.stragglers.expect("caller checked");
+        let Some(avg) = self.st.jobs[ji].stages[sid.index()].avg_duration() else {
+            return;
+        };
+        let cutoff = sm.spec_threshold * avg;
+        let now = self.st.now;
+        let job_id = self.st.jobs[ji].spec.id;
+        let outliers: Vec<u32> = self
+            .tasks
+            .values()
+            .filter(|t| {
+                t.job == job_id
+                    && t.stage == sid
+                    && (now - t.scheduled_at).as_secs() > cutoff
+            })
+            .map(|t| t.index)
+            .collect();
+        let k = self.st.params.cluster.machines_per_rack;
+        for index in outliers {
+            {
+                let stage = &mut self.st.jobs[ji].stages[sid.index()];
+                if stage.completed[index as usize] || !stage.speculated.insert(index) {
+                    continue; // already done or already duplicated
+                }
+            }
+            // A free slot in an allowed rack, rack-interleaved order.
+            let mut candidates: Vec<MachineId> = (0..self.st.dead.len())
+                .filter(|&mi| {
+                    !self.st.dead[mi]
+                        && self.st.free_slots[mi] > 0
+                        && self.st.jobs[ji]
+                            .allowed_on(self.st.params.cluster.rack_of(MachineId::from_index(mi)))
+                })
+                .map(MachineId::from_index)
+                .collect();
+            candidates.sort_by_key(|m| (m.index() % k, m.index() / k));
+            let Some(&m) = candidates.first() else {
+                // No slot right now; allow a later completion to retry.
+                self.st.jobs[ji].stages[sid.index()].speculated.remove(&index);
+                continue;
+            };
+            self.st.free_slots[m.index()] -= 1;
+            self.st.jobs[ji].stages[sid.index()].running += 1;
+            self.spawn_attempt(ji, sid, index, m);
+        }
+    }
+
+    fn on_stage_done(&mut self, ji: usize, sid: StageId) {
+        {
+            let job = &mut self.st.jobs[ji];
+            job.stages[sid.index()].state = StageState::Done;
+            job.stages_done += 1;
+        }
+        // Unblock children (each distinct child once).
+        let children: BTreeSet<StageId> = self.st.jobs[ji]
+            .dag
+            .out_edges(sid)
+            .map(|e| e.to)
+            .collect();
+        let mut unblocked = false;
+        for c in children {
+            let job = &mut self.st.jobs[ji];
+            if let StageState::Waiting(n) = job.stages[c.index()].state {
+                job.stages[c.index()].state = if n <= 1 {
+                    unblocked = true;
+                    StageState::Ready
+                } else {
+                    StageState::Waiting(n - 1)
+                };
+            }
+        }
+        if unblocked {
+            self.mark_all_machines_dirty();
+        }
+        let job = &mut self.st.jobs[ji];
+        if job.stages_done == job.stages.len() {
+            job.finished_at = Some(self.st.now);
+            if let Some(mm) = self.metrics.get_mut(&job.spec.id) {
+                mm.finished = Some(self.st.now);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Failures (§7)
+    // ------------------------------------------------------------------
+
+    fn on_failure(&mut self, f: FailureSpec) {
+        let cfg = self.st.params.cluster.clone();
+        let victims: Vec<MachineId> = match f {
+            FailureSpec::Machine { machine, .. } => vec![machine],
+            FailureSpec::Rack { rack, .. } => cfg.machines_in_rack(rack).collect(),
+            FailureSpec::MachineTransient {
+                machine,
+                repair_after,
+                ..
+            } => {
+                self.queue
+                    .schedule(self.st.now + repair_after, Event::Repair(machine));
+                vec![machine]
+            }
+        };
+        for &m in &victims {
+            self.st.dead[m.index()] = true;
+            self.st.free_slots[m.index()] = 0;
+            self.dfs.kill_machine(m);
+            self.dirty_machines.remove(&m);
+        }
+
+        // Kill task attempts on dead machines and attempts with flows
+        // touching dead machines (their transfer source/sink is gone).
+        let mut to_kill: Vec<TaskId> = Vec::new();
+        for (tid, t) in &self.tasks {
+            if self.st.dead[t.machine.index()] {
+                to_kill.push(*tid);
+                continue;
+            }
+            if let Some(fl) = self.task_flows.get(tid) {
+                if fl.iter().any(|&(fid, src, dst)| {
+                    self.fabric.flow_remaining(fid).is_some()
+                        && (self.st.dead[src.index()] || self.st.dead[dst.index()])
+                }) {
+                    to_kill.push(*tid);
+                }
+            }
+        }
+        for tid in to_kill {
+            self.kill_task(tid);
+        }
+
+        // Corral failure fallback.
+        let threshold = self.st.params.failure_fallback_threshold;
+        for job in self.st.jobs.iter_mut() {
+            if job.fallback || job.constrained_racks.is_empty() {
+                continue;
+            }
+            let mut total = 0usize;
+            let mut dead = 0usize;
+            for &r in &job.constrained_racks {
+                for m in cfg.machines_in_rack(r) {
+                    total += 1;
+                    if self.st.dead[m.index()] {
+                        dead += 1;
+                    }
+                }
+            }
+            if total > 0 && (dead as f64 / total as f64) > threshold {
+                job.fallback = true;
+            }
+        }
+        self.mark_all_machines_dirty();
+    }
+
+    /// A transiently-failed machine rejoins: its slots and DFS replicas
+    /// return to service. (Plan fallbacks already triggered stay triggered —
+    /// §7's scheduler does not re-constrain a job mid-flight.)
+    fn on_repair(&mut self, m: MachineId) {
+        if !self.st.dead[m.index()] {
+            return; // already repaired (overlapping churn events)
+        }
+        self.st.dead[m.index()] = false;
+        self.dfs.revive_machine(m);
+        self.st.free_slots[m.index()] = self.st.params.cluster.slots_per_machine as u32;
+        self.dirty_machines.insert(m);
+    }
+
+    /// Kills a task attempt: cancels its flows, frees its slot (if the
+    /// machine survives) and re-queues the task index.
+    fn kill_task(&mut self, tid: TaskId) {
+        self.kill_task_inner(tid, true);
+    }
+
+    /// Kill with control over re-queuing (speculative losers are not
+    /// re-queued — their index already completed).
+    fn kill_task_inner(&mut self, tid: TaskId, requeue: bool) {
+        let Some(task) = self.tasks.remove(&tid) else {
+            return;
+        };
+        if let Some(flows) = self.task_flows.remove(&tid) {
+            for (f, _, _) in flows {
+                self.fabric.cancel_flow(f);
+                self.flow_task.remove(&f);
+            }
+        }
+        let m = task.machine;
+        if !self.st.dead[m.index()] {
+            self.st.free_slots[m.index()] += 1;
+            self.dirty_machines.insert(m);
+        }
+        let ji = self.job_index[&task.job];
+        let job = &mut self.st.jobs[ji];
+        let stage = &mut job.stages[task.stage.index()];
+        stage.running -= 1;
+        if requeue && !stage.completed[task.index as usize] {
+            stage.pending.push(task.index);
+            stage.pending.sort_unstable_by(|a, b| b.cmp(a));
+        }
+        if let Some(mm) = self.metrics.get_mut(&task.job) {
+            mm.tasks_killed += 1;
+        }
+        self.task_log.push(crate::metrics::TaskRecord {
+            job: task.job,
+            stage: task.stage,
+            index: task.index,
+            machine: task.machine,
+            scheduled: task.scheduled_at,
+            compute_started: task.compute_started,
+            write_started: task.write_started,
+            finished: self.st.now,
+            killed: true,
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Finalization
+    // ------------------------------------------------------------------
+
+    fn finalize(mut self) -> RunReport {
+        let stats = self.fabric.stats();
+        for (id, m) in self.metrics.iter_mut() {
+            m.cross_rack_bytes = stats.cross_rack_of(*id);
+        }
+        let makespan = self
+            .st
+            .jobs
+            .iter()
+            .filter_map(|j| j.finished_at)
+            .fold(SimTime::ZERO, SimTime::max);
+        let unfinished = self.st.jobs.iter().filter(|j| !j.is_finished()).count();
+        let (edge_utilization, core_utilization) = self.fabric.class_utilization();
+        RunReport {
+            scheduler: self.scheduler_label.clone(),
+            net: self.fabric.allocator_name().to_string(),
+            makespan: if unfinished > 0 && self.horizon_hit {
+                self.st.params.horizon
+            } else {
+                makespan
+            },
+            jobs: std::mem::take(&mut self.metrics),
+            cross_rack_bytes: stats.cross_rack_bytes,
+            network_bytes: stats.network_bytes,
+            local_bytes: stats.local_bytes,
+            unfinished,
+            input_balance_cov: self.dfs.rack_balance_cov(),
+            edge_utilization,
+            core_utilization,
+            core_utilization_series: self.fabric.core_utilization_series(),
+            task_log: std::mem::take(&mut self.task_log),
+        }
+    }
+
+    // Test/diagnostic accessors -----------------------------------------
+
+    /// Immutable state view (tests and harnesses).
+    pub fn state(&self) -> &ClusterState {
+        &self.st
+    }
+
+    /// The DFS namespace (tests and harnesses).
+    pub fn dfs(&self) -> &Dfs {
+        &self.dfs
+    }
+}

@@ -1,0 +1,350 @@
+//! Runtime job / stage / task state.
+
+use corral_model::{
+    Bytes, ClusterConfig, DagProfile, FileId, JobId, JobSpec, MachineId, RackId, SimTime, StageId,
+    TaskId,
+};
+
+/// Execution phase of a running task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskPhase {
+    /// Waiting for input flows (DFS read or shuffle fetch).
+    Fetching,
+    /// Crunching (a timer event ends this phase).
+    Computing,
+    /// Waiting for DFS output-replica flows.
+    Writing,
+}
+
+/// One *attempt* of a stage task, bound to a machine slot. Failed attempts
+/// are discarded and the task index re-queued; a retry gets a fresh
+/// [`TaskId`].
+#[derive(Debug, Clone)]
+pub struct RtTask {
+    /// This attempt's id.
+    pub id: TaskId,
+    /// Owning job.
+    pub job: JobId,
+    /// Owning stage.
+    pub stage: StageId,
+    /// Task index within the stage, `0..total`.
+    pub index: u32,
+    /// Machine whose slot the attempt occupies.
+    pub machine: MachineId,
+    /// Current phase.
+    pub phase: TaskPhase,
+    /// Outstanding flows gating the current phase.
+    pub pending_flows: u32,
+    /// When the attempt was placed on the slot.
+    pub scheduled_at: SimTime,
+    /// When its compute phase began.
+    pub compute_started: Option<SimTime>,
+    /// When its output-write phase began.
+    pub write_started: Option<SimTime>,
+}
+
+/// Stage readiness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageState {
+    /// Blocked on `n` incomplete parent stages.
+    Waiting(usize),
+    /// Dispatchable (some tasks may already run).
+    Ready,
+    /// All tasks finished.
+    Done,
+}
+
+/// Runtime state of one stage.
+#[derive(Debug, Clone)]
+pub struct RtStage {
+    /// Readiness.
+    pub state: StageState,
+    /// Task indices not yet (re)scheduled, kept sorted descending so that
+    /// `pop()` yields the smallest index (determinism).
+    pub pending: Vec<u32>,
+    /// Attempts currently occupying slots.
+    pub running: u32,
+    /// Completed tasks.
+    pub done: u32,
+    /// Total tasks in the stage.
+    pub total: u32,
+    /// True if the stage reads DFS input (no incoming edges).
+    pub is_source: bool,
+    /// Machines on which completed tasks ran, with completion counts —
+    /// the producer map consumed by downstream shuffle fetches.
+    pub producers: Vec<(MachineId, u32)>,
+    /// For source stages: per task index, the machines holding a replica of
+    /// its (representative) input chunk. Empty for non-source stages.
+    pub preferred: Vec<Vec<MachineId>>,
+    /// Which task indices have completed (speculative duplicates of a
+    /// completed index are redundant).
+    pub completed: Vec<bool>,
+    /// Indices that already have a speculative duplicate in flight.
+    pub speculated: std::collections::BTreeSet<u32>,
+    /// Sum of completed attempt durations (seconds) — drives outlier
+    /// detection.
+    pub duration_sum: f64,
+}
+
+impl RtStage {
+    fn new(total: u32, deps: usize, is_source: bool) -> Self {
+        RtStage {
+            state: if deps == 0 {
+                StageState::Ready
+            } else {
+                StageState::Waiting(deps)
+            },
+            pending: (0..total).rev().collect(),
+            running: 0,
+            done: 0,
+            total,
+            is_source,
+            producers: Vec::new(),
+            preferred: Vec::new(),
+            completed: vec![false; total as usize],
+            speculated: std::collections::BTreeSet::new(),
+            duration_sum: 0.0,
+        }
+    }
+
+    /// Average duration of completed attempts, if any completed.
+    pub fn avg_duration(&self) -> Option<f64> {
+        (self.done > 0).then(|| self.duration_sum / self.done as f64)
+    }
+
+    /// True if the stage has dispatchable tasks.
+    pub fn dispatchable(&self) -> bool {
+        self.state == StageState::Ready && !self.pending.is_empty()
+    }
+
+    /// Records a completed task attempt on `m`.
+    pub fn record_producer(&mut self, m: MachineId) {
+        if let Some(e) = self.producers.iter_mut().find(|(pm, _)| *pm == m) {
+            e.1 += 1;
+        } else {
+            self.producers.push((m, 1));
+        }
+    }
+}
+
+/// Runtime state of one job.
+#[derive(Debug, Clone)]
+pub struct RtJob {
+    /// The submission.
+    pub spec: JobSpec,
+    /// Canonical DAG form of the job's profile.
+    pub dag: DagProfile,
+    /// Its DFS input file, if any input was written (first source stage's).
+    pub input_file: Option<FileId>,
+    /// All DFS files written for this job's source stages.
+    pub files: Vec<FileId>,
+    /// Outstanding ingress (upload) flows gating the job's start.
+    pub ingest_remaining: u32,
+    /// True once the submission-time event fired (the job may still be
+    /// blocked on its upload).
+    pub arrival_passed: bool,
+    /// Racks the job is confined to (empty = unconstrained). Filled from
+    /// the offline plan (Corral / LocalShuffle) or the per-job greedy rule
+    /// (ShuffleWatcher).
+    pub constrained_racks: Vec<RackId>,
+    /// Fast rack-membership table, indexed by rack.
+    pub rack_member: Vec<bool>,
+    /// Scheduling priority; lower runs first. `u32::MAX` for ad hoc jobs.
+    pub priority: u32,
+    /// True once the §7 failure fallback disabled the rack constraints.
+    pub fallback: bool,
+    /// True once the arrival event fired.
+    pub arrived: bool,
+    /// When the first task attempt was placed.
+    pub first_task_at: Option<SimTime>,
+    /// When the last stage completed.
+    pub finished_at: Option<SimTime>,
+    /// Per-stage runtime state (parallel to `dag.stages`).
+    pub stages: Vec<RtStage>,
+    /// Number of stages completed.
+    pub stages_done: usize,
+}
+
+impl RtJob {
+    /// Builds the runtime state for `spec`.
+    pub fn new(spec: JobSpec, cfg: &ClusterConfig) -> Self {
+        let dag = spec.profile.as_dag();
+        let mut deps = vec![0usize; dag.stages.len()];
+        for e in &dag.edges {
+            deps[e.to.index()] += 1;
+        }
+        // Count *distinct* parents (parallel edges collapse).
+        let mut distinct = vec![std::collections::BTreeSet::new(); dag.stages.len()];
+        for e in &dag.edges {
+            distinct[e.to.index()].insert(e.from);
+        }
+        let stages = dag
+            .stage_ids()
+            .map(|s| {
+                let st = dag.stage(s);
+                let is_source = dag.in_edges(s).next().is_none();
+                RtStage::new(st.tasks as u32, distinct[s.index()].len(), is_source)
+            })
+            .collect();
+        RtJob {
+            spec,
+            dag,
+            input_file: None,
+            files: Vec::new(),
+            ingest_remaining: 0,
+            arrival_passed: false,
+            constrained_racks: Vec::new(),
+            rack_member: vec![false; cfg.racks],
+            priority: u32::MAX,
+            fallback: false,
+            arrived: false,
+            first_task_at: None,
+            finished_at: None,
+            stages,
+            stages_done: 0,
+        }
+    }
+
+    /// Sets the rack constraint.
+    pub fn constrain_to(&mut self, racks: Vec<RackId>) {
+        for v in self.rack_member.iter_mut() {
+            *v = false;
+        }
+        for r in &racks {
+            self.rack_member[r.index()] = true;
+        }
+        self.constrained_racks = racks;
+    }
+
+    /// True if tasks may run on `rack` right now (unconstrained, fallback
+    /// engaged, or member of the constraint set).
+    pub fn allowed_on(&self, rack: RackId) -> bool {
+        self.fallback || self.constrained_racks.is_empty() || self.rack_member[rack.index()]
+    }
+
+    /// True if the job finished all stages.
+    pub fn is_finished(&self) -> bool {
+        self.finished_at.is_some()
+    }
+
+    /// True if the job is live: arrived, not finished.
+    pub fn is_active(&self) -> bool {
+        self.arrived && !self.is_finished()
+    }
+
+    /// The per-task DFS input share of stage `s` (bytes).
+    pub fn dfs_share(&self, s: StageId) -> Bytes {
+        let st = self.dag.stage(s);
+        st.dfs_input / st.tasks as f64
+    }
+
+    /// The per-task DFS output share of stage `s` (bytes).
+    pub fn dfs_out_share(&self, s: StageId) -> Bytes {
+        let st = self.dag.stage(s);
+        st.dfs_output / st.tasks as f64
+    }
+
+    /// Per-task compute time for stage `s`: total input share over the
+    /// stage's processing rate.
+    pub fn compute_time(&self, s: StageId) -> SimTime {
+        let st = self.dag.stage(s);
+        let share = self.dag.stage_total_input(s) / st.tasks as f64;
+        share / st.rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corral_model::{Bandwidth, MapReduceProfile};
+
+    fn job() -> RtJob {
+        let spec = JobSpec::map_reduce(
+            JobId(0),
+            "t",
+            MapReduceProfile {
+                input: Bytes::gb(4.0),
+                shuffle: Bytes::gb(2.0),
+                output: Bytes::gb(1.0),
+                maps: 8,
+                reduces: 4,
+                map_rate: Bandwidth::mbytes_per_sec(100.0),
+                reduce_rate: Bandwidth::mbytes_per_sec(50.0),
+            },
+        );
+        RtJob::new(spec, &ClusterConfig::tiny_test())
+    }
+
+    #[test]
+    fn stage_initialization() {
+        let j = job();
+        assert_eq!(j.stages.len(), 2);
+        assert_eq!(j.stages[0].state, StageState::Ready);
+        assert!(j.stages[0].is_source);
+        assert_eq!(j.stages[1].state, StageState::Waiting(1));
+        assert!(!j.stages[1].is_source);
+        assert_eq!(j.stages[0].total, 8);
+        // Pending pops smallest index first.
+        let mut st = j.stages[0].clone();
+        assert_eq!(st.pending.pop(), Some(0));
+        assert_eq!(st.pending.pop(), Some(1));
+    }
+
+    #[test]
+    fn shares_and_compute_times() {
+        let j = job();
+        assert!((j.dfs_share(StageId(0)).as_gb() - 0.5).abs() < 1e-12);
+        assert!((j.dfs_out_share(StageId(1)).as_gb() - 0.25).abs() < 1e-12);
+        // Map: 0.5 GB at 100 MB/s = 5 s.
+        assert!((j.compute_time(StageId(0)).as_secs() - 5.0).abs() < 1e-9);
+        // Reduce: 0.5 GB shuffle share at 50 MB/s = 10 s.
+        assert!((j.compute_time(StageId(1)).as_secs() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rack_constraints() {
+        let mut j = job();
+        assert!(j.allowed_on(RackId(2)), "unconstrained by default");
+        j.constrain_to(vec![RackId(1)]);
+        assert!(j.allowed_on(RackId(1)));
+        assert!(!j.allowed_on(RackId(0)));
+        j.fallback = true;
+        assert!(j.allowed_on(RackId(0)), "fallback lifts constraints");
+    }
+
+    #[test]
+    fn producer_recording_aggregates() {
+        let mut st = RtStage::new(4, 0, true);
+        st.record_producer(MachineId(3));
+        st.record_producer(MachineId(3));
+        st.record_producer(MachineId(5));
+        assert_eq!(st.producers, vec![(MachineId(3), 2), (MachineId(5), 1)]);
+    }
+
+    #[test]
+    fn diamond_dag_dep_counts() {
+        use corral_model::{DagEdge, EdgeKind, JobProfile, StageProfile};
+        let dag = DagProfile {
+            stages: (0..4)
+                .map(|i| StageProfile::new(format!("s{i}"), 2, Bandwidth::mbytes_per_sec(10.0)))
+                .collect(),
+            edges: vec![
+                DagEdge { from: StageId(0), to: StageId(1), bytes: Bytes::mb(1.0), kind: EdgeKind::Shuffle },
+                DagEdge { from: StageId(0), to: StageId(2), bytes: Bytes::mb(1.0), kind: EdgeKind::Shuffle },
+                DagEdge { from: StageId(1), to: StageId(3), bytes: Bytes::mb(1.0), kind: EdgeKind::Shuffle },
+                DagEdge { from: StageId(2), to: StageId(3), bytes: Bytes::mb(1.0), kind: EdgeKind::Shuffle },
+            ],
+        };
+        let spec = JobSpec {
+            id: JobId(1),
+            name: "diamond".into(),
+            arrival: SimTime::ZERO,
+            plannable: true,
+            profile: JobProfile::Dag(dag),
+        };
+        let j = RtJob::new(spec, &ClusterConfig::tiny_test());
+        assert_eq!(j.stages[0].state, StageState::Ready);
+        assert_eq!(j.stages[1].state, StageState::Waiting(1));
+        assert_eq!(j.stages[3].state, StageState::Waiting(2));
+    }
+}

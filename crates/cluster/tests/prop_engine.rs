@@ -1,0 +1,156 @@
+//! Property tests for the cluster engine: every random workload completes,
+//! conserves bytes, and respects arrival/constraint invariants.
+
+use corral_cluster::config::{DataPlacement, SimParams};
+use corral_cluster::engine::Engine;
+use corral_cluster::scheduler::SchedulerKind;
+use corral_core::{plan_jobs, Objective, Plan, PlannerConfig};
+use corral_model::{
+    Bandwidth, Bytes, ClusterConfig, JobId, JobSpec, MapReduceProfile, SimTime,
+};
+use proptest::prelude::*;
+
+fn params(seed: u64) -> SimParams {
+    SimParams {
+        cluster: ClusterConfig::tiny_test(),
+        placement: DataPlacement::HdfsRandom,
+        seed,
+        horizon: SimTime::hours(50.0),
+        ..SimParams::testbed()
+    }
+}
+
+fn jobs_strategy() -> impl Strategy<Value = Vec<JobSpec>> {
+    proptest::collection::vec(
+        (
+            1e7f64..5e9,  // input
+            0.0f64..5e9,  // shuffle
+            0.0f64..1e9,  // output
+            1usize..12,   // maps
+            1usize..8,    // reduces
+            0.0f64..600.0, // arrival
+        ),
+        1..8,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (inp, sh, out, m, r, a))| {
+                JobSpec::map_reduce(
+                    JobId(i as u32),
+                    format!("p{i}"),
+                    MapReduceProfile {
+                        input: Bytes(inp),
+                        shuffle: Bytes(sh),
+                        output: Bytes(out),
+                        maps: m,
+                        reduces: r,
+                        map_rate: Bandwidth::mbytes_per_sec(80.0),
+                        reduce_rate: Bandwidth::mbytes_per_sec(80.0),
+                    },
+                )
+                .arriving_at(SimTime(a))
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every random workload completes under every scheduler, with sane
+    /// metrics: starts after arrival, all tasks accounted, byte totals
+    /// bounded by the workload's volumes.
+    #[test]
+    fn random_workloads_complete(jobs in jobs_strategy(), seed in 0u64..50) {
+        let plan = plan_jobs(
+            &ClusterConfig::tiny_test(),
+            &jobs,
+            Objective::Makespan,
+            &PlannerConfig::default(),
+        );
+        for (kind, placement) in [
+            (SchedulerKind::Capacity, DataPlacement::HdfsRandom),
+            (SchedulerKind::Planned, DataPlacement::PerPlan),
+            (SchedulerKind::ShuffleWatcher, DataPlacement::HdfsRandom),
+        ] {
+            let mut p = params(seed);
+            p.placement = placement;
+            let report = Engine::new(p, jobs.clone(), &plan, kind).run();
+            prop_assert_eq!(report.unfinished, 0, "{:?} left work", kind);
+            let mut expected_tasks = 0u64;
+            for j in &jobs {
+                let m = &report.jobs[&j.id];
+                prop_assert!(m.started.unwrap().0 >= j.arrival.0 - 1e-9);
+                prop_assert!(m.finished.unwrap().0 >= m.started.unwrap().0);
+                expected_tasks += j.profile.total_tasks() as u64;
+            }
+            let done: u64 = report.jobs.values().map(|m| m.tasks_completed).sum();
+            prop_assert_eq!(done, expected_tasks);
+
+            // Byte accounting: network + local traffic cannot exceed the
+            // theoretical maximum (input fetch + shuffle + two output
+            // replicas per job; inputs may be re-read remotely at most once
+            // per task attempt, so give a small slack factor).
+            let max_bytes: f64 = jobs
+                .iter()
+                .map(|j| {
+                    j.profile.total_input().0
+                        + j.profile.total_shuffle().0
+                        + 2.0 * j.profile.total_output().0
+                })
+                .sum();
+            let moved = report.network_bytes.0 + report.local_bytes.0;
+            prop_assert!(
+                moved <= max_bytes * 1.05 + 1e6,
+                "moved {moved:.3e} exceeds bound {max_bytes:.3e}"
+            );
+        }
+    }
+
+    /// Cross-rack bytes are a subset of network bytes, and planned jobs
+    /// pinned to one rack keep their shuffle off the core entirely.
+    #[test]
+    fn single_rack_plan_prevents_cross_rack_shuffle(
+        shuffle_gb in 0.5f64..4.0,
+        seed in 0u64..50,
+    ) {
+        let job = JobSpec::map_reduce(
+            JobId(0),
+            "pin",
+            MapReduceProfile {
+                input: Bytes::gb(1.0),
+                shuffle: Bytes::gb(shuffle_gb),
+                output: Bytes::ZERO,
+                maps: 6,
+                reduces: 6,
+                map_rate: Bandwidth::mbytes_per_sec(100.0),
+                reduce_rate: Bandwidth::mbytes_per_sec(100.0),
+            },
+        );
+        let mut plan = Plan::default();
+        plan.entries.insert(
+            JobId(0),
+            corral_core::plan::PlanEntry {
+                job: JobId(0),
+                racks: vec![corral_model::RackId(1)],
+                priority: 0,
+                planned_start: SimTime::ZERO,
+                planned_finish: SimTime(1e5),
+                predicted_latency: SimTime(1e5),
+            },
+        );
+        let mut p = params(seed);
+        p.placement = DataPlacement::PerPlan;
+        let report = Engine::new(p, vec![job], &plan, SchedulerKind::Planned).run();
+        prop_assert_eq!(report.unfinished, 0);
+        prop_assert!(report.cross_rack_bytes.0 <= report.network_bytes.0 + 1e-9);
+        // No DFS output, input pinned to rack 1, tasks pinned to rack 1:
+        // nothing should cross the core.
+        prop_assert!(
+            report.cross_rack_bytes.0 < 1e6,
+            "unexpected cross-rack bytes: {}",
+            report.cross_rack_bytes
+        );
+    }
+}

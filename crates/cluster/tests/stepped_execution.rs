@@ -1,0 +1,115 @@
+//! Stepped execution and live plan updates (`run_until`,
+//! `apply_plan_update`, `unstarted_jobs`) — the API behind §3.1's periodic
+//! replanning.
+
+use corral_cluster::config::{DataPlacement, SimParams};
+use corral_cluster::engine::Engine;
+use corral_cluster::scheduler::SchedulerKind;
+use corral_core::plan::{Plan, PlanEntry};
+use corral_model::{
+    Bandwidth, Bytes, ClusterConfig, JobId, JobSpec, MapReduceProfile, RackId, SimTime,
+};
+
+fn job(id: u32, arrival_s: f64) -> JobSpec {
+    JobSpec::map_reduce(
+        JobId(id),
+        format!("j{id}"),
+        MapReduceProfile {
+            input: Bytes::gb(1.0),
+            shuffle: Bytes::gb(2.0),
+            output: Bytes::mb(100.0),
+            maps: 6,
+            reduces: 4,
+            map_rate: Bandwidth::mbytes_per_sec(100.0),
+            reduce_rate: Bandwidth::mbytes_per_sec(100.0),
+        },
+    )
+    .arriving_at(SimTime(arrival_s))
+}
+
+fn entry(id: u32, rack: u32, prio: u32) -> (JobId, PlanEntry) {
+    (
+        JobId(id),
+        PlanEntry {
+            job: JobId(id),
+            racks: vec![RackId(rack)],
+            priority: prio,
+            planned_start: SimTime::ZERO,
+            planned_finish: SimTime(1e4),
+            predicted_latency: SimTime(1e4),
+        },
+    )
+}
+
+fn params() -> SimParams {
+    SimParams {
+        cluster: ClusterConfig::tiny_test(),
+        placement: DataPlacement::PerPlan,
+        horizon: SimTime::hours(10.0),
+        ..SimParams::testbed()
+    }
+}
+
+#[test]
+fn run_until_stops_at_the_limit_and_resumes() {
+    let mut plan = Plan::default();
+    plan.entries.extend([entry(0, 0, 0), entry(1, 1, 1)]);
+    let jobs = vec![job(0, 0.0), job(1, 120.0)];
+    let mut engine = Engine::new(params(), jobs, &plan, SchedulerKind::Planned);
+
+    // Stop before job 1 arrives.
+    let more = engine.run_until(SimTime(60.0));
+    assert!(more, "job 1 still pending");
+    assert!(engine.now() <= SimTime(60.0));
+    let unstarted = engine.unstarted_jobs();
+    assert_eq!(unstarted, vec![(JobId(1), SimTime(120.0))]);
+
+    let report = engine.finish();
+    assert_eq!(report.unfinished, 0);
+    assert!(report.jobs[&JobId(1)].started.unwrap() >= SimTime(120.0));
+}
+
+#[test]
+fn plan_update_moves_an_unstarted_job() {
+    let mut plan = Plan::default();
+    plan.entries.extend([entry(0, 0, 0), entry(1, 0, 1)]);
+    let jobs = vec![job(0, 0.0), job(1, 300.0)];
+    let mut engine = Engine::new(params(), jobs, &plan, SchedulerKind::Planned);
+    engine.run_until(SimTime(100.0));
+
+    // Move job 1 (not yet arrived) to rack 2 with top priority.
+    let mut fresh = Plan::default();
+    fresh.entries.extend([entry(1, 2, 0)]);
+    engine.apply_plan_update(&fresh);
+
+    let report = engine.finish();
+    assert_eq!(report.unfinished, 0);
+    let cfg = ClusterConfig::tiny_test();
+    // Every attempt of job 1 ran on rack 2.
+    for t in report.task_log.iter().filter(|t| t.job == JobId(1)) {
+        assert_eq!(cfg.rack_of(t.machine), RackId(2));
+    }
+}
+
+#[test]
+fn plan_update_never_touches_started_jobs() {
+    let mut plan = Plan::default();
+    plan.entries.extend([entry(0, 1, 0)]);
+    let jobs = vec![job(0, 0.0)];
+    let mut engine = Engine::new(params(), jobs, &plan, SchedulerKind::Planned);
+    engine.run_until(SimTime(2.0)); // job 0 has launched tasks by now
+
+    let mut fresh = Plan::default();
+    fresh.entries.extend([entry(0, 2, 0)]); // try to move it
+    engine.apply_plan_update(&fresh);
+
+    let report = engine.finish();
+    let cfg = ClusterConfig::tiny_test();
+    for t in &report.task_log {
+        assert_eq!(
+            cfg.rack_of(t.machine),
+            RackId(1),
+            "started job must keep its allocation (§4.1: no preemption)"
+        );
+    }
+}

@@ -1,0 +1,400 @@
+//! Latency response functions `L_j(r)` (§4.3).
+//!
+//! These closed-form models estimate how long a job takes on `r` racks.
+//! They are deliberately coarse — "proxies for the actual latencies, and
+//! need not be highly accurate" — because the planner only needs relative
+//! comparisons between candidate allocations. The MapReduce model follows
+//! the paper exactly:
+//!
+//! * **map**:    `l_map(r)    = w_map(r) · (D_I / N_M) / B_M`
+//! * **shuffle**: the per-machine data is split into a cross-core part
+//!   `D_core(r) = D_S/(r·k) · (r−1)/r` flowing at `B/V`, and an intra-rack
+//!   part `D_local(r) = D_S/(r·k) · 1/r`, of which a `1/k` fraction stays
+//!   machine-local and the rest flows at `B − B/V`; the stage takes
+//!   `w_reduce(r) · max(l_core, l_local)`.
+//! * **reduce**: `l_reduce(r) = w_reduce(r) · (D_O / N_R) / B_R`
+//!
+//! where `w_stage(r) = ⌈N_stage / (r · k · s)⌉` is the number of waves on
+//! `r` racks of `k` machines with `s` slots each (the paper presents `s = 1`
+//! and notes the multi-slot extension adjusts the wave counts).
+//!
+//! §4.5 adds a data-imbalance penalty: `L'_j(r) = L_j(r) + α·D_I/r`, with
+//! `α` defaulting to the inverse of the rack-to-core bandwidth (a proxy for
+//! the time to upload the job's input into a rack).
+//!
+//! DAG jobs (§4.3, "General DAGs") model every stage as a MapReduce-like
+//! unit — shuffle-in of its incoming edge data followed by compute waves —
+//! and charge the critical (longest-latency) path of the DAG.
+
+use corral_model::{
+    Bytes, ClusterConfig, DagProfile, JobProfile, MapReduceProfile, SimTime, StageId,
+};
+
+/// Tunables for the response functions.
+#[derive(Debug, Clone, Copy)]
+pub struct ResponseOptions {
+    /// Data-imbalance tradeoff coefficient `α` in seconds per byte
+    /// (§4.5). `None` selects the paper's default: the inverse of the
+    /// rack-to-core bandwidth.
+    pub alpha: Option<f64>,
+    /// Multiplicative error injected into data volumes (1.0 = exact). Used
+    /// by the Fig. 13a sensitivity analysis.
+    pub volume_error: f64,
+}
+
+impl Default for ResponseOptions {
+    fn default() -> Self {
+        ResponseOptions {
+            alpha: None,
+            volume_error: 1.0,
+        }
+    }
+}
+
+impl ResponseOptions {
+    /// Resolves `α`: explicit value or the paper's default
+    /// `1 / rack_core_bandwidth`.
+    pub fn resolve_alpha(&self, cfg: &ClusterConfig) -> f64 {
+        self.alpha
+            .unwrap_or_else(|| 1.0 / cfg.rack_core_bandwidth().0)
+    }
+}
+
+/// Number of waves a stage of `tasks` tasks needs on `r` racks.
+fn waves(tasks: usize, r: usize, cfg: &ClusterConfig) -> f64 {
+    let slots = (r * cfg.machines_per_rack * cfg.slots_per_machine).max(1);
+    (tasks as f64 / slots as f64).ceil().max(1.0)
+}
+
+/// Latency of moving `shuffle_bytes` into a stage of `tasks` tasks running
+/// on `r` racks — the paper's shuffle model, reused for every DAG edge.
+fn shuffle_latency(shuffle_bytes: Bytes, tasks: usize, r: usize, cfg: &ClusterConfig) -> SimTime {
+    if shuffle_bytes.0 <= 0.0 {
+        return SimTime::ZERO;
+    }
+    let k = cfg.machines_per_rack as f64;
+    let b = cfg.nic_bandwidth.0;
+    let v = cfg.oversubscription;
+    let rr = r as f64;
+    let machines = rr * k;
+    let per_machine = shuffle_bytes.0 / machines;
+
+    // Cross-core component: (r-1)/r of each machine's share, at B/V.
+    let l_core = if r > 1 {
+        (per_machine * (rr - 1.0) / rr) / (b / v)
+    } else {
+        0.0
+    };
+    // Intra-rack component: 1/r of the share; 1/k of that stays local;
+    // the rest moves at the NIC capacity left over from core traffic.
+    let intra = per_machine / rr;
+    let local_bw = (b - b / v).max(b * 0.01);
+    let l_local = (intra * (k - 1.0) / k) / local_bw;
+
+    let w = waves(tasks, r, cfg);
+    SimTime(w * l_core.max(l_local))
+}
+
+/// The paper's MapReduce latency response function `L_j(r)` (§4.3),
+/// *without* the imbalance penalty.
+///
+/// ```
+/// use corral_core::mr_latency;
+/// use corral_model::{Bandwidth, Bytes, ClusterConfig, MapReduceProfile};
+///
+/// let cfg = ClusterConfig::testbed_210();
+/// let job = MapReduceProfile {
+///     input: Bytes::gb(100.0),
+///     shuffle: Bytes::gb(500.0),
+///     output: Bytes::gb(10.0),
+///     maps: 800,
+///     reduces: 400,
+///     map_rate: Bandwidth::mbytes_per_sec(100.0),
+///     reduce_rate: Bandwidth::mbytes_per_sec(100.0),
+/// };
+/// // A wide, shuffle-heavy job runs faster on more racks.
+/// assert!(mr_latency(&job, 7, &cfg) < mr_latency(&job, 1, &cfg));
+/// ```
+pub fn mr_latency(mr: &MapReduceProfile, r: usize, cfg: &ClusterConfig) -> SimTime {
+    debug_assert!(r >= 1 && r <= cfg.racks, "rack count out of range");
+    let l_map = waves(mr.maps, r, cfg) * (mr.input.0 / mr.maps as f64) / mr.map_rate.0;
+    let l_shuffle = shuffle_latency(mr.shuffle, mr.reduces, r, cfg);
+    let l_reduce = waves(mr.reduces, r, cfg) * (mr.output.0 / mr.reduces as f64) / mr.reduce_rate.0;
+    SimTime(l_map) + l_shuffle + SimTime(l_reduce)
+}
+
+/// Latency of one DAG stage on `r` racks: shuffle-in of its incoming edges
+/// plus compute waves over its total input at the stage rate.
+pub fn stage_latency(dag: &DagProfile, s: StageId, r: usize, cfg: &ClusterConfig) -> SimTime {
+    let st = dag.stage(s);
+    let total_in = dag.stage_total_input(s);
+    let edge_in = total_in - st.dfs_input;
+    let l_shuffle = shuffle_latency(edge_in, st.tasks, r, cfg);
+    let compute = waves(st.tasks, r, cfg) * (total_in.0 / st.tasks as f64) / st.rate.0;
+    l_shuffle + SimTime(compute)
+}
+
+/// DAG latency response function (§4.3 "General DAGs"): the sum of stage
+/// latencies along the DAG's critical path.
+pub fn dag_latency(dag: &DagProfile, r: usize, cfg: &ClusterConfig) -> SimTime {
+    let order = dag
+        .topo_order()
+        .expect("planner requires an acyclic stage graph");
+    // Longest path ending at each stage.
+    let mut dist = vec![SimTime::ZERO; dag.stages.len()];
+    let mut best = SimTime::ZERO;
+    for &s in &order {
+        let own = stage_latency(dag, s, r, cfg);
+        let pred_max = dag
+            .in_edges(s)
+            .map(|e| dist[e.from.index()])
+            .fold(SimTime::ZERO, SimTime::max);
+        dist[s.index()] = pred_max + own;
+        best = best.max(dist[s.index()]);
+    }
+    best
+}
+
+/// A precomputed latency table for one job: `L'_j(r)` for every
+/// `r ∈ [1, R]`, including the §4.5 imbalance penalty. This is what the
+/// provisioning and prioritization phases consume.
+#[derive(Debug, Clone)]
+pub struct LatencyModel {
+    /// `values[r-1]` = penalized latency on `r` racks, seconds.
+    values: Vec<SimTime>,
+    /// Raw (unpenalized) latencies, same indexing.
+    raw: Vec<SimTime>,
+}
+
+impl LatencyModel {
+    /// Builds the table for `job` on `cfg` under `opts`.
+    pub fn build(job: &JobProfile, cfg: &ClusterConfig, opts: &ResponseOptions) -> Self {
+        let alpha = opts.resolve_alpha(cfg);
+        let input = job.total_input().0 * opts.volume_error;
+        let mut values = Vec::with_capacity(cfg.racks);
+        let mut raw = Vec::with_capacity(cfg.racks);
+        let scaled = scale_volumes(job, opts.volume_error);
+        for r in 1..=cfg.racks {
+            let base = match &scaled {
+                JobProfile::MapReduce(mr) => mr_latency(mr, r, cfg),
+                JobProfile::Dag(d) => dag_latency(d, r, cfg),
+            };
+            raw.push(base);
+            let penalty = alpha * input / r as f64;
+            values.push(base + SimTime(penalty));
+        }
+        LatencyModel { values, raw }
+    }
+
+    /// Penalized latency `L'_j(r)`.
+    pub fn latency(&self, r: usize) -> SimTime {
+        self.values[r - 1]
+    }
+
+    /// Unpenalized latency `L_j(r)` (what the simulator should roughly see).
+    pub fn raw_latency(&self, r: usize) -> SimTime {
+        self.raw[r - 1]
+    }
+
+    /// Number of rack counts covered (the cluster's `R`).
+    pub fn max_racks(&self) -> usize {
+        self.values.len()
+    }
+}
+
+/// Applies a multiplicative volume error to every data quantity of a job
+/// (sensitivity analysis, Fig. 13a). Task counts and rates are untouched.
+fn scale_volumes(job: &JobProfile, factor: f64) -> JobProfile {
+    if (factor - 1.0).abs() < 1e-12 {
+        return job.clone();
+    }
+    match job {
+        JobProfile::MapReduce(mr) => {
+            let mut m = mr.clone();
+            m.input = m.input * factor;
+            m.shuffle = m.shuffle * factor;
+            m.output = m.output * factor;
+            JobProfile::MapReduce(m)
+        }
+        JobProfile::Dag(d) => {
+            let mut d = d.clone();
+            for s in d.stages.iter_mut() {
+                s.dfs_input = s.dfs_input * factor;
+                s.dfs_output = s.dfs_output * factor;
+            }
+            for e in d.edges.iter_mut() {
+                e.bytes = e.bytes * factor;
+            }
+            JobProfile::Dag(d)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corral_model::{Bandwidth, DagEdge, EdgeKind, StageProfile};
+
+    fn cfg() -> ClusterConfig {
+        // 7 racks x 30 machines x 4 slots, 10G NIC, 5:1.
+        ClusterConfig::testbed_210()
+    }
+
+    fn mr(input_gb: f64, shuffle_gb: f64, output_gb: f64, maps: usize, reduces: usize) -> MapReduceProfile {
+        MapReduceProfile {
+            input: Bytes::gb(input_gb),
+            shuffle: Bytes::gb(shuffle_gb),
+            output: Bytes::gb(output_gb),
+            maps,
+            reduces,
+            map_rate: Bandwidth::mbytes_per_sec(100.0),
+            reduce_rate: Bandwidth::mbytes_per_sec(100.0),
+        }
+    }
+
+    #[test]
+    fn single_rack_has_no_core_time() {
+        let c = cfg();
+        // Shuffle-heavy job small enough for one rack.
+        let j = mr(10.0, 100.0, 1.0, 100, 100);
+        let l1 = mr_latency(&j, 1, &c);
+        // On one rack, shuffle time is intra-rack only; the job is small so
+        // latency should be dominated by the local shuffle, not B/V.
+        assert!(l1.as_secs() > 0.0);
+        // Compare against a hypothetical core-rate transfer of all data:
+        let core_only = Bytes::gb(100.0).0 / (30.0) / (c.nic_bandwidth.0 / c.oversubscription);
+        let w = 1.0; // 100 reduces fit in 120 slots
+        assert!(l1.as_secs() < w * core_only, "1-rack shuffle must beat core path");
+    }
+
+    #[test]
+    fn shuffle_latency_decreases_with_racks_for_wide_jobs() {
+        let c = cfg();
+        // Big shuffle, plenty of tasks: paper's example says latency falls
+        // roughly as V/r for large r.
+        let j = mr(10.0, 1000.0, 1.0, 840, 840);
+        let l: Vec<f64> = (1..=7).map(|r| mr_latency(&j, r, &c).as_secs()).collect();
+        assert!(l[6] < l[0], "7-rack latency should beat 1 rack: {l:?}");
+        // Monotone decreasing overall trend from r=2 on.
+        assert!(l[6] <= l[1]);
+    }
+
+    #[test]
+    fn narrow_job_gains_almost_nothing_from_more_racks() {
+        let c = cfg();
+        // 60 maps and 20 reduces fit comfortably in one rack (120 slots):
+        // with the wave counts floored at 1, extra racks change latency only
+        // marginally (the paper's isolation benefit for small jobs comes
+        // from *packing* them one per rack, not from per-job latency).
+        let j = mr(5.0, 5.0, 1.0, 60, 20);
+        let l1 = mr_latency(&j, 1, &c).as_secs();
+        let l4 = mr_latency(&j, 4, &c).as_secs();
+        let rel = (l1 - l4).abs() / l1;
+        assert!(rel < 0.05, "spreading a small job moves latency < 5%: {l1} vs {l4}");
+    }
+
+    #[test]
+    fn map_waves_quantize_latency() {
+        let c = cfg(); // 120 slots per rack
+        let j = mr(12.0, 0.0, 0.12, 240, 1);
+        // On 1 rack: 2 waves of maps; on 2 racks: 1 wave.
+        let l1 = mr_latency(&j, 1, &c).as_secs();
+        let l2 = mr_latency(&j, 2, &c).as_secs();
+        // map time per wave = (12GB/240)/100MBps = 0.5 s
+        assert!((l1 - (2.0 * 0.5 + 0.12e9 / 1.0 / 100e6)).abs() < 1e-6);
+        assert!(l1 > l2);
+    }
+
+    #[test]
+    fn penalty_decreases_with_racks() {
+        let c = cfg();
+        let job = JobProfile::MapReduce(mr(100.0, 1.0, 1.0, 100, 10));
+        let m = LatencyModel::build(&job, &c, &ResponseOptions::default());
+        // Penalized minus raw = alpha * D_I / r: strictly decreasing in r.
+        let p1 = m.latency(1).as_secs() - m.raw_latency(1).as_secs();
+        let p7 = m.latency(7).as_secs() - m.raw_latency(7).as_secs();
+        assert!(p1 > p7);
+        assert!((p1 - 7.0 * p7).abs() < 1e-6, "penalty should scale 1/r");
+        // Default alpha = 1 / rack core bandwidth.
+        let alpha = 1.0 / c.rack_core_bandwidth().0;
+        assert!((p1 - alpha * Bytes::gb(100.0).0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn volume_error_scales_latency() {
+        let c = cfg();
+        let job = JobProfile::MapReduce(mr(100.0, 50.0, 10.0, 500, 100));
+        let exact = LatencyModel::build(&job, &c, &ResponseOptions::default());
+        let inflated = LatencyModel::build(
+            &job,
+            &c,
+            &ResponseOptions {
+                volume_error: 1.5,
+                ..Default::default()
+            },
+        );
+        for r in 1..=c.racks {
+            assert!(inflated.latency(r) > exact.latency(r));
+        }
+    }
+
+    #[test]
+    fn dag_latency_charges_critical_path() {
+        let c = cfg();
+        let rate = Bandwidth::mbytes_per_sec(100.0);
+        // Chain a -> b and a parallel cheap branch a -> c; sink d joins.
+        let dag = DagProfile {
+            stages: vec![
+                StageProfile::new("a", 100, rate).with_dfs_input(Bytes::gb(10.0)),
+                StageProfile::new("b", 100, rate),
+                StageProfile::new("c", 10, rate),
+                StageProfile::new("d", 50, rate).with_dfs_output(Bytes::gb(1.0)),
+            ],
+            edges: vec![
+                DagEdge { from: StageId(0), to: StageId(1), bytes: Bytes::gb(50.0), kind: EdgeKind::Shuffle },
+                DagEdge { from: StageId(0), to: StageId(2), bytes: Bytes::gb(0.1), kind: EdgeKind::Shuffle },
+                DagEdge { from: StageId(1), to: StageId(3), bytes: Bytes::gb(5.0), kind: EdgeKind::Shuffle },
+                DagEdge { from: StageId(2), to: StageId(3), bytes: Bytes::gb(0.1), kind: EdgeKind::Shuffle },
+            ],
+        };
+        let l = dag_latency(&dag, 2, &c).as_secs();
+        // The critical path is the heavy chain a → b → d.
+        let heavy_chain: f64 = [StageId(0), StageId(1), StageId(3)]
+            .iter()
+            .map(|&s| stage_latency(&dag, s, 2, &c).as_secs())
+            .sum();
+        let light_chain: f64 = [StageId(0), StageId(2), StageId(3)]
+            .iter()
+            .map(|&s| stage_latency(&dag, s, 2, &c).as_secs())
+            .sum();
+        assert!((l - heavy_chain).abs() < 1e-9, "l={l} heavy={heavy_chain}");
+        assert!(heavy_chain > light_chain);
+    }
+
+    #[test]
+    fn two_stage_dag_close_to_mr_model() {
+        // The generic DAG model and the verbatim-paper MR model differ only
+        // in the reduce-compute volume convention; for a job whose shuffle
+        // equals its output they coincide.
+        let c = cfg();
+        let j = mr(10.0, 5.0, 5.0, 100, 50);
+        let dag = j.to_dag();
+        for r in [1usize, 3, 7] {
+            let a = mr_latency(&j, r, &c).as_secs();
+            // DAG reduce computes over its shuffle-in (5GB) at reduce rate;
+            // MR reduce computes over output (5GB): identical here.
+            let b = dag_latency(&dag, r, &c).as_secs();
+            assert!((a - b).abs() < 1e-6, "r={r}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn latency_monotone_in_input_size() {
+        let c = cfg();
+        for r in 1..=7 {
+            let small = mr_latency(&mr(1.0, 1.0, 0.5, 100, 50), r, &c);
+            let large = mr_latency(&mr(10.0, 10.0, 5.0, 100, 50), r, &c);
+            assert!(large > small);
+        }
+    }
+}

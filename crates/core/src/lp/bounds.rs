@@ -1,0 +1,242 @@
+//! LP lower bounds for the planning problem.
+//!
+//! # LP-Batch (paper Appendix A, verbatim)
+//!
+//! Variables `x_{jr} ∈ [0,1]` (job `j` assigned `r` racks) and the makespan
+//! `T`:
+//!
+//! ```text
+//! minimize    T
+//! subject to  Σ_r x_{jr} = 1                      ∀j        (2)
+//!             T ≥ Σ_r x_{jr} L_j(r)               ∀j        (3)
+//!             T·R ≥ Σ_{j,r} x_{jr} L_j(r)·r                 (4)
+//! ```
+//!
+//! Every feasible rack-granularity schedule satisfies these constraints, so
+//! the optimum is a lower bound on any schedule's makespan. (The upper
+//! bounds `x ≤ 1` are implied by (2) with `x ≥ 0`.)
+//!
+//! # Online bound (time-indexed relaxation)
+//!
+//! The paper presents only the online objective (eq. 6) and omits the full
+//! program, so we construct a standard *time-indexed* relaxation that is a
+//! provable lower bound: discretize `[0, H)` into `E` epochs of length `Δ`;
+//! variable `y_{jrt}` is the (fractional) indicator that job `j` runs on `r`
+//! racks starting within epoch `t`. Mapping any real schedule to `y` by
+//! rounding start times *down* to epoch boundaries:
+//!
+//! * completion `C_j ≥ max(tΔ, A_j) + L_j(r)` — so the objective
+//!   `(1/J) Σ y_{jrt}(max(tΔ,A_j) + L_j(r) − A_j)` under-estimates the true
+//!   average completion time;
+//! * a run starting in epoch `t` with duration `L_j(r)` fully covers epochs
+//!   `t+1 … t+⌊L/Δ⌋−1`, so charging `r` racks to exactly those epochs and
+//!   capping each epoch at `R` racks is satisfied by every real schedule.
+//!
+//! As `Δ → 0` the bound tightens; with coarse grids it is simply a weaker
+//! (but still valid) bound.
+
+use crate::lp::simplex::{LinearProgram, LpOutcome, Relation};
+
+/// Solves LP-Batch. `latency[j][r-1]` is `L_j(r)`; `total_racks` is `R`.
+/// Returns the LP optimum (a lower bound on any schedule's makespan), or
+/// `None` if the solver fails (which would indicate malformed input).
+pub fn batch_lower_bound(latency: &[Vec<f64>], total_racks: usize) -> Option<f64> {
+    let j_count = latency.len();
+    if j_count == 0 {
+        return Some(0.0);
+    }
+    let r_count = total_racks;
+    let x = |j: usize, r: usize| j * r_count + (r - 1); // r is 1-based
+    let t_var = j_count * r_count;
+
+    let mut objective = vec![0.0; t_var + 1];
+    objective[t_var] = 1.0;
+    let mut lp = LinearProgram {
+        num_vars: t_var + 1,
+        objective,
+        constraints: vec![],
+    };
+
+    for j in 0..j_count {
+        assert_eq!(latency[j].len(), r_count, "latency table shape mismatch");
+        // (2) Σ_r x_jr = 1
+        let coeffs: Vec<(usize, f64)> = (1..=r_count).map(|r| (x(j, r), 1.0)).collect();
+        lp = lp.with(coeffs, Relation::Eq, 1.0);
+        // (3) T − Σ_r x_jr L_j(r) ≥ 0
+        let mut coeffs: Vec<(usize, f64)> =
+            (1..=r_count).map(|r| (x(j, r), -latency[j][r - 1])).collect();
+        coeffs.push((t_var, 1.0));
+        lp = lp.with(coeffs, Relation::Ge, 0.0);
+    }
+    // (4) T·R − Σ_{j,r} x_jr L_j(r)·r ≥ 0
+    let mut coeffs: Vec<(usize, f64)> = Vec::with_capacity(j_count * r_count + 1);
+    for j in 0..j_count {
+        for r in 1..=r_count {
+            coeffs.push((x(j, r), -latency[j][r - 1] * r as f64));
+        }
+    }
+    coeffs.push((t_var, total_racks as f64));
+    lp = lp.with(coeffs, Relation::Ge, 0.0);
+
+    match lp.solve() {
+        LpOutcome::Optimal { objective, .. } => Some(objective),
+        _ => None,
+    }
+}
+
+/// Time-indexed lower bound on the average completion time (seconds).
+///
+/// * `latency[j][r-1]` — `L_j(r)`;
+/// * `arrivals[j]` — `A_j` (seconds);
+/// * `total_racks` — `R`;
+/// * `horizon` — an upper bound on the optimal makespan (e.g. the
+///   heuristic's finish time); runs beyond it are not representable, so it
+///   must be generous;
+/// * `epochs` — grid resolution `E` (larger = tighter bound, bigger LP).
+pub fn online_lower_bound(
+    latency: &[Vec<f64>],
+    arrivals: &[f64],
+    total_racks: usize,
+    horizon: f64,
+    epochs: usize,
+) -> Option<f64> {
+    let j_count = latency.len();
+    assert_eq!(arrivals.len(), j_count);
+    if j_count == 0 {
+        return Some(0.0);
+    }
+    assert!(epochs >= 2 && horizon > 0.0);
+    let r_count = total_racks;
+    let delta = horizon / epochs as f64;
+
+    // Enumerate variables (j, r, t) with t ≥ floor(A_j / Δ).
+    struct Var {
+        j: usize,
+        r: usize,
+        t: usize,
+    }
+    let mut vars: Vec<Var> = Vec::new();
+    for j in 0..j_count {
+        let t0 = (arrivals[j] / delta).floor() as usize;
+        for r in 1..=r_count {
+            for t in t0..epochs {
+                vars.push(Var { j, r, t });
+            }
+        }
+    }
+    let n = vars.len();
+    let mut objective = vec![0.0; n];
+    for (idx, v) in vars.iter().enumerate() {
+        let start = (v.t as f64 * delta).max(arrivals[v.j]);
+        objective[idx] =
+            (start + latency[v.j][v.r - 1] - arrivals[v.j]).max(0.0) / j_count as f64;
+    }
+    let mut lp = LinearProgram {
+        num_vars: n,
+        objective,
+        constraints: vec![],
+    };
+
+    // Assignment rows.
+    let mut per_job: Vec<Vec<(usize, f64)>> = vec![Vec::new(); j_count];
+    for (idx, v) in vars.iter().enumerate() {
+        per_job[v.j].push((idx, 1.0));
+    }
+    for row in per_job {
+        lp = lp.with(row, Relation::Eq, 1.0);
+    }
+
+    // Capacity rows: epochs fully covered by a run get charged r racks.
+    let mut per_epoch: Vec<Vec<(usize, f64)>> = vec![Vec::new(); epochs];
+    for (idx, v) in vars.iter().enumerate() {
+        let dur_epochs = (latency[v.j][v.r - 1] / delta).floor() as usize;
+        if dur_epochs >= 2 {
+            let from = v.t + 1;
+            let to = (v.t + dur_epochs).min(epochs); // exclusive
+            for e in from..to.max(from) {
+                if e < epochs {
+                    per_epoch[e].push((idx, v.r as f64));
+                }
+            }
+        }
+    }
+    for row in per_epoch {
+        if !row.is_empty() {
+            lp = lp.with(row, Relation::Le, total_racks as f64);
+        }
+    }
+
+    match lp.solve() {
+        LpOutcome::Optimal { objective, .. } => Some(objective),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_single_job_bound_is_its_best_latency() {
+        // One job, L(1)=10, L(2)=6 on R=2: constraint (3) forces T ≥ the
+        // convex combination; optimum puts all weight on r=2 → T = 6.
+        let lat = vec![vec![10.0, 6.0]];
+        let lb = batch_lower_bound(&lat, 2).unwrap();
+        assert!((lb - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn batch_capacity_constraint_binds() {
+        // Ten identical 1-rack jobs of length 10 on R=2: constraint (4) says
+        // T·2 ≥ Σ work = 100 → T ≥ 50. (Constraint (3) alone only gives 10.)
+        let lat = vec![vec![10.0, 10.0]; 10];
+        let lb = batch_lower_bound(&lat, 2).unwrap();
+        assert!(lb >= 50.0 - 1e-6, "lb={lb}");
+    }
+
+    #[test]
+    fn batch_bound_below_any_schedule() {
+        // Compare to the heuristic-style sequential schedule of 3 jobs on
+        // 1 rack: makespan 30; the LP must not exceed it.
+        let lat = vec![vec![10.0], vec![10.0], vec![10.0]];
+        let lb = batch_lower_bound(&lat, 1).unwrap();
+        assert!(lb <= 30.0 + 1e-6);
+        assert!(lb >= 30.0 - 1e-6, "with R=1 the bound is tight: {lb}");
+    }
+
+    #[test]
+    fn batch_empty() {
+        assert_eq!(batch_lower_bound(&[], 5), Some(0.0));
+    }
+
+    #[test]
+    fn online_bound_at_least_mean_min_latency() {
+        let lat = vec![vec![10.0, 8.0], vec![20.0, 12.0]];
+        let arr = vec![0.0, 0.0];
+        let lb = online_lower_bound(&lat, &arr, 2, 100.0, 20).unwrap();
+        // Each job's completion ≥ its best latency: mean ≥ (8+12)/2 = 10.
+        assert!(lb >= 10.0 - 1e-6, "lb={lb}");
+    }
+
+    #[test]
+    fn online_bound_sees_queueing() {
+        // Four identical jobs, all arrive at 0, single rack (R=1),
+        // L(1)=10: any schedule averages (10+20+30+40)/4 = 25.
+        // The epoch relaxation must capture a good part of that.
+        let lat = vec![vec![10.0]; 4];
+        let arr = vec![0.0; 4];
+        let lb = online_lower_bound(&lat, &arr, 1, 60.0, 30).unwrap();
+        assert!(lb > 15.0, "queueing must push the bound well above 10: {lb}");
+        assert!(lb <= 25.0 + 1e-6);
+    }
+
+    #[test]
+    fn online_respects_arrivals() {
+        // One job arriving at t=100 with L=5: bound ≈ 5 (completion minus
+        // arrival), not 105.
+        let lat = vec![vec![5.0]];
+        let arr = vec![100.0];
+        let lb = online_lower_bound(&lat, &arr, 1, 200.0, 40).unwrap();
+        assert!(lb >= 5.0 - 1e-6 && lb <= 10.0, "lb={lb}");
+    }
+}

@@ -1,0 +1,246 @@
+//! Shared-dataset placement (§7, "Data-job dependencies").
+//!
+//! The planner proper assumes each job reads its own dataset. When datasets
+//! are shared, the paper sketches the extension implemented here: *"using
+//! the schedule of the offline planner and formulating a simple LP with
+//! variables representing what fraction of each dataset is allocated to
+//! each rack and the cost function capturing the amount of cross-rack data
+//! transferred"*.
+//!
+//! Variables `y_{d,r}` = fraction of dataset `d` stored on rack `r`. A job
+//! `j` planned onto rack set `R_j` reads the portion of its datasets stored
+//! *outside* `R_j` across the core, so the objective charges
+//! `w_{j,d} · size_d · y_{d,r}` for every `r ∉ R_j`. Constraints: each
+//! dataset fully placed, optional per-rack storage capacity.
+
+use crate::lp::simplex::{LinearProgram, LpOutcome, Relation};
+use corral_model::RackId;
+
+/// One job's read of one dataset.
+#[derive(Debug, Clone, Copy)]
+pub struct DatasetRead {
+    /// Reading job (index into `job_racks`).
+    pub job: usize,
+    /// Dataset read (index into `dataset_sizes`).
+    pub dataset: usize,
+    /// Read multiplicity (1.0 = the job scans the dataset once per run;
+    /// recurring jobs can weight by frequency).
+    pub weight: f64,
+}
+
+/// A dataset-placement problem instance.
+#[derive(Debug, Clone)]
+pub struct DatasetPlacementProblem {
+    /// Bytes per dataset.
+    pub dataset_sizes: Vec<f64>,
+    /// The bipartite job→dataset read graph.
+    pub reads: Vec<DatasetRead>,
+    /// Planned rack set `R_j` per job (from the offline planner).
+    pub job_racks: Vec<Vec<RackId>>,
+    /// Number of racks `R`.
+    pub racks: usize,
+    /// Optional per-rack storage capacity (bytes); `None` = uncapacitated.
+    pub rack_capacity: Option<Vec<f64>>,
+}
+
+/// The LP's solution.
+#[derive(Debug, Clone)]
+pub struct DatasetPlacement {
+    /// `fractions[d][r]` = fraction of dataset `d` on rack `r`.
+    pub fractions: Vec<Vec<f64>>,
+    /// Total weighted cross-rack read volume under this placement.
+    pub cross_rack_bytes: f64,
+}
+
+impl DatasetPlacementProblem {
+    /// Solves the placement LP. Returns `None` if the instance is
+    /// infeasible (capacities too tight) or malformed.
+    pub fn solve(&self) -> Option<DatasetPlacement> {
+        let d_count = self.dataset_sizes.len();
+        let r_count = self.racks;
+        if d_count == 0 || r_count == 0 {
+            return Some(DatasetPlacement {
+                fractions: vec![vec![]; d_count],
+                cross_rack_bytes: 0.0,
+            });
+        }
+        let var = |d: usize, r: usize| d * r_count + r;
+
+        // Objective: for each read (j, d) and rack r outside R_j, reading
+        // y_{d,r} of the dataset costs w · size_d bytes across the core.
+        let mut objective = vec![0.0; d_count * r_count];
+        for read in &self.reads {
+            if read.job >= self.job_racks.len() || read.dataset >= d_count {
+                return None;
+            }
+            let in_set = |r: usize| {
+                self.job_racks[read.job]
+                    .iter()
+                    .any(|rr| rr.index() == r)
+            };
+            for r in 0..r_count {
+                if !in_set(r) {
+                    objective[var(read.dataset, r)] +=
+                        read.weight * self.dataset_sizes[read.dataset];
+                }
+            }
+        }
+
+        let mut lp = LinearProgram {
+            num_vars: d_count * r_count,
+            objective,
+            constraints: vec![],
+        };
+        // Each dataset fully placed.
+        for d in 0..d_count {
+            let coeffs: Vec<(usize, f64)> = (0..r_count).map(|r| (var(d, r), 1.0)).collect();
+            lp = lp.with(coeffs, Relation::Eq, 1.0);
+        }
+        // Optional rack capacities.
+        if let Some(caps) = &self.rack_capacity {
+            if caps.len() != r_count {
+                return None;
+            }
+            for r in 0..r_count {
+                let coeffs: Vec<(usize, f64)> = (0..d_count)
+                    .map(|d| (var(d, r), self.dataset_sizes[d]))
+                    .collect();
+                lp = lp.with(coeffs, Relation::Le, caps[r]);
+            }
+        }
+
+        match lp.solve() {
+            LpOutcome::Optimal { objective, x } => {
+                let fractions = (0..d_count)
+                    .map(|d| (0..r_count).map(|r| x[var(d, r)]).collect())
+                    .collect();
+                Some(DatasetPlacement {
+                    fractions,
+                    cross_rack_bytes: objective,
+                })
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn racks(ids: &[u32]) -> Vec<RackId> {
+        ids.iter().map(|&r| RackId(r)).collect()
+    }
+
+    #[test]
+    fn single_reader_places_dataset_in_its_racks() {
+        let p = DatasetPlacementProblem {
+            dataset_sizes: vec![100.0],
+            reads: vec![DatasetRead { job: 0, dataset: 0, weight: 1.0 }],
+            job_racks: vec![racks(&[2, 3])],
+            racks: 5,
+            rack_capacity: None,
+        };
+        let sol = p.solve().unwrap();
+        assert!(sol.cross_rack_bytes < 1e-7, "no cross-rack reads needed");
+        let inside: f64 = sol.fractions[0][2] + sol.fractions[0][3];
+        assert!((inside - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn shared_dataset_follows_the_heavier_reader() {
+        // Jobs on disjoint racks read the same dataset; job 0 reads it 3x
+        // as often. All of it should sit with job 0; job 1 pays the cross.
+        let p = DatasetPlacementProblem {
+            dataset_sizes: vec![50.0],
+            reads: vec![
+                DatasetRead { job: 0, dataset: 0, weight: 3.0 },
+                DatasetRead { job: 1, dataset: 0, weight: 1.0 },
+            ],
+            job_racks: vec![racks(&[0]), racks(&[1])],
+            racks: 2,
+            rack_capacity: None,
+        };
+        let sol = p.solve().unwrap();
+        assert!((sol.fractions[0][0] - 1.0).abs() < 1e-7, "{:?}", sol.fractions);
+        // Cost = job 1's reads: 1.0 × 50 bytes.
+        assert!((sol.cross_rack_bytes - 50.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn overlapping_rack_sets_are_free() {
+        // Both jobs include rack 1; placing the dataset there serves both.
+        let p = DatasetPlacementProblem {
+            dataset_sizes: vec![80.0],
+            reads: vec![
+                DatasetRead { job: 0, dataset: 0, weight: 1.0 },
+                DatasetRead { job: 1, dataset: 0, weight: 1.0 },
+            ],
+            job_racks: vec![racks(&[0, 1]), racks(&[1, 2])],
+            racks: 3,
+            rack_capacity: None,
+        };
+        let sol = p.solve().unwrap();
+        assert!(sol.cross_rack_bytes < 1e-7);
+        assert!((sol.fractions[0][1] - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn capacity_forces_spill() {
+        // Rack 0 can hold only half the dataset; the remainder must live
+        // elsewhere and be read across the core.
+        let p = DatasetPlacementProblem {
+            dataset_sizes: vec![100.0],
+            reads: vec![DatasetRead { job: 0, dataset: 0, weight: 1.0 }],
+            job_racks: vec![racks(&[0])],
+            racks: 2,
+            rack_capacity: Some(vec![50.0, 1000.0]),
+        };
+        let sol = p.solve().unwrap();
+        assert!((sol.fractions[0][0] - 0.5).abs() < 1e-6);
+        assert!((sol.cross_rack_bytes - 50.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_capacities_return_none() {
+        let p = DatasetPlacementProblem {
+            dataset_sizes: vec![100.0],
+            reads: vec![],
+            job_racks: vec![],
+            racks: 2,
+            rack_capacity: Some(vec![10.0, 10.0]),
+        };
+        assert!(p.solve().is_none());
+    }
+
+    #[test]
+    fn multiple_datasets_independent() {
+        let p = DatasetPlacementProblem {
+            dataset_sizes: vec![10.0, 20.0],
+            reads: vec![
+                DatasetRead { job: 0, dataset: 0, weight: 1.0 },
+                DatasetRead { job: 1, dataset: 1, weight: 1.0 },
+            ],
+            job_racks: vec![racks(&[0]), racks(&[1])],
+            racks: 2,
+            rack_capacity: None,
+        };
+        let sol = p.solve().unwrap();
+        assert!(sol.cross_rack_bytes < 1e-7);
+        assert!((sol.fractions[0][0] - 1.0).abs() < 1e-7);
+        assert!((sol.fractions[1][1] - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn empty_problem() {
+        let p = DatasetPlacementProblem {
+            dataset_sizes: vec![],
+            reads: vec![],
+            job_racks: vec![],
+            racks: 3,
+            rack_capacity: None,
+        };
+        let sol = p.solve().unwrap();
+        assert_eq!(sol.cross_rack_bytes, 0.0);
+    }
+}

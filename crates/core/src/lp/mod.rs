@@ -1,0 +1,23 @@
+//! LP relaxations of the planning problem (paper Appendix A).
+//!
+//! The heuristics of §4.2 are evaluated against LP lower bounds: any
+//! algorithm that assigns resources at rack granularity is at least as slow
+//! as the LP optimum, so a small heuristic/LP gap certifies near-optimality
+//! (the paper reports 3% for makespan, 15% for average completion time).
+//!
+//! * [`simplex`] — a dense two-phase primal simplex solver (self-contained;
+//!   the LPs here are small, hundreds of rows × thousands of columns).
+//! * [`bounds`] — builders for **LP-Batch** (verbatim from the paper) and a
+//!   time-indexed relaxation for the online objective (the paper omits its
+//!   full online LP; ours is documented in `bounds`).
+//! * [`datasets`] — the §7 extension for shared datasets: an LP choosing
+//!   what fraction of each dataset each rack stores, minimizing cross-rack
+//!   reads given the planner's rack assignments.
+
+pub mod bounds;
+pub mod datasets;
+pub mod simplex;
+
+pub use bounds::{batch_lower_bound, online_lower_bound};
+pub use datasets::{DatasetPlacement, DatasetPlacementProblem, DatasetRead};
+pub use simplex::{Constraint, LinearProgram, LpOutcome, Relation};

@@ -1,0 +1,62 @@
+//! Planning objectives (§4.1).
+
+use corral_model::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// What the offline planner minimizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Objective {
+    /// Batch scenario: minimize the time to finish *all* jobs.
+    Makespan,
+    /// Online scenario: minimize the mean of (completion − arrival).
+    AvgCompletionTime,
+}
+
+impl Objective {
+    /// Evaluates the objective over per-job `(arrival, finish)` pairs.
+    /// Returns seconds (makespan) or mean seconds (average completion).
+    pub fn evaluate(self, jobs: &[(SimTime, SimTime)]) -> f64 {
+        if jobs.is_empty() {
+            return 0.0;
+        }
+        match self {
+            Objective::Makespan => jobs
+                .iter()
+                .map(|(_, f)| f.as_secs())
+                .fold(0.0, f64::max),
+            Objective::AvgCompletionTime => {
+                jobs.iter()
+                    .map(|(a, f)| (f.as_secs() - a.as_secs()).max(0.0))
+                    .sum::<f64>()
+                    / jobs.len() as f64
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn makespan_is_latest_finish() {
+        let jobs = vec![
+            (SimTime(0.0), SimTime(10.0)),
+            (SimTime(5.0), SimTime(30.0)),
+            (SimTime(0.0), SimTime(20.0)),
+        ];
+        assert_eq!(Objective::Makespan.evaluate(&jobs), 30.0);
+    }
+
+    #[test]
+    fn avg_completion_subtracts_arrival() {
+        let jobs = vec![(SimTime(0.0), SimTime(10.0)), (SimTime(10.0), SimTime(20.0))];
+        assert_eq!(Objective::AvgCompletionTime.evaluate(&jobs), 10.0);
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(Objective::Makespan.evaluate(&[]), 0.0);
+        assert_eq!(Objective::AvgCompletionTime.evaluate(&[]), 0.0);
+    }
+}

@@ -1,0 +1,253 @@
+//! The prioritization phase (§4.2, Figure 4).
+//!
+//! Given the rack *count* `r_j` chosen for each job by the provisioning
+//! phase, decide *which* racks each job gets and *when* it starts:
+//!
+//! 1. Sort jobs — batch: widest-job first (descending `r_j`), ties by
+//!    descending latency (LPT); online: ascending arrival time, same tie
+//!    breaks. The widest-first order avoids "holes" in the schedule.
+//! 2. Track `F_i`, the time rack `i` finishes its previously assigned jobs.
+//!    For each job, pick the `r_j` racks with the smallest `F_i`, start the
+//!    job at `T_j = max(max_{i∈R_j} F_i, A_j)` and advance those racks'
+//!    `F_i` to `T_j + L_j(r_j)`.
+//!
+//! The resulting start times induce the priority order the cluster
+//! scheduler uses at run time (§3.1).
+
+use corral_model::{JobId, RackId, SimTime};
+
+/// One job's input to the prioritization phase.
+#[derive(Debug, Clone, Default)]
+pub struct PrioritizeInput {
+    /// Job identity (carried through to the output).
+    pub job: JobId,
+    /// Number of racks `r_j` chosen by the provisioning phase.
+    pub racks: usize,
+    /// Estimated latency `L_j(r_j)` at that allocation.
+    pub latency: SimTime,
+    /// Arrival time `A_j` (zero in the batch scenario).
+    pub arrival: SimTime,
+    /// Specific racks the job *must* use (its data already lives there —
+    /// the replanning case, §3.1). Empty = the algorithm chooses freely;
+    /// non-empty overrides `racks`.
+    pub pinned: Vec<RackId>,
+}
+
+/// One job's placement in the offline schedule.
+#[derive(Debug, Clone)]
+pub struct ScheduledJob {
+    /// Job identity.
+    pub job: JobId,
+    /// The specific racks `R_j` assigned.
+    pub racks: Vec<RackId>,
+    /// Planned start time `T_j`.
+    pub start: SimTime,
+    /// Planned finish `T_j + L_j(r_j)`.
+    pub finish: SimTime,
+    /// Arrival `A_j` (copied from the input for objective evaluation).
+    pub arrival: SimTime,
+}
+
+/// Runs the prioritization phase. `online` selects the arrival-first sort
+/// order. Jobs requesting more racks than exist are clamped to `total_racks`.
+///
+/// The output preserves no particular order; sort by `start` to obtain the
+/// priority order.
+///
+/// ```
+/// use corral_core::prioritize::{prioritize, PrioritizeInput};
+/// use corral_model::{JobId, SimTime};
+///
+/// let jobs = vec![
+///     PrioritizeInput { job: JobId(0), racks: 2, latency: SimTime(10.0), ..Default::default() },
+///     PrioritizeInput { job: JobId(1), racks: 1, latency: SimTime(4.0), ..Default::default() },
+/// ];
+/// let schedule = prioritize(&jobs, 2, false);
+/// // Widest-first: the 2-rack job starts at t=0; the 1-rack job follows.
+/// let wide = schedule.iter().find(|s| s.job == JobId(0)).unwrap();
+/// assert_eq!(wide.start, SimTime(0.0));
+/// ```
+pub fn prioritize(
+    inputs: &[PrioritizeInput],
+    total_racks: usize,
+    online: bool,
+) -> Vec<ScheduledJob> {
+    assert!(total_racks > 0, "cluster must have racks");
+    let mut order: Vec<&PrioritizeInput> = inputs.iter().collect();
+    // Batch: widest first, then longest, then id (determinism).
+    // Online: earliest arrival first, then the batch criteria.
+    order.sort_by(|a, b| {
+        let batch_key = |x: &PrioritizeInput, y: &PrioritizeInput| {
+            y.racks
+                .cmp(&x.racks)
+                .then(y.latency.total_cmp(x.latency))
+                .then(x.job.cmp(&y.job))
+        };
+        if online {
+            a.arrival
+                .total_cmp(b.arrival)
+                .then_with(|| batch_key(a, b))
+        } else {
+            batch_key(a, b)
+        }
+    });
+
+    let mut finish_at: Vec<SimTime> = vec![SimTime::ZERO; total_racks];
+    let mut out = Vec::with_capacity(inputs.len());
+    for inp in order {
+        let chosen: Vec<usize> = if inp.pinned.is_empty() {
+            let want = inp.racks.clamp(1, total_racks);
+            // Racks with the smallest F_i; ties by rack id.
+            let mut rack_order: Vec<usize> = (0..total_racks).collect();
+            rack_order.sort_by(|&a, &b| finish_at[a].total_cmp(finish_at[b]).then(a.cmp(&b)));
+            rack_order[..want].to_vec()
+        } else {
+            inp.pinned
+                .iter()
+                .map(|r| r.index())
+                .filter(|&i| i < total_racks)
+                .collect()
+        };
+        let free_at = chosen
+            .iter()
+            .map(|&i| finish_at[i])
+            .fold(SimTime::ZERO, SimTime::max);
+        let start = free_at.max(inp.arrival);
+        let finish = start + inp.latency;
+        for &i in &chosen {
+            finish_at[i] = finish;
+        }
+        let mut racks: Vec<RackId> = chosen.iter().map(|&i| RackId::from_index(i)).collect();
+        racks.sort_unstable();
+        out.push(ScheduledJob {
+            job: inp.job,
+            racks,
+            start,
+            finish,
+            arrival: inp.arrival,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inp(job: u32, racks: usize, latency: f64, arrival: f64) -> PrioritizeInput {
+        PrioritizeInput {
+            job: JobId(job),
+            racks,
+            latency: SimTime(latency),
+            arrival: SimTime(arrival),
+            pinned: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn widest_job_goes_first_in_batch() {
+        // A 3-rack job and a 1-rack job on a 3-rack cluster: wide job first,
+        // narrow job after it — no "hole".
+        let s = prioritize(&[inp(0, 1, 10.0, 0.0), inp(1, 3, 5.0, 0.0)], 3, false);
+        let wide = s.iter().find(|x| x.job == JobId(1)).unwrap();
+        let narrow = s.iter().find(|x| x.job == JobId(0)).unwrap();
+        assert_eq!(wide.start, SimTime(0.0));
+        assert_eq!(narrow.start, SimTime(5.0));
+        assert_eq!(wide.racks.len(), 3);
+        assert_eq!(narrow.racks.len(), 1);
+    }
+
+    #[test]
+    fn narrow_jobs_pack_onto_distinct_racks() {
+        // Three 1-rack jobs on 3 racks all start immediately on different
+        // racks (earliest-free, tie by rack id).
+        let s = prioritize(
+            &[inp(0, 1, 10.0, 0.0), inp(1, 1, 8.0, 0.0), inp(2, 1, 6.0, 0.0)],
+            3,
+            false,
+        );
+        for j in &s {
+            assert_eq!(j.start, SimTime::ZERO);
+        }
+        let mut racks: Vec<RackId> = s.iter().map(|j| j.racks[0]).collect();
+        racks.sort();
+        racks.dedup();
+        assert_eq!(racks.len(), 3);
+    }
+
+    #[test]
+    fn lpt_breaks_ties_among_equal_width() {
+        // Equal width, the longer job is placed first (starts no later).
+        let s = prioritize(&[inp(0, 2, 5.0, 0.0), inp(1, 2, 50.0, 0.0)], 2, false);
+        let long = s.iter().find(|x| x.job == JobId(1)).unwrap();
+        let short = s.iter().find(|x| x.job == JobId(0)).unwrap();
+        assert_eq!(long.start, SimTime::ZERO);
+        assert_eq!(short.start, SimTime(50.0));
+    }
+
+    #[test]
+    fn online_respects_arrivals() {
+        let s = prioritize(&[inp(0, 1, 10.0, 100.0), inp(1, 1, 10.0, 0.0)], 1, true);
+        let early = s.iter().find(|x| x.job == JobId(1)).unwrap();
+        let late = s.iter().find(|x| x.job == JobId(0)).unwrap();
+        assert_eq!(early.start, SimTime(0.0));
+        // Rack frees at 10, but the job only arrives at 100.
+        assert_eq!(late.start, SimTime(100.0));
+    }
+
+    #[test]
+    fn oversized_request_is_clamped() {
+        let s = prioritize(&[inp(0, 10, 5.0, 0.0)], 3, false);
+        assert_eq!(s[0].racks.len(), 3);
+    }
+
+    #[test]
+    fn pinned_jobs_use_exactly_their_racks() {
+        // Job 0 pinned to rack 2; job 1 free. The free job takes the
+        // earliest-available rack (0), the pinned one waits for rack 2.
+        let mut pinned = inp(0, 1, 5.0, 0.0);
+        pinned.pinned = vec![RackId(2)];
+        let s = prioritize(&[pinned, inp(1, 1, 9.0, 0.0)], 3, false);
+        let p = s.iter().find(|x| x.job == JobId(0)).unwrap();
+        assert_eq!(p.racks, vec![RackId(2)]);
+        // Two pinned jobs on the same rack serialize.
+        let mut a = inp(0, 1, 5.0, 0.0);
+        a.pinned = vec![RackId(1)];
+        let mut b = inp(1, 1, 7.0, 0.0);
+        b.pinned = vec![RackId(1)];
+        let s = prioritize(&[a, b], 3, false);
+        let t0 = s.iter().find(|x| x.job == JobId(0)).unwrap();
+        let t1 = s.iter().find(|x| x.job == JobId(1)).unwrap();
+        let (first, second) = if t0.start < t1.start { (t0, t1) } else { (t1, t0) };
+        assert!(second.start.0 >= first.finish.0 - 1e-9);
+    }
+
+    #[test]
+    fn makespan_matches_hand_computation() {
+        // 2 racks; jobs: (2 racks, 4s), (1 rack, 3s), (1 rack, 2s).
+        // Wide first: finishes at 4 on both racks. Then 3s on rack 0 (F=7),
+        // 2s on rack 1 (F=6). Makespan 7.
+        let s = prioritize(
+            &[inp(0, 1, 3.0, 0.0), inp(1, 2, 4.0, 0.0), inp(2, 1, 2.0, 0.0)],
+            2,
+            false,
+        );
+        let makespan = s.iter().map(|j| j.finish.as_secs()).fold(0.0, f64::max);
+        assert_eq!(makespan, 7.0);
+    }
+
+    #[test]
+    fn deterministic_under_permutation_of_equal_jobs() {
+        let a = prioritize(&[inp(0, 1, 5.0, 0.0), inp(1, 1, 5.0, 0.0)], 2, false);
+        let b = prioritize(&[inp(1, 1, 5.0, 0.0), inp(0, 1, 5.0, 0.0)], 2, false);
+        let key = |v: &[ScheduledJob]| {
+            let mut k: Vec<(JobId, Vec<RackId>, u64)> = v
+                .iter()
+                .map(|j| (j.job, j.racks.clone(), j.start.0.to_bits()))
+                .collect();
+            k.sort();
+            k
+        };
+        assert_eq!(key(&a), key(&b));
+    }
+}

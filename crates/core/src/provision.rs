@@ -1,0 +1,323 @@
+//! The provisioning phase (§4.2).
+//!
+//! Decides how many racks `r_j` each job receives. Starting from `r_j = 1`
+//! for every job, each iteration finds the job with the longest estimated
+//! latency `L'_j(r_j)` among jobs not yet at `R` racks and widens it by one
+//! rack. This walks through `J·(R−1)` candidate allocations; each candidate
+//! is scored by running the prioritization phase and evaluating the
+//! objective, and the best-scoring allocation wins. (The paper notes this is
+//! the [Belkhale–Banerjee] malleable-scheduling heuristic run to exhaustion
+//! rather than stopping at `Σ r_j = R`, which lets it serve the
+//! average-completion-time objective too.)
+
+use crate::latency::LatencyModel;
+use crate::objective::Objective;
+use crate::prioritize::{prioritize, PrioritizeInput, ScheduledJob};
+use corral_model::{JobId, SimTime};
+
+/// How far the provisioning loop explores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProvisionMode {
+    /// The paper's choice: widen until *every* job reaches `R` racks,
+    /// evaluating all `J·(R−1)` candidate allocations.
+    Exhaustive,
+    /// Belkhale–Banerjee's original stopping rule: quit once the jobs that
+    /// received more than one rack jointly cover the cluster
+    /// (`Σ_{j: r_j>1} r_j ≥ R`). Cheaper, explores fewer candidates — the
+    /// paper argues (and the `heuristics` ablation measures) that the
+    /// exhaustive variant finds better schedules.
+    EarlyStop,
+}
+
+/// The outcome of provisioning + prioritization.
+#[derive(Debug, Clone)]
+pub struct ProvisionOutcome {
+    /// Chosen rack count per job (parallel to the input slice).
+    pub racks: Vec<usize>,
+    /// The schedule produced by the prioritization phase at that allocation.
+    pub schedule: Vec<ScheduledJob>,
+    /// Objective value of the winning allocation.
+    pub objective_value: f64,
+}
+
+/// Runs the provisioning phase over per-job latency models.
+///
+/// * `models[i]` — the latency table of job `i`;
+/// * `jobs[i]` — its id and arrival time;
+/// * `total_racks` — the cluster's `R`;
+/// * `objective` — what to minimize (selects the online sort order too).
+pub fn provision(
+    models: &[LatencyModel],
+    jobs: &[(JobId, SimTime)],
+    total_racks: usize,
+    objective: Objective,
+) -> ProvisionOutcome {
+    provision_with_mode(models, jobs, total_racks, objective, ProvisionMode::Exhaustive)
+}
+
+/// [`provision`] with an explicit exploration mode.
+pub fn provision_with_mode(
+    models: &[LatencyModel],
+    jobs: &[(JobId, SimTime)],
+    total_racks: usize,
+    objective: Objective,
+    mode: ProvisionMode,
+) -> ProvisionOutcome {
+    let pins = vec![None; jobs.len()];
+    provision_pinned(models, jobs, &pins, total_racks, objective, mode)
+}
+
+/// [`provision_with_mode`] with optional per-job rack pins: a pinned job is
+/// excluded from widening (its rack count is its pin's size) and the
+/// prioritization phase places it on exactly those racks — the §3.1
+/// replanning case, where input replicas already sit on specific racks.
+pub fn provision_pinned(
+    models: &[LatencyModel],
+    jobs: &[(JobId, SimTime)],
+    pins: &[Option<Vec<corral_model::RackId>>],
+    total_racks: usize,
+    objective: Objective,
+    mode: ProvisionMode,
+) -> ProvisionOutcome {
+    assert_eq!(models.len(), jobs.len());
+    assert_eq!(pins.len(), jobs.len());
+    assert!(total_racks > 0);
+    let n = jobs.len();
+    let online = objective == Objective::AvgCompletionTime;
+
+    let evaluate = |alloc: &[usize]| -> (Vec<ScheduledJob>, f64) {
+        let inputs: Vec<PrioritizeInput> = (0..n)
+            .map(|i| PrioritizeInput {
+                job: jobs[i].0,
+                racks: alloc[i],
+                latency: models[i].latency(alloc[i]),
+                arrival: jobs[i].1,
+                pinned: pins[i].clone().unwrap_or_default(),
+            })
+            .collect();
+        let schedule = prioritize(&inputs, total_racks, online);
+        let pairs: Vec<(SimTime, SimTime)> =
+            schedule.iter().map(|s| (s.arrival, s.finish)).collect();
+        let value = objective.evaluate(&pairs);
+        (schedule, value)
+    };
+
+    // Pinned jobs are fixed at their pin's size.
+    let mut alloc: Vec<usize> = (0..n)
+        .map(|i| {
+            pins[i]
+                .as_ref()
+                .map(|p| p.len().clamp(1, total_racks))
+                .unwrap_or(1)
+        })
+        .collect();
+    if n == 0 {
+        return ProvisionOutcome {
+            racks: alloc,
+            schedule: Vec::new(),
+            objective_value: 0.0,
+        };
+    }
+
+    let (schedule, value) = evaluate(&alloc);
+    let mut best = ProvisionOutcome {
+        racks: alloc.clone(),
+        schedule,
+        objective_value: value,
+    };
+
+    loop {
+        // Widen the longest unpinned job still below R racks (ties by job
+        // index for determinism).
+        let candidate = (0..n)
+            .filter(|&i| pins[i].is_none() && alloc[i] < total_racks)
+            .max_by(|&a, &b| {
+                models[a]
+                    .latency(alloc[a])
+                    .total_cmp(models[b].latency(alloc[b]))
+                    .then(b.cmp(&a)) // prefer the smaller index on ties
+            });
+        let Some(i) = candidate else { break };
+        alloc[i] += 1;
+        let (schedule, value) = evaluate(&alloc);
+        if value < best.objective_value {
+            best = ProvisionOutcome {
+                racks: alloc.clone(),
+                schedule,
+                objective_value: value,
+            };
+        }
+        if mode == ProvisionMode::EarlyStop {
+            let wide_sum: usize = alloc.iter().filter(|&&r| r > 1).sum();
+            if wide_sum >= total_racks {
+                break;
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::ResponseOptions;
+    use corral_model::{Bandwidth, Bytes, ClusterConfig, JobProfile, MapReduceProfile};
+
+    fn cfg() -> ClusterConfig {
+        ClusterConfig::testbed_210()
+    }
+
+    fn model(input_gb: f64, shuffle_gb: f64, tasks: usize, cfg: &ClusterConfig) -> LatencyModel {
+        let mr = MapReduceProfile {
+            input: Bytes::gb(input_gb),
+            shuffle: Bytes::gb(shuffle_gb),
+            output: Bytes::gb(input_gb / 10.0),
+            maps: tasks,
+            reduces: tasks / 2,
+            map_rate: Bandwidth::mbytes_per_sec(100.0),
+            reduce_rate: Bandwidth::mbytes_per_sec(100.0),
+        };
+        LatencyModel::build(
+            &JobProfile::MapReduce(mr),
+            cfg,
+            &ResponseOptions::default(),
+        )
+    }
+
+    #[test]
+    fn small_jobs_stay_narrow_large_jobs_widen() {
+        let c = cfg();
+        // One huge job (thousands of tasks, TBs) and several tiny ones.
+        let models = vec![
+            model(2000.0, 1000.0, 4000, &c),
+            model(1.0, 0.5, 20, &c),
+            model(1.0, 0.5, 20, &c),
+            model(1.0, 0.5, 20, &c),
+        ];
+        let jobs: Vec<(JobId, SimTime)> = (0..4).map(|i| (JobId(i), SimTime::ZERO)).collect();
+        let out = provision(&models, &jobs, c.racks, Objective::Makespan);
+        assert!(out.racks[0] > 1, "huge job should get several racks: {:?}", out.racks);
+        for i in 1..4 {
+            assert!(
+                out.racks[i] < out.racks[0],
+                "tiny jobs should stay much narrower than the huge job: {:?}",
+                out.racks
+            );
+            assert!(out.racks[i] <= 2, "tiny jobs should stay near one rack: {:?}", out.racks);
+        }
+    }
+
+    #[test]
+    fn objective_never_worse_than_all_ones() {
+        let c = cfg();
+        let models: Vec<LatencyModel> = (0..6)
+            .map(|i| model(10.0 * (i + 1) as f64, 5.0 * (i + 1) as f64, 100 * (i + 1), &c))
+            .collect();
+        let jobs: Vec<(JobId, SimTime)> = (0..6).map(|i| (JobId(i), SimTime::ZERO)).collect();
+
+        // Baseline: every job on one rack.
+        let inputs: Vec<PrioritizeInput> = (0..6)
+            .map(|i| PrioritizeInput {
+                job: JobId(i),
+                racks: 1,
+                latency: models[i as usize].latency(1),
+                arrival: SimTime::ZERO,
+                pinned: Vec::new(),
+            })
+            .collect();
+        let base = prioritize(&inputs, c.racks, false);
+        let base_mk = base.iter().map(|s| s.finish.as_secs()).fold(0.0, f64::max);
+
+        let out = provision(&models, &jobs, c.racks, Objective::Makespan);
+        assert!(out.objective_value <= base_mk + 1e-9);
+    }
+
+    #[test]
+    fn empty_job_set() {
+        let out = provision(&[], &[], 7, Objective::Makespan);
+        assert!(out.schedule.is_empty());
+        assert_eq!(out.objective_value, 0.0);
+    }
+
+    #[test]
+    fn single_rack_cluster() {
+        let c = ClusterConfig {
+            racks: 1,
+            ..cfg()
+        };
+        let models = vec![model(10.0, 5.0, 100, &c), model(20.0, 10.0, 200, &c)];
+        let jobs = vec![(JobId(0), SimTime::ZERO), (JobId(1), SimTime::ZERO)];
+        let out = provision(&models, &jobs, 1, Objective::Makespan);
+        assert_eq!(out.racks, vec![1, 1]);
+        // Sequential on one rack.
+        let mk = out.objective_value;
+        let expect = models[0].latency(1).as_secs() + models[1].latency(1).as_secs();
+        assert!((mk - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn online_objective_uses_arrivals() {
+        let c = cfg();
+        let models = vec![model(10.0, 5.0, 100, &c), model(10.0, 5.0, 100, &c)];
+        let jobs = vec![(JobId(0), SimTime::ZERO), (JobId(1), SimTime(10_000.0))];
+        let out = provision(&models, &jobs, c.racks, Objective::AvgCompletionTime);
+        // Arrivals far apart: no queueing; avg completion ~ per-job latency.
+        let solo = models[0].latency(out.racks[0]).as_secs();
+        assert!(out.objective_value <= solo + 1e-6);
+    }
+
+    #[test]
+    fn pinned_jobs_keep_their_racks_through_planning() {
+        use corral_model::RackId;
+        let c = cfg();
+        let models = vec![model(50.0, 25.0, 500, &c), model(50.0, 25.0, 500, &c)];
+        let jobs = vec![(JobId(0), SimTime::ZERO), (JobId(1), SimTime::ZERO)];
+        let pins = vec![Some(vec![RackId(5), RackId(6)]), None];
+        let out = provision_pinned(
+            &models, &jobs, &pins, c.racks, Objective::Makespan, ProvisionMode::Exhaustive,
+        );
+        let pinned_sched = out.schedule.iter().find(|s| s.job == JobId(0)).unwrap();
+        assert_eq!(pinned_sched.racks, vec![RackId(5), RackId(6)]);
+        assert_eq!(out.racks[0], 2, "pinned job's width is its pin size");
+    }
+
+    #[test]
+    fn exhaustive_never_worse_than_early_stop() {
+        let c = cfg();
+        for seed in 0..5u64 {
+            let models: Vec<LatencyModel> = (0..8)
+                .map(|i| {
+                    let g = 1.0 + ((seed * 7 + i) % 11) as f64 * 8.0;
+                    model(g * 4.0, g * 2.0, 40 + 60 * ((seed + i) % 9) as usize, &c)
+                })
+                .collect();
+            let jobs: Vec<(JobId, SimTime)> =
+                (0..8).map(|i| (JobId(i as u32), SimTime::ZERO)).collect();
+            let full = provision_with_mode(
+                &models, &jobs, c.racks, Objective::Makespan, ProvisionMode::Exhaustive,
+            );
+            let early = provision_with_mode(
+                &models, &jobs, c.racks, Objective::Makespan, ProvisionMode::EarlyStop,
+            );
+            assert!(
+                full.objective_value <= early.objective_value + 1e-9,
+                "seed {seed}: exhaustive {} must be <= early-stop {}",
+                full.objective_value,
+                early.objective_value
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let c = cfg();
+        let models: Vec<LatencyModel> = (0..5)
+            .map(|i| model(5.0 + i as f64, 2.0, 50 + 10 * i as usize, &c))
+            .collect();
+        let jobs: Vec<(JobId, SimTime)> = (0..5).map(|i| (JobId(i), SimTime::ZERO)).collect();
+        let a = provision(&models, &jobs, c.racks, Objective::Makespan);
+        let b = provision(&models, &jobs, c.racks, Objective::Makespan);
+        assert_eq!(a.racks, b.racks);
+        assert_eq!(a.objective_value, b.objective_value);
+    }
+}

@@ -1,0 +1,259 @@
+//! `corral-sim` — command-line front end for the Corral planner and
+//! cluster simulator.
+//!
+//! ```text
+//! corral-sim gen w1 --jobs 40 --seed 7 -o w1.csv     # generate a workload trace
+//! corral-sim plan w1.csv --objective makespan         # print the offline plan
+//! corral-sim simulate w1.csv --scheduler corral \
+//!             --background 0.5 --timeline gantt.csv   # run the simulator
+//! ```
+//!
+//! Argument parsing is deliberately hand-rolled (the workspace carries no
+//! CLI dependency); every flag has a default so the quick path is
+//! `corral-sim gen w1 -o t.csv && corral-sim simulate t.csv`.
+
+use corral::cluster::config::{DataPlacement, SimParams};
+use corral::cluster::engine::Engine;
+use corral::cluster::scheduler::SchedulerKind;
+use corral::core::{plan_jobs, Objective, Plan, PlannerConfig};
+use corral::model::{ClusterConfig, JobSpec, SimTime};
+use corral::simnet::background::BackgroundModel;
+use corral::workloads::{assign_uniform_arrivals, swim, trace, w1, w2, w3, Scale};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(|s| s.as_str()) {
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("import-swim") => cmd_import_swim(&args[1..]),
+        Some("plan") => cmd_plan(&args[1..]),
+        Some("simulate") => cmd_simulate(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?}; try `corral-sim help`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "corral-sim — Corral planner & cluster simulator
+
+USAGE:
+  corral-sim gen <w1|w2|w3> [--jobs N] [--seed S] [--task-div D]
+                 [--window-min M] -o <trace.csv>
+  corral-sim import-swim <swim.tsv> [--task-div D] -o <trace.csv>
+  corral-sim plan <trace.csv> [--objective makespan|avgjct]
+                 [--out <plan.csv>]
+  corral-sim simulate <trace.csv>
+                 [--scheduler yarn-cs|corral|localshuffle|shufflewatcher]
+                 [--objective makespan|avgjct] [--background FRAC]
+                 [--seed S] [--plan <plan.csv>] [--timeline <gantt.csv>]
+
+The cluster is the paper's 210-machine testbed (7 racks x 30 machines,
+10 Gbps NICs, 5:1 oversubscription, 4 slots/machine)."
+    );
+}
+
+/// Minimal flag reader: `--key value` pairs plus positionals.
+struct Flags<'a> {
+    args: &'a [String],
+}
+
+impl<'a> Flags<'a> {
+    fn positional(&self, idx: usize) -> Option<&'a str> {
+        self.args
+            .iter()
+            .enumerate()
+            .filter(|(i, a)| {
+                if a.starts_with('-') {
+                    return false;
+                }
+                // A value directly following a flag is not positional.
+                let prev_is_flag = *i > 0
+                    && (self.args[i - 1].starts_with("--") || self.args[i - 1] == "-o");
+                !prev_is_flag
+            })
+            .map(|(_, a)| a.as_str())
+            .nth(idx)
+    }
+
+    fn value(&self, key: &str) -> Option<&'a str> {
+        self.args
+            .iter()
+            .position(|a| a == key)
+            .and_then(|i| self.args.get(i + 1))
+            .map(|s| s.as_str())
+    }
+
+    fn parse<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.value(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("bad value for {key}: {v:?}")),
+        }
+    }
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), String> {
+    let f = Flags { args };
+    let kind = f.positional(0).ok_or("gen: which workload? (w1|w2|w3)")?;
+    let out = f.value("-o").or(f.value("--out")).ok_or("gen: -o <file> required")?;
+    let seed: u64 = f.parse("--seed", 1)?;
+    let task_div: f64 = f.parse("--task-div", 4.0)?;
+    let window_min: f64 = f.parse("--window-min", 0.0)?;
+    let scale = Scale {
+        task_divisor: task_div,
+        data_divisor: 1.0,
+    };
+    let mut jobs: Vec<JobSpec> = match kind {
+        "w1" => {
+            let jobs: usize = f.parse("--jobs", 60)?;
+            w1::generate(&w1::W1Params { jobs, ..w1::W1Params::with_seed(seed) }, scale)
+        }
+        "w2" => {
+            let jobs: usize = f.parse("--jobs", 100)?;
+            w2::generate(&w2::W2Params { jobs, seed, ..Default::default() }, scale)
+        }
+        "w3" => {
+            let jobs: usize = f.parse("--jobs", 60)?;
+            w3::generate(&w3::W3Params { jobs, seed, ..Default::default() }, scale)
+        }
+        other => return Err(format!("unknown workload {other:?} (w1|w2|w3)")),
+    };
+    if window_min > 0.0 {
+        assign_uniform_arrivals(&mut jobs, SimTime::minutes(window_min), seed ^ 0xA);
+    }
+    let csv = trace::to_csv(&jobs).map_err(|e| e.to_string())?;
+    std::fs::write(out, csv).map_err(|e| format!("writing {out}: {e}"))?;
+    println!("wrote {} jobs to {out}", jobs.len());
+    Ok(())
+}
+
+fn cmd_import_swim(args: &[String]) -> Result<(), String> {
+    let f = Flags { args };
+    let path = f.positional(0).ok_or("import-swim: SWIM .tsv file required")?;
+    let out = f.value("-o").or(f.value("--out")).ok_or("import-swim: -o <file> required")?;
+    let task_div: f64 = f.parse("--task-div", 4.0)?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let params = swim::SwimParams {
+        scale: Scale { task_divisor: task_div, data_divisor: 1.0 },
+        ..Default::default()
+    };
+    let jobs = swim::parse(&text, &params).map_err(|e| e.to_string())?;
+    let csv = trace::to_csv(&jobs).map_err(|e| e.to_string())?;
+    std::fs::write(out, csv).map_err(|e| format!("writing {out}: {e}"))?;
+    println!("imported {} SWIM jobs into {out}", jobs.len());
+    Ok(())
+}
+
+fn load_trace(path: &str) -> Result<Vec<JobSpec>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    trace::from_csv(&text).map_err(|e| e.to_string())
+}
+
+fn objective_flag(f: &Flags) -> Result<Objective, String> {
+    match f.value("--objective").unwrap_or("makespan") {
+        "makespan" => Ok(Objective::Makespan),
+        "avgjct" | "avg" => Ok(Objective::AvgCompletionTime),
+        other => Err(format!("unknown objective {other:?} (makespan|avgjct)")),
+    }
+}
+
+fn cmd_plan(args: &[String]) -> Result<(), String> {
+    let f = Flags { args };
+    let path = f.positional(0).ok_or("plan: trace file required")?;
+    let jobs = load_trace(path)?;
+    let cfg = ClusterConfig::testbed_210();
+    let objective = objective_flag(&f)?;
+    let plan = plan_jobs(&cfg, &jobs, objective, &PlannerConfig::default());
+    println!(
+        "planned {} jobs; predicted objective = {:.1}s",
+        plan.len(),
+        plan.objective_value
+    );
+    if let Some(out) = f.value("--out") {
+        std::fs::write(out, plan.to_csv()).map_err(|e| format!("writing {out}: {e}"))?;
+        println!("wrote plan to {out}");
+    }
+    println!("{:>6} {:>5} {:>14} {:>10} {:>10}  racks", "job", "prio", "latency", "start", "finish");
+    let mut entries: Vec<_> = plan.entries.values().collect();
+    entries.sort_by_key(|e| e.priority);
+    for e in entries {
+        println!(
+            "{:>6} {:>5} {:>13.1}s {:>9.1}s {:>9.1}s  {:?}",
+            e.job.to_string(),
+            e.priority,
+            e.predicted_latency.as_secs(),
+            e.planned_start.as_secs(),
+            e.planned_finish.as_secs(),
+            e.racks.iter().map(|r| r.0).collect::<Vec<_>>(),
+        );
+    }
+    Ok(())
+}
+
+fn cmd_simulate(args: &[String]) -> Result<(), String> {
+    let f = Flags { args };
+    let path = f.positional(0).ok_or("simulate: trace file required")?;
+    let jobs = load_trace(path)?;
+    let objective = objective_flag(&f)?;
+    let background: f64 = f.parse("--background", 0.5)?;
+    let seed: u64 = f.parse("--seed", 0xC0441)?;
+
+    let cfg = ClusterConfig::testbed_210();
+    let mut params = SimParams::testbed();
+    params.cluster = cfg.clone();
+    params.seed = seed;
+    params.horizon = SimTime::hours(48.0);
+    params.background = BackgroundModel::Constant {
+        per_rack: cfg.rack_core_bandwidth() * background.clamp(0.0, 0.99),
+    };
+
+    let scheduler = f.value("--scheduler").unwrap_or("corral");
+    let (kind, placement, needs_plan) = match scheduler {
+        "yarn-cs" => (SchedulerKind::Capacity, DataPlacement::HdfsRandom, false),
+        "corral" => (SchedulerKind::Planned, DataPlacement::PerPlan, true),
+        "localshuffle" => (SchedulerKind::Planned, DataPlacement::HdfsRandom, true),
+        "shufflewatcher" => (SchedulerKind::ShuffleWatcher, DataPlacement::HdfsRandom, false),
+        other => return Err(format!("unknown scheduler {other:?}")),
+    };
+    params.placement = placement;
+    let plan = if let Some(path) = f.value("--plan") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        Plan::from_csv(&text)?
+    } else if needs_plan {
+        plan_jobs(&cfg, &jobs, objective, &PlannerConfig::default())
+    } else {
+        Plan::default()
+    };
+
+    let report = Engine::new(params, jobs, &plan, kind).run();
+    println!("scheduler        {}", report.scheduler);
+    println!("network          {}", report.net);
+    println!("makespan         {:.1}s", report.makespan.as_secs());
+    println!("mean jct         {:.1}s", report.avg_completion_time());
+    println!("median jct       {:.1}s", report.median_completion_time());
+    println!("cross-rack       {}", report.cross_rack_bytes);
+    println!("network bytes    {}", report.network_bytes);
+    println!("core utilization {:.1}%", report.core_utilization * 100.0);
+    println!("input CoV        {:.4}", report.input_balance_cov);
+    if report.unfinished > 0 {
+        println!("UNFINISHED JOBS  {}", report.unfinished);
+    }
+    if let Some(out) = f.value("--timeline") {
+        std::fs::write(out, report.timeline_csv())
+            .map_err(|e| format!("writing {out}: {e}"))?;
+        println!("timeline         {out} ({} attempts)", report.task_log.len());
+    }
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! Data-balance statistics.
+//!
+//! §6.2.1 measures "the coefficient of variation (CoV) of the size of input
+//! data stored on each rack": Corral achieves CoV ≤ 0.004 while stock HDFS
+//! random placement sits around 0.014. (A perfectly uniform distribution
+//! has CoV 0; random placement is slightly above it.)
+
+/// Coefficient of variation (population standard deviation over mean) of a
+/// sample. Returns `0.0` for empty input or zero mean.
+pub fn coefficient_of_variation(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    if mean.abs() < f64::EPSILON {
+        return 0.0;
+    }
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    var.sqrt() / mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_has_zero_cov() {
+        assert_eq!(coefficient_of_variation(&[5.0, 5.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn empty_and_zero_mean_are_zero() {
+        assert_eq!(coefficient_of_variation(&[]), 0.0);
+        assert_eq!(coefficient_of_variation(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn known_value() {
+        // mean 2, deviations (-1, +1), population std = 1, CoV = 0.5.
+        let cov = coefficient_of_variation(&[1.0, 3.0]);
+        assert!((cov - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skew_increases_cov() {
+        let balanced = coefficient_of_variation(&[10.0, 10.0, 10.0, 10.0]);
+        let skewed = coefficient_of_variation(&[40.0, 0.0, 0.0, 0.0]);
+        assert!(skewed > balanced);
+        assert!((skewed - 3.0_f64.sqrt()).abs() < 1e-12);
+    }
+}

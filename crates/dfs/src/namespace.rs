@@ -1,0 +1,316 @@
+//! The DFS namespace: files, chunks, replica locations, load accounting.
+
+use crate::placement::{LoadView, PlacementPolicy};
+use corral_model::{Bytes, ChunkId, ClusterConfig, FileId, MachineId, RackId};
+use rand::rngs::StdRng;
+
+/// A stored chunk and its replica set.
+#[derive(Debug, Clone)]
+pub struct ChunkInfo {
+    /// Chunk id (global, dense).
+    pub id: ChunkId,
+    /// Owning file.
+    pub file: FileId,
+    /// Chunk size (the last chunk of a file may be short).
+    pub size: Bytes,
+    /// Machines holding a replica, primary first.
+    pub replicas: Vec<MachineId>,
+}
+
+impl ChunkInfo {
+    /// Replicas on machines that are still alive.
+    pub fn live_replicas<'a>(&'a self, dead: &'a [bool]) -> impl Iterator<Item = MachineId> + 'a {
+        self.replicas.iter().copied().filter(|m| !dead[m.index()])
+    }
+}
+
+/// A stored file.
+#[derive(Debug, Clone)]
+pub struct FileInfo {
+    /// File id.
+    pub id: FileId,
+    /// Human-readable name (e.g. "input/j42").
+    pub name: String,
+    /// Total bytes.
+    pub bytes: Bytes,
+    /// Dense chunk-id range `[first, first + count)`.
+    pub first_chunk: ChunkId,
+    /// Number of chunks.
+    pub chunk_count: u64,
+}
+
+/// The distributed filesystem model: a namespace plus replica-location and
+/// load-accounting state. Chunk placement is delegated to a
+/// [`PlacementPolicy`] chosen per file (stock HDFS for ad hoc jobs, Corral's
+/// rack-pinned policy for planned jobs).
+///
+/// ```
+/// use corral_dfs::{CorralPlacement, Dfs};
+/// use corral_model::{Bytes, ClusterConfig, RackId};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut dfs = Dfs::new(ClusterConfig::tiny_test());
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let policy = CorralPlacement::new(vec![RackId(1)]);
+/// let file = dfs.write_file("job-input", Bytes::mb(256.0), &policy, &mut rng);
+/// // One replica of every chunk landed inside the planned rack.
+/// assert_eq!(dfs.rack_locality_fractions(file)[1], 1.0);
+/// ```
+#[derive(Debug)]
+pub struct Dfs {
+    cfg: ClusterConfig,
+    files: Vec<FileInfo>,
+    chunks: Vec<ChunkInfo>,
+    /// Bytes stored per machine (all replicas).
+    machine_bytes: Vec<f64>,
+    /// Bytes stored per rack (all replicas).
+    rack_bytes: Vec<f64>,
+    /// Machine liveness.
+    dead: Vec<bool>,
+}
+
+impl Dfs {
+    /// An empty namespace over `cfg`.
+    pub fn new(cfg: ClusterConfig) -> Self {
+        let machines = cfg.total_machines();
+        let racks = cfg.racks;
+        Dfs {
+            cfg,
+            files: Vec::new(),
+            chunks: Vec::new(),
+            machine_bytes: vec![0.0; machines],
+            rack_bytes: vec![0.0; racks],
+            dead: vec![false; machines],
+        }
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// Writes (registers) a file of `bytes`, placing each chunk's replicas
+    /// with `policy`. Returns the new file's id.
+    pub fn write_file(
+        &mut self,
+        name: impl Into<String>,
+        bytes: Bytes,
+        policy: &dyn PlacementPolicy,
+        rng: &mut StdRng,
+    ) -> FileId {
+        let id = FileId(self.files.len() as u64);
+        let chunk_size = self.cfg.chunk_size;
+        let count = if bytes.0 <= 0.0 {
+            0
+        } else {
+            (bytes.0 / chunk_size.0).ceil() as u64
+        };
+        let first_chunk = ChunkId(self.chunks.len() as u64);
+        let mut remaining = bytes;
+        for _ in 0..count {
+            let size = remaining.min(chunk_size);
+            remaining -= size;
+            let view = LoadView {
+                machine_bytes: &self.machine_bytes,
+                rack_bytes: &self.rack_bytes,
+                dead: &self.dead,
+            };
+            let replicas = policy.place(&self.cfg, view, rng);
+            let cid = ChunkId(self.chunks.len() as u64);
+            for &m in &replicas {
+                self.machine_bytes[m.index()] += size.0;
+                self.rack_bytes[self.cfg.rack_of(m).index()] += size.0;
+            }
+            self.chunks.push(ChunkInfo {
+                id: cid,
+                file: id,
+                size,
+                replicas,
+            });
+        }
+        self.files.push(FileInfo {
+            id,
+            name: name.into(),
+            bytes,
+            first_chunk,
+            chunk_count: count,
+        });
+        id
+    }
+
+    /// File metadata.
+    pub fn file(&self, id: FileId) -> &FileInfo {
+        &self.files[id.index()]
+    }
+
+    /// Chunk metadata.
+    pub fn chunk(&self, id: ChunkId) -> &ChunkInfo {
+        &self.chunks[id.index()]
+    }
+
+    /// The chunks of a file, in offset order.
+    pub fn chunks_of(&self, id: FileId) -> &[ChunkInfo] {
+        let f = self.file(id);
+        let a = f.first_chunk.index();
+        &self.chunks[a..a + f.chunk_count as usize]
+    }
+
+    /// Machine liveness table.
+    pub fn dead(&self) -> &[bool] {
+        &self.dead
+    }
+
+    /// Marks a machine failed: its replicas become unavailable (they are
+    /// *not* re-replicated — within a single job window the paper's concern
+    /// is scheduling around the loss, see §7).
+    pub fn kill_machine(&mut self, m: MachineId) {
+        self.dead[m.index()] = true;
+    }
+
+    /// Marks every machine of `rack` failed.
+    pub fn kill_rack(&mut self, r: RackId) {
+        for m in self.cfg.machines_in_rack(r).collect::<Vec<_>>() {
+            self.kill_machine(m);
+        }
+    }
+
+    /// Revives a machine.
+    pub fn revive_machine(&mut self, m: MachineId) {
+        self.dead[m.index()] = false;
+    }
+
+    /// Bytes stored on each rack (all replicas counted).
+    pub fn rack_bytes(&self) -> &[f64] {
+        &self.rack_bytes
+    }
+
+    /// Bytes stored on each machine (all replicas counted).
+    pub fn machine_bytes(&self) -> &[f64] {
+        &self.machine_bytes
+    }
+
+    /// Coefficient of variation of per-rack stored bytes — the §6.2.1
+    /// data-balance metric.
+    pub fn rack_balance_cov(&self) -> f64 {
+        crate::balance::coefficient_of_variation(&self.rack_bytes)
+    }
+
+    /// Fraction of `file`'s bytes with at least one *live* replica in each
+    /// rack. Used by locality-aware schedulers: `fractions[r]` is the share
+    /// of the file readable rack-locally from rack `r`.
+    pub fn rack_locality_fractions(&self, file: FileId) -> Vec<f64> {
+        let mut frac = vec![0.0; self.cfg.racks];
+        let f = self.file(file);
+        if f.bytes.0 <= 0.0 {
+            return frac;
+        }
+        for c in self.chunks_of(file) {
+            let mut seen = vec![false; self.cfg.racks];
+            for m in c.live_replicas(&self.dead) {
+                let r = self.cfg.rack_of(m).index();
+                if !seen[r] {
+                    seen[r] = true;
+                    frac[r] += c.size.0;
+                }
+            }
+        }
+        for v in frac.iter_mut() {
+            *v /= f.bytes.0;
+        }
+        frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::{CorralPlacement, HdfsDefault};
+    use corral_model::ClusterConfig;
+    use rand::SeedableRng;
+
+    fn dfs() -> Dfs {
+        Dfs::new(ClusterConfig::tiny_test()) // chunk 64MB, repl 3
+    }
+
+    #[test]
+    fn write_file_splits_into_chunks() {
+        let mut d = dfs();
+        let mut rng = StdRng::seed_from_u64(1);
+        let f = d.write_file("in", Bytes::mb(200.0), &HdfsDefault, &mut rng);
+        let info = d.file(f);
+        assert_eq!(info.chunk_count, 4); // 3 x 64 + 8
+        let chunks = d.chunks_of(f);
+        assert_eq!(chunks.len(), 4);
+        let total: Bytes = chunks.iter().map(|c| c.size).sum();
+        assert!((total.0 - Bytes::mb(200.0).0).abs() < 1.0);
+        assert!((chunks[3].size.0 - Bytes::mb(8.0).0).abs() < 1.0);
+        for c in chunks {
+            assert_eq!(c.replicas.len(), 3);
+        }
+    }
+
+    #[test]
+    fn load_accounting_counts_all_replicas() {
+        let mut d = dfs();
+        let mut rng = StdRng::seed_from_u64(2);
+        d.write_file("in", Bytes::mb(128.0), &HdfsDefault, &mut rng);
+        let total_machine: f64 = d.machine_bytes().iter().sum();
+        let total_rack: f64 = d.rack_bytes().iter().sum();
+        assert!((total_machine - 3.0 * Bytes::mb(128.0).0).abs() < 1.0);
+        assert!((total_rack - total_machine).abs() < 1.0);
+    }
+
+    #[test]
+    fn empty_file_has_no_chunks() {
+        let mut d = dfs();
+        let mut rng = StdRng::seed_from_u64(3);
+        let f = d.write_file("empty", Bytes::ZERO, &HdfsDefault, &mut rng);
+        assert_eq!(d.file(f).chunk_count, 0);
+        assert!(d.chunks_of(f).is_empty());
+        assert_eq!(d.rack_locality_fractions(f), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn corral_placement_gives_full_locality_in_planned_rack() {
+        let mut d = dfs();
+        let mut rng = StdRng::seed_from_u64(4);
+        let policy = CorralPlacement::new(vec![RackId(2)]);
+        let f = d.write_file("in", Bytes::mb(640.0), &policy, &mut rng);
+        let frac = d.rack_locality_fractions(f);
+        assert!((frac[2] - 1.0).abs() < 1e-9, "frac={frac:?}");
+    }
+
+    #[test]
+    fn killing_machines_removes_live_replicas() {
+        let mut d = dfs();
+        let mut rng = StdRng::seed_from_u64(5);
+        let policy = CorralPlacement::new(vec![RackId(0)]);
+        let f = d.write_file("in", Bytes::mb(128.0), &policy, &mut rng);
+        d.kill_rack(RackId(0));
+        let frac = d.rack_locality_fractions(f);
+        assert_eq!(frac[0], 0.0, "dead rack cannot serve replicas");
+        // Remaining replicas still cover the file somewhere.
+        assert!(frac.iter().any(|&x| x > 0.0));
+        for c in d.chunks_of(f) {
+            assert!(c.live_replicas(d.dead()).count() >= 1);
+        }
+        // Revive and locality returns.
+        for m in 0..4 {
+            d.revive_machine(MachineId(m));
+        }
+        let frac = d.rack_locality_fractions(f);
+        assert!((frac[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multiple_files_have_disjoint_chunk_ranges() {
+        let mut d = dfs();
+        let mut rng = StdRng::seed_from_u64(6);
+        let a = d.write_file("a", Bytes::mb(100.0), &HdfsDefault, &mut rng);
+        let b = d.write_file("b", Bytes::mb(100.0), &HdfsDefault, &mut rng);
+        let ids_a: Vec<u64> = d.chunks_of(a).iter().map(|c| c.id.0).collect();
+        let ids_b: Vec<u64> = d.chunks_of(b).iter().map(|c| c.id.0).collect();
+        assert!(ids_a.iter().all(|i| !ids_b.contains(i)));
+        assert!(d.chunks_of(b).iter().all(|c| c.file == b));
+    }
+}

@@ -1,0 +1,320 @@
+//! Chunk replica placement policies.
+
+use corral_model::{ClusterConfig, MachineId, RackId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A read-only view of current DFS load and machine liveness, handed to
+/// policies so they can balance and avoid dead machines.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadView<'a> {
+    /// Bytes stored per machine (all replicas counted).
+    pub machine_bytes: &'a [f64],
+    /// Bytes stored per rack (all replicas counted).
+    pub rack_bytes: &'a [f64],
+    /// Liveness per machine (`false` = failed, ineligible for placement).
+    pub dead: &'a [bool],
+}
+
+impl<'a> LoadView<'a> {
+    /// Live machines of `rack`, in id order.
+    pub fn live_machines_in<'b>(
+        &'b self,
+        cfg: &'b ClusterConfig,
+        rack: RackId,
+    ) -> impl Iterator<Item = MachineId> + 'b {
+        let dead = self.dead;
+        cfg.machines_in_rack(rack)
+            .filter(move |m| !dead[m.index()])
+    }
+
+    /// True if `rack` has at least `n` live machines.
+    pub fn rack_has_live(&self, cfg: &ClusterConfig, rack: RackId, n: usize) -> bool {
+        self.live_machines_in(cfg, rack).take(n).count() == n
+    }
+}
+
+/// Chooses the machines that will hold the replicas of one chunk.
+pub trait PlacementPolicy {
+    /// Returns `cfg.replication` machine ids (fewer only if the cluster has
+    /// fewer live machines). Implementations must never return a dead
+    /// machine and should avoid duplicate machines.
+    fn place(&self, cfg: &ClusterConfig, view: LoadView<'_>, rng: &mut StdRng) -> Vec<MachineId>;
+
+    /// Policy name for tracing.
+    fn name(&self) -> &'static str;
+}
+
+/// Picks `n` distinct live machines from `rack`, uniformly at random.
+fn pick_in_rack(
+    cfg: &ClusterConfig,
+    view: &LoadView<'_>,
+    rack: RackId,
+    n: usize,
+    exclude: &[MachineId],
+    rng: &mut StdRng,
+) -> Vec<MachineId> {
+    let mut candidates: Vec<MachineId> = view
+        .live_machines_in(cfg, rack)
+        .filter(|m| !exclude.contains(m))
+        .collect();
+    candidates.shuffle(rng);
+    candidates.truncate(n);
+    candidates
+}
+
+/// Racks with at least one live machine, ascending id.
+fn live_racks(cfg: &ClusterConfig, view: &LoadView<'_>) -> Vec<RackId> {
+    cfg.all_racks()
+        .filter(|&r| view.live_machines_in(cfg, r).next().is_some())
+        .collect()
+}
+
+/// Stock HDFS block placement (as described in §2 of the paper): the first
+/// replica on a random machine; the remaining replicas together on one
+/// *different* random rack (so two replicas share a rack and one is remote).
+#[derive(Debug, Default, Clone)]
+pub struct HdfsDefault;
+
+impl PlacementPolicy for HdfsDefault {
+    fn place(&self, cfg: &ClusterConfig, view: LoadView<'_>, rng: &mut StdRng) -> Vec<MachineId> {
+        let racks = live_racks(cfg, &view);
+        if racks.is_empty() {
+            return Vec::new();
+        }
+        // First replica: uniform over live machines.
+        let first_rack = racks[rng.gen_range(0..racks.len())];
+        let mut out = pick_in_rack(cfg, &view, first_rack, 1, &[], rng);
+        if out.is_empty() {
+            return out;
+        }
+        let remaining = cfg.replication.saturating_sub(1);
+        if remaining == 0 {
+            return out;
+        }
+        // Remaining replicas: one different rack, distinct machines.
+        let others: Vec<RackId> = racks.iter().copied().filter(|&r| r != first_rack).collect();
+        let second_rack = if others.is_empty() {
+            first_rack // single-rack cluster: degrade gracefully
+        } else {
+            others[rng.gen_range(0..others.len())]
+        };
+        out.extend(pick_in_rack(cfg, &view, second_rack, remaining, &out, rng));
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "hdfs-default"
+    }
+}
+
+/// Corral's placement (§3.1): one replica of each chunk on a random rack
+/// drawn from the job's planned rack set `Rj`; the remaining replicas
+/// together on another rack — chosen, per §4.5, as the *least-loaded* rack
+/// outside the first ("we supplement this approach by greedily placing the
+/// last two data replicas on the least loaded rack"). The shape (two
+/// replicas on one rack, one on another) matches the HDFS fault-tolerance
+/// policy.
+#[derive(Debug, Clone)]
+pub struct CorralPlacement {
+    /// The planned rack set `Rj` for the job whose input is being written.
+    pub planned_racks: Vec<RackId>,
+}
+
+impl CorralPlacement {
+    /// Builds the policy from a plan's rack set.
+    pub fn new(mut planned_racks: Vec<RackId>) -> Self {
+        planned_racks.sort_unstable();
+        planned_racks.dedup();
+        CorralPlacement { planned_racks }
+    }
+}
+
+impl PlacementPolicy for CorralPlacement {
+    fn place(&self, cfg: &ClusterConfig, view: LoadView<'_>, rng: &mut StdRng) -> Vec<MachineId> {
+        let live = live_racks(cfg, &view);
+        if live.is_empty() {
+            return Vec::new();
+        }
+        // Primary replica: the least-loaded live rack from Rj (ties by rack
+        // id) — §3.1 places it "in a randomly chosen rack from Rj", and
+        // §4.5 supplements the scheme greedily toward balance; choosing the
+        // lightest planned rack keeps per-chunk locality identical while
+        // matching the paper's measured CoV ≤ 0.004. If the whole planned
+        // set is dead, fall back to any live rack (the runtime scheduler
+        // will likewise ignore the guidelines, §3.1).
+        let planned_live: Vec<RackId> = self
+            .planned_racks
+            .iter()
+            .copied()
+            .filter(|r| live.contains(r))
+            .collect();
+        let primary_rack = if planned_live.is_empty() {
+            live[rng.gen_range(0..live.len())]
+        } else {
+            planned_live
+                .iter()
+                .copied()
+                .min_by(|a, b| {
+                    view.rack_bytes[a.index()]
+                        .total_cmp(&view.rack_bytes[b.index()])
+                        .then(a.cmp(b))
+                })
+                .unwrap()
+        };
+        let mut out = pick_in_rack(cfg, &view, primary_rack, 1, &[], rng);
+        if out.is_empty() {
+            return out;
+        }
+        let remaining = cfg.replication.saturating_sub(1);
+        if remaining == 0 {
+            return out;
+        }
+        // Remaining replicas: the least-loaded live rack other than the
+        // primary (ties broken by rack id for determinism).
+        let secondary = live
+            .iter()
+            .copied()
+            .filter(|&r| r != primary_rack)
+            .min_by(|a, b| {
+                view.rack_bytes[a.index()]
+                    .total_cmp(&view.rack_bytes[b.index()])
+                    .then(a.cmp(b))
+            })
+            .unwrap_or(primary_rack);
+        out.extend(pick_in_rack(cfg, &view, secondary, remaining, &out, rng));
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "corral"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn cfg() -> ClusterConfig {
+        ClusterConfig::tiny_test() // 3 racks x 4 machines, replication 3
+    }
+
+    fn no_load(cfg: &ClusterConfig) -> (Vec<f64>, Vec<f64>, Vec<bool>) {
+        (
+            vec![0.0; cfg.total_machines()],
+            vec![0.0; cfg.racks],
+            vec![false; cfg.total_machines()],
+        )
+    }
+
+    fn view<'a>(m: &'a [f64], r: &'a [f64], d: &'a [bool]) -> LoadView<'a> {
+        LoadView {
+            machine_bytes: m,
+            rack_bytes: r,
+            dead: d,
+        }
+    }
+
+    #[test]
+    fn hdfs_default_shape_two_plus_one() {
+        let cfg = cfg();
+        let (m, r, d) = no_load(&cfg);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let placed = HdfsDefault.place(&cfg, view(&m, &r, &d), &mut rng);
+            assert_eq!(placed.len(), 3);
+            // No duplicate machines.
+            let mut uniq = placed.clone();
+            uniq.sort();
+            uniq.dedup();
+            assert_eq!(uniq.len(), 3);
+            // Exactly two racks: one with 1 replica, one with 2.
+            let mut racks: Vec<RackId> = placed.iter().map(|&mm| cfg.rack_of(mm)).collect();
+            racks.sort();
+            racks.dedup();
+            assert_eq!(racks.len(), 2, "placement {placed:?}");
+        }
+    }
+
+    #[test]
+    fn corral_places_primary_in_planned_racks() {
+        let cfg = cfg();
+        let (m, r, d) = no_load(&cfg);
+        let policy = CorralPlacement::new(vec![RackId(1)]);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let placed = policy.place(&cfg, view(&m, &r, &d), &mut rng);
+            assert_eq!(placed.len(), 3);
+            assert_eq!(cfg.rack_of(placed[0]), RackId(1));
+            // Secondary replicas on a different rack.
+            assert_ne!(cfg.rack_of(placed[1]), RackId(1));
+            assert_eq!(cfg.rack_of(placed[1]), cfg.rack_of(placed[2]));
+        }
+    }
+
+    #[test]
+    fn corral_secondary_prefers_least_loaded_rack() {
+        let cfg = cfg();
+        let (m, mut r, d) = no_load(&cfg);
+        r[0] = 1e12; // rack 0 heavily loaded
+        r[2] = 1e6; // rack 2 lightly loaded
+        let policy = CorralPlacement::new(vec![RackId(1)]);
+        let mut rng = StdRng::seed_from_u64(11);
+        let placed = policy.place(&cfg, view(&m, &r, &d), &mut rng);
+        assert_eq!(cfg.rack_of(placed[1]), RackId(2));
+    }
+
+    #[test]
+    fn dead_machines_are_never_chosen() {
+        let cfg = cfg();
+        let (m, r, mut d) = no_load(&cfg);
+        // Kill all of rack 0 and half of rack 1.
+        for i in 0..4 {
+            d[i] = true;
+        }
+        d[4] = true;
+        d[5] = true;
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            for placed in [
+                HdfsDefault.place(&cfg, view(&m, &r, &d), &mut rng),
+                CorralPlacement::new(vec![RackId(0)]).place(&cfg, view(&m, &r, &d), &mut rng),
+            ] {
+                assert!(!placed.is_empty());
+                for mm in &placed {
+                    assert!(!d[mm.index()], "dead machine chosen: {mm}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corral_falls_back_when_planned_racks_dead() {
+        let cfg = cfg();
+        let (m, r, mut d) = no_load(&cfg);
+        for i in 0..4 {
+            d[i] = true; // rack 0 fully dead
+        }
+        let policy = CorralPlacement::new(vec![RackId(0)]);
+        let mut rng = StdRng::seed_from_u64(9);
+        let placed = policy.place(&cfg, view(&m, &r, &d), &mut rng);
+        assert_eq!(placed.len(), 3);
+        assert!(placed.iter().all(|mm| cfg.rack_of(*mm) != RackId(0)));
+    }
+
+    #[test]
+    fn single_rack_cluster_degrades_gracefully() {
+        let mut cfg = cfg();
+        cfg.racks = 1;
+        cfg.machines_per_rack = 4;
+        cfg.replication = 3;
+        let m = vec![0.0; 4];
+        let r = vec![0.0; 1];
+        let d = vec![false; 4];
+        let mut rng = StdRng::seed_from_u64(2);
+        let placed = HdfsDefault.place(&cfg, view(&m, &r, &d), &mut rng);
+        assert_eq!(placed.len(), 3);
+    }
+}

@@ -1,0 +1,121 @@
+//! Property tests: replica-placement invariants hold for every policy
+//! under arbitrary liveness patterns and load histories.
+
+use corral_dfs::{CorralPlacement, Dfs, HdfsDefault, LoadView, PlacementPolicy};
+use corral_model::{Bytes, ClusterConfig, MachineId, RackId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn cfg() -> ClusterConfig {
+    ClusterConfig::tiny_test() // 3 racks x 4 machines, replication 3
+}
+
+fn check_placement_invariants(
+    cfg: &ClusterConfig,
+    placed: &[MachineId],
+    dead: &[bool],
+) -> Result<(), TestCaseError> {
+    // No dead machines, no duplicates.
+    for m in placed {
+        prop_assert!(!dead[m.index()], "dead machine chosen");
+    }
+    let mut uniq: Vec<_> = placed.to_vec();
+    uniq.sort();
+    uniq.dedup();
+    prop_assert_eq!(uniq.len(), placed.len(), "duplicate machines");
+    // HDFS fault-tolerance shape: replicas span at least 2 racks when the
+    // cluster still has 2 live racks and we placed ≥ 2 replicas.
+    let live_racks: std::collections::BTreeSet<_> = cfg
+        .all_machines()
+        .filter(|m| !dead[m.index()])
+        .map(|m| cfg.rack_of(m))
+        .collect();
+    let used_racks: std::collections::BTreeSet<_> =
+        placed.iter().map(|&m| cfg.rack_of(m)).collect();
+    if placed.len() >= 2 && live_racks.len() >= 2 {
+        prop_assert!(used_racks.len() >= 2, "replicas must span racks: {placed:?}");
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn policies_respect_invariants(
+        seed in 0u64..1000,
+        dead_mask in proptest::collection::vec(any::<bool>(), 12),
+        planned_rack in 0u32..3,
+        load in proptest::collection::vec(0.0f64..1e12, 12),
+    ) {
+        let cfg = cfg();
+        // Keep at least 4 machines alive so placement can succeed.
+        let mut dead = dead_mask.clone();
+        if dead.iter().filter(|d| !**d).count() < 4 {
+            for d in dead.iter_mut().take(6) {
+                *d = false;
+            }
+        }
+        let mut rack_bytes = vec![0.0; cfg.racks];
+        for (i, l) in load.iter().enumerate() {
+            rack_bytes[cfg.rack_of(MachineId(i as u32)).index()] += l;
+        }
+        let view = LoadView {
+            machine_bytes: &load,
+            rack_bytes: &rack_bytes,
+            dead: &dead,
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        let h = HdfsDefault.place(&cfg, view, &mut rng);
+        prop_assert!(!h.is_empty());
+        check_placement_invariants(&cfg, &h, &dead)?;
+
+        let c = CorralPlacement::new(vec![RackId(planned_rack)]).place(&cfg, view, &mut rng);
+        prop_assert!(!c.is_empty());
+        check_placement_invariants(&cfg, &c, &dead)?;
+        // Corral primary lands in the planned rack when it is live.
+        if cfg
+            .machines_in_rack(RackId(planned_rack))
+            .any(|m| !dead[m.index()])
+        {
+            prop_assert_eq!(cfg.rack_of(c[0]), RackId(planned_rack));
+        }
+    }
+
+    /// Namespace-level conservation: stored bytes (all replicas) equal
+    /// file bytes × replication, regardless of file size mix.
+    #[test]
+    fn namespace_byte_conservation(sizes in proptest::collection::vec(1e6f64..5e9, 1..10)) {
+        let cfg = cfg();
+        let mut dfs = Dfs::new(cfg.clone());
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut expected = 0.0;
+        for (i, s) in sizes.iter().enumerate() {
+            dfs.write_file(format!("f{i}"), Bytes(*s), &HdfsDefault, &mut rng);
+            expected += s * cfg.replication as f64;
+        }
+        let stored: f64 = dfs.machine_bytes().iter().sum();
+        prop_assert!((stored - expected).abs() < 1.0 + 1e-9 * expected);
+        let per_rack: f64 = dfs.rack_bytes().iter().sum();
+        prop_assert!((per_rack - stored).abs() < 1.0);
+    }
+
+    /// Locality fractions are valid probabilities and cover the file when
+    /// everything is alive.
+    #[test]
+    fn locality_fractions_valid(size in 1e6f64..2e10, seed in 0u64..100) {
+        let cfg = cfg();
+        let mut dfs = Dfs::new(cfg);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let f = dfs.write_file("x", Bytes(size), &HdfsDefault, &mut rng);
+        let frac = dfs.rack_locality_fractions(f);
+        for v in &frac {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(v));
+        }
+        // Each chunk has replicas in exactly 2 racks => fractions sum to 2.
+        let sum: f64 = frac.iter().sum();
+        prop_assert!((sum - 2.0).abs() < 1e-6, "sum={sum}");
+    }
+}

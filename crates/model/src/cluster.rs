@@ -1,0 +1,226 @@
+//! Static cluster description shared by the offline planner and the
+//! discrete-event simulator.
+//!
+//! The paper's testbed (§6.1): 210 machines in 7 racks of 30, 10 Gbps NICs,
+//! folded-CLOS with 5:1 oversubscription (each rack has a 60 Gbps connection
+//! to the core); the large-scale simulation (§6.6): 2000 machines, 50 racks
+//! of 40, 1 Gbps NICs, 20 slots per machine, again 5:1. Both are expressible
+//! as a [`ClusterConfig`].
+
+use crate::ids::{MachineId, RackId};
+use crate::units::{Bandwidth, Bytes};
+use serde::{Deserialize, Serialize};
+
+/// Static description of a cluster: topology shape, slot capacity, and
+/// link speeds. All Corral components (planner, DFS, network fabric, cluster
+/// engine) derive their geometry from one shared `ClusterConfig`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Number of racks, `R` in the paper.
+    pub racks: usize,
+    /// Machines per rack, `k` in the paper.
+    pub machines_per_rack: usize,
+    /// Concurrent task slots per machine. (The paper's testbed machines have
+    /// 32 cores; we default to a smaller number and scale task counts, see
+    /// DESIGN.md §1.)
+    pub slots_per_machine: usize,
+    /// Per-machine NIC bandwidth `B` (full duplex: this capacity applies
+    /// independently in each direction).
+    pub nic_bandwidth: Bandwidth,
+    /// Rack-to-core oversubscription ratio `V` (> 1 means the rack uplink
+    /// carries `k·B/V`). `V = 1` models full bisection bandwidth.
+    pub oversubscription: f64,
+    /// DFS chunk (block) size. HDFS-style default: 256 MB.
+    pub chunk_size: Bytes,
+    /// DFS replication factor. HDFS-style default: 3 (two replicas on one
+    /// rack, the third on a different rack).
+    pub replication: usize,
+}
+
+impl ClusterConfig {
+    /// The paper's 210-machine testbed (§6.1): 7 racks × 30 machines,
+    /// 10 Gbps NICs, 5:1 oversubscription (60 Gbps per-rack uplink).
+    pub fn testbed_210() -> Self {
+        ClusterConfig {
+            racks: 7,
+            machines_per_rack: 30,
+            slots_per_machine: 4,
+            nic_bandwidth: Bandwidth::gbps(10.0),
+            oversubscription: 5.0,
+            chunk_size: Bytes::mb(256.0),
+            replication: 3,
+        }
+    }
+
+    /// The paper's 2000-machine simulated topology (§6.6): 50 racks × 40
+    /// machines, 1 Gbps NICs, 20 slots per machine, 5:1 oversubscription.
+    pub fn sim_2000() -> Self {
+        ClusterConfig {
+            racks: 50,
+            machines_per_rack: 40,
+            slots_per_machine: 20,
+            nic_bandwidth: Bandwidth::gbps(1.0),
+            oversubscription: 5.0,
+            chunk_size: Bytes::mb(256.0),
+            replication: 3,
+        }
+    }
+
+    /// A small cluster useful in unit tests: 3 racks × 4 machines, 2 slots,
+    /// 10 Gbps NICs, 4:1 oversubscription.
+    pub fn tiny_test() -> Self {
+        ClusterConfig {
+            racks: 3,
+            machines_per_rack: 4,
+            slots_per_machine: 2,
+            nic_bandwidth: Bandwidth::gbps(10.0),
+            oversubscription: 4.0,
+            chunk_size: Bytes::mb(64.0),
+            replication: 3,
+        }
+    }
+
+    /// Total number of machines in the cluster.
+    pub fn total_machines(&self) -> usize {
+        self.racks * self.machines_per_rack
+    }
+
+    /// Total number of task slots in the cluster.
+    pub fn total_slots(&self) -> usize {
+        self.total_machines() * self.slots_per_machine
+    }
+
+    /// Task slots per rack (the "one rack worth of compute" unit of Fig. 2).
+    pub fn slots_per_rack(&self) -> usize {
+        self.machines_per_rack * self.slots_per_machine
+    }
+
+    /// The rack hosting a machine. Machines are numbered rack-major.
+    pub fn rack_of(&self, m: MachineId) -> RackId {
+        debug_assert!(m.index() < self.total_machines(), "machine out of range");
+        RackId::from_index(m.index() / self.machines_per_rack)
+    }
+
+    /// The machines of rack `r`, in increasing id order.
+    pub fn machines_in_rack(&self, r: RackId) -> impl Iterator<Item = MachineId> + '_ {
+        debug_assert!(r.index() < self.racks, "rack out of range");
+        let base = r.index() * self.machines_per_rack;
+        (base..base + self.machines_per_rack).map(MachineId::from_index)
+    }
+
+    /// Iterator over all machine ids.
+    pub fn all_machines(&self) -> impl Iterator<Item = MachineId> {
+        (0..self.total_machines()).map(MachineId::from_index)
+    }
+
+    /// Iterator over all rack ids.
+    pub fn all_racks(&self) -> impl Iterator<Item = RackId> {
+        (0..self.racks).map(RackId::from_index)
+    }
+
+    /// Capacity of a rack's uplink (and downlink) to the core: `k·B/V`.
+    pub fn rack_core_bandwidth(&self) -> Bandwidth {
+        self.nic_bandwidth * (self.machines_per_rack as f64 / self.oversubscription)
+    }
+
+    /// Validates internal consistency; returns a human-readable description
+    /// of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.racks == 0 {
+            return Err("cluster must have at least one rack".into());
+        }
+        if self.machines_per_rack == 0 {
+            return Err("racks must have at least one machine".into());
+        }
+        if self.slots_per_machine == 0 {
+            return Err("machines must have at least one slot".into());
+        }
+        if !(self.nic_bandwidth.0 > 0.0) {
+            return Err("NIC bandwidth must be positive".into());
+        }
+        if !(self.oversubscription >= 1.0) {
+            return Err("oversubscription ratio must be >= 1".into());
+        }
+        if !(self.chunk_size.0 > 0.0) {
+            return Err("chunk size must be positive".into());
+        }
+        if self.replication == 0 {
+            return Err("replication factor must be at least 1".into());
+        }
+        if self.replication > self.total_machines() {
+            return Err(format!(
+                "replication factor {} exceeds machine count {}",
+                self.replication,
+                self.total_machines()
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn testbed_geometry_matches_paper() {
+        let c = ClusterConfig::testbed_210();
+        assert_eq!(c.total_machines(), 210);
+        assert_eq!(c.racks, 7);
+        // 5:1 oversubscription of 30 x 10G = 60 Gbps to the core.
+        assert!((c.rack_core_bandwidth().as_gbps() - 60.0).abs() < 1e-9);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn sim_2000_geometry_matches_paper() {
+        let c = ClusterConfig::sim_2000();
+        assert_eq!(c.total_machines(), 2000);
+        assert_eq!(c.slots_per_machine, 20);
+        assert!((c.rack_core_bandwidth().as_gbps() - 8.0).abs() < 1e-9);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn rack_of_is_rack_major() {
+        let c = ClusterConfig::tiny_test();
+        assert_eq!(c.rack_of(MachineId(0)), RackId(0));
+        assert_eq!(c.rack_of(MachineId(3)), RackId(0));
+        assert_eq!(c.rack_of(MachineId(4)), RackId(1));
+        assert_eq!(c.rack_of(MachineId(11)), RackId(2));
+    }
+
+    #[test]
+    fn machines_in_rack_enumerates_consistently() {
+        let c = ClusterConfig::tiny_test();
+        for r in c.all_racks() {
+            for m in c.machines_in_rack(r) {
+                assert_eq!(c.rack_of(m), r);
+            }
+        }
+        let total: usize = c.all_racks().map(|r| c.machines_in_rack(r).count()).sum();
+        assert_eq!(total, c.total_machines());
+    }
+
+    #[test]
+    fn validate_rejects_bad_configs() {
+        let mut c = ClusterConfig::tiny_test();
+        c.oversubscription = 0.5;
+        assert!(c.validate().is_err());
+
+        let mut c = ClusterConfig::tiny_test();
+        c.racks = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = ClusterConfig::tiny_test();
+        c.replication = 1000;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn slot_accounting() {
+        let c = ClusterConfig::testbed_210();
+        assert_eq!(c.total_slots(), 210 * 4);
+        assert_eq!(c.slots_per_rack(), 120);
+    }
+}

@@ -1,0 +1,42 @@
+//! Error type shared across the workspace.
+
+use std::fmt;
+
+/// Errors produced while validating or manipulating model objects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A configuration failed validation; the payload describes the problem.
+    InvalidConfig(String),
+    /// A job/DAG description failed validation.
+    InvalidJob(String),
+    /// A referenced entity does not exist.
+    NotFound(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidConfig(s) => write!(f, "invalid configuration: {s}"),
+            ModelError::InvalidJob(s) => write!(f, "invalid job: {s}"),
+            ModelError::NotFound(s) => write!(f, "not found: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// Workspace-wide result alias.
+pub type Result<T> = std::result::Result<T, ModelError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_descriptive() {
+        let e = ModelError::InvalidJob("stage cycle".into());
+        assert_eq!(e.to_string(), "invalid job: stage cycle");
+        let e = ModelError::NotFound("job j7".into());
+        assert!(e.to_string().contains("j7"));
+    }
+}

@@ -1,0 +1,533 @@
+//! Job descriptions.
+//!
+//! The paper characterizes a MapReduce job by the 5-tuple
+//! ⟨D_I, D_S, D_O, N_M, N_R⟩ (input / shuffle / output bytes, map / reduce
+//! task counts) plus the per-task processing rates B_M and B_R estimated
+//! from previous runs (§4.3). General DAG-structured jobs (Hive / Tez) are
+//! described by a stage graph where every stage is modeled as a
+//! MapReduce-like unit (§4.3, "General DAGs").
+//!
+//! A [`JobSpec`] is a *static description* used both by the offline planner
+//! (through the latency response functions in `corral-core`) and by the
+//! cluster simulator (which instantiates runtime tasks from it). The
+//! simulator executes every job as a DAG; [`MapReduceProfile::to_dag`]
+//! performs the canonical 2-stage conversion.
+
+use crate::error::{ModelError, Result};
+use crate::ids::{JobId, StageId};
+use crate::units::{Bandwidth, Bytes, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// How data moves along a DAG edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EdgeKind {
+    /// All-to-all repartitioning: every upstream task sends a share to every
+    /// downstream task (MapReduce shuffle, Hive GROUP BY / JOIN exchanges).
+    Shuffle,
+    /// Every downstream task reads the *entire* upstream output (map-join /
+    /// replicated broadcast). The edge's `bytes` is the upstream output
+    /// size; total traffic is `bytes × downstream tasks`.
+    Broadcast,
+}
+
+/// A data dependency between two stages of a DAG job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DagEdge {
+    /// Producing stage.
+    pub from: StageId,
+    /// Consuming stage.
+    pub to: StageId,
+    /// Data volume carried by the edge (see [`EdgeKind`] for the broadcast
+    /// convention).
+    pub bytes: Bytes,
+    /// Communication pattern.
+    pub kind: EdgeKind,
+}
+
+/// One stage of a DAG job: a set of identical parallel tasks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageProfile {
+    /// Human-readable stage name ("map", "reduce", "join-2", …).
+    pub name: String,
+    /// Number of parallel tasks in the stage.
+    pub tasks: usize,
+    /// Bytes this stage reads from the distributed filesystem (non-zero for
+    /// source stages such as map / extract).
+    pub dfs_input: Bytes,
+    /// Bytes this stage writes back to the distributed filesystem (non-zero
+    /// for sink stages).
+    pub dfs_output: Bytes,
+    /// Average per-task processing rate over the stage's total input
+    /// (the paper's B_M / B_R, estimated from previous runs of the job).
+    pub rate: Bandwidth,
+}
+
+impl StageProfile {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, tasks: usize, rate: Bandwidth) -> Self {
+        StageProfile {
+            name: name.into(),
+            tasks,
+            dfs_input: Bytes::ZERO,
+            dfs_output: Bytes::ZERO,
+            rate,
+        }
+    }
+
+    /// Builder-style: set DFS input volume.
+    pub fn with_dfs_input(mut self, bytes: Bytes) -> Self {
+        self.dfs_input = bytes;
+        self
+    }
+
+    /// Builder-style: set DFS output volume.
+    pub fn with_dfs_output(mut self, bytes: Bytes) -> Self {
+        self.dfs_output = bytes;
+        self
+    }
+}
+
+/// A general DAG-structured job (Hive / Tez style).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DagProfile {
+    /// Stages, indexed by [`StageId`] (`stages[s.index()]`).
+    pub stages: Vec<StageProfile>,
+    /// Data dependencies. Parallel edges between the same stage pair are
+    /// allowed (and summed where volumes matter).
+    pub edges: Vec<DagEdge>,
+}
+
+impl DagProfile {
+    /// Stage ids in definition order.
+    pub fn stage_ids(&self) -> impl Iterator<Item = StageId> {
+        (0..self.stages.len()).map(StageId::from_index)
+    }
+
+    /// The stage profile for `s`.
+    pub fn stage(&self, s: StageId) -> &StageProfile {
+        &self.stages[s.index()]
+    }
+
+    /// Incoming edges of stage `s`.
+    pub fn in_edges(&self, s: StageId) -> impl Iterator<Item = &DagEdge> {
+        self.edges.iter().filter(move |e| e.to == s)
+    }
+
+    /// Outgoing edges of stage `s`.
+    pub fn out_edges(&self, s: StageId) -> impl Iterator<Item = &DagEdge> {
+        self.edges.iter().filter(move |e| e.from == s)
+    }
+
+    /// Total bytes stage `s` consumes: DFS input plus all incoming edge
+    /// traffic (broadcast edges count once per downstream task).
+    pub fn stage_total_input(&self, s: StageId) -> Bytes {
+        let tasks = self.stage(s).tasks as f64;
+        let edge_bytes: Bytes = self
+            .in_edges(s)
+            .map(|e| match e.kind {
+                EdgeKind::Shuffle => e.bytes,
+                EdgeKind::Broadcast => e.bytes * tasks,
+            })
+            .sum();
+        self.stage(s).dfs_input + edge_bytes
+    }
+
+    /// Total bytes stage `s` produces over its outgoing edges (broadcast
+    /// counted once — it is the upstream output size) plus DFS output.
+    pub fn stage_total_output(&self, s: StageId) -> Bytes {
+        let edge_bytes: Bytes = self.out_edges(s).map(|e| e.bytes).sum();
+        self.stage(s).dfs_output + edge_bytes
+    }
+
+    /// Source stages (no incoming edges).
+    pub fn sources(&self) -> Vec<StageId> {
+        self.stage_ids()
+            .filter(|&s| self.in_edges(s).next().is_none())
+            .collect()
+    }
+
+    /// Sink stages (no outgoing edges).
+    pub fn sinks(&self) -> Vec<StageId> {
+        self.stage_ids()
+            .filter(|&s| self.out_edges(s).next().is_none())
+            .collect()
+    }
+
+    /// Kahn topological order. Fails if the graph has a cycle.
+    pub fn topo_order(&self) -> Result<Vec<StageId>> {
+        let n = self.stages.len();
+        let mut indeg = vec![0usize; n];
+        for e in &self.edges {
+            indeg[e.to.index()] += 1;
+        }
+        // Deterministic: process ready stages in increasing id order.
+        let mut ready: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        ready.sort_unstable();
+        let mut order = Vec::with_capacity(n);
+        let mut head = 0;
+        while head < ready.len() {
+            let u = ready[head];
+            head += 1;
+            order.push(StageId::from_index(u));
+            let mut newly: Vec<usize> = Vec::new();
+            for e in self.edges.iter().filter(|e| e.from.index() == u) {
+                let v = e.to.index();
+                indeg[v] -= 1;
+                if indeg[v] == 0 {
+                    newly.push(v);
+                }
+            }
+            newly.sort_unstable();
+            ready.extend(newly);
+        }
+        if order.len() != n {
+            return Err(ModelError::InvalidJob("stage graph has a cycle".into()));
+        }
+        Ok(order)
+    }
+
+    /// Validates the DAG: non-empty, edges in range, no self loops, acyclic,
+    /// positive task counts and rates.
+    pub fn validate(&self) -> Result<()> {
+        if self.stages.is_empty() {
+            return Err(ModelError::InvalidJob("job has no stages".into()));
+        }
+        for (i, st) in self.stages.iter().enumerate() {
+            if st.tasks == 0 {
+                return Err(ModelError::InvalidJob(format!(
+                    "stage {i} ({}) has zero tasks",
+                    st.name
+                )));
+            }
+            if !(st.rate.0 > 0.0) {
+                return Err(ModelError::InvalidJob(format!(
+                    "stage {i} ({}) has non-positive rate",
+                    st.name
+                )));
+            }
+            if st.dfs_input.0 < 0.0 || st.dfs_output.0 < 0.0 {
+                return Err(ModelError::InvalidJob(format!(
+                    "stage {i} ({}) has negative data volume",
+                    st.name
+                )));
+            }
+        }
+        for e in &self.edges {
+            if e.from.index() >= self.stages.len() || e.to.index() >= self.stages.len() {
+                return Err(ModelError::InvalidJob("edge references unknown stage".into()));
+            }
+            if e.from == e.to {
+                return Err(ModelError::InvalidJob("self-loop edge".into()));
+            }
+            if e.bytes.0 < 0.0 {
+                return Err(ModelError::InvalidJob("edge with negative volume".into()));
+            }
+        }
+        self.topo_order()?;
+        Ok(())
+    }
+}
+
+/// The paper's MapReduce 5-tuple ⟨D_I, D_S, D_O, N_M, N_R⟩ plus the per-task
+/// processing rates B_M / B_R (§4.3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MapReduceProfile {
+    /// Input data size D_I, read from the DFS by map tasks.
+    pub input: Bytes,
+    /// Shuffle (intermediate) data size D_S, repartitioned map→reduce.
+    pub shuffle: Bytes,
+    /// Output data size D_O, written back to the DFS by reduce tasks.
+    pub output: Bytes,
+    /// Number of map tasks N_M.
+    pub maps: usize,
+    /// Number of reduce tasks N_R.
+    pub reduces: usize,
+    /// Average map-task processing rate B_M.
+    pub map_rate: Bandwidth,
+    /// Average reduce-task processing rate B_R.
+    pub reduce_rate: Bandwidth,
+}
+
+impl MapReduceProfile {
+    /// Canonical conversion to a 2-stage DAG (map →shuffle→ reduce); the
+    /// cluster simulator executes everything in DAG form.
+    pub fn to_dag(&self) -> DagProfile {
+        DagProfile {
+            stages: vec![
+                StageProfile::new("map", self.maps, self.map_rate).with_dfs_input(self.input),
+                StageProfile::new("reduce", self.reduces, self.reduce_rate)
+                    .with_dfs_output(self.output),
+            ],
+            edges: vec![DagEdge {
+                from: StageId(0),
+                to: StageId(1),
+                bytes: self.shuffle,
+                kind: EdgeKind::Shuffle,
+            }],
+        }
+    }
+
+    /// Validates the profile.
+    pub fn validate(&self) -> Result<()> {
+        if self.maps == 0 || self.reduces == 0 {
+            return Err(ModelError::InvalidJob("zero map or reduce tasks".into()));
+        }
+        if !(self.map_rate.0 > 0.0) || !(self.reduce_rate.0 > 0.0) {
+            return Err(ModelError::InvalidJob("non-positive task rate".into()));
+        }
+        if self.input.0 < 0.0 || self.shuffle.0 < 0.0 || self.output.0 < 0.0 {
+            return Err(ModelError::InvalidJob("negative data volume".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Structure of a job: plain MapReduce or a general DAG.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum JobProfile {
+    /// A simple MapReduce job described by the paper's 5-tuple.
+    MapReduce(MapReduceProfile),
+    /// A DAG-structured job (Hive / Tez).
+    Dag(DagProfile),
+}
+
+impl JobProfile {
+    /// The job in canonical DAG form (identity for DAG jobs).
+    pub fn as_dag(&self) -> DagProfile {
+        match self {
+            JobProfile::MapReduce(mr) => mr.to_dag(),
+            JobProfile::Dag(d) => d.clone(),
+        }
+    }
+
+    /// Total DFS input bytes (D_I for MapReduce).
+    pub fn total_input(&self) -> Bytes {
+        match self {
+            JobProfile::MapReduce(mr) => mr.input,
+            JobProfile::Dag(d) => d.stage_ids().map(|s| d.stage(s).dfs_input).sum(),
+        }
+    }
+
+    /// Total bytes moved between stages (D_S for MapReduce).
+    pub fn total_shuffle(&self) -> Bytes {
+        match self {
+            JobProfile::MapReduce(mr) => mr.shuffle,
+            JobProfile::Dag(d) => d
+                .stage_ids()
+                .map(|s| d.stage_total_input(s) - d.stage(s).dfs_input)
+                .sum(),
+        }
+    }
+
+    /// Total DFS output bytes (D_O for MapReduce).
+    pub fn total_output(&self) -> Bytes {
+        match self {
+            JobProfile::MapReduce(mr) => mr.output,
+            JobProfile::Dag(d) => d.stage_ids().map(|s| d.stage(s).dfs_output).sum(),
+        }
+    }
+
+    /// Total number of tasks across all stages.
+    pub fn total_tasks(&self) -> usize {
+        match self {
+            JobProfile::MapReduce(mr) => mr.maps + mr.reduces,
+            JobProfile::Dag(d) => d.stages.iter().map(|s| s.tasks).sum(),
+        }
+    }
+
+    /// The number of compute slots the job requests: the width of its widest
+    /// stage (this is the "slots per job" statistic of the paper's Fig. 2).
+    pub fn slots_requested(&self) -> usize {
+        match self {
+            JobProfile::MapReduce(mr) => mr.maps.max(mr.reduces),
+            JobProfile::Dag(d) => d.stages.iter().map(|s| s.tasks).max().unwrap_or(0),
+        }
+    }
+
+    /// Validates the profile.
+    pub fn validate(&self) -> Result<()> {
+        match self {
+            JobProfile::MapReduce(mr) => mr.validate(),
+            JobProfile::Dag(d) => d.validate(),
+        }
+    }
+}
+
+/// A job submission: identity, arrival time, predictability class, and the
+/// structural/volume profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Unique job id within a workload.
+    pub id: JobId,
+    /// Human-readable name (e.g. "W1-med-017", "tpch-q5").
+    pub name: String,
+    /// Submission time. In the batch scenario all arrivals are `0`.
+    pub arrival: SimTime,
+    /// Whether the job is recurring / known-in-advance (plannable by the
+    /// offline planner) or ad hoc (scheduled with fallback policies only).
+    pub plannable: bool,
+    /// Structure and data volumes.
+    pub profile: JobProfile,
+}
+
+impl JobSpec {
+    /// Convenience constructor for a plannable MapReduce job arriving at t=0.
+    pub fn map_reduce(id: JobId, name: impl Into<String>, mr: MapReduceProfile) -> Self {
+        JobSpec {
+            id,
+            name: name.into(),
+            arrival: SimTime::ZERO,
+            plannable: true,
+            profile: JobProfile::MapReduce(mr),
+        }
+    }
+
+    /// Builder-style: set the arrival time.
+    pub fn arriving_at(mut self, t: SimTime) -> Self {
+        self.arrival = t;
+        self
+    }
+
+    /// Builder-style: mark the job ad hoc (not plannable).
+    pub fn ad_hoc(mut self) -> Self {
+        self.plannable = false;
+        self
+    }
+
+    /// Validates the spec.
+    pub fn validate(&self) -> Result<()> {
+        if !self.arrival.is_finite() || self.arrival.0 < 0.0 {
+            return Err(ModelError::InvalidJob(format!(
+                "job {} has invalid arrival time",
+                self.id
+            )));
+        }
+        self.profile.validate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mr() -> MapReduceProfile {
+        MapReduceProfile {
+            input: Bytes::gb(10.0),
+            shuffle: Bytes::gb(5.0),
+            output: Bytes::gb(1.0),
+            maps: 40,
+            reduces: 10,
+            map_rate: Bandwidth::mbytes_per_sec(50.0),
+            reduce_rate: Bandwidth::mbytes_per_sec(50.0),
+        }
+    }
+
+    #[test]
+    fn mapreduce_to_dag_preserves_volumes() {
+        let p = JobProfile::MapReduce(mr());
+        let d = p.as_dag();
+        d.validate().unwrap();
+        assert_eq!(d.stages.len(), 2);
+        assert_eq!(d.stage_total_input(StageId(0)), Bytes::gb(10.0));
+        assert_eq!(d.stage_total_input(StageId(1)), Bytes::gb(5.0));
+        assert_eq!(d.stage_total_output(StageId(1)), Bytes::gb(1.0));
+        assert_eq!(JobProfile::Dag(d.clone()).total_input(), p.total_input());
+        assert_eq!(JobProfile::Dag(d.clone()).total_shuffle(), p.total_shuffle());
+        assert_eq!(JobProfile::Dag(d).total_output(), p.total_output());
+    }
+
+    #[test]
+    fn slots_requested_is_widest_stage() {
+        assert_eq!(JobProfile::MapReduce(mr()).slots_requested(), 40);
+        let d = DagProfile {
+            stages: vec![
+                StageProfile::new("a", 3, Bandwidth(1.0)),
+                StageProfile::new("b", 9, Bandwidth(1.0)),
+                StageProfile::new("c", 5, Bandwidth(1.0)),
+            ],
+            edges: vec![
+                DagEdge { from: StageId(0), to: StageId(1), bytes: Bytes(1.0), kind: EdgeKind::Shuffle },
+                DagEdge { from: StageId(1), to: StageId(2), bytes: Bytes(1.0), kind: EdgeKind::Shuffle },
+            ],
+        };
+        assert_eq!(JobProfile::Dag(d).slots_requested(), 9);
+    }
+
+    #[test]
+    fn topo_order_is_deterministic_and_valid() {
+        // Diamond: 0 -> {1,2} -> 3
+        let d = DagProfile {
+            stages: (0..4)
+                .map(|i| StageProfile::new(format!("s{i}"), 1, Bandwidth(1.0)))
+                .collect(),
+            edges: vec![
+                DagEdge { from: StageId(0), to: StageId(1), bytes: Bytes(1.0), kind: EdgeKind::Shuffle },
+                DagEdge { from: StageId(0), to: StageId(2), bytes: Bytes(1.0), kind: EdgeKind::Shuffle },
+                DagEdge { from: StageId(1), to: StageId(3), bytes: Bytes(1.0), kind: EdgeKind::Shuffle },
+                DagEdge { from: StageId(2), to: StageId(3), bytes: Bytes(1.0), kind: EdgeKind::Shuffle },
+            ],
+        };
+        let order = d.topo_order().unwrap();
+        assert_eq!(order, vec![StageId(0), StageId(1), StageId(2), StageId(3)]);
+        assert_eq!(d.sources(), vec![StageId(0)]);
+        assert_eq!(d.sinks(), vec![StageId(3)]);
+    }
+
+    #[test]
+    fn cycle_is_rejected() {
+        let d = DagProfile {
+            stages: vec![
+                StageProfile::new("a", 1, Bandwidth(1.0)),
+                StageProfile::new("b", 1, Bandwidth(1.0)),
+            ],
+            edges: vec![
+                DagEdge { from: StageId(0), to: StageId(1), bytes: Bytes(1.0), kind: EdgeKind::Shuffle },
+                DagEdge { from: StageId(1), to: StageId(0), bytes: Bytes(1.0), kind: EdgeKind::Shuffle },
+            ],
+        };
+        assert!(d.validate().is_err());
+    }
+
+    #[test]
+    fn broadcast_multiplies_by_downstream_tasks() {
+        let d = DagProfile {
+            stages: vec![
+                StageProfile::new("small", 2, Bandwidth(1.0)),
+                StageProfile::new("probe", 10, Bandwidth(1.0)),
+            ],
+            edges: vec![DagEdge {
+                from: StageId(0),
+                to: StageId(1),
+                bytes: Bytes::mb(100.0),
+                kind: EdgeKind::Broadcast,
+            }],
+        };
+        assert_eq!(d.stage_total_input(StageId(1)), Bytes::gb(1.0));
+        // Output side counts the broadcast once.
+        assert_eq!(d.stage_total_output(StageId(0)), Bytes::mb(100.0));
+    }
+
+    #[test]
+    fn validation_catches_bad_profiles() {
+        let mut bad = mr();
+        bad.maps = 0;
+        assert!(bad.validate().is_err());
+
+        let mut bad = mr();
+        bad.map_rate = Bandwidth::ZERO;
+        assert!(bad.validate().is_err());
+
+        let spec = JobSpec::map_reduce(JobId(0), "x", mr()).arriving_at(SimTime(-1.0));
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn builders() {
+        let s = JobSpec::map_reduce(JobId(1), "j", mr())
+            .arriving_at(SimTime::minutes(5.0))
+            .ad_hoc();
+        assert!(!s.plannable);
+        assert_eq!(s.arrival.as_secs(), 300.0);
+        s.validate().unwrap();
+    }
+}

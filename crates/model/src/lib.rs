@@ -1,0 +1,37 @@
+//! # corral-model
+//!
+//! Shared domain types for the Corral scheduling framework and its simulation
+//! substrates (reproduction of *"Network-Aware Scheduling for Data-Parallel
+//! Jobs: Plan When You Can"*, SIGCOMM 2015).
+//!
+//! This crate is dependency-light on purpose: every other crate in the
+//! workspace (`corral-simnet`, `corral-dfs`, `corral-cluster`, `corral-core`,
+//! `corral-workloads`) builds on these types, so they must not pull in any of
+//! the heavier machinery.
+//!
+//! The main exports are:
+//!
+//! * [`ids`] — strongly-typed identifiers (`MachineId`, `RackId`, `JobId`, …).
+//! * [`units`] — physical quantities (`Bytes`, `Bandwidth`, `SimTime`) with
+//!   unit-preserving arithmetic.
+//! * [`cluster`] — [`cluster::ClusterConfig`], the static
+//!   description of a cluster (racks, machines, slots, NIC speed,
+//!   oversubscription) shared by the planner and the simulator.
+//! * [`job`] — job descriptions: the paper's MapReduce 5-tuple
+//!   ⟨D_I, D_S, D_O, N_M, N_R⟩ plus processing rates, and general
+//!   DAG-structured jobs (Hive/Tez-style stage graphs).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod error;
+pub mod ids;
+pub mod job;
+pub mod units;
+
+pub use cluster::ClusterConfig;
+pub use error::{ModelError, Result};
+pub use ids::{ChunkId, FileId, FlowId, JobId, MachineId, RackId, StageId, TaskId};
+pub use job::{DagEdge, DagProfile, EdgeKind, JobProfile, JobSpec, MapReduceProfile, StageProfile};
+pub use units::{Bandwidth, Bytes, SimTime};

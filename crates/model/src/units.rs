@@ -1,0 +1,427 @@
+//! Physical quantities used throughout the simulator.
+//!
+//! Three quantities appear everywhere: data volumes ([`Bytes`]), link/task
+//! processing rates ([`Bandwidth`], in bytes per second), and simulated time
+//! ([`SimTime`], in seconds). Keeping them as newtypes gives dimensional
+//! arithmetic: `Bytes / Bandwidth = seconds`, `Bandwidth * seconds = Bytes`,
+//! and prevents a whole family of "seconds where bytes expected" mistakes.
+//!
+//! Data volumes are `f64` internally: the fluid network model transfers
+//! fractional bytes, and volumes up to tens of terabytes comfortably fit in
+//! the 2^53 exactly-representable integer range.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A data volume in bytes (fractional: the fluid model moves real-valued
+/// amounts of data).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Bytes(pub f64);
+
+/// A data rate in bytes per second.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Bandwidth(pub f64);
+
+/// A point in (or duration of) simulated time, in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct SimTime(pub f64);
+
+// ---------------------------------------------------------------------------
+// Bytes
+// ---------------------------------------------------------------------------
+
+impl Bytes {
+    /// Zero bytes.
+    pub const ZERO: Bytes = Bytes(0.0);
+
+    /// Constructs a volume from kibi-free decimal kilobytes (10^3).
+    pub fn kb(v: f64) -> Bytes {
+        Bytes(v * 1e3)
+    }
+
+    /// Constructs a volume from decimal megabytes (10^6).
+    pub fn mb(v: f64) -> Bytes {
+        Bytes(v * 1e6)
+    }
+
+    /// Constructs a volume from decimal gigabytes (10^9).
+    pub fn gb(v: f64) -> Bytes {
+        Bytes(v * 1e9)
+    }
+
+    /// Constructs a volume from decimal terabytes (10^12).
+    pub fn tb(v: f64) -> Bytes {
+        Bytes(v * 1e12)
+    }
+
+    /// The volume expressed in decimal gigabytes.
+    pub fn as_gb(self) -> f64 {
+        self.0 / 1e9
+    }
+
+    /// True if the remaining volume is negligible (below one byte), the
+    /// threshold used by the fluid model to declare a transfer complete.
+    pub fn is_negligible(self) -> bool {
+        self.0 < 1.0
+    }
+
+    /// Clamps a (possibly slightly negative, from floating-point drift)
+    /// volume to zero.
+    pub fn clamp_non_negative(self) -> Bytes {
+        Bytes(self.0.max(0.0))
+    }
+
+    /// Numerically safe minimum.
+    pub fn min(self, other: Bytes) -> Bytes {
+        Bytes(self.0.min(other.0))
+    }
+
+    /// Numerically safe maximum.
+    pub fn max(self, other: Bytes) -> Bytes {
+        Bytes(self.0.max(other.0))
+    }
+}
+
+impl Add for Bytes {
+    type Output = Bytes;
+    fn add(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0 + rhs.0)
+    }
+}
+impl AddAssign for Bytes {
+    fn add_assign(&mut self, rhs: Bytes) {
+        self.0 += rhs.0;
+    }
+}
+impl Sub for Bytes {
+    type Output = Bytes;
+    fn sub(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0 - rhs.0)
+    }
+}
+impl SubAssign for Bytes {
+    fn sub_assign(&mut self, rhs: Bytes) {
+        self.0 -= rhs.0;
+    }
+}
+impl Mul<f64> for Bytes {
+    type Output = Bytes;
+    fn mul(self, rhs: f64) -> Bytes {
+        Bytes(self.0 * rhs)
+    }
+}
+impl Div<f64> for Bytes {
+    type Output = Bytes;
+    fn div(self, rhs: f64) -> Bytes {
+        Bytes(self.0 / rhs)
+    }
+}
+impl Div<Bytes> for Bytes {
+    type Output = f64;
+    fn div(self, rhs: Bytes) -> f64 {
+        self.0 / rhs.0
+    }
+}
+/// `volume / rate = duration`
+impl Div<Bandwidth> for Bytes {
+    type Output = SimTime;
+    fn div(self, rhs: Bandwidth) -> SimTime {
+        SimTime(self.0 / rhs.0)
+    }
+}
+impl Sum for Bytes {
+    fn sum<I: Iterator<Item = Bytes>>(iter: I) -> Bytes {
+        Bytes(iter.map(|b| b.0).sum())
+    }
+}
+impl fmt::Display for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let v = self.0;
+        if v >= 1e12 {
+            write!(f, "{:.2}TB", v / 1e12)
+        } else if v >= 1e9 {
+            write!(f, "{:.2}GB", v / 1e9)
+        } else if v >= 1e6 {
+            write!(f, "{:.2}MB", v / 1e6)
+        } else if v >= 1e3 {
+            write!(f, "{:.2}KB", v / 1e3)
+        } else {
+            write!(f, "{:.0}B", v)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bandwidth
+// ---------------------------------------------------------------------------
+
+impl Bandwidth {
+    /// Zero rate.
+    pub const ZERO: Bandwidth = Bandwidth(0.0);
+
+    /// Constructs a rate from gigabits per second (the customary unit for
+    /// NIC and uplink capacities; note bits, not bytes).
+    pub fn gbps(v: f64) -> Bandwidth {
+        Bandwidth(v * 1e9 / 8.0)
+    }
+
+    /// Constructs a rate from megabytes per second (the customary unit for
+    /// per-task processing rates such as the paper's B_M and B_R).
+    pub fn mbytes_per_sec(v: f64) -> Bandwidth {
+        Bandwidth(v * 1e6)
+    }
+
+    /// The rate expressed in gigabits per second.
+    pub fn as_gbps(self) -> f64 {
+        self.0 * 8.0 / 1e9
+    }
+
+    /// Numerically safe minimum.
+    pub fn min(self, other: Bandwidth) -> Bandwidth {
+        Bandwidth(self.0.min(other.0))
+    }
+
+    /// Numerically safe maximum.
+    pub fn max(self, other: Bandwidth) -> Bandwidth {
+        Bandwidth(self.0.max(other.0))
+    }
+
+    /// True if the rate is effectively zero (< 1 byte/s). A flow allocated
+    /// a negligible rate is treated as stalled.
+    pub fn is_negligible(self) -> bool {
+        self.0 < 1.0
+    }
+}
+
+impl Add for Bandwidth {
+    type Output = Bandwidth;
+    fn add(self, rhs: Bandwidth) -> Bandwidth {
+        Bandwidth(self.0 + rhs.0)
+    }
+}
+impl AddAssign for Bandwidth {
+    fn add_assign(&mut self, rhs: Bandwidth) {
+        self.0 += rhs.0;
+    }
+}
+impl Sub for Bandwidth {
+    type Output = Bandwidth;
+    fn sub(self, rhs: Bandwidth) -> Bandwidth {
+        Bandwidth(self.0 - rhs.0)
+    }
+}
+impl SubAssign for Bandwidth {
+    fn sub_assign(&mut self, rhs: Bandwidth) {
+        self.0 -= rhs.0;
+    }
+}
+impl Mul<f64> for Bandwidth {
+    type Output = Bandwidth;
+    fn mul(self, rhs: f64) -> Bandwidth {
+        Bandwidth(self.0 * rhs)
+    }
+}
+impl Div<f64> for Bandwidth {
+    type Output = Bandwidth;
+    fn div(self, rhs: f64) -> Bandwidth {
+        Bandwidth(self.0 / rhs)
+    }
+}
+impl Div<Bandwidth> for Bandwidth {
+    type Output = f64;
+    fn div(self, rhs: Bandwidth) -> f64 {
+        self.0 / rhs.0
+    }
+}
+/// `rate * duration = volume`
+impl Mul<SimTime> for Bandwidth {
+    type Output = Bytes;
+    fn mul(self, rhs: SimTime) -> Bytes {
+        Bytes(self.0 * rhs.0)
+    }
+}
+impl Sum for Bandwidth {
+    fn sum<I: Iterator<Item = Bandwidth>>(iter: I) -> Bandwidth {
+        Bandwidth(iter.map(|b| b.0).sum())
+    }
+}
+impl fmt::Display for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}Gbps", self.as_gbps())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SimTime
+// ---------------------------------------------------------------------------
+
+impl SimTime {
+    /// The start of simulated time.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// "Never": a time beyond any event horizon.
+    pub const INFINITY: SimTime = SimTime(f64::INFINITY);
+
+    /// Constructs a time from seconds.
+    pub fn secs(v: f64) -> SimTime {
+        SimTime(v)
+    }
+
+    /// Constructs a time from minutes.
+    pub fn minutes(v: f64) -> SimTime {
+        SimTime(v * 60.0)
+    }
+
+    /// Constructs a time from hours.
+    pub fn hours(v: f64) -> SimTime {
+        SimTime(v * 3600.0)
+    }
+
+    /// The time expressed in seconds.
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// True if this is a finite instant.
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+
+    /// Numerically safe minimum.
+    pub fn min(self, other: SimTime) -> SimTime {
+        SimTime(self.0.min(other.0))
+    }
+
+    /// Numerically safe maximum.
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+
+    /// Total ordering for use as an event-queue key. `NaN` is a logic error
+    /// in the simulator and is ordered last (and will be caught by debug
+    /// assertions at event insertion).
+    pub fn total_cmp(self, other: SimTime) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+impl Mul<f64> for SimTime {
+    type Output = SimTime;
+    fn mul(self, rhs: f64) -> SimTime {
+        SimTime(self.0 * rhs)
+    }
+}
+impl Div<f64> for SimTime {
+    type Output = SimTime;
+    fn div(self, rhs: f64) -> SimTime {
+        SimTime(self.0 / rhs)
+    }
+}
+impl Neg for SimTime {
+    type Output = SimTime;
+    fn neg(self) -> SimTime {
+        SimTime(-self.0)
+    }
+}
+/// `duration * rate = volume`
+impl Mul<Bandwidth> for SimTime {
+    type Output = Bytes;
+    fn mul(self, rhs: Bandwidth) -> Bytes {
+        Bytes(self.0 * rhs.0)
+    }
+}
+impl Sum for SimTime {
+    fn sum<I: Iterator<Item = SimTime>>(iter: I) -> SimTime {
+        SimTime(iter.map(|t| t.0).sum())
+    }
+}
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimensional_arithmetic() {
+        let d = Bytes::gb(10.0);
+        let r = Bandwidth::gbps(10.0); // 1.25 GB/s
+        let t = d / r;
+        assert!((t.as_secs() - 8.0).abs() < 1e-9);
+        let back = r * t;
+        assert!((back.0 - d.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn gbps_is_bits() {
+        assert!((Bandwidth::gbps(8.0).0 - 1e9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Bytes::gb(2.5).to_string(), "2.50GB");
+        assert_eq!(Bytes::tb(1.2).to_string(), "1.20TB");
+        assert_eq!(Bytes(512.0).to_string(), "512B");
+        assert_eq!(SimTime::secs(1.5).to_string(), "1.500s");
+    }
+
+    #[test]
+    fn negligible_thresholds() {
+        assert!(Bytes(0.5).is_negligible());
+        assert!(!Bytes(2.0).is_negligible());
+        assert!(Bandwidth(0.1).is_negligible());
+    }
+
+    #[test]
+    fn time_helpers() {
+        assert_eq!(SimTime::minutes(2.0).as_secs(), 120.0);
+        assert_eq!(SimTime::hours(1.0).as_secs(), 3600.0);
+        assert!(SimTime::INFINITY > SimTime::hours(1e9));
+        assert!(!SimTime::INFINITY.is_finite());
+    }
+
+    #[test]
+    fn total_cmp_is_total() {
+        let mut v = vec![SimTime(3.0), SimTime(1.0), SimTime(2.0)];
+        v.sort_by(|a, b| a.total_cmp(*b));
+        assert_eq!(v, vec![SimTime(1.0), SimTime(2.0), SimTime(3.0)]);
+    }
+
+    #[test]
+    fn clamp_non_negative() {
+        assert_eq!(Bytes(-1e-9).clamp_non_negative(), Bytes(0.0));
+        assert_eq!(Bytes(5.0).clamp_non_negative(), Bytes(5.0));
+    }
+
+    #[test]
+    fn sums() {
+        let total: Bytes = [Bytes::gb(1.0), Bytes::gb(2.0)].into_iter().sum();
+        assert!((total.as_gb() - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests for the shared domain types.
+
+use corral_model::{
+    Bandwidth, Bytes, ClusterConfig, DagEdge, DagProfile, EdgeKind, SimTime, StageId, StageProfile,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// volume / rate · rate ≈ volume (dimensional arithmetic roundtrip).
+    #[test]
+    fn bytes_bandwidth_roundtrip(gb in 0.001f64..1e4, gbps in 0.001f64..1e3) {
+        let d = Bytes::gb(gb);
+        let r = Bandwidth::gbps(gbps);
+        let t: SimTime = d / r;
+        let back = r * t;
+        prop_assert!((back.0 - d.0).abs() <= 1e-9 * d.0.max(1.0));
+    }
+
+    /// Clamp never produces negatives and preserves non-negative values.
+    #[test]
+    fn clamp_non_negative(v in -1e12f64..1e12) {
+        let c = Bytes(v).clamp_non_negative();
+        prop_assert!(c.0 >= 0.0);
+        if v >= 0.0 {
+            prop_assert_eq!(c.0, v);
+        }
+    }
+
+    /// rack_of and machines_in_rack are mutually consistent for arbitrary
+    /// cluster geometries.
+    #[test]
+    fn rack_machine_consistency(racks in 1usize..20, k in 1usize..40) {
+        let cfg = ClusterConfig {
+            racks,
+            machines_per_rack: k,
+            slots_per_machine: 2,
+            nic_bandwidth: Bandwidth::gbps(10.0),
+            oversubscription: 4.0,
+            chunk_size: Bytes::mb(64.0),
+            replication: 1,
+        };
+        prop_assert_eq!(cfg.total_machines(), racks * k);
+        for r in cfg.all_racks() {
+            for m in cfg.machines_in_rack(r) {
+                prop_assert_eq!(cfg.rack_of(m), r);
+            }
+        }
+    }
+}
+
+/// Strategy: a random layered DAG (edges only go to later stages, so it is
+/// acyclic by construction).
+fn layered_dag() -> impl Strategy<Value = DagProfile> {
+    (2usize..8).prop_flat_map(|n| {
+        let stages: Vec<StageProfile> = (0..n)
+            .map(|i| StageProfile::new(format!("s{i}"), 2 + i, Bandwidth::mbytes_per_sec(50.0)))
+            .collect();
+        proptest::collection::vec((0..n - 1, 1usize..n, 1.0f64..1e9), 1..12).prop_map(
+            move |raw_edges| {
+                let edges: Vec<DagEdge> = raw_edges
+                    .into_iter()
+                    .filter(|(a, b, _)| a < b)
+                    .map(|(a, b, bytes)| DagEdge {
+                        from: StageId::from_index(a),
+                        to: StageId::from_index(b),
+                        bytes: Bytes(bytes),
+                        kind: EdgeKind::Shuffle,
+                    })
+                    .collect();
+                DagProfile {
+                    stages: stages.clone(),
+                    edges,
+                }
+            },
+        )
+    })
+}
+
+proptest! {
+    /// topo_order returns every stage exactly once, with all edges forward.
+    #[test]
+    fn topo_order_is_topological(dag in layered_dag()) {
+        let order = dag.topo_order().expect("layered DAGs are acyclic");
+        prop_assert_eq!(order.len(), dag.stages.len());
+        let pos: std::collections::HashMap<_, _> =
+            order.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+        for e in &dag.edges {
+            prop_assert!(pos[&e.from] < pos[&e.to], "edge {:?}->{:?}", e.from, e.to);
+        }
+    }
+
+    /// Volume accounting: total input of all stages equals DFS input plus
+    /// total edge traffic (for shuffle-only DAGs).
+    #[test]
+    fn stage_volume_conservation(dag in layered_dag()) {
+        let total_in: f64 = dag
+            .stage_ids()
+            .map(|s| dag.stage_total_input(s).0)
+            .sum();
+        let dfs: f64 = dag.stage_ids().map(|s| dag.stage(s).dfs_input.0).sum();
+        let edges: f64 = dag.edges.iter().map(|e| e.bytes.0).sum();
+        prop_assert!((total_in - dfs - edges).abs() < 1e-6 * (total_in.max(1.0)));
+    }
+}

@@ -1,0 +1,84 @@
+//! Pluggable bandwidth allocation policies.
+//!
+//! The fabric calls the active [`RateAllocator`] whenever the flow set or
+//! link capacities change; the allocator assigns every active flow an
+//! instantaneous rate. Two policies are provided, matching the paper's
+//! simulation study (§6.6):
+//!
+//! * [`FairShare`] — per-flow max-min fairness (the TCP stand-in);
+//! * [`VarysSebf`] — Varys' coflow scheduling (SEBF + MADD + backfill),
+//!   re-exported from [`crate::varys`].
+
+use crate::flow::CoflowId;
+use crate::link::{Link, LinkId};
+use crate::maxmin;
+pub use crate::varys::VarysSebf;
+use corral_model::{Bandwidth, Bytes};
+
+/// A read-only view of one active flow handed to the allocator.
+#[derive(Debug, Clone, Copy)]
+pub struct FlowView<'a> {
+    /// Links the flow traverses (never empty: the fabric handles
+    /// machine-local flows itself).
+    pub path: &'a [LinkId],
+    /// Bytes still to transfer.
+    pub remaining: Bytes,
+    /// Coflow membership, if any.
+    pub coflow: Option<CoflowId>,
+}
+
+/// A bandwidth allocation policy.
+pub trait RateAllocator: Send {
+    /// Human-readable policy name (used in experiment output).
+    fn name(&self) -> &'static str;
+
+    /// Assigns a rate to every flow. `links` carries effective capacities
+    /// (background traffic already subtracted via
+    /// [`Link::effective_capacity`]); `rates` has one slot per flow and is
+    /// fully overwritten.
+    fn allocate(&mut self, links: &[Link], flows: &[FlowView<'_>], rates: &mut [Bandwidth]);
+}
+
+/// Max-min fair sharing: the fluid proxy for long-lived TCP with ideal
+/// congestion control.
+#[derive(Debug, Default, Clone)]
+pub struct FairShare;
+
+impl RateAllocator for FairShare {
+    fn name(&self) -> &'static str {
+        "tcp-fair"
+    }
+
+    fn allocate(&mut self, links: &[Link], flows: &[FlowView<'_>], rates: &mut [Bandwidth]) {
+        let caps: Vec<f64> = links.iter().map(|l| l.effective_capacity().0).collect();
+        let paths: Vec<&[LinkId]> = flows.iter().map(|f| f.path).collect();
+        let mut raw = vec![0.0; flows.len()];
+        maxmin::max_min_rates_into(&caps, &paths, &mut raw);
+        for (r, raw) in rates.iter_mut().zip(raw) {
+            *r = Bandwidth(raw);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkClass;
+
+    #[test]
+    fn fair_share_respects_background() {
+        let mut uplink = Link::new(LinkClass::RackUp, 0, Bandwidth(100.0));
+        uplink.background = Bandwidth(60.0);
+        let links = vec![uplink];
+        let path = [LinkId(0)];
+        let flows = [
+            FlowView { path: &path, remaining: Bytes(1000.0), coflow: None },
+            FlowView { path: &path, remaining: Bytes(1000.0), coflow: None },
+        ];
+        let mut rates = [Bandwidth::ZERO; 2];
+        FairShare.allocate(&links, &flows, &mut rates);
+        // 40 available, split two ways.
+        assert!((rates[0].0 - 20.0).abs() < 1e-6);
+        assert!((rates[1].0 - 20.0).abs() < 1e-6);
+    }
+}

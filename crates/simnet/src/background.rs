@@ -1,0 +1,140 @@
+//! Background (non-job) traffic models.
+//!
+//! Production clusters lose a large fraction of core bandwidth to background
+//! transfers — "up to 50% of the cross-rack bandwidth" (§1, citing Sinbad).
+//! The paper's testbed emulates this (§6.1) and Figure 12 sweeps the
+//! per-rack background load over 30/35/40 Gbps of the 60 Gbps uplinks.
+//!
+//! We model background traffic as a capacity reservation on rack core links
+//! rather than as explicit flows: an amount `b(t)` is subtracted from each
+//! rack up/downlink before job flows are allocated. Two temporal shapes are
+//! provided:
+//!
+//! * [`BackgroundModel::Constant`] — a fixed reservation (Fig. 12 style);
+//! * [`BackgroundModel::OnOff`] — a seeded square wave alternating between
+//!   a high and a low reservation, introducing temporal variability while
+//!   remaining fully deterministic.
+//!
+//! The cluster engine samples the model at its change points and pushes the
+//! reservation into the fabric via [`crate::Fabric::set_rack_background`].
+
+use corral_model::{Bandwidth, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A deterministic background-traffic generator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum BackgroundModel {
+    /// No background traffic.
+    None,
+    /// Every rack core link permanently loses `per_rack` of capacity.
+    Constant {
+        /// Reservation applied to each rack uplink and downlink.
+        per_rack: Bandwidth,
+    },
+    /// Square wave: each rack independently alternates between `high` and
+    /// `low` reservations with exponentially distributed dwell times of the
+    /// given mean, from a per-rack seeded RNG.
+    OnOff {
+        /// Reservation while "on".
+        high: Bandwidth,
+        /// Reservation while "off".
+        low: Bandwidth,
+        /// Mean dwell time in each state.
+        mean_dwell: SimTime,
+        /// RNG seed (combined with the rack index).
+        seed: u64,
+    },
+}
+
+impl BackgroundModel {
+    /// The constant-equivalent load (used by planners that need a single
+    /// number, e.g. for latency estimation).
+    pub fn mean_load(&self) -> Bandwidth {
+        match self {
+            BackgroundModel::None => Bandwidth::ZERO,
+            BackgroundModel::Constant { per_rack } => *per_rack,
+            BackgroundModel::OnOff { high, low, .. } => (*high + *low) / 2.0,
+        }
+    }
+
+    /// Generates the piecewise-constant reservation schedule for one rack up
+    /// to `horizon`: a list of `(time, reservation)` change points starting
+    /// at time zero. Constant models produce a single entry.
+    pub fn schedule_for_rack(&self, rack: usize, horizon: SimTime) -> Vec<(SimTime, Bandwidth)> {
+        match self {
+            BackgroundModel::None => vec![(SimTime::ZERO, Bandwidth::ZERO)],
+            BackgroundModel::Constant { per_rack } => vec![(SimTime::ZERO, *per_rack)],
+            BackgroundModel::OnOff {
+                high,
+                low,
+                mean_dwell,
+                seed,
+            } => {
+                let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E3779B97F4A7C15)
+                    ^ (rack as u64).wrapping_mul(0xD1B54A32D192ED03));
+                let mut t = SimTime::ZERO;
+                let mut on = rng.gen_bool(0.5);
+                let mut out = Vec::new();
+                while t < horizon {
+                    out.push((t, if on { *high } else { *low }));
+                    // Exponential dwell via inverse transform.
+                    let u: f64 = rng.gen_range(1e-12..1.0);
+                    t += *mean_dwell * (-u.ln());
+                    on = !on;
+                }
+                out
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_schedule() {
+        let m = BackgroundModel::Constant {
+            per_rack: Bandwidth::gbps(30.0),
+        };
+        let s = m.schedule_for_rack(3, SimTime::hours(1.0));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].0, SimTime::ZERO);
+        assert_eq!(s[0].1, Bandwidth::gbps(30.0));
+        assert_eq!(m.mean_load(), Bandwidth::gbps(30.0));
+    }
+
+    #[test]
+    fn onoff_is_deterministic_and_alternates() {
+        let m = BackgroundModel::OnOff {
+            high: Bandwidth::gbps(40.0),
+            low: Bandwidth::gbps(10.0),
+            mean_dwell: SimTime::secs(60.0),
+            seed: 42,
+        };
+        let a = m.schedule_for_rack(0, SimTime::hours(1.0));
+        let b = m.schedule_for_rack(0, SimTime::hours(1.0));
+        assert_eq!(a, b, "same seed+rack must give the same schedule");
+        assert!(a.len() > 5, "an hour should hold many ~60s dwells");
+        for w in a.windows(2) {
+            assert!(w[1].0 > w[0].0, "change points must increase");
+            assert_ne!(w[1].1, w[0].1, "states must alternate");
+        }
+        // Different racks see different schedules.
+        let c = m.schedule_for_rack(1, SimTime::hours(1.0));
+        assert_ne!(a, c);
+        assert!((m.mean_load().as_gbps() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn none_is_zero() {
+        let m = BackgroundModel::None;
+        assert_eq!(m.mean_load(), Bandwidth::ZERO);
+        assert_eq!(
+            m.schedule_for_rack(0, SimTime::hours(1.0)),
+            vec![(SimTime::ZERO, Bandwidth::ZERO)]
+        );
+    }
+}

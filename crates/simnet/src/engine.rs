@@ -1,0 +1,198 @@
+//! Deterministic discrete-event kernel.
+//!
+//! A minimal priority-queue scheduler: events are `(time, payload)` pairs;
+//! equal-time events fire in insertion order (a strictly monotone sequence
+//! number breaks ties), which is what makes whole-simulation runs
+//! reproducible bit-for-bit. The payload type is generic so higher layers
+//! (the cluster engine) define their own event enums.
+
+use corral_model::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An entry in the event queue.
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the *earliest* event is popped
+        // first, breaking ties by insertion sequence.
+        other
+            .time
+            .total_cmp(self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic future-event list.
+///
+/// ```
+/// use corral_simnet::EventQueue;
+/// use corral_model::SimTime;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::secs(2.0), "b");
+/// q.schedule(SimTime::secs(1.0), "a");
+/// q.schedule(SimTime::secs(2.0), "c"); // same time as "b": insertion order
+/// assert_eq!(q.pop().unwrap(), (SimTime::secs(1.0), "a"));
+/// assert_eq!(q.pop().unwrap(), (SimTime::secs(2.0), "b"));
+/// assert_eq!(q.pop().unwrap(), (SimTime::secs(2.0), "c"));
+/// assert!(q.pop().is_none());
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The current simulation time: the timestamp of the last popped event
+    /// (zero before any event fires).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `payload` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is NaN or earlier than the current time (scheduling
+    /// into the past is always a simulator bug).
+    pub fn schedule(&mut self, at: SimTime, payload: E) {
+        assert!(!at.0.is_nan(), "scheduled event at NaN time");
+        assert!(
+            at.0 >= self.now.0,
+            "scheduled event in the past: {} < {}",
+            at,
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry {
+            time: at,
+            seq,
+            payload,
+        });
+    }
+
+    /// Schedules `payload` `delay` after the current time.
+    pub fn schedule_after(&mut self, delay: SimTime, payload: E) {
+        let at = self.now + delay;
+        self.schedule(at, payload);
+    }
+
+    /// Timestamp of the next event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Removes and returns the next event, advancing the clock to its time.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let e = self.heap.pop()?;
+        debug_assert!(e.time.0 >= self.now.0);
+        self.now = e.time;
+        Some((e.time, e.payload))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(5.0), 5);
+        q.schedule(SimTime(1.0), 1);
+        q.schedule(SimTime(3.0), 3);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn equal_times_fire_in_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(SimTime(1.0), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(2.0), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime(2.0));
+        // schedule_after is relative to the advanced clock.
+        q.schedule_after(SimTime(1.5), ());
+        assert_eq!(q.peek_time(), Some(SimTime(3.5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(2.0), ());
+        q.pop();
+        q.schedule(SimTime(1.0), ());
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_time_panics() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.schedule(SimTime(f64::NAN), ());
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(SimTime(1.0), ());
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,649 @@
+//! The network fabric: flow lifecycle, event-driven advancement, accounting.
+//!
+//! [`Fabric`] is co-simulated with the cluster engine: the engine starts
+//! flows as tasks need data, asks the fabric for the time of the next flow
+//! completion, and advances the fabric clock alongside its own event queue.
+//! Between flow-set/capacity changes the fluid system evolves linearly, so
+//! "advance" moves exact byte amounts and completions are computed in
+//! closed form.
+
+use crate::allocator::{FlowView, RateAllocator};
+use crate::flow::{FlowSpec, FlowState, FlowTag};
+use crate::link::LinkId;
+use crate::stats::FabricStats;
+use crate::topology::Topology;
+use corral_model::{Bandwidth, Bytes, ClusterConfig, FlowId, RackId, SimTime};
+
+/// A finished flow, reported by [`Fabric::advance_to`].
+#[derive(Debug, Clone, Copy)]
+pub struct CompletedFlow {
+    /// The flow's id.
+    pub id: FlowId,
+    /// Its tracing tag.
+    pub tag: FlowTag,
+    /// Total bytes it carried.
+    pub bytes: Bytes,
+    /// Completion time.
+    pub finished: SimTime,
+}
+
+/// Flow-level network simulator for one cluster fabric.
+pub struct Fabric {
+    topo: Topology,
+    allocator: Box<dyn RateAllocator>,
+    /// Flow table indexed by `FlowId`; completed/cancelled slots are `None`.
+    flows: Vec<Option<FlowState>>,
+    /// Active flow ids, ascending (ids are allocated monotonically).
+    active: Vec<FlowId>,
+    now: SimTime,
+    /// Set when the flow set or link capacities changed since the last rate
+    /// computation.
+    dirty: bool,
+    next_completion: SimTime,
+    stats: FabricStats,
+    /// Rate granted to machine-local (empty-path) transfers.
+    local_rate: Bandwidth,
+    /// Optional utilization sampling: bucket width and per-bucket core
+    /// bytes (cross-rack traffic, counted once per flow).
+    sampling: Option<(f64, Vec<f64>)>,
+}
+
+impl Fabric {
+    /// Builds a fabric for `cfg` with the given allocation policy.
+    pub fn new(cfg: ClusterConfig, allocator: Box<dyn RateAllocator>) -> Self {
+        let local_rate = cfg.nic_bandwidth * 2.0; // loopback: faster than NIC
+        Fabric {
+            topo: Topology::new(cfg),
+            allocator,
+            flows: Vec::new(),
+            active: Vec::new(),
+            now: SimTime::ZERO,
+            dirty: false,
+            next_completion: SimTime::INFINITY,
+            stats: FabricStats::default(),
+            local_rate,
+            sampling: None,
+        }
+    }
+
+    /// Enables per-bucket sampling of cross-rack (core) traffic; see
+    /// [`Fabric::core_utilization_series`].
+    pub fn enable_utilization_sampling(&mut self, bucket: SimTime) {
+        assert!(bucket.0 > 0.0, "bucket must be positive");
+        self.sampling = Some((bucket.0, Vec::new()));
+    }
+
+    /// The sampled core-utilization time series: `(bucket_start_s,
+    /// fraction_of_aggregate_uplink_capacity)`. Empty unless
+    /// [`Fabric::enable_utilization_sampling`] was called.
+    pub fn core_utilization_series(&self) -> Vec<(f64, f64)> {
+        let Some((bucket, ref bytes)) = self.sampling else {
+            return Vec::new();
+        };
+        let cfg = self.topo.config();
+        let cap = cfg.rack_core_bandwidth().0 * cfg.racks as f64 * bucket;
+        bytes
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| (i as f64 * bucket, b / cap))
+            .collect()
+    }
+
+    /// The topology the fabric runs on.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Current fabric clock.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Traffic accounting so far.
+    pub fn stats(&self) -> &FabricStats {
+        &self.stats
+    }
+
+    /// Time-averaged utilization (carried bytes / capacity·elapsed) of each
+    /// link class, as fractions in [0, 1]: `(machine links, rack core
+    /// links)`. Returns zeros before any time has passed.
+    pub fn class_utilization(&self) -> (f64, f64) {
+        let elapsed = self.now.as_secs();
+        if elapsed <= 0.0 {
+            return (0.0, 0.0);
+        }
+        let mut edge_carried = 0.0;
+        let mut edge_cap = 0.0;
+        let mut core_carried = 0.0;
+        let mut core_cap = 0.0;
+        for l in self.topo.links() {
+            if l.class.is_core() {
+                core_carried += l.carried.0;
+                core_cap += l.capacity.0;
+            } else {
+                edge_carried += l.carried.0;
+                edge_cap += l.capacity.0;
+            }
+        }
+        (
+            edge_carried / (edge_cap * elapsed),
+            core_carried / (core_cap * elapsed),
+        )
+    }
+
+    /// Bytes carried so far by one directed link (utilization drill-down).
+    pub fn link_carried(&self, link: LinkId) -> Bytes {
+        self.topo.links()[link.index()].carried
+    }
+
+    /// The active allocation policy's name.
+    pub fn allocator_name(&self) -> &'static str {
+        self.allocator.name()
+    }
+
+    /// Number of in-flight flows.
+    pub fn active_flow_count(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Remaining bytes of a flow, or `None` if it already finished.
+    pub fn flow_remaining(&self, id: FlowId) -> Option<Bytes> {
+        self.flows
+            .get(id.index())
+            .and_then(|f| f.as_ref())
+            .map(|f| f.remaining)
+    }
+
+    /// Starts an *ingress* flow: data arriving from outside the cluster
+    /// (front-end upload feeds, a remote storage tier — §2 of the paper).
+    /// The flow consumes only the destination-side links (the rack
+    /// downlink and the destination NIC); the external source is assumed
+    /// unconstrained. Ingress traffic is accounted separately
+    /// ([`FabricStats::ingest_bytes`]) and does not count as cross-rack job
+    /// traffic.
+    pub fn start_ingress_flow(
+        &mut self,
+        dst: corral_model::MachineId,
+        bytes: Bytes,
+        tag: FlowTag,
+        coflow: Option<crate::flow::CoflowId>,
+    ) -> FlowId {
+        let mut path = crate::topology::Path::new();
+        path.push(self.topo.rack_down(self.topo.config().rack_of(dst)));
+        path.push(self.topo.machine_down(dst));
+        let id = FlowId(self.flows.len() as u64);
+        self.flows.push(Some(FlowState {
+            spec: FlowSpec {
+                src: dst, // nominal; the source is external
+                dst,
+                bytes,
+                tag,
+                coflow,
+            },
+            path,
+            remaining: bytes.clamp_non_negative(),
+            rate: Bandwidth::ZERO,
+            cross_rack: false,
+        }));
+        self.active.push(id);
+        self.stats.flows_started += 1;
+        self.dirty = true;
+        id
+    }
+
+    /// Starts a flow; returns its id. Zero-byte flows are legal and complete
+    /// at the next `advance_to` call.
+    pub fn start_flow(&mut self, spec: FlowSpec) -> FlowId {
+        debug_assert!(spec.bytes.0 >= 0.0, "negative flow size");
+        let path = self.topo.path(spec.src, spec.dst);
+        let cross_rack = self.topo.crosses_core(spec.src, spec.dst);
+        let id = FlowId(self.flows.len() as u64);
+        self.flows.push(Some(FlowState {
+            spec,
+            path,
+            remaining: spec.bytes.clamp_non_negative(),
+            rate: Bandwidth::ZERO,
+            cross_rack,
+        }));
+        self.active.push(id);
+        self.stats.flows_started += 1;
+        self.dirty = true;
+        id
+    }
+
+    /// Cancels an in-flight flow (no completion is reported). Cancelling a
+    /// flow that already finished is a no-op.
+    pub fn cancel_flow(&mut self, id: FlowId) {
+        if let Some(slot) = self.flows.get_mut(id.index()) {
+            if slot.take().is_some() {
+                if let Ok(pos) = self.active.binary_search(&id) {
+                    self.active.remove(pos);
+                }
+                self.dirty = true;
+            }
+        }
+    }
+
+    /// Sets the background reservation on one directed link.
+    pub fn set_background(&mut self, link: LinkId, bw: Bandwidth) {
+        self.topo.links_mut()[link.index()].background = bw;
+        self.dirty = true;
+    }
+
+    /// Sets the background reservation on both core links of `rack`.
+    pub fn set_rack_background(&mut self, rack: RackId, bw: Bandwidth) {
+        let up = self.topo.rack_up(rack);
+        let down = self.topo.rack_down(rack);
+        self.set_background(up, bw);
+        self.set_background(down, bw);
+    }
+
+    /// Time of the next flow completion, if any flow will ever complete
+    /// under current rates.
+    pub fn next_completion(&mut self) -> Option<SimTime> {
+        if self.dirty {
+            self.recompute();
+        }
+        self.next_completion.is_finite().then_some(self.next_completion)
+    }
+
+    /// Advances the fabric clock to `t`, transferring bytes and collecting
+    /// every flow that completes at or before `t` (in completion order).
+    ///
+    /// # Panics
+    /// Panics if `t` is earlier than the current fabric time.
+    pub fn advance_to(&mut self, t: SimTime) -> Vec<CompletedFlow> {
+        assert!(
+            t.0 >= self.now.0 - 1e-9,
+            "fabric cannot move backwards: {} < {}",
+            t,
+            self.now
+        );
+        let t = t.max(self.now);
+        let mut completed = Vec::new();
+        loop {
+            if self.dirty {
+                self.recompute();
+            }
+            if self.next_completion.0 <= t.0 {
+                let tc = self.next_completion.max(self.now);
+                self.move_bytes(tc - self.now);
+                self.now = tc;
+                self.harvest_completions(&mut completed);
+            } else {
+                self.move_bytes(t - self.now);
+                self.now = t;
+                break;
+            }
+        }
+        completed
+    }
+
+    /// Runs the fabric until every active flow with a positive rate has
+    /// completed; returns all completions. Flows pinned at rate zero (fully
+    /// backgrounded links) are left in place.
+    pub fn drain(&mut self) -> Vec<CompletedFlow> {
+        let mut out = Vec::new();
+        while let Some(tc) = self.next_completion() {
+            out.extend(self.advance_to(tc));
+        }
+        out
+    }
+
+    // -- internals ----------------------------------------------------------
+
+    /// Recomputes flow rates via the allocator and caches the next
+    /// completion time.
+    fn recompute(&mut self) {
+        self.dirty = false;
+
+        // Partition into network flows (allocator's problem) and local flows.
+        let mut views: Vec<FlowView<'_>> = Vec::with_capacity(self.active.len());
+        let mut view_ids: Vec<FlowId> = Vec::with_capacity(self.active.len());
+        for &id in &self.active {
+            let f = self.flows[id.index()].as_ref().expect("active flow missing");
+            if f.path.is_empty() {
+                continue;
+            }
+            views.push(FlowView {
+                path: f.path.as_slice(),
+                remaining: f.remaining,
+                coflow: f.spec.coflow,
+            });
+            view_ids.push(id);
+        }
+        let mut rates = vec![Bandwidth::ZERO; views.len()];
+        self.allocator
+            .allocate(self.topo.links(), &views, &mut rates);
+
+        for (&id, &rate) in view_ids.iter().zip(rates.iter()) {
+            self.flows[id.index()].as_mut().unwrap().rate = rate;
+        }
+        let local_rate = self.local_rate;
+        for &id in &self.active {
+            let f = self.flows[id.index()].as_mut().unwrap();
+            if f.path.is_empty() {
+                f.rate = local_rate;
+            }
+        }
+
+        // Next completion.
+        let mut next = SimTime::INFINITY;
+        for &id in &self.active {
+            let f = self.flows[id.index()].as_ref().unwrap();
+            let tc = if f.remaining.is_negligible() {
+                self.now
+            } else if f.rate.is_negligible() {
+                SimTime::INFINITY
+            } else {
+                self.now + f.remaining / f.rate
+            };
+            next = next.min(tc);
+        }
+        self.next_completion = next;
+    }
+
+    /// Transfers `dt` worth of bytes on every active flow and accounts them.
+    fn move_bytes(&mut self, dt: SimTime) {
+        if dt.0 <= 0.0 {
+            return;
+        }
+        for &id in &self.active {
+            let f = self.flows[id.index()].as_mut().unwrap();
+            let delta = (f.rate * dt).min(f.remaining);
+            if delta.0 <= 0.0 {
+                continue;
+            }
+            f.remaining = (f.remaining - delta).clamp_non_negative();
+            let local = f.path.is_empty();
+            let cross = f.cross_rack;
+            let job = f.spec.tag.job;
+            let ingest = f.spec.tag.kind == crate::flow::FlowKind::Ingest;
+            // Link byte accounting (per directed link).
+            for l in f.path.as_slice() {
+                self.topo.links_mut()[l.index()].carried += delta;
+            }
+            if ingest {
+                self.stats.record_ingest(delta);
+            } else {
+                self.stats.record_transfer(job, delta, cross, local);
+            }
+            if cross && !ingest {
+                if let Some((bucket, ref mut series)) = self.sampling {
+                    // Spread the transferred bytes across every bucket the
+                    // interval [now, now + dt) overlaps.
+                    let t0 = self.now.0;
+                    let t1 = t0 + dt.0;
+                    let first = (t0 / bucket) as usize;
+                    let last = (t1 / bucket) as usize;
+                    if series.len() <= last {
+                        series.resize(last + 1, 0.0);
+                    }
+                    for b in first..=last {
+                        let lo = (b as f64 * bucket).max(t0);
+                        let hi = ((b + 1) as f64 * bucket).min(t1);
+                        if hi > lo {
+                            series[b] += delta.0 * (hi - lo) / dt.0;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Removes flows whose remaining volume is negligible, reporting them as
+    /// completed at the current time.
+    fn harvest_completions(&mut self, out: &mut Vec<CompletedFlow>) {
+        let now = self.now;
+        let mut any = false;
+        let mut i = 0;
+        while i < self.active.len() {
+            let id = self.active[i];
+            let done = {
+                let f = self.flows[id.index()].as_ref().unwrap();
+                f.remaining.is_negligible()
+            };
+            if done {
+                let f = self.flows[id.index()].take().unwrap();
+                self.active.remove(i);
+                self.stats.flows_completed += 1;
+                out.push(CompletedFlow {
+                    id,
+                    tag: f.spec.tag,
+                    bytes: f.spec.bytes,
+                    finished: now,
+                });
+                any = true;
+            } else {
+                i += 1;
+            }
+        }
+        if !any {
+            // We were called because next_completion fired, yet no flow hit
+            // zero — pure floating point drift. Force-complete the closest
+            // flow to guarantee progress.
+            if let Some((pos, &id)) = self
+                .active
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    let fa = self.flows[a.index()].as_ref().unwrap().remaining.0;
+                    let fb = self.flows[b.index()].as_ref().unwrap().remaining.0;
+                    fa.total_cmp(&fb)
+                })
+                .map(|(i, id)| (i, id))
+            {
+                let f = self.flows[id.index()].take().unwrap();
+                self.active.remove(pos);
+                self.stats.flows_completed += 1;
+                out.push(CompletedFlow {
+                    id,
+                    tag: f.spec.tag,
+                    bytes: f.spec.bytes,
+                    finished: now,
+                });
+            }
+        }
+        self.dirty = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocator::FairShare;
+    use crate::flow::{FlowKind, FlowTag};
+    use corral_model::MachineId;
+
+    fn fabric() -> Fabric {
+        // tiny_test: 3 racks x 4 machines, 10G NICs, 4:1 oversub
+        // => rack core links 10 Gbps (= 1.25 GB/s).
+        Fabric::new(ClusterConfig::tiny_test(), Box::new(FairShare))
+    }
+
+    fn spec(src: u32, dst: u32, gb: f64) -> FlowSpec {
+        FlowSpec {
+            src: MachineId(src),
+            dst: MachineId(dst),
+            bytes: Bytes::gb(gb),
+            tag: FlowTag::infrastructure(FlowKind::Shuffle),
+            coflow: None,
+        }
+    }
+
+    #[test]
+    fn single_intra_rack_flow_runs_at_nic_speed() {
+        let mut f = fabric();
+        f.start_flow(spec(0, 1, 1.25)); // 1.25 GB over 1.25 GB/s = 1 s
+        let done = f.advance_to(SimTime::secs(10.0));
+        assert_eq!(done.len(), 1);
+        assert!((done[0].finished.as_secs() - 1.0).abs() < 1e-6);
+        assert_eq!(f.active_flow_count(), 0);
+    }
+
+    #[test]
+    fn two_flows_share_a_nic() {
+        let mut f = fabric();
+        // Both flows leave machine 0: share its 1.25 GB/s uplink.
+        f.start_flow(spec(0, 1, 1.25));
+        f.start_flow(spec(0, 2, 1.25));
+        let done = f.advance_to(SimTime::secs(10.0));
+        assert_eq!(done.len(), 2);
+        assert!((done[0].finished.as_secs() - 2.0).abs() < 1e-6);
+        assert!((done[1].finished.as_secs() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cross_rack_flows_bottleneck_on_rack_uplink() {
+        let mut f = fabric();
+        // 4 flows from 4 distinct machines in rack 0 to 4 machines in rack 1.
+        // Each NIC could do 1.25 GB/s but the rack uplink is 1.25 GB/s total
+        // => each flow gets 0.3125 GB/s.
+        for i in 0..4 {
+            f.start_flow(spec(i, 4 + i, 0.3125));
+        }
+        let done = f.advance_to(SimTime::secs(10.0));
+        assert_eq!(done.len(), 4);
+        for c in &done {
+            assert!((c.finished.as_secs() - 1.0).abs() < 1e-6);
+        }
+        // All bytes crossed the core.
+        assert!((f.stats().cross_rack_bytes.as_gb() - 1.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn completion_frees_bandwidth_for_remaining_flows() {
+        let mut f = fabric();
+        // Two flows share machine 0's NIC; the short one finishes, then the
+        // long one speeds up. 1.25+2.5 GB total on a 1.25 GB/s link:
+        // short: 1.25 GB at 0.625 => 2 s. long: 1.25 GB by t=2 (0.625 rate),
+        // remaining 1.25 GB at full 1.25 GB/s => done at t=3.
+        f.start_flow(spec(0, 1, 1.25));
+        f.start_flow(spec(0, 2, 2.5));
+        let done = f.advance_to(SimTime::secs(10.0));
+        assert_eq!(done.len(), 2);
+        assert!((done[0].finished.as_secs() - 2.0).abs() < 1e-6);
+        assert!((done[1].finished.as_secs() - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn background_reduces_core_capacity() {
+        let mut f = fabric();
+        // Reserve 50% of rack 0's uplink.
+        f.set_rack_background(RackId(0), Bandwidth::gbps(5.0));
+        f.start_flow(spec(0, 4, 0.625)); // cross-rack, 0.625 GB
+        let done = f.advance_to(SimTime::secs(10.0));
+        // 5 Gbps left = 0.625 GB/s => 1 s.
+        assert!((done[0].finished.as_secs() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn machine_local_flow_completes_fast_and_counts_local() {
+        let mut f = fabric();
+        f.start_flow(spec(3, 3, 2.5)); // local: 2x NIC = 2.5 GB/s => 1 s
+        let done = f.advance_to(SimTime::secs(5.0));
+        assert_eq!(done.len(), 1);
+        assert!((done[0].finished.as_secs() - 1.0).abs() < 1e-6);
+        assert_eq!(f.stats().network_bytes, Bytes::ZERO);
+        assert!((f.stats().local_bytes.as_gb() - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_byte_flow_completes_immediately() {
+        let mut f = fabric();
+        f.start_flow(spec(0, 1, 0.0));
+        let done = f.advance_to(SimTime::secs(0.0));
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].finished, SimTime::ZERO);
+    }
+
+    #[test]
+    fn cancel_removes_flow_and_frees_bandwidth() {
+        let mut f = fabric();
+        let a = f.start_flow(spec(0, 1, 1.25));
+        f.start_flow(spec(0, 2, 1.25));
+        // Let them run 1 s at 0.625 GB/s each.
+        let done = f.advance_to(SimTime::secs(1.0));
+        assert!(done.is_empty());
+        f.cancel_flow(a);
+        // Flow b has 0.625 GB left, now at full rate: 0.5 s more.
+        let done = f.advance_to(SimTime::secs(10.0));
+        assert_eq!(done.len(), 1);
+        assert!((done[0].finished.as_secs() - 1.5).abs() < 1e-6);
+        // Cancelling again (or a finished flow) is a no-op.
+        f.cancel_flow(a);
+    }
+
+    #[test]
+    fn drain_finishes_everything() {
+        let mut f = fabric();
+        for i in 0..3 {
+            f.start_flow(spec(i, i + 4, 1.0));
+        }
+        let done = f.drain();
+        assert_eq!(done.len(), 3);
+        assert_eq!(f.active_flow_count(), 0);
+        assert!(f.next_completion().is_none());
+    }
+
+    #[test]
+    fn partial_advance_preserves_bytes() {
+        let mut f = fabric();
+        let id = f.start_flow(spec(0, 1, 1.25));
+        f.advance_to(SimTime::secs(0.5));
+        let rem = f.flow_remaining(id).unwrap();
+        assert!((rem.as_gb() - 0.625).abs() < 1e-6);
+    }
+
+    #[test]
+    fn class_utilization_tracks_core_usage() {
+        let mut f = fabric();
+        assert_eq!(f.class_utilization(), (0.0, 0.0));
+        // One cross-rack flow at full rack-uplink speed for 1 s.
+        f.start_flow(spec(0, 4, 1.25)); // rack uplink is 1.25 GB/s
+        f.drain();
+        let (edge, core) = f.class_utilization();
+        assert!(core > 0.0 && core <= 1.0, "core={core}");
+        assert!(edge > 0.0 && edge < core, "one of many NICs used: {edge} vs {core}");
+        // Drill-down: the uplink of rack 0 carried all 1.25 GB.
+        let up = f.topology().rack_up(RackId(0));
+        assert!((f.link_carried(up).as_gb() - 1.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn utilization_sampling_buckets_core_traffic() {
+        let mut f = fabric();
+        f.enable_utilization_sampling(SimTime::secs(0.5));
+        // One cross-rack flow saturating the 1.25 GB/s uplink for 1 s,
+        // then nothing.
+        f.start_flow(spec(0, 4, 1.25));
+        f.advance_to(SimTime::secs(2.0));
+        let series = f.core_utilization_series();
+        assert!(series.len() >= 2);
+        // Total capacity = 3 racks x 1.25 GB/s; one uplink saturated
+        // => 1/3 utilization during the first two buckets.
+        assert!((series[0].1 - 1.0 / 3.0).abs() < 0.02, "{series:?}");
+        assert!((series[1].1 - 1.0 / 3.0).abs() < 0.02);
+        // Intra-rack traffic does not count.
+        let mut g = fabric();
+        g.enable_utilization_sampling(SimTime::secs(0.5));
+        g.start_flow(spec(0, 1, 1.25));
+        g.drain();
+        assert!(g.core_utilization_series().iter().all(|&(_, u)| u == 0.0));
+    }
+
+    #[test]
+    fn deterministic_repeat() {
+        let run = || {
+            let mut f = fabric();
+            for i in 0..6 {
+                f.start_flow(spec(i % 4, 4 + (i % 8), 0.7 + i as f64 * 0.13));
+            }
+            f.drain()
+                .into_iter()
+                .map(|c| (c.id, c.finished.0.to_bits()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run(), "bit-identical completion traces");
+    }
+}

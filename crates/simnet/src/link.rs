@@ -1,0 +1,109 @@
+//! Directed link state.
+
+use corral_model::{Bandwidth, Bytes};
+use serde::{Deserialize, Serialize};
+
+/// Index of a directed link in the [`Topology`](crate::Topology) table.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct LinkId(pub u32);
+
+impl LinkId {
+    /// Raw table index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The role a directed link plays in the folded-CLOS fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LinkClass {
+    /// Machine NIC → top-of-rack switch (transmit direction).
+    MachineUp,
+    /// Top-of-rack switch → machine NIC (receive direction).
+    MachineDown,
+    /// Rack uplink: ToR → core (aggregated, oversubscribed).
+    RackUp,
+    /// Rack downlink: core → ToR (aggregated, oversubscribed).
+    RackDown,
+}
+
+impl LinkClass {
+    /// True for the two rack/core (oversubscribed) classes — traffic on
+    /// these links is by definition *cross-rack* traffic.
+    pub fn is_core(self) -> bool {
+        matches!(self, LinkClass::RackUp | LinkClass::RackDown)
+    }
+}
+
+/// A directed link: nominal capacity, a background-traffic reservation that
+/// reduces what job flows may use, and a carried-bytes accumulator for
+/// utilization statistics.
+#[derive(Debug, Clone)]
+pub struct Link {
+    /// Role in the fabric.
+    pub class: LinkClass,
+    /// Index of the machine (for NIC links) or rack (for core links) the
+    /// link belongs to.
+    pub owner: usize,
+    /// Nominal capacity.
+    pub capacity: Bandwidth,
+    /// Bandwidth currently consumed by background (non-job) traffic;
+    /// subtracted from `capacity` before allocating job flows.
+    pub background: Bandwidth,
+    /// Total bytes of job traffic carried so far.
+    pub carried: Bytes,
+}
+
+impl Link {
+    /// Creates an idle link.
+    pub fn new(class: LinkClass, owner: usize, capacity: Bandwidth) -> Self {
+        Link {
+            class,
+            owner,
+            capacity,
+            background: Bandwidth::ZERO,
+            carried: Bytes::ZERO,
+        }
+    }
+
+    /// Capacity available to job flows: nominal minus background, floored at
+    /// a tiny positive value so allocation never divides by zero (a fully
+    /// saturated link still drains, just arbitrarily slowly).
+    pub fn effective_capacity(&self) -> Bandwidth {
+        Bandwidth((self.capacity.0 - self.background.0).max(Self::MIN_CAPACITY))
+    }
+
+    /// Floor for effective capacity, in bytes/second.
+    pub const MIN_CAPACITY: f64 = 1.0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_capacity_subtracts_background() {
+        let mut l = Link::new(LinkClass::RackUp, 0, Bandwidth::gbps(60.0));
+        assert_eq!(l.effective_capacity(), l.capacity);
+        l.background = Bandwidth::gbps(30.0);
+        assert!((l.effective_capacity().as_gbps() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn effective_capacity_never_zero() {
+        let mut l = Link::new(LinkClass::RackUp, 0, Bandwidth::gbps(1.0));
+        l.background = Bandwidth::gbps(5.0); // over-reserved
+        assert!(l.effective_capacity().0 >= Link::MIN_CAPACITY);
+    }
+
+    #[test]
+    fn core_classification() {
+        assert!(LinkClass::RackUp.is_core());
+        assert!(LinkClass::RackDown.is_core());
+        assert!(!LinkClass::MachineUp.is_core());
+        assert!(!LinkClass::MachineDown.is_core());
+    }
+}

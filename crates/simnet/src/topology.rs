@@ -1,0 +1,268 @@
+//! Folded-CLOS topology: link table construction and path lookup.
+//!
+//! Link table layout (for `M` machines and `R` racks):
+//!
+//! ```text
+//! [0,        M)    MachineUp   (machine i transmit)
+//! [M,       2M)    MachineDown (machine i receive)
+//! [2M,    2M+R)    RackUp      (rack r to core)
+//! [2M+R, 2M+2R)    RackDown    (core to rack r)
+//! ```
+//!
+//! The core itself is non-blocking and carries no explicit links, matching
+//! the paper's model ("full bisection bandwidth within a rack and
+//! oversubscribed links from the racks to the core").
+
+use crate::link::{Link, LinkClass, LinkId};
+use corral_model::{ClusterConfig, MachineId, RackId};
+
+/// The static link table of a cluster fabric plus path computation.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    cfg: ClusterConfig,
+    links: Vec<Link>,
+}
+
+/// A flow's path: at most 4 directed links (empty for machine-local
+/// transfers, which bypass the network).
+pub type Path = arrayvec::ArrayVec4;
+
+/// Tiny fixed-capacity vector for link paths, avoiding a heap allocation per
+/// flow. (A hand-rolled 4-slot array; the workspace deliberately does not
+/// depend on the `arrayvec` crate.)
+pub mod arrayvec {
+    use crate::link::LinkId;
+
+    /// Up to four `LinkId`s, inline.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+    pub struct ArrayVec4 {
+        items: [LinkId; 4],
+        len: u8,
+    }
+
+    impl ArrayVec4 {
+        /// Empty path.
+        pub fn new() -> Self {
+            ArrayVec4 {
+                items: [LinkId(0); 4],
+                len: 0,
+            }
+        }
+
+        /// Appends a link.
+        ///
+        /// # Panics
+        /// Panics if the path already holds four links.
+        pub fn push(&mut self, l: LinkId) {
+            assert!(self.len < 4, "path longer than 4 links");
+            self.items[self.len as usize] = l;
+            self.len += 1;
+        }
+
+        /// The links as a slice.
+        pub fn as_slice(&self) -> &[LinkId] {
+            &self.items[..self.len as usize]
+        }
+
+        /// Number of links.
+        pub fn len(&self) -> usize {
+            self.len as usize
+        }
+
+        /// True if the path has no links (machine-local transfer).
+        pub fn is_empty(&self) -> bool {
+            self.len == 0
+        }
+    }
+
+    impl<'a> IntoIterator for &'a ArrayVec4 {
+        type Item = LinkId;
+        type IntoIter = std::iter::Copied<std::slice::Iter<'a, LinkId>>;
+        fn into_iter(self) -> Self::IntoIter {
+            self.as_slice().iter().copied()
+        }
+    }
+}
+
+impl Topology {
+    /// Builds the link table for `cfg`.
+    ///
+    /// # Panics
+    /// Panics if `cfg` fails [`ClusterConfig::validate`].
+    pub fn new(cfg: ClusterConfig) -> Self {
+        cfg.validate().expect("invalid cluster config");
+        let m = cfg.total_machines();
+        let r = cfg.racks;
+        let rack_bw = cfg.rack_core_bandwidth();
+        let mut links = Vec::with_capacity(2 * m + 2 * r);
+        for i in 0..m {
+            links.push(Link::new(LinkClass::MachineUp, i, cfg.nic_bandwidth));
+        }
+        for i in 0..m {
+            links.push(Link::new(LinkClass::MachineDown, i, cfg.nic_bandwidth));
+        }
+        for i in 0..r {
+            links.push(Link::new(LinkClass::RackUp, i, rack_bw));
+        }
+        for i in 0..r {
+            links.push(Link::new(LinkClass::RackDown, i, rack_bw));
+        }
+        Topology { cfg, links }
+    }
+
+    /// The cluster configuration the topology was built from.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// Immutable link table.
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// Mutable link table (used by the fabric for accounting and background
+    /// reservations).
+    pub fn links_mut(&mut self) -> &mut [Link] {
+        &mut self.links
+    }
+
+    /// Number of directed links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// The transmit link of machine `m`.
+    pub fn machine_up(&self, m: MachineId) -> LinkId {
+        LinkId(m.0)
+    }
+
+    /// The receive link of machine `m`.
+    pub fn machine_down(&self, m: MachineId) -> LinkId {
+        LinkId(self.cfg.total_machines() as u32 + m.0)
+    }
+
+    /// The core uplink of rack `r`.
+    pub fn rack_up(&self, r: RackId) -> LinkId {
+        LinkId(2 * self.cfg.total_machines() as u32 + r.0)
+    }
+
+    /// The core downlink of rack `r`.
+    pub fn rack_down(&self, r: RackId) -> LinkId {
+        LinkId(2 * self.cfg.total_machines() as u32 + self.cfg.racks as u32 + r.0)
+    }
+
+    /// The directed link path from machine `src` to machine `dst`:
+    /// empty (same machine), 2 links (same rack) or 4 links (cross rack).
+    pub fn path(&self, src: MachineId, dst: MachineId) -> Path {
+        let mut p = Path::new();
+        if src == dst {
+            return p;
+        }
+        let sr = self.cfg.rack_of(src);
+        let dr = self.cfg.rack_of(dst);
+        p.push(self.machine_up(src));
+        if sr != dr {
+            p.push(self.rack_up(sr));
+            p.push(self.rack_down(dr));
+        }
+        p.push(self.machine_down(dst));
+        p
+    }
+
+    /// True if the `src → dst` path crosses the core (different racks).
+    pub fn crosses_core(&self, src: MachineId, dst: MachineId) -> bool {
+        self.cfg.rack_of(src) != self.cfg.rack_of(dst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corral_model::Bandwidth;
+
+    fn topo() -> Topology {
+        Topology::new(ClusterConfig::tiny_test()) // 3 racks x 4 machines
+    }
+
+    #[test]
+    fn link_count_and_classes() {
+        let t = topo();
+        assert_eq!(t.link_count(), 2 * 12 + 2 * 3);
+        assert_eq!(t.links()[0].class, LinkClass::MachineUp);
+        assert_eq!(t.links()[12].class, LinkClass::MachineDown);
+        assert_eq!(t.links()[24].class, LinkClass::RackUp);
+        assert_eq!(t.links()[27].class, LinkClass::RackDown);
+    }
+
+    #[test]
+    fn rack_links_are_oversubscribed() {
+        let t = topo();
+        let up = &t.links()[t.rack_up(RackId(0)).index()];
+        // 4 machines x 10G / 4:1 oversub = 10 Gbps.
+        assert!((up.capacity.as_gbps() - 10.0).abs() < 1e-9);
+        let nic = &t.links()[t.machine_up(MachineId(0)).index()];
+        assert_eq!(nic.capacity, Bandwidth::gbps(10.0));
+    }
+
+    #[test]
+    fn same_machine_path_is_empty() {
+        let t = topo();
+        assert!(t.path(MachineId(5), MachineId(5)).is_empty());
+    }
+
+    #[test]
+    fn intra_rack_path_has_two_links() {
+        let t = topo();
+        let p = t.path(MachineId(0), MachineId(3)); // both rack 0
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.as_slice()[0], t.machine_up(MachineId(0)));
+        assert_eq!(p.as_slice()[1], t.machine_down(MachineId(3)));
+        assert!(!t.crosses_core(MachineId(0), MachineId(3)));
+    }
+
+    #[test]
+    fn cross_rack_path_has_four_links() {
+        let t = topo();
+        let p = t.path(MachineId(0), MachineId(11)); // rack 0 -> rack 2
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.as_slice()[1], t.rack_up(RackId(0)));
+        assert_eq!(p.as_slice()[2], t.rack_down(RackId(2)));
+        assert!(t.crosses_core(MachineId(0), MachineId(11)));
+    }
+
+    #[test]
+    fn link_ids_are_disjoint() {
+        let t = topo();
+        let mut seen = std::collections::HashSet::new();
+        for m in t.config().all_machines() {
+            assert!(seen.insert(t.machine_up(m)));
+            assert!(seen.insert(t.machine_down(m)));
+        }
+        for r in t.config().all_racks() {
+            assert!(seen.insert(t.rack_up(r)));
+            assert!(seen.insert(t.rack_down(r)));
+        }
+        assert_eq!(seen.len(), t.link_count());
+        assert!(seen.iter().all(|l| l.index() < t.link_count()));
+    }
+
+    #[test]
+    fn arrayvec_basics() {
+        let mut p = Path::new();
+        assert!(p.is_empty());
+        p.push(LinkId(1));
+        p.push(LinkId(2));
+        assert_eq!(p.len(), 2);
+        let collected: Vec<_> = (&p).into_iter().collect();
+        assert_eq!(collected, vec![LinkId(1), LinkId(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "path longer than 4")]
+    fn arrayvec_overflow_panics() {
+        let mut p = Path::new();
+        for i in 0..5 {
+            p.push(LinkId(i));
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Property tests for the fluid fabric: allocation invariants and
+//! end-to-end conservation.
+
+use corral_model::{Bandwidth, Bytes, ClusterConfig, MachineId};
+use corral_simnet::allocator::{FlowView, RateAllocator};
+use corral_simnet::maxmin::{link_loads, max_min_rates};
+use corral_simnet::{CoflowId, Fabric, FairShare, FlowKind, FlowSpec, FlowTag, LinkId, Topology, VarysSebf};
+use proptest::prelude::*;
+
+fn cfg() -> ClusterConfig {
+    ClusterConfig::tiny_test()
+}
+
+/// Strategy: a set of random flows on the tiny topology.
+fn flows(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<(u32, u32, f64, Option<u64>)>> {
+    proptest::collection::vec((0u32..12, 0u32..12, 1e3f64..1e10, proptest::option::of(0u64..5)), n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Max-min rates are always feasible and Pareto-bottlenecked.
+    #[test]
+    fn maxmin_feasible_and_bottlenecked(specs in flows(1..24)) {
+        let topo = Topology::new(cfg());
+        let caps: Vec<f64> = topo.links().iter().map(|l| l.effective_capacity().0).collect();
+        let paths_own: Vec<Vec<LinkId>> = specs
+            .iter()
+            .filter(|(s, d, _, _)| s != d)
+            .map(|(s, d, _, _)| topo.path(MachineId(*s), MachineId(*d)).as_slice().to_vec())
+            .collect();
+        prop_assume!(!paths_own.is_empty());
+        let paths: Vec<&[LinkId]> = paths_own.iter().map(|p| p.as_slice()).collect();
+        let rates = max_min_rates(&caps, &paths);
+        let loads = link_loads(caps.len(), &paths, &rates);
+        for (l, &load) in loads.iter().enumerate() {
+            prop_assert!(load <= caps[l] * (1.0 + 1e-6) + 1e-6, "link {l} overloaded");
+        }
+        // Every flow is capped by a saturated link it crosses.
+        for (f, p) in paths.iter().enumerate() {
+            let bottleneck = p.iter().any(|l| loads[l.index()] >= caps[l.index()] - 1e-6 * caps[l.index()].max(1.0));
+            prop_assert!(bottleneck, "flow {f} has headroom everywhere");
+        }
+    }
+
+    /// Varys allocations are feasible too, and never starve every flow.
+    #[test]
+    fn varys_feasible(specs in flows(1..24)) {
+        let topo = Topology::new(cfg());
+        let filtered: Vec<_> = specs.iter().filter(|(s, d, _, _)| s != d).collect();
+        prop_assume!(!filtered.is_empty());
+        let paths_own: Vec<Vec<LinkId>> = filtered
+            .iter()
+            .map(|(s, d, _, _)| topo.path(MachineId(*s), MachineId(*d)).as_slice().to_vec())
+            .collect();
+        let views: Vec<FlowView<'_>> = filtered
+            .iter()
+            .zip(&paths_own)
+            .map(|((_, _, bytes, cf), p)| FlowView {
+                path: p.as_slice(),
+                remaining: Bytes(*bytes),
+                coflow: cf.map(CoflowId),
+            })
+            .collect();
+        let mut rates = vec![Bandwidth::ZERO; views.len()];
+        VarysSebf.allocate(topo.links(), &views, &mut rates);
+
+        let caps: Vec<f64> = topo.links().iter().map(|l| l.effective_capacity().0).collect();
+        let mut loads = vec![0.0; caps.len()];
+        for (v, r) in views.iter().zip(&rates) {
+            for l in v.path {
+                loads[l.index()] += r.0;
+            }
+        }
+        for (l, &load) in loads.iter().enumerate() {
+            prop_assert!(load <= caps[l] * (1.0 + 1e-6) + 1e-6, "link {l} overloaded");
+        }
+        // Work conservation: at least one flow gets positive rate.
+        prop_assert!(rates.iter().any(|r| r.0 > 0.0));
+    }
+
+    /// End-to-end conservation: draining random flows transfers exactly
+    /// their byte volumes, and stats account for every byte.
+    #[test]
+    fn fabric_conserves_bytes(specs in flows(1..16)) {
+        let mut fabric = Fabric::new(cfg(), Box::new(FairShare));
+        let mut total = 0.0;
+        let mut n = 0;
+        for (s, d, bytes, cf) in &specs {
+            fabric.start_flow(FlowSpec {
+                src: MachineId(*s),
+                dst: MachineId(*d),
+                bytes: Bytes(*bytes),
+                tag: FlowTag::infrastructure(FlowKind::Shuffle),
+                coflow: cf.map(CoflowId),
+            });
+            total += bytes;
+            n += 1;
+        }
+        let done = fabric.drain();
+        prop_assert_eq!(done.len(), n);
+        let accounted = fabric.stats().network_bytes.0 + fabric.stats().local_bytes.0;
+        prop_assert!((accounted - total).abs() <= 1e-6 * total + n as f64,
+            "accounted {accounted} vs injected {total}");
+        // Completion times are non-decreasing.
+        for w in done.windows(2) {
+            prop_assert!(w[1].finished.0 >= w[0].finished.0 - 1e-9);
+        }
+    }
+
+    /// Determinism under the Varys allocator as well.
+    #[test]
+    fn varys_drain_deterministic(specs in flows(1..12)) {
+        let run = |specs: &[(u32, u32, f64, Option<u64>)]| {
+            let mut fabric = Fabric::new(cfg(), Box::new(VarysSebf));
+            for (s, d, bytes, cf) in specs {
+                fabric.start_flow(FlowSpec {
+                    src: MachineId(*s),
+                    dst: MachineId(*d),
+                    bytes: Bytes(*bytes),
+                    tag: FlowTag::infrastructure(FlowKind::Shuffle),
+                    coflow: cf.map(CoflowId),
+                });
+            }
+            fabric
+                .drain()
+                .into_iter()
+                .map(|c| (c.id, c.finished.0.to_bits()))
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(&specs), run(&specs));
+    }
+}

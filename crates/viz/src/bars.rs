@@ -1,0 +1,88 @@
+//! Grouped bar charts — the shape of Figs. 6, 7a, 7b, 9 and 12.
+
+use crate::chart::Frame;
+use crate::scale::Scale;
+use crate::svg::{Anchor, SvgDoc};
+use crate::PALETTE;
+
+/// Renders a grouped bar chart: one group per category, one bar per series.
+/// Values may be negative (the paper's reduction plots are); the zero line
+/// is drawn explicitly.
+pub fn grouped_bars(
+    frame: &Frame,
+    categories: &[String],
+    series: &[(String, Vec<f64>)],
+) -> String {
+    let mut doc = SvgDoc::new(frame.width, frame.height);
+    let (min, max) = series
+        .iter()
+        .flat_map(|(_, v)| v.iter().copied())
+        .fold((0.0_f64, 0.0_f64), |(lo, hi), v| (lo.min(v), hi.max(v)));
+    let pad = ((max - min).abs() * 0.1).max(1.0);
+    let y = Scale::linear((min - if min < 0.0 { pad } else { 0.0 }, max + pad), frame.y_range());
+    let x = Scale::linear((0.0, categories.len() as f64), frame.x_range());
+    frame.draw_axes(&mut doc, &x, &y);
+
+    let (x0, _, x1, _) = frame.plot_area();
+    let group_w = (x1 - x0) / categories.len().max(1) as f64;
+    let bar_w = group_w * 0.8 / series.len().max(1) as f64;
+    let zero = y.map(0.0);
+
+    let mut legend = Vec::new();
+    for (si, (label, values)) in series.iter().enumerate() {
+        let color = PALETTE[si % PALETTE.len()];
+        for (ci, &v) in values.iter().enumerate() {
+            let gx = x0 + ci as f64 * group_w + group_w * 0.1;
+            let bx = gx + si as f64 * bar_w;
+            let by = y.map(v);
+            let (top, h) = if v >= 0.0 { (by, zero - by) } else { (zero, by - zero) };
+            doc.rect(bx, top, bar_w * 0.92, h, color, None);
+        }
+        legend.push((label.clone(), color.to_string()));
+    }
+    // Zero line over the bars.
+    doc.line(x0, zero, x1, zero, "#222", 1.0);
+    // Category labels under the groups.
+    let (_, y0, _, _) = frame.plot_area();
+    for (ci, c) in categories.iter().enumerate() {
+        let cx = x0 + (ci as f64 + 0.5) * group_w;
+        doc.text(cx, y0 + 28.0, c, 10.5, Anchor::Middle, None);
+    }
+    frame.draw_legend(&mut doc, &legend);
+    doc.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_bars_per_category_and_series() {
+        let frame = Frame::new("Makespan reduction", "", "% vs yarn-cs");
+        let out = grouped_bars(
+            &frame,
+            &["W1".into(), "W2".into(), "W3".into()],
+            &[
+                ("corral".into(), vec![25.3, 5.3, 35.5]),
+                ("shufflewatcher".into(), vec![-38.7, -17.2, -11.3]),
+            ],
+        );
+        // 2 series x 3 categories = 6 bars + white background rect +
+        // legend swatches (2).
+        let bars = out.matches("<rect").count();
+        assert_eq!(bars, 1 + 6 + 2);
+        assert!(out.contains("W2"));
+        assert!(out.contains("shufflewatcher"));
+    }
+
+    #[test]
+    fn negative_values_hang_below_zero_line() {
+        let frame = Frame::new("t", "", "y");
+        let out = grouped_bars(
+            &frame,
+            &["a".into()],
+            &[("s".into(), vec![-10.0])],
+        );
+        assert!(out.contains("<rect"));
+    }
+}

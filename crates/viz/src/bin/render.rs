@@ -1,0 +1,372 @@
+//! `render` — turns the experiment harness's `results/*.csv` series into
+//! SVG figures (written next to the CSVs as `results/*.svg`).
+//!
+//! ```text
+//! cargo run --release -p corral-bench --bin repro -- all   # produce CSVs
+//! cargo run --release -p corral-viz   --bin render         # produce SVGs
+//! cargo run --release -p corral-viz   --bin render -- fig8 # subset
+//! ```
+//!
+//! Unknown or missing CSVs are skipped with a note, so `render` can run
+//! after any subset of experiments.
+
+use corral_viz::chart::Frame;
+use corral_viz::{cdf_chart, gantt_chart, grouped_bars, line_chart};
+use std::path::{Path, PathBuf};
+
+const SYSTEMS: [&str; 4] = ["yarn-cs", "corral", "localshuffle", "shufflewatcher"];
+
+fn main() {
+    let filter: Vec<String> = std::env::args().skip(1).collect();
+    let want = |id: &str| filter.is_empty() || filter.iter().any(|f| f == id || f == "all");
+    let dir = PathBuf::from("results");
+    let mut rendered = 0;
+
+    if want("fig1") {
+        rendered += render_fig1(&dir) as usize;
+    }
+    if want("fig2") {
+        rendered += render_fig2(&dir) as usize;
+    }
+    if want("fig5") {
+        rendered += render_simple_line(
+            &dir,
+            "fig5_planner_runtime",
+            "Fig 5: planner runtime (4000 machines)",
+            "jobs",
+            "seconds",
+        ) as usize;
+    }
+    if want("fig6") {
+        rendered += render_reduction_bars(
+            &dir,
+            "fig6_makespan",
+            "Fig 6: % reduction in makespan vs Yarn-CS (batch)",
+        ) as usize;
+    }
+    if want("fig7") {
+        rendered += render_reduction_bars(
+            &dir,
+            "fig7a_cross_rack",
+            "Fig 7a: % reduction in cross-rack data vs Yarn-CS",
+        ) as usize;
+        rendered += render_reduction_bars(
+            &dir,
+            "fig7b_compute_hours",
+            "Fig 7b: % reduction in compute hours vs Yarn-CS",
+        ) as usize;
+        rendered += render_system_cdf(
+            &dir,
+            "fig7c_reduce_time_cdf",
+            "Fig 7c: avg reduce time per job, W1 batch",
+            "avg reduce time (s)",
+            false,
+        ) as usize;
+    }
+    if want("fig8") {
+        for w in ["w1", "w2", "w3"] {
+            rendered += render_system_cdf(
+                &dir,
+                &format!("fig8_{w}_jct_cdf"),
+                &format!("Fig 8: completion time CDF, {} online", w.to_uppercase()),
+                "completion time (s)",
+                w == "w2",
+            ) as usize;
+        }
+    }
+    if want("fig9") {
+        rendered += render_fig9(&dir) as usize;
+    }
+    if want("fig10") {
+        rendered += render_system_cdf(
+            &dir,
+            "fig10_tpch_cdf",
+            "Fig 10: TPC-H query completion times",
+            "completion time (s)",
+            false,
+        ) as usize;
+    }
+    if want("fig11") {
+        rendered += render_fig11(&dir) as usize;
+    }
+    if want("fig12") {
+        rendered += render_fig12(&dir) as usize;
+    }
+    if want("fig13") {
+        rendered += render_simple_line(
+            &dir,
+            "fig13a_volume_error",
+            "Fig 13a: Corral gain vs data-size error",
+            "error (%)",
+            "makespan gain (%)",
+        ) as usize;
+        rendered += render_simple_line(
+            &dir,
+            "fig13b_arrival_error",
+            "Fig 13b: Corral gain vs perturbed arrivals",
+            "% of jobs delayed",
+            "avg-time gain (%)",
+        ) as usize;
+    }
+    if want("fig14") {
+        rendered += render_fig14(&dir) as usize;
+    }
+    if want("netseries") {
+        rendered += render_netseries(&dir) as usize;
+    }
+    if want("gantt") {
+        rendered += render_gantt(&dir) as usize;
+    }
+    eprintln!("rendered {rendered} figure(s) into {}", dir.display());
+}
+
+/// Reads a CSV of f64 columns (skipping the header); rows with non-numeric
+/// fields are dropped.
+fn read_csv(path: &Path) -> Option<Vec<Vec<f64>>> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let rows = text
+        .lines()
+        .skip(1)
+        .filter_map(|l| {
+            let vals: Result<Vec<f64>, _> = l.split(',').map(str::parse::<f64>).collect();
+            vals.ok()
+        })
+        .collect::<Vec<_>>();
+    (!rows.is_empty()).then_some(rows)
+}
+
+fn load(dir: &Path, stem: &str) -> Option<Vec<Vec<f64>>> {
+    let path = dir.join(format!("{stem}.csv"));
+    match read_csv(&path) {
+        Some(rows) => Some(rows),
+        None => {
+            eprintln!("skipping {stem}: no usable {}", path.display());
+            None
+        }
+    }
+}
+
+fn save(dir: &Path, stem: &str, svg: String) -> bool {
+    let path = dir.join(format!("{stem}.svg"));
+    match std::fs::write(&path, svg) {
+        Ok(()) => {
+            eprintln!("wrote {}", path.display());
+            true
+        }
+        Err(e) => {
+            eprintln!("failed writing {}: {e}", path.display());
+            false
+        }
+    }
+}
+
+/// `(x, y)` two-column CSVs → single-series line chart.
+fn render_simple_line(dir: &Path, stem: &str, title: &str, xl: &str, yl: &str) -> bool {
+    let Some(rows) = load(dir, stem) else { return false };
+    let pts: Vec<(f64, f64)> = rows.iter().map(|r| (r[0], r[1])).collect();
+    let frame = Frame::new(title, xl, yl);
+    save(dir, stem, line_chart(&frame, &[(yl.to_string(), pts)], false))
+}
+
+/// `workload_idx, yarn, corral, ls, sw` absolute values → reduction bars.
+fn render_reduction_bars(dir: &Path, stem: &str, title: &str) -> bool {
+    let Some(rows) = load(dir, stem) else { return false };
+    // fig6 has no leading index column; fig7a/b do. Detect by width.
+    let (names, base_col) = if rows[0].len() == 4 {
+        (vec!["W1".to_string(), "W2".into(), "W3".into()], 0)
+    } else {
+        (
+            rows.iter().map(|r| format!("W{}", r[0] as usize + 1)).collect(),
+            1,
+        )
+    };
+    let mut series: Vec<(String, Vec<f64>)> = SYSTEMS[1..]
+        .iter()
+        .map(|s| (s.to_string(), Vec::new()))
+        .collect();
+    for r in &rows {
+        let yarn = r[base_col];
+        for (si, s) in series.iter_mut().enumerate() {
+            let v = r[base_col + 1 + si];
+            s.1.push(if yarn.abs() < f64::EPSILON { 0.0 } else { (yarn - v) / yarn * 100.0 });
+        }
+    }
+    let frame = Frame::new(title, "", "% reduction vs yarn-cs");
+    save(dir, stem, grouped_bars(&frame, &names, &series))
+}
+
+/// `(system_idx, value, cum_fraction)` → per-system CDF.
+fn render_system_cdf(dir: &Path, stem: &str, title: &str, xl: &str, log_x: bool) -> bool {
+    let Some(rows) = load(dir, stem) else { return false };
+    let mut series: Vec<(String, Vec<f64>)> = Vec::new();
+    for r in &rows {
+        let idx = r[0] as usize;
+        while series.len() <= idx {
+            let name = SYSTEMS.get(series.len()).copied().unwrap_or("series");
+            series.push((name.to_string(), Vec::new()));
+        }
+        series[idx].1.push(r[1]);
+    }
+    let frame = Frame::new(title, xl, "cumulative fraction");
+    save(dir, stem, cdf_chart(&frame, &series, log_x))
+}
+
+fn render_fig1(dir: &Path) -> bool {
+    let Some(rows) = load(dir, "fig1_recurring_sizes") else { return false };
+    let n_jobs = rows[0].len() - 1;
+    let series: Vec<(String, Vec<(f64, f64)>)> = (0..n_jobs)
+        .map(|j| {
+            (
+                format!("job {}", j + 1),
+                rows.iter().map(|r| (r[0], r[j + 1])).collect(),
+            )
+        })
+        .collect();
+    let frame = Frame::new(
+        "Fig 1: recurring job input sizes over 10 days",
+        "day",
+        "input size (log10 GB)",
+    );
+    save(dir, "fig1_recurring_sizes", line_chart(&frame, &series, false))
+}
+
+fn render_fig2(dir: &Path) -> bool {
+    let Some(rows) = load(dir, "fig2_slots_cdf") else { return false };
+    // (cluster, slots, cum_fraction): plot cum vs log10(slots) as lines.
+    let mut series: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
+    for r in &rows {
+        let c = r[0] as usize;
+        while series.len() <= c {
+            series.push((format!("cluster-{}", (b'A' + series.len() as u8) as char), Vec::new()));
+        }
+        series[c].1.push((r[1].max(1.0).log10(), r[2]));
+    }
+    let frame = Frame::new(
+        "Fig 2: CDF of slots requested per job",
+        "slots (log10)",
+        "cumulative fraction",
+    );
+    save(dir, "fig2_slots_cdf", line_chart(&frame, &series, false))
+}
+
+fn render_fig9(dir: &Path) -> bool {
+    // (bin, yarn_s, corral_s, ls_s, sw_s) absolute means → reduction bars.
+    let Some(rows) = load(dir, "fig9_size_bins") else { return false };
+    let names = vec!["small".to_string(), "medium".into(), "large".into()];
+    let mut series: Vec<(String, Vec<f64>)> = SYSTEMS[1..]
+        .iter()
+        .map(|s| (s.to_string(), Vec::new()))
+        .collect();
+    for r in &rows {
+        let yarn = r[1];
+        for (si, s) in series.iter_mut().enumerate() {
+            let v = r[2 + si];
+            s.1.push(if yarn.abs() < f64::EPSILON { 0.0 } else { (yarn - v) / yarn * 100.0 });
+        }
+    }
+    let frame = Frame::new(
+        "Fig 9: avg completion-time reduction by job size, W1 online",
+        "",
+        "% reduction vs yarn-cs",
+    );
+    save(dir, "fig9_size_bins", grouped_bars(&frame, &names, &series))
+}
+
+fn render_fig11(dir: &Path) -> bool {
+    // (group_idx, system_idx, completion_s, cum_fraction):
+    // four curves — {recurring, adhoc} × {yarn-cs, corral}.
+    let Some(rows) = load(dir, "fig11_mix_cdf") else { return false };
+    let labels = [
+        "recurring / yarn-cs",
+        "recurring / corral",
+        "ad hoc / yarn-cs",
+        "ad hoc / corral",
+    ];
+    let mut series: Vec<(String, Vec<f64>)> = labels
+        .iter()
+        .map(|l| (l.to_string(), Vec::new()))
+        .collect();
+    for r in &rows {
+        let idx = (r[0] as usize * 2 + r[1] as usize).min(3);
+        series[idx].1.push(r[2]);
+    }
+    let frame = Frame::new(
+        "Fig 11: recurring + ad hoc mix, completion-time CDFs",
+        "completion time (s)",
+        "cumulative fraction",
+    );
+    save(dir, "fig11_mix_cdf", cdf_chart(&frame, &series, false))
+}
+
+fn render_fig12(dir: &Path) -> bool {
+    let Some(rows) = load(dir, "fig12_background_sweep") else { return false };
+    let batch: Vec<(f64, f64)> = rows.iter().map(|r| (r[0], r[1])).collect();
+    let online: Vec<(f64, f64)> = rows.iter().map(|r| (r[0], r[2])).collect();
+    let frame = Frame::new(
+        "Fig 12: Corral gains vs background traffic (W1)",
+        "background (Gbps of 60)",
+        "% reduction vs yarn-cs",
+    );
+    save(
+        dir,
+        "fig12_background_sweep",
+        line_chart(
+            &frame,
+            &[("makespan (batch)".into(), batch), ("avg jct (online)".into(), online)],
+            false,
+        ),
+    )
+}
+
+fn render_fig14(dir: &Path) -> bool {
+    let Some(rows) = load(dir, "fig14_large_sim_cdf") else { return false };
+    let labels = ["yarn-cs+tcp", "yarn-cs+varys", "corral+tcp", "corral+varys"];
+    let mut series: Vec<(String, Vec<f64>)> = labels
+        .iter()
+        .map(|l| (l.to_string(), Vec::new()))
+        .collect();
+    for r in &rows {
+        let idx = (r[0] as usize).min(series.len() - 1);
+        series[idx].1.push(r[1]);
+    }
+    let frame = Frame::new(
+        "Fig 14: 2000-machine sim, job x network schedulers",
+        "completion time (s)",
+        "cumulative fraction",
+    );
+    save(dir, "fig14_large_sim_cdf", cdf_chart(&frame, &series, true))
+}
+
+fn render_netseries(dir: &Path) -> bool {
+    let Some(rows) = load(dir, "netseries") else { return false };
+    let mut series: Vec<(String, Vec<(f64, f64)>)> = vec![
+        ("yarn-cs".into(), Vec::new()),
+        ("corral".into(), Vec::new()),
+    ];
+    for r in &rows {
+        let idx = (r[0] as usize).min(1);
+        series[idx].1.push((r[1], r[2]));
+    }
+    let frame = Frame::new(
+        "Core utilization over time, W1 online",
+        "time (s)",
+        "core utilization (%)",
+    );
+    save(dir, "netseries", line_chart(&frame, &series, false))
+}
+
+fn render_gantt(dir: &Path) -> bool {
+    let path = dir.join("timeline.csv");
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        eprintln!(
+            "skipping gantt: no {} (produce one with `corral-sim simulate --timeline ...`)",
+            path.display()
+        );
+        return false;
+    };
+    let tasks = corral_viz::gantt::parse_timeline_csv(&text);
+    let machines = tasks.iter().map(|t| t.machine + 1).max().unwrap_or(1);
+    let mut frame = Frame::new("Task timeline", "time (s)", "machine");
+    frame.height = 520.0;
+    save(dir, "timeline", gantt_chart(&frame, &tasks, machines, 30))
+}

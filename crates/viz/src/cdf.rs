@@ -1,0 +1,95 @@
+//! CDF (cumulative distribution) charts — the paper's Figs. 7c, 8, 10, 11
+//! and 14 are all of this shape.
+
+use crate::chart::Frame;
+use crate::scale::Scale;
+use crate::svg::SvgDoc;
+use crate::PALETTE;
+
+/// Renders a step-CDF chart. `series` holds `(label, samples)`; samples
+/// need not be sorted. `log_x` switches the value axis to log10 (the paper
+/// uses it when completion times span decades, e.g. Fig. 8b / Fig. 14).
+pub fn cdf_chart(frame: &Frame, series: &[(String, Vec<f64>)], log_x: bool) -> String {
+    let mut doc = SvgDoc::new(frame.width, frame.height);
+    let all_max = series
+        .iter()
+        .flat_map(|(_, v)| v.iter().copied())
+        .fold(0.0_f64, f64::max)
+        .max(1e-9);
+    let all_min_pos = series
+        .iter()
+        .flat_map(|(_, v)| v.iter().copied())
+        .filter(|&v| v > 0.0)
+        .fold(f64::INFINITY, f64::min);
+
+    let x = if log_x {
+        Scale::log10((all_min_pos.min(all_max), all_max), frame.x_range())
+    } else {
+        Scale::linear((0.0, all_max), frame.x_range())
+    };
+    let y = Scale::linear((0.0, 1.0), frame.y_range());
+    frame.draw_axes(&mut doc, &x, &y);
+
+    let mut legend = Vec::new();
+    for (i, (label, samples)) in series.iter().enumerate() {
+        let color = PALETTE[i % PALETTE.len()];
+        let mut v = samples.clone();
+        v.sort_by(f64::total_cmp);
+        if v.is_empty() {
+            continue;
+        }
+        let n = v.len() as f64;
+        // Step polyline: horizontal to the next sample, then up.
+        let mut pts = Vec::with_capacity(v.len() * 2 + 1);
+        let mut prev_frac = 0.0;
+        for (k, &val) in v.iter().enumerate() {
+            let frac = (k + 1) as f64 / n;
+            pts.push((x.map(val), y.map(prev_frac)));
+            pts.push((x.map(val), y.map(frac)));
+            prev_frac = frac;
+        }
+        pts.push((frame.x_range().1, y.map(1.0)));
+        doc.polyline(&pts, color, 1.8);
+        legend.push((label.clone(), color.to_string()));
+    }
+    frame.draw_legend(&mut doc, &legend);
+    doc.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_all_series() {
+        let frame = Frame::new("JCT CDF", "completion (s)", "cumulative fraction");
+        let out = cdf_chart(
+            &frame,
+            &[
+                ("yarn-cs".into(), vec![3.0, 1.0, 2.0]),
+                ("corral".into(), vec![0.5, 1.5]),
+            ],
+            false,
+        );
+        assert!(out.contains("yarn-cs") && out.contains("corral"));
+        assert_eq!(out.matches("<polyline").count(), 2);
+    }
+
+    #[test]
+    fn log_axis_accepts_wide_ranges() {
+        let frame = Frame::new("t", "x", "y");
+        let out = cdf_chart(
+            &frame,
+            &[("s".into(), vec![0.1, 10.0, 10_000.0])],
+            true,
+        );
+        assert!(out.contains("<polyline"));
+    }
+
+    #[test]
+    fn empty_series_is_skipped() {
+        let frame = Frame::new("t", "x", "y");
+        let out = cdf_chart(&frame, &[("empty".into(), vec![])], false);
+        assert!(!out.contains("<polyline"));
+    }
+}

@@ -1,0 +1,154 @@
+//! Shared chart frame: margins, axes, grid, legend.
+
+use crate::scale::Scale;
+use crate::svg::{Anchor, SvgDoc};
+
+/// Frame geometry and labels for a 2-D chart.
+#[derive(Debug, Clone)]
+pub struct Frame {
+    /// Total width in px.
+    pub width: f64,
+    /// Total height in px.
+    pub height: f64,
+    /// Margins: top, right, bottom, left.
+    pub margins: (f64, f64, f64, f64),
+    /// Chart title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+}
+
+impl Frame {
+    /// A standard 640×400 frame.
+    pub fn new(title: impl Into<String>, x_label: impl Into<String>, y_label: impl Into<String>) -> Self {
+        Frame {
+            width: 640.0,
+            height: 400.0,
+            margins: (36.0, 16.0, 48.0, 64.0),
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+        }
+    }
+
+    /// The plot area: (x0, y0, x1, y1) with y0 at the *bottom* in data
+    /// terms (larger pixel y).
+    pub fn plot_area(&self) -> (f64, f64, f64, f64) {
+        let (t, r, b, l) = self.margins;
+        (l, self.height - b, self.width - r, t)
+    }
+
+    /// X pixel range for scales.
+    pub fn x_range(&self) -> (f64, f64) {
+        let (x0, _, x1, _) = self.plot_area();
+        (x0, x1)
+    }
+
+    /// Y pixel range for scales (inverted: bottom to top).
+    pub fn y_range(&self) -> (f64, f64) {
+        let (_, y0, _, y1) = self.plot_area();
+        (y0, y1)
+    }
+
+    /// Draws title, axes lines, ticks, grid and labels into `doc`.
+    pub fn draw_axes(&self, doc: &mut SvgDoc, x: &Scale, y: &Scale) {
+        let (x0, y0, x1, y1) = self.plot_area();
+        // Title.
+        doc.text(
+            self.width / 2.0,
+            self.margins.0 * 0.6,
+            &self.title,
+            14.0,
+            Anchor::Middle,
+            None,
+        );
+        // Axis lines.
+        doc.line(x0, y0, x1, y0, "#222", 1.0);
+        doc.line(x0, y0, x0, y1, "#222", 1.0);
+        // X ticks.
+        for t in x.ticks(6) {
+            let px = x.map(t);
+            if px < x0 - 0.5 || px > x1 + 0.5 {
+                continue;
+            }
+            doc.line(px, y0, px, y0 + 4.0, "#222", 1.0);
+            doc.line(px, y0, px, y1, "#eee", 0.5);
+            doc.text(px, y0 + 16.0, &Scale::label(t), 10.0, Anchor::Middle, None);
+        }
+        // Y ticks.
+        for t in y.ticks(5) {
+            let py = y.map(t);
+            if py > y0 + 0.5 || py < y1 - 0.5 {
+                continue;
+            }
+            doc.line(x0 - 4.0, py, x0, py, "#222", 1.0);
+            doc.line(x0, py, x1, py, "#eee", 0.5);
+            doc.text(x0 - 7.0, py + 3.5, &Scale::label(t), 10.0, Anchor::End, None);
+        }
+        // Axis labels.
+        doc.text(
+            (x0 + x1) / 2.0,
+            y0 + 34.0,
+            &self.x_label,
+            11.0,
+            Anchor::Middle,
+            None,
+        );
+        doc.text(
+            x0 - 44.0,
+            (y0 + y1) / 2.0,
+            &self.y_label,
+            11.0,
+            Anchor::Middle,
+            Some(-90.0),
+        );
+    }
+
+    /// Draws a legend in the top-right of the plot area.
+    pub fn draw_legend(&self, doc: &mut SvgDoc, entries: &[(String, String)]) {
+        let (_, _, x1, y1) = self.plot_area();
+        let mut y = y1 + 12.0;
+        for (label, color) in entries {
+            let x = x1 - 150.0;
+            doc.rect(x, y - 8.0, 10.0, 10.0, color, None);
+            doc.text(x + 14.0, y, label, 10.0, Anchor::Start, None);
+            y += 14.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plot_area_respects_margins() {
+        let f = Frame::new("t", "x", "y");
+        let (x0, y0, x1, y1) = f.plot_area();
+        assert_eq!(x0, 64.0);
+        assert_eq!(x1, 640.0 - 16.0);
+        assert_eq!(y0, 400.0 - 48.0);
+        assert_eq!(y1, 36.0);
+        assert!(x0 < x1 && y1 < y0);
+    }
+
+    #[test]
+    fn axes_render_ticks_and_labels() {
+        let f = Frame::new("My Chart", "seconds", "fraction");
+        let x = Scale::linear((0.0, 100.0), f.x_range());
+        let y = Scale::linear((0.0, 1.0), f.y_range());
+        let mut doc = SvgDoc::new(f.width, f.height);
+        f.draw_axes(&mut doc, &x, &y);
+        f.draw_legend(&mut doc, &[("corral".into(), "#123456".into())]);
+        let out = doc.finish();
+        assert!(out.contains("My Chart"));
+        assert!(out.contains("seconds"));
+        assert!(out.contains("fraction"));
+        assert!(out.contains("corral"));
+        assert!(out.contains("#123456"));
+        // Grid lines exist.
+        assert!(out.contains("#eee"));
+    }
+}

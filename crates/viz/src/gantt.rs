@@ -1,0 +1,135 @@
+//! Gantt (machine × time) timelines from the engine's task log.
+//!
+//! Each task attempt becomes a horizontal bar on its machine's row, colored
+//! by job — the classic way to *see* Corral's spatial isolation (each job's
+//! color confined to a band of racks) versus Yarn-CS's confetti.
+
+use crate::chart::Frame;
+use crate::scale::Scale;
+use crate::svg::{Anchor, SvgDoc};
+use crate::PALETTE;
+
+/// One bar of the timeline.
+#[derive(Debug, Clone, Copy)]
+pub struct GanttTask {
+    /// Job id (drives the color).
+    pub job: u32,
+    /// Machine row.
+    pub machine: u32,
+    /// Start time (s).
+    pub start: f64,
+    /// End time (s).
+    pub end: f64,
+    /// Killed attempts render hollow.
+    pub killed: bool,
+}
+
+/// Parses the engine's `timeline_csv()` format.
+pub fn parse_timeline_csv(text: &str) -> Vec<GanttTask> {
+    let mut out = Vec::new();
+    for line in text.lines().skip(1) {
+        let f: Vec<&str> = line.split(',').collect();
+        if f.len() != 8 {
+            continue;
+        }
+        let (Ok(job), Ok(machine), Ok(start), Ok(end)) = (
+            f[0].parse::<u32>(),
+            f[3].parse::<u32>(),
+            f[4].parse::<f64>(),
+            f[6].parse::<f64>(),
+        ) else {
+            continue;
+        };
+        out.push(GanttTask {
+            job,
+            machine,
+            start,
+            end,
+            killed: f[7] == "true",
+        });
+    }
+    out
+}
+
+/// Renders the timeline; `machines` is the row count (machine ids ≥ the
+/// count are clamped into view), `rack_size` draws rack separators.
+pub fn gantt_chart(frame: &Frame, tasks: &[GanttTask], machines: u32, rack_size: u32) -> String {
+    let mut doc = SvgDoc::new(frame.width, frame.height);
+    let t_max = tasks.iter().map(|t| t.end).fold(1e-9, f64::max);
+    let x = Scale::linear((0.0, t_max), frame.x_range());
+    let y = Scale::linear((0.0, machines as f64), frame.y_range());
+    frame.draw_axes(&mut doc, &x, &y);
+
+    let (x0, _, x1, _) = frame.plot_area();
+    // Rack separators.
+    if rack_size > 0 {
+        let mut r = rack_size;
+        while r < machines {
+            let py = y.map(r as f64);
+            doc.line(x0, py, x1, py, "#bbb", 0.8);
+            r += rack_size;
+        }
+    }
+    let row_h = (y.map(0.0) - y.map(1.0)).abs().max(1.0);
+    for t in tasks {
+        let m = t.machine.min(machines.saturating_sub(1));
+        let py = y.map((m + 1) as f64);
+        let px = x.map(t.start);
+        let pw = (x.map(t.end) - px).max(0.5);
+        let color = PALETTE[(t.job as usize) % PALETTE.len()];
+        if t.killed {
+            doc.rect(px, py, pw, row_h * 0.85, "none", Some(color));
+        } else {
+            doc.rect(px, py, pw, row_h * 0.85, color, None);
+        }
+    }
+    doc.text(
+        x1,
+        y.map(machines as f64) - 4.0,
+        &format!("{} attempts", tasks.len()),
+        9.0,
+        Anchor::End,
+        None,
+    );
+    doc.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_engine_csv() {
+        let csv = "job,stage,index,machine,scheduled_s,compute_started_s,finished_s,killed\n\
+                   4,0,9,2,38.7,38.7,49.1,false\n\
+                   4,1,0,5,50.0,NaN,60.0,true\n\
+                   malformed line\n";
+        let tasks = parse_timeline_csv(csv);
+        assert_eq!(tasks.len(), 2);
+        assert_eq!(tasks[0].machine, 2);
+        assert!(!tasks[0].killed);
+        assert!(tasks[1].killed);
+    }
+
+    #[test]
+    fn renders_bars_and_rack_lines() {
+        let frame = Frame::new("Timeline", "time (s)", "machine");
+        let tasks = vec![
+            GanttTask { job: 0, machine: 0, start: 0.0, end: 5.0, killed: false },
+            GanttTask { job: 1, machine: 7, start: 2.0, end: 9.0, killed: true },
+        ];
+        let out = gantt_chart(&frame, &tasks, 12, 4);
+        // Background + 2 bars.
+        assert_eq!(out.matches("<rect").count(), 3);
+        assert!(out.contains("2 attempts"));
+        // Rack separators at machines 4 and 8.
+        assert!(out.contains("#bbb"));
+    }
+
+    #[test]
+    fn empty_timeline_is_safe() {
+        let frame = Frame::new("t", "x", "y");
+        let out = gantt_chart(&frame, &[], 10, 5);
+        assert!(out.starts_with("<svg"));
+    }
+}

@@ -1,0 +1,44 @@
+//! # corral-viz
+//!
+//! Dependency-free SVG rendering for the Corral reproduction's figures.
+//! The experiment harness (`corral-bench`) writes plain CSV series under
+//! `results/`; this crate turns them into the paper's figure shapes:
+//!
+//! * [`cdf`] — cumulative-distribution plots (Figs. 7c, 8, 10, 11, 14);
+//! * [`bars`] — grouped bar charts (Figs. 6, 7a, 7b, 9, 12);
+//! * [`lines`] — line/series plots (Figs. 1, 5, 13);
+//! * [`gantt`] — machine × time task timelines from the engine's task-log
+//!   CSV (`RunReport::timeline_csv()` in `corral-cluster`).
+//!
+//! Everything is built on a small hand-rolled [`svg`] writer and the
+//! [`scale`] axis helpers — no external dependencies, so the figures render
+//! anywhere the workspace builds. The `render` binary maps known
+//! `results/*.csv` files to SVGs:
+//!
+//! ```text
+//! cargo run --release -p corral-viz --bin render           # all known figures
+//! cargo run --release -p corral-viz --bin render -- fig8   # a subset
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bars;
+pub mod cdf;
+pub mod chart;
+pub mod gantt;
+pub mod lines;
+pub mod scale;
+pub mod svg;
+
+pub use bars::grouped_bars;
+pub use cdf::cdf_chart;
+pub use gantt::gantt_chart;
+pub use lines::line_chart;
+
+/// The categorical palette used across figures (colorblind-safe-ish,
+/// ordered to match the paper's system ordering: Yarn-CS, Corral,
+/// LocalShuffle, ShuffleWatcher).
+pub const PALETTE: [&str; 8] = [
+    "#4269d0", "#efb118", "#ff725c", "#6cc5b0", "#3ca951", "#ff8ab7", "#a463f2", "#97bbf5",
+];

@@ -1,0 +1,80 @@
+//! Line charts — Figs. 1, 5, 12 and 13 are series over a swept parameter.
+
+use crate::chart::Frame;
+use crate::scale::Scale;
+use crate::svg::SvgDoc;
+use crate::PALETTE;
+
+/// Renders line series over a shared x. `series` holds `(label, points)`
+/// with points as `(x, y)`.
+pub fn line_chart(frame: &Frame, series: &[(String, Vec<(f64, f64)>)], log_y: bool) -> String {
+    let mut doc = SvgDoc::new(frame.width, frame.height);
+    let xs: Vec<f64> = series.iter().flat_map(|(_, p)| p.iter().map(|q| q.0)).collect();
+    let ys: Vec<f64> = series.iter().flat_map(|(_, p)| p.iter().map(|q| q.1)).collect();
+    if xs.is_empty() {
+        return doc.finish();
+    }
+    let xmin = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+    let xmax = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let ymin = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+    let ymax = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+
+    let x = Scale::linear((xmin, xmax), frame.x_range());
+    let y = if log_y {
+        Scale::log10((ymin.max(1e-12), ymax), frame.y_range())
+    } else {
+        let pad = ((ymax - ymin).abs() * 0.08).max(1e-9);
+        Scale::linear((ymin.min(0.0).min(ymin - pad), ymax + pad), frame.y_range())
+    };
+    frame.draw_axes(&mut doc, &x, &y);
+
+    let mut legend = Vec::new();
+    for (i, (label, pts)) in series.iter().enumerate() {
+        let color = PALETTE[i % PALETTE.len()];
+        let mut pix: Vec<(f64, f64)> = pts.iter().map(|&(a, b)| (x.map(a), y.map(b))).collect();
+        pix.sort_by(|a, b| a.0.total_cmp(&b.0));
+        doc.polyline(&pix, color, 1.8);
+        for &(px, py) in &pix {
+            doc.circle(px, py, 2.4, color);
+        }
+        legend.push((label.clone(), color.to_string()));
+    }
+    frame.draw_legend(&mut doc, &legend);
+    doc.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_lines_and_markers() {
+        let frame = Frame::new("Planner runtime", "jobs", "seconds");
+        let out = line_chart(
+            &frame,
+            &[("planner".into(), vec![(50.0, 0.45), (500.0, 43.0)])],
+            false,
+        );
+        assert_eq!(out.matches("<polyline").count(), 1);
+        assert_eq!(out.matches("<circle").count(), 2);
+        assert!(out.contains("planner"));
+    }
+
+    #[test]
+    fn empty_input_is_safe() {
+        let frame = Frame::new("t", "x", "y");
+        let out = line_chart(&frame, &[], false);
+        assert!(out.starts_with("<svg"));
+    }
+
+    #[test]
+    fn log_y_handles_decades() {
+        let frame = Frame::new("t", "x", "y");
+        let out = line_chart(
+            &frame,
+            &[("s".into(), vec![(0.0, 1.0), (1.0, 1e6)])],
+            true,
+        );
+        assert!(out.contains("<polyline"));
+    }
+}

@@ -1,0 +1,168 @@
+//! Axis scales: map data domains to pixel ranges and produce tick marks.
+
+/// A linear or log10 mapping from a data domain to a pixel range.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    d0: f64,
+    d1: f64,
+    r0: f64,
+    r1: f64,
+    log: bool,
+}
+
+impl Scale {
+    /// Linear scale from `[d0, d1]` to `[r0, r1]`. Degenerate domains are
+    /// widened slightly so mapping stays defined.
+    pub fn linear(domain: (f64, f64), range: (f64, f64)) -> Self {
+        let (mut d0, mut d1) = domain;
+        if (d1 - d0).abs() < f64::EPSILON {
+            d0 -= 0.5;
+            d1 += 0.5;
+        }
+        Scale {
+            d0,
+            d1,
+            r0: range.0,
+            r1: range.1,
+            log: false,
+        }
+    }
+
+    /// Log10 scale; the domain is clamped to positive values.
+    pub fn log10(domain: (f64, f64), range: (f64, f64)) -> Self {
+        let d0 = domain.0.max(1e-12);
+        let d1 = domain.1.max(d0 * 10.0_f64.powf(0.1));
+        Scale {
+            d0: d0.log10(),
+            d1: d1.log10(),
+            r0: range.0,
+            r1: range.1,
+            log: true,
+        }
+    }
+
+    /// Maps a data value to pixels.
+    pub fn map(&self, v: f64) -> f64 {
+        let v = if self.log { v.max(1e-12).log10() } else { v };
+        let t = (v - self.d0) / (self.d1 - self.d0);
+        self.r0 + t * (self.r1 - self.r0)
+    }
+
+    /// "Nice" tick values covering the domain (≈`n` of them). For log
+    /// scales: one tick per decade.
+    pub fn ticks(&self, n: usize) -> Vec<f64> {
+        if self.log {
+            let lo = self.d0.floor() as i32;
+            let hi = self.d1.ceil() as i32;
+            return (lo..=hi).map(|e| 10f64.powi(e)).collect();
+        }
+        let span = self.d1 - self.d0;
+        if span <= 0.0 || n == 0 {
+            return vec![self.d0];
+        }
+        let raw_step = span / n as f64;
+        let mag = 10f64.powf(raw_step.log10().floor());
+        let norm = raw_step / mag;
+        let step = mag
+            * if norm < 1.5 {
+                1.0
+            } else if norm < 3.5 {
+                2.0
+            } else if norm < 7.5 {
+                5.0
+            } else {
+                10.0
+            };
+        // Round to the step's decimal precision so ticks print cleanly
+        // (0.6000000000000001 -> 0.6).
+        let decimals = (-step.log10().floor()).max(0.0) as i32 + 1;
+        let pow = 10f64.powi(decimals);
+        let start = (self.d0 / step).ceil() * step;
+        let mut out = Vec::new();
+        let mut k = 0;
+        loop {
+            let t = start + k as f64 * step;
+            if t > self.d1 + step * 1e-9 {
+                break;
+            }
+            out.push((t * pow).round() / pow);
+            k += 1;
+        }
+        out
+    }
+
+    /// Formats a tick label compactly (k/M suffixes for big numbers).
+    pub fn label(v: f64) -> String {
+        let a = v.abs();
+        if a >= 1e6 {
+            format!("{:.0}M", v / 1e6)
+        } else if a >= 1e4 {
+            format!("{:.0}k", v / 1e3)
+        } else if a >= 100.0 || v.fract().abs() < 1e-9 {
+            format!("{v:.0}")
+        } else if a >= 1.0 {
+            format!("{v:.1}")
+        } else {
+            format!("{v:.2}")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_mapping_endpoints() {
+        let s = Scale::linear((0.0, 10.0), (100.0, 200.0));
+        assert_eq!(s.map(0.0), 100.0);
+        assert_eq!(s.map(10.0), 200.0);
+        assert_eq!(s.map(5.0), 150.0);
+    }
+
+    #[test]
+    fn inverted_range_for_y_axes() {
+        // SVG y grows downward: ranges are typically (bottom, top).
+        let s = Scale::linear((0.0, 1.0), (300.0, 20.0));
+        assert_eq!(s.map(0.0), 300.0);
+        assert_eq!(s.map(1.0), 20.0);
+    }
+
+    #[test]
+    fn linear_ticks_are_nice() {
+        let s = Scale::linear((0.0, 100.0), (0.0, 1.0));
+        let t = s.ticks(5);
+        assert_eq!(t, vec![0.0, 20.0, 40.0, 60.0, 80.0, 100.0]);
+        let s = Scale::linear((0.0, 0.9), (0.0, 1.0));
+        let t = s.ticks(3);
+        // raw step 0.3 → snapped to the "nice" step 0.2.
+        assert_eq!(t, vec![0.0, 0.2, 0.4, 0.6, 0.8]);
+    }
+
+    #[test]
+    fn log_ticks_are_decades() {
+        let s = Scale::log10((1.0, 1000.0), (0.0, 1.0));
+        assert_eq!(s.ticks(5), vec![1.0, 10.0, 100.0, 1000.0]);
+        assert!((s.map(1.0) - 0.0).abs() < 1e-12);
+        assert!((s.map(1000.0) - 1.0).abs() < 1e-12);
+        assert!((s.map(31.622776601683793) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_domain_widens() {
+        let s = Scale::linear((5.0, 5.0), (0.0, 100.0));
+        let m = s.map(5.0);
+        assert!(m.is_finite());
+        assert!((m - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn labels_compact() {
+        assert_eq!(Scale::label(2_000_000.0), "2M");
+        assert_eq!(Scale::label(15_000.0), "15k");
+        assert_eq!(Scale::label(120.0), "120");
+        assert_eq!(Scale::label(3.5), "3.5");
+        assert_eq!(Scale::label(0.25), "0.25");
+        assert_eq!(Scale::label(3.0), "3");
+    }
+}

@@ -1,0 +1,193 @@
+//! Minimal SVG document writer.
+//!
+//! Only what the charts need: rectangles, lines, polylines, circles, text
+//! with anchoring/rotation, and grouping. Coordinates are f64 user units;
+//! the document gets an explicit `viewBox` so renderers scale it freely.
+
+use std::fmt::Write as _;
+
+/// Text anchor options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Anchor {
+    /// Left-aligned.
+    Start,
+    /// Centered.
+    Middle,
+    /// Right-aligned.
+    End,
+}
+
+impl Anchor {
+    fn as_str(self) -> &'static str {
+        match self {
+            Anchor::Start => "start",
+            Anchor::Middle => "middle",
+            Anchor::End => "end",
+        }
+    }
+}
+
+/// An SVG document under construction.
+#[derive(Debug, Clone)]
+pub struct SvgDoc {
+    width: f64,
+    height: f64,
+    body: String,
+}
+
+/// Escapes text content for XML.
+pub fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+fn fmt_num(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e9 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+impl SvgDoc {
+    /// Creates an empty document of the given size (user units = px).
+    pub fn new(width: f64, height: f64) -> Self {
+        SvgDoc {
+            width,
+            height,
+            body: String::new(),
+        }
+    }
+
+    /// Document width.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Document height.
+    pub fn height(&self) -> f64 {
+        self.height
+    }
+
+    /// A filled (optionally stroked) rectangle.
+    pub fn rect(&mut self, x: f64, y: f64, w: f64, h: f64, fill: &str, stroke: Option<&str>) {
+        let stroke = stroke
+            .map(|s| format!(" stroke=\"{s}\""))
+            .unwrap_or_default();
+        let _ = writeln!(
+            self.body,
+            "<rect x=\"{}\" y=\"{}\" width=\"{}\" height=\"{}\" fill=\"{fill}\"{stroke}/>",
+            fmt_num(x),
+            fmt_num(y),
+            fmt_num(w.max(0.0)),
+            fmt_num(h.max(0.0)),
+        );
+    }
+
+    /// A straight line.
+    pub fn line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, stroke: &str, width: f64) {
+        let _ = writeln!(
+            self.body,
+            "<line x1=\"{}\" y1=\"{}\" x2=\"{}\" y2=\"{}\" stroke=\"{stroke}\" stroke-width=\"{width}\"/>",
+            fmt_num(x1),
+            fmt_num(y1),
+            fmt_num(x2),
+            fmt_num(y2),
+        );
+    }
+
+    /// An unfilled polyline through `points`.
+    pub fn polyline(&mut self, points: &[(f64, f64)], stroke: &str, width: f64) {
+        if points.is_empty() {
+            return;
+        }
+        let pts: Vec<String> = points
+            .iter()
+            .map(|(x, y)| format!("{},{}", fmt_num(*x), fmt_num(*y)))
+            .collect();
+        let _ = writeln!(
+            self.body,
+            "<polyline points=\"{}\" fill=\"none\" stroke=\"{stroke}\" stroke-width=\"{width}\"/>",
+            pts.join(" "),
+        );
+    }
+
+    /// A filled circle.
+    pub fn circle(&mut self, cx: f64, cy: f64, r: f64, fill: &str) {
+        let _ = writeln!(
+            self.body,
+            "<circle cx=\"{}\" cy=\"{}\" r=\"{}\" fill=\"{fill}\"/>",
+            fmt_num(cx),
+            fmt_num(cy),
+            fmt_num(r),
+        );
+    }
+
+    /// Text at `(x, y)`; `size` in px; optional rotation (degrees, about
+    /// the text origin).
+    pub fn text(&mut self, x: f64, y: f64, s: &str, size: f64, anchor: Anchor, rotate: Option<f64>) {
+        let transform = rotate
+            .map(|deg| format!(" transform=\"rotate({deg} {} {})\"", fmt_num(x), fmt_num(y)))
+            .unwrap_or_default();
+        let _ = writeln!(
+            self.body,
+            "<text x=\"{}\" y=\"{}\" font-size=\"{size}\" font-family=\"sans-serif\" text-anchor=\"{}\"{transform}>{}</text>",
+            fmt_num(x),
+            fmt_num(y),
+            anchor.as_str(),
+            escape(s),
+        );
+    }
+
+    /// Serializes the document.
+    pub fn finish(self) -> String {
+        format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" viewBox=\"0 0 {} {}\" width=\"{}\" height=\"{}\">\n<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n{}</svg>\n",
+            fmt_num(self.width),
+            fmt_num(self.height),
+            fmt_num(self.width),
+            fmt_num(self.height),
+            self.body,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn document_structure() {
+        let mut d = SvgDoc::new(200.0, 100.0);
+        d.rect(1.0, 2.0, 3.0, 4.0, "#fff", Some("#000"));
+        d.line(0.0, 0.0, 10.0, 10.0, "red", 1.5);
+        d.polyline(&[(0.0, 0.0), (5.0, 5.5)], "blue", 2.0);
+        d.circle(9.0, 9.0, 3.0, "green");
+        d.text(50.0, 50.0, "hi <there> & co", 12.0, Anchor::Middle, Some(-90.0));
+        let out = d.finish();
+        assert!(out.starts_with("<svg"));
+        assert!(out.ends_with("</svg>\n"));
+        assert!(out.contains("viewBox=\"0 0 200 100\""));
+        assert!(out.contains("<rect x=\"1\" y=\"2\" width=\"3\" height=\"4\""));
+        assert!(out.contains("stroke=\"#000\""));
+        assert!(out.contains("<polyline points=\"0,0 5,5.50\""));
+        assert!(out.contains("hi &lt;there&gt; &amp; co"));
+        assert!(out.contains("rotate(-90 50 50)"));
+    }
+
+    #[test]
+    fn negative_sizes_clamped() {
+        let mut d = SvgDoc::new(10.0, 10.0);
+        d.rect(0.0, 0.0, -5.0, 3.0, "red", None);
+        assert!(d.finish().contains("width=\"0\""));
+    }
+
+    #[test]
+    fn empty_polyline_skipped() {
+        let mut d = SvgDoc::new(10.0, 10.0);
+        d.polyline(&[], "red", 1.0);
+        assert!(!d.finish().contains("polyline"));
+    }
+}

@@ -1,0 +1,124 @@
+//! Random samplers used by the workload generators.
+//!
+//! Implemented over `rand` directly (the workspace deliberately avoids
+//! `rand_distr`): log-normal via Box–Muller, exponential and Pareto via
+//! inverse transform, plus a weighted categorical picker.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A standard normal sample (Box–Muller).
+pub fn sample_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// A log-normal sample with the given parameters of the underlying normal:
+/// the median is `e^mu` and quantile `q` is `e^(mu + z_q · sigma)`.
+pub fn sample_lognormal(rng: &mut StdRng, mu: f64, sigma: f64) -> f64 {
+    (mu + sigma * sample_normal(rng)).exp()
+}
+
+/// Log-normal parameters `(mu, sigma)` fitted from a median and a 95th
+/// percentile (`z_0.95 ≈ 1.6449`).
+pub fn lognormal_from_median_p95(median: f64, p95: f64) -> (f64, f64) {
+    assert!(median > 0.0 && p95 > median, "need p95 > median > 0");
+    let mu = median.ln();
+    let sigma = (p95.ln() - mu) / 1.6448536269514722;
+    (mu, sigma)
+}
+
+/// An exponential sample with the given mean.
+pub fn sample_exp(rng: &mut StdRng, mean: f64) -> f64 {
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -mean * u.ln()
+}
+
+/// A (bounded) Pareto sample with shape `alpha` and scale `xmin`.
+pub fn sample_pareto(rng: &mut StdRng, xmin: f64, alpha: f64) -> f64 {
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    xmin / u.powf(1.0 / alpha)
+}
+
+/// Picks an index according to `weights` (need not be normalized).
+pub fn pick_weighted(rng: &mut StdRng, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "weights must sum positive");
+    let mut x = rng.gen_range(0.0..total);
+    for (i, w) in weights.iter().enumerate() {
+        if x < *w {
+            return i;
+        }
+        x -= w;
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(12345)
+    }
+
+    #[test]
+    fn lognormal_fit_hits_quantiles() {
+        let (mu, sigma) = lognormal_from_median_p95(180.0, 2060.0);
+        let mut r = rng();
+        let mut v: Vec<f64> = (0..20000).map(|_| sample_lognormal(&mut r, mu, sigma)).collect();
+        v.sort_by(f64::total_cmp);
+        let median = v[v.len() / 2];
+        let p95 = v[(v.len() as f64 * 0.95) as usize];
+        assert!((median / 180.0 - 1.0).abs() < 0.1, "median={median}");
+        assert!((p95 / 2060.0 - 1.0).abs() < 0.15, "p95={p95}");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = rng();
+        let n = 20000;
+        let samples: Vec<f64> = (0..n).map(|_| sample_normal(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean={mean}");
+        assert!((var - 1.0).abs() < 0.1, "var={var}");
+    }
+
+    #[test]
+    fn exp_mean() {
+        let mut r = rng();
+        let n = 20000;
+        let mean = (0..n).map(|_| sample_exp(&mut r, 7.0)).sum::<f64>() / n as f64;
+        assert!((mean - 7.0).abs() < 0.3, "mean={mean}");
+    }
+
+    #[test]
+    fn pareto_bounds_and_tail() {
+        let mut r = rng();
+        let samples: Vec<f64> = (0..10000).map(|_| sample_pareto(&mut r, 2.0, 1.5)).collect();
+        assert!(samples.iter().all(|&x| x >= 2.0));
+        let big = samples.iter().filter(|&&x| x > 20.0).count();
+        assert!(big > 10, "a Pareto(1.5) tail should exceed 10x xmin sometimes");
+    }
+
+    #[test]
+    fn weighted_pick_distribution() {
+        let mut r = rng();
+        let mut counts = [0usize; 3];
+        for _ in 0..30000 {
+            counts[pick_weighted(&mut r, &[0.5, 0.3, 0.2])] += 1;
+        }
+        assert!((counts[0] as f64 / 30000.0 - 0.5).abs() < 0.03);
+        assert!((counts[1] as f64 / 30000.0 - 0.3).abs() < 0.03);
+        assert!((counts[2] as f64 / 30000.0 - 0.2).abs() < 0.03);
+    }
+
+    #[test]
+    #[should_panic(expected = "need p95 > median")]
+    fn bad_fit_panics() {
+        lognormal_from_median_p95(10.0, 5.0);
+    }
+}

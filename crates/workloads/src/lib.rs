@@ -1,0 +1,116 @@
+//! # corral-workloads
+//!
+//! Synthetic workload generators matched to the workloads the Corral paper
+//! evaluates on (§6.1). The original traces (Quantcast, SWIM/Yahoo,
+//! Microsoft Cosmos) are not redistributable, so each generator reproduces
+//! every statistic the paper reports about its workload; the experiments
+//! depend on those statistics, not on individual trace rows (see DESIGN.md).
+//!
+//! * [`w1`] — Quantcast-derived mix: small/medium/large jobs with
+//!   selectivities between 4:1 and 1:4.
+//! * [`w2`] — SWIM Yahoo-derived: ~90% tiny jobs (≤200 MB input, ≤75 MB
+//!   shuffle) plus two ~5.5 TB jobs whose shuffle is ~1.8× their input —
+//!   the skew that drives the paper's W2 discussion.
+//! * [`w3`] — Microsoft Cosmos-derived: log-normal fits to Table 1
+//!   (tasks 180/2060, input 7.1/162.3 GB, shuffle 6/71.5 GB at the
+//!   50th/95th percentiles).
+//! * [`tpch`] — 15 Hive-on-TPC-H queries as stage DAGs over a 200 GB
+//!   database (Fig. 10).
+//! * [`slots`] — "slots requested" distributions for three production
+//!   clusters (Fig. 2: 75%, 87%, 95% of jobs under one rack = 240 slots).
+//! * [`history`] — recurring-job instance histories with daily/weekly
+//!   seasonality and configurable noise (Fig. 1 and the §2 predictability
+//!   claim).
+//! * [`dists`] — the random samplers everything above draws from.
+//! * [`scale`] — uniform down-scaling of task counts / volumes so whole
+//!   workloads run in seconds inside the simulator (documented deviation;
+//!   see DESIGN.md §1).
+//! * [`trace`] — CSV persistence for generated workloads (archive / replay
+//!   the exact job mix of an experiment).
+//! * [`swim`] — importer for real SWIM-format traces (the public workload
+//!   suite the paper's W2 derives from).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dists;
+pub mod history;
+pub mod scale;
+pub mod slots;
+pub mod swim;
+pub mod tpch;
+pub mod trace;
+pub mod w1;
+pub mod w2;
+pub mod w3;
+
+pub use scale::Scale;
+
+use corral_model::{JobSpec, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Assigns arrival times drawn uniformly from `[0, window)` (the paper's
+/// online scenario: "we pick the arrival times uniformly at random in
+/// [0, 60min]"). Deterministic given `seed`.
+pub fn assign_uniform_arrivals(jobs: &mut [JobSpec], window: SimTime, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xA441_7751);
+    for j in jobs.iter_mut() {
+        j.arrival = SimTime(rng.gen_range(0.0..window.as_secs().max(f64::MIN_POSITIVE)));
+    }
+}
+
+/// Sets every arrival to zero (the batch scenario).
+pub fn make_batch(jobs: &mut [JobSpec]) {
+    for j in jobs.iter_mut() {
+        j.arrival = SimTime::ZERO;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corral_model::{Bandwidth, Bytes, JobId, MapReduceProfile};
+
+    fn jobs(n: u32) -> Vec<JobSpec> {
+        (0..n)
+            .map(|i| {
+                JobSpec::map_reduce(
+                    JobId(i),
+                    "x",
+                    MapReduceProfile {
+                        input: Bytes::gb(1.0),
+                        shuffle: Bytes::gb(0.5),
+                        output: Bytes::gb(0.1),
+                        maps: 4,
+                        reduces: 2,
+                        map_rate: Bandwidth::mbytes_per_sec(100.0),
+                        reduce_rate: Bandwidth::mbytes_per_sec(100.0),
+                    },
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn uniform_arrivals_in_window() {
+        let mut js = jobs(200);
+        assign_uniform_arrivals(&mut js, SimTime::minutes(60.0), 1);
+        assert!(js.iter().all(|j| j.arrival >= SimTime::ZERO && j.arrival < SimTime::minutes(60.0)));
+        // Spread: not all in one half.
+        let early = js.iter().filter(|j| j.arrival < SimTime::minutes(30.0)).count();
+        assert!(early > 50 && early < 150);
+        // Deterministic.
+        let mut js2 = jobs(200);
+        assign_uniform_arrivals(&mut js2, SimTime::minutes(60.0), 1);
+        assert_eq!(js, js2);
+    }
+
+    #[test]
+    fn batch_zeroes_arrivals() {
+        let mut js = jobs(5);
+        assign_uniform_arrivals(&mut js, SimTime::minutes(60.0), 1);
+        make_batch(&mut js);
+        assert!(js.iter().all(|j| j.arrival == SimTime::ZERO));
+    }
+}

@@ -1,0 +1,143 @@
+//! "Slots requested per job" distributions (Fig. 2).
+//!
+//! The paper plots the CDF of requested compute slots across three
+//! production clusters (>10,000 machines each): "75%, 87%, and 95% of the
+//! jobs require less than one rack worth of compute resources (240
+//! slots)", while some jobs request up to 10,000 slots. We fit one
+//! log-normal per cluster so that exactly those fractions fall under 240
+//! slots (quantile matching with a common dispersion), and provide CDF
+//! sampling for the fig2 experiment.
+
+use crate::dists::sample_lognormal;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One rack's worth of slots in the paper's clusters.
+pub const RACK_SLOTS: f64 = 240.0;
+
+/// The three production clusters of Fig. 2, parameterized by the fraction
+/// of jobs below one rack.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterSlots {
+    /// Label ("cluster-A" …).
+    pub name: &'static str,
+    /// Fraction of jobs under 240 slots (0.75 / 0.87 / 0.95).
+    pub frac_under_rack: f64,
+    /// Log-normal sigma (dispersion of job widths).
+    pub sigma: f64,
+}
+
+/// The three clusters with the paper's under-one-rack fractions.
+pub const CLUSTERS: [ClusterSlots; 3] = [
+    ClusterSlots { name: "cluster-A", frac_under_rack: 0.75, sigma: 2.2 },
+    ClusterSlots { name: "cluster-B", frac_under_rack: 0.87, sigma: 2.2 },
+    ClusterSlots { name: "cluster-C", frac_under_rack: 0.95, sigma: 2.2 },
+];
+
+impl ClusterSlots {
+    /// The log-normal `mu` that puts `frac_under_rack` of the mass below
+    /// [`RACK_SLOTS`]: `mu = ln(240) − z_frac · sigma`.
+    pub fn mu(&self) -> f64 {
+        RACK_SLOTS.ln() - inv_norm_cdf(self.frac_under_rack) * self.sigma
+    }
+
+    /// Samples `n` job widths (slots requested), clamped to [1, 10000].
+    pub fn sample(&self, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed ^ self.name.len() as u64 ^ 0xF162);
+        let mu = self.mu();
+        (0..n)
+            .map(|_| sample_lognormal(&mut rng, mu, self.sigma).clamp(1.0, 10_000.0))
+            .collect()
+    }
+}
+
+/// Inverse standard normal CDF (Acklam's rational approximation, max error
+/// ~1.15e-9 — far below what the figure needs).
+pub fn inv_norm_cdf(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "quantile must be in (0,1)");
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    let plow = 0.02425;
+    if p < plow {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - plow {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        -inv_norm_cdf(1.0 - p)
+    }
+}
+
+/// Empirical CDF helper: fraction of `values` at or below `x`.
+pub fn cdf_at(values: &[f64], x: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().filter(|&&v| v <= x).count() as f64 / values.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inverse_normal_sanity() {
+        assert!(inv_norm_cdf(0.5).abs() < 1e-9);
+        assert!((inv_norm_cdf(0.975) - 1.959964).abs() < 1e-4);
+        assert!((inv_norm_cdf(0.75) - 0.674490).abs() < 1e-4);
+        assert!((inv_norm_cdf(0.025) + 1.959964).abs() < 1e-4);
+    }
+
+    #[test]
+    fn clusters_hit_their_under_rack_fractions() {
+        for c in CLUSTERS {
+            let sample = c.sample(40_000, 11);
+            let got = cdf_at(&sample, RACK_SLOTS);
+            assert!(
+                (got - c.frac_under_rack).abs() < 0.02,
+                "{}: wanted {}, got {got}",
+                c.name,
+                c.frac_under_rack
+            );
+        }
+    }
+
+    #[test]
+    fn tails_reach_thousands_of_slots() {
+        let sample = CLUSTERS[0].sample(40_000, 3);
+        let big = sample.iter().filter(|&&v| v > 1000.0).count();
+        assert!(big > 100, "cluster-A should have a fat tail: {big}");
+        assert!(sample.iter().all(|&v| (1.0..=10_000.0).contains(&v)));
+    }
+}

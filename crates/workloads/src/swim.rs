@@ -1,0 +1,198 @@
+//! SWIM trace import.
+//!
+//! The paper's W2 derives from the SWIM Yahoo workloads (Chen, Ganapathi,
+//! Griffith, Katz — *The Case for Evaluating MapReduce Performance Using
+//! Workload Suites*, MASCOTS 2011). SWIM publishes replayable traces as
+//! tab-separated lines:
+//!
+//! ```text
+//! job_id \t submit_time_s \t inter_arrival_s \t map_input_bytes \t shuffle_bytes \t reduce_output_bytes
+//! ```
+//!
+//! This module parses that format into [`JobSpec`]s so real SWIM traces can
+//! be replayed through the simulator. Task counts are derived from data
+//! volumes the way SWIM's replay tooling does (bytes per task), and
+//! processing rates are supplied by the caller.
+
+use crate::Scale;
+use corral_model::{Bandwidth, Bytes, JobId, JobSpec, MapReduceProfile, SimTime};
+
+/// Import knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct SwimParams {
+    /// Input bytes handled per map task (SWIM replayers default to an
+    /// HDFS-block-ish 64–256 MB).
+    pub bytes_per_map: f64,
+    /// Shuffle bytes handled per reduce task.
+    pub bytes_per_reduce: f64,
+    /// Map-task processing rate.
+    pub map_rate: Bandwidth,
+    /// Reduce-task processing rate.
+    pub reduce_rate: Bandwidth,
+    /// Workload down-scaling applied after import.
+    pub scale: Scale,
+}
+
+impl Default for SwimParams {
+    fn default() -> Self {
+        SwimParams {
+            bytes_per_map: 128e6,
+            bytes_per_reduce: 256e6,
+            map_rate: Bandwidth::mbytes_per_sec(100.0),
+            reduce_rate: Bandwidth::mbytes_per_sec(100.0),
+            scale: Scale::full(),
+        }
+    }
+}
+
+/// A parse failure: line number plus description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwimError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub what: String,
+}
+
+impl std::fmt::Display for SwimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "swim trace line {}: {}", self.line, self.what)
+    }
+}
+
+impl std::error::Error for SwimError {}
+
+/// Parses a SWIM trace. Blank lines and `#` comments are skipped. Jobs with
+/// zero input (pure generators) get one map task; zero-shuffle jobs get one
+/// reduce task (SWIM traces contain both).
+pub fn parse(text: &str, params: &SwimParams) -> Result<Vec<JobSpec>, SwimError> {
+    let mut out = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let f: Vec<&str> = line.split('\t').collect();
+        if f.len() < 6 {
+            return Err(SwimError {
+                line: idx + 1,
+                what: format!("expected 6 tab-separated fields, got {}", f.len()),
+            });
+        }
+        let err = |what: &str| SwimError {
+            line: idx + 1,
+            what: what.to_string(),
+        };
+        let submit: f64 = f[1].parse().map_err(|_| err("bad submit time"))?;
+        let input: f64 = f[3].parse().map_err(|_| err("bad map input bytes"))?;
+        let shuffle: f64 = f[4].parse().map_err(|_| err("bad shuffle bytes"))?;
+        let output: f64 = f[5].parse().map_err(|_| err("bad reduce output bytes"))?;
+        if submit < 0.0 || input < 0.0 || shuffle < 0.0 || output < 0.0 {
+            return Err(err("negative value"));
+        }
+        let maps = ((input / params.bytes_per_map).ceil() as usize).max(1);
+        let reduces = ((shuffle / params.bytes_per_reduce).ceil() as usize).max(1);
+        let mut spec = JobSpec {
+            id: JobId(out.len() as u32),
+            name: format!("swim-{}", f[0]),
+            arrival: SimTime(submit),
+            plannable: true,
+            profile: corral_model::JobProfile::MapReduce(MapReduceProfile {
+                input: Bytes(input),
+                shuffle: Bytes(shuffle),
+                output: Bytes(output),
+                maps,
+                reduces,
+                map_rate: params.map_rate,
+                reduce_rate: params.reduce_rate,
+            }),
+        };
+        params.scale.apply(&mut spec);
+        spec.validate()
+            .map_err(|e| err(&format!("invalid job: {e}")))?;
+        out.push(spec);
+    }
+    Ok(out)
+}
+
+/// A small embedded SWIM-format sample (format demonstration and test
+/// fixture; synthetic values in the Yahoo-trace shape).
+pub const SAMPLE: &str = "\
+# job_id\tsubmit_s\tinter_arrival_s\tmap_input_b\tshuffle_b\treduce_output_b
+job0\t0\t0\t67108864\t12582912\t4194304
+job1\t13\t13\t134217728\t0\t1048576
+job2\t25\t12\t5497558138880\t9895604649984\t1099511627776
+job3\t39\t14\t201326592\t73400320\t8388608
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corral_model::JobProfile;
+
+    #[test]
+    fn parses_the_sample() {
+        let jobs = parse(SAMPLE, &SwimParams::default()).unwrap();
+        assert_eq!(jobs.len(), 4);
+        assert_eq!(jobs[0].name, "swim-job0");
+        assert_eq!(jobs[1].arrival, SimTime(13.0));
+        if let JobProfile::MapReduce(mr) = &jobs[2].profile {
+            // The 5.5TB job: 5.5e12 / 128e6 ≈ 42950 maps.
+            assert!(mr.maps > 40_000);
+            assert!((mr.shuffle.0 - 9895604649984.0).abs() < 1.0);
+        } else {
+            panic!("swim jobs are MapReduce");
+        }
+        // Zero-shuffle job still has a reduce task.
+        if let JobProfile::MapReduce(mr) = &jobs[1].profile {
+            assert_eq!(mr.reduces, 1);
+        }
+    }
+
+    #[test]
+    fn scaling_applies() {
+        let params = SwimParams {
+            scale: Scale { task_divisor: 8.0, data_divisor: 1.0 },
+            ..Default::default()
+        };
+        let jobs = parse(SAMPLE, &params).unwrap();
+        if let (JobProfile::MapReduce(full), JobProfile::MapReduce(scaled)) = (
+            &parse(SAMPLE, &SwimParams::default()).unwrap()[2].profile,
+            &jobs[2].profile,
+        ) {
+            assert!(scaled.maps < full.maps);
+            assert_eq!(scaled.input, full.input, "volumes survive task scaling");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        let bad = "job0\t0\t0\t100\n";
+        let e = parse(bad, &SwimParams::default()).unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.what.contains("6 tab-separated"));
+
+        let bad = "job0\t-5\t0\t100\t100\t100\n";
+        assert!(parse(bad, &SwimParams::default()).is_err());
+
+        let bad = "job0\t0\t0\tNaNopes\t100\t100\n";
+        assert!(parse(bad, &SwimParams::default()).is_err());
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let text = "# header\n\njob9\t1\t1\t1000000\t1000\t10\n";
+        let jobs = parse(text, &SwimParams::default()).unwrap();
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs[0].id, JobId(0));
+    }
+
+    #[test]
+    fn roundtrips_through_the_engine_trace_format() {
+        // SWIM jobs are plain MapReduce, so they serialize to our CSV trace.
+        let jobs = parse(SAMPLE, &SwimParams::default()).unwrap();
+        let csv = crate::trace::to_csv(&jobs).unwrap();
+        let back = crate::trace::from_csv(&csv).unwrap();
+        assert_eq!(jobs, back);
+    }
+}

@@ -1,0 +1,189 @@
+//! Workload trace persistence.
+//!
+//! Generated workloads can be saved and re-loaded as plain CSV so that an
+//! experiment's exact job mix can be archived, diffed, or replayed outside
+//! this crate. The format covers MapReduce jobs (the paper's W1/W2/W3 are
+//! all MapReduce); DAG-structured jobs are rejected with an error rather
+//! than silently flattened.
+//!
+//! Columns:
+//!
+//! ```text
+//! id,name,arrival_s,plannable,input_b,shuffle_b,output_b,maps,reduces,map_bps,reduce_bps
+//! ```
+
+use corral_model::{Bandwidth, Bytes, JobId, JobProfile, JobSpec, MapReduceProfile, SimTime};
+
+/// Header line of the trace format.
+pub const HEADER: &str =
+    "id,name,arrival_s,plannable,input_b,shuffle_b,output_b,maps,reduces,map_bps,reduce_bps";
+
+/// Errors from trace encoding/decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// A DAG job cannot be represented in the MapReduce trace format.
+    DagJobUnsupported(JobId),
+    /// A line failed to parse; payload = (line number, description).
+    Parse(usize, String),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::DagJobUnsupported(id) => {
+                write!(f, "job {id} is DAG-structured; the CSV trace format covers MapReduce only")
+            }
+            TraceError::Parse(line, what) => write!(f, "trace line {line}: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Serializes a workload to the CSV trace format.
+pub fn to_csv(jobs: &[JobSpec]) -> Result<String, TraceError> {
+    let mut out = String::with_capacity(64 * (jobs.len() + 1));
+    out.push_str(HEADER);
+    out.push('\n');
+    for j in jobs {
+        let mr = match &j.profile {
+            JobProfile::MapReduce(mr) => mr,
+            JobProfile::Dag(_) => return Err(TraceError::DagJobUnsupported(j.id)),
+        };
+        // Names are sanitized: commas would corrupt the row.
+        let name = j.name.replace(',', ";");
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{},{},{}\n",
+            j.id.0,
+            name,
+            j.arrival.as_secs(),
+            j.plannable,
+            mr.input.0,
+            mr.shuffle.0,
+            mr.output.0,
+            mr.maps,
+            mr.reduces,
+            mr.map_rate.0,
+            mr.reduce_rate.0,
+        ));
+    }
+    Ok(out)
+}
+
+/// Parses a workload from the CSV trace format. Blank lines are ignored;
+/// the header is required.
+pub fn from_csv(text: &str) -> Result<Vec<JobSpec>, TraceError> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, h)) if h.trim() == HEADER => {}
+        Some((n, h)) => {
+            return Err(TraceError::Parse(n + 1, format!("bad header: {h:?}")));
+        }
+        None => return Err(TraceError::Parse(0, "empty trace".into())),
+    }
+    let mut jobs = Vec::new();
+    for (n, line) in lines {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 11 {
+            return Err(TraceError::Parse(
+                n + 1,
+                format!("expected 11 fields, got {}", fields.len()),
+            ));
+        }
+        let err = |what: &str| TraceError::Parse(n + 1, what.to_string());
+        let id: u32 = fields[0].parse().map_err(|_| err("bad id"))?;
+        let arrival: f64 = fields[2].parse().map_err(|_| err("bad arrival"))?;
+        let plannable: bool = fields[3].parse().map_err(|_| err("bad plannable"))?;
+        let input: f64 = fields[4].parse().map_err(|_| err("bad input"))?;
+        let shuffle: f64 = fields[5].parse().map_err(|_| err("bad shuffle"))?;
+        let output: f64 = fields[6].parse().map_err(|_| err("bad output"))?;
+        let maps: usize = fields[7].parse().map_err(|_| err("bad maps"))?;
+        let reduces: usize = fields[8].parse().map_err(|_| err("bad reduces"))?;
+        let map_rate: f64 = fields[9].parse().map_err(|_| err("bad map rate"))?;
+        let reduce_rate: f64 = fields[10].parse().map_err(|_| err("bad reduce rate"))?;
+        let spec = JobSpec {
+            id: JobId(id),
+            name: fields[1].to_string(),
+            arrival: SimTime(arrival),
+            plannable,
+            profile: JobProfile::MapReduce(MapReduceProfile {
+                input: Bytes(input),
+                shuffle: Bytes(shuffle),
+                output: Bytes(output),
+                maps,
+                reduces,
+                map_rate: Bandwidth(map_rate),
+                reduce_rate: Bandwidth(reduce_rate),
+            }),
+        };
+        spec.validate()
+            .map_err(|e| TraceError::Parse(n + 1, e.to_string()))?;
+        jobs.push(spec);
+    }
+    Ok(jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::w1::{self, W1Params};
+    use crate::Scale;
+
+    #[test]
+    fn roundtrip_w1() {
+        let jobs = w1::generate(&W1Params::with_seed(3), Scale::bench_default());
+        let csv = to_csv(&jobs).unwrap();
+        let back = from_csv(&csv).unwrap();
+        assert_eq!(jobs, back);
+    }
+
+    #[test]
+    fn roundtrip_preserves_flags_and_arrivals() {
+        let mut jobs = w1::generate(
+            &W1Params {
+                jobs: 5,
+                ..W1Params::with_seed(4)
+            },
+            Scale::full(),
+        );
+        jobs[1] = jobs[1].clone().ad_hoc().arriving_at(SimTime(123.456));
+        let back = from_csv(&to_csv(&jobs).unwrap()).unwrap();
+        assert!(!back[1].plannable);
+        assert_eq!(back[1].arrival, SimTime(123.456));
+    }
+
+    #[test]
+    fn dag_jobs_are_rejected() {
+        let jobs = crate::tpch::generate(1e9, Scale::full());
+        let err = to_csv(&jobs).unwrap_err();
+        assert!(matches!(err, TraceError::DagJobUnsupported(_)));
+    }
+
+    #[test]
+    fn bad_inputs_error_with_line_numbers() {
+        assert!(matches!(from_csv(""), Err(TraceError::Parse(0, _))));
+        assert!(matches!(from_csv("nope"), Err(TraceError::Parse(1, _))));
+        let bad_fields = format!("{HEADER}\n1,x,0,true,1,1,1,2\n");
+        assert!(matches!(from_csv(&bad_fields), Err(TraceError::Parse(2, _))));
+        let bad_number = format!("{HEADER}\n1,x,zero,true,1,1,1,2,1,1,1\n");
+        match from_csv(&bad_number) {
+            Err(TraceError::Parse(2, what)) => assert!(what.contains("arrival")),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        // Zero maps fails spec validation.
+        let invalid = format!("{HEADER}\n1,x,0,true,1,1,1,0,1,1,1\n");
+        assert!(matches!(from_csv(&invalid), Err(TraceError::Parse(2, _))));
+    }
+
+    #[test]
+    fn commas_in_names_are_sanitized() {
+        let mut jobs = w1::generate(&W1Params { jobs: 1, ..W1Params::with_seed(5) }, Scale::full());
+        jobs[0].name = "weird,name".into();
+        let back = from_csv(&to_csv(&jobs).unwrap()).unwrap();
+        assert_eq!(back[0].name, "weird;name");
+    }
+}

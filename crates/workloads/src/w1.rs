@@ -1,0 +1,197 @@
+//! Workload W1 — derived from the Quantcast workloads (§6.1):
+//! "constructed ... to incorporate a wider range of job types, by varying
+//! the job size, and task selectivities (i.e., input to output size ratio).
+//! The job size is chosen from small (≤ 50 tasks), medium (≤ 500 tasks) and
+//! large (≥ 1000 tasks). The selectivities are chosen between 4:1 and 1:4."
+
+use crate::dists::pick_weighted;
+use crate::Scale;
+use corral_model::{Bandwidth, Bytes, JobId, JobSpec, MapReduceProfile};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The paper's three W1 size classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SizeClass {
+    /// ≤ 50 map tasks.
+    Small,
+    /// 51–500 map tasks.
+    Medium,
+    /// ≥ 1000 map tasks.
+    Large,
+}
+
+impl SizeClass {
+    /// Classify a job by its requested slots, relative to the slots in one
+    /// rack (used for the Fig. 9 bins).
+    pub fn of_slots(slots: usize, slots_per_rack: usize) -> SizeClass {
+        if slots * 2 <= slots_per_rack {
+            SizeClass::Small
+        } else if slots <= 2 * slots_per_rack {
+            SizeClass::Medium
+        } else {
+            SizeClass::Large
+        }
+    }
+}
+
+/// W1 generator parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct W1Params {
+    /// Number of jobs.
+    pub jobs: usize,
+    /// Mix of small/medium/large (weights).
+    pub mix: [f64; 3],
+    /// Per-map-task input share (bytes) — HDFS-chunk-sized.
+    pub bytes_per_task: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for W1Params {
+    fn default() -> Self {
+        Self::with_seed(0xA001)
+    }
+}
+
+impl W1Params {
+    /// Default parameters with an explicit seed.
+    pub fn with_seed(seed: u64) -> Self {
+        W1Params {
+            jobs: 60,
+            mix: [0.5, 0.3, 0.2],
+            bytes_per_task: 256e6,
+            seed,
+        }
+    }
+}
+
+/// Generates W1 with batch arrivals (all zero); apply
+/// [`crate::assign_uniform_arrivals`] for the online scenario.
+pub fn generate(params: &W1Params, scale: Scale) -> Vec<JobSpec> {
+    let mut rng = StdRng::seed_from_u64(params.seed ^ 0x5731_0001);
+    let mut out = Vec::with_capacity(params.jobs);
+    for i in 0..params.jobs {
+        let class = match pick_weighted(&mut rng, &params.mix) {
+            0 => SizeClass::Small,
+            1 => SizeClass::Medium,
+            _ => SizeClass::Large,
+        };
+        let maps: usize = match class {
+            SizeClass::Small => rng.gen_range(4..=50),
+            SizeClass::Medium => rng.gen_range(51..=500),
+            SizeClass::Large => rng.gen_range(1000..=2500),
+        };
+        let input = maps as f64 * params.bytes_per_task * rng.gen_range(0.5..1.5);
+        // Selectivity log-uniform in [1/4, 4]: shuffle = input / sel.
+        let sel_in_shuffle = 4.0_f64.powf(rng.gen_range(-1.0..1.0));
+        let shuffle = input / sel_in_shuffle;
+        let sel_shuffle_out = 4.0_f64.powf(rng.gen_range(-1.0..1.0));
+        let output = shuffle / sel_shuffle_out;
+        let reduces = ((maps as f64) * rng.gen_range(0.25..1.0)).round().max(1.0) as usize;
+        let mut spec = JobSpec::map_reduce(
+            JobId(i as u32),
+            format!("w1-{}-{i:03}", label(class)),
+            MapReduceProfile {
+                input: Bytes(input),
+                shuffle: Bytes(shuffle),
+                output: Bytes(output),
+                maps,
+                reduces,
+                map_rate: Bandwidth::mbytes_per_sec(rng.gen_range(60.0..140.0)),
+                reduce_rate: Bandwidth::mbytes_per_sec(rng.gen_range(60.0..140.0)),
+            },
+        );
+        scale.apply(&mut spec);
+        out.push(spec);
+    }
+    out
+}
+
+fn label(c: SizeClass) -> &'static str {
+    match c {
+        SizeClass::Small => "small",
+        SizeClass::Medium => "med",
+        SizeClass::Large => "large",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corral_model::JobProfile;
+
+    fn gen() -> Vec<JobSpec> {
+        generate(&W1Params::with_seed(7), Scale::full())
+    }
+
+    #[test]
+    fn job_count_and_validity() {
+        let jobs = gen();
+        assert_eq!(jobs.len(), 60);
+        for j in &jobs {
+            j.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn size_classes_match_paper_ranges() {
+        let jobs = gen();
+        let mut small = 0;
+        let mut large = 0;
+        for j in &jobs {
+            if let JobProfile::MapReduce(mr) = &j.profile {
+                assert!(mr.maps >= 4);
+                if mr.maps <= 50 {
+                    small += 1;
+                }
+                if mr.maps >= 1000 {
+                    large += 1;
+                }
+                assert!(
+                    mr.maps <= 50 || (51..=500).contains(&mr.maps) || mr.maps >= 1000,
+                    "maps {} outside W1 classes",
+                    mr.maps
+                );
+            }
+        }
+        assert!(small >= 20, "should be ~half small: {small}");
+        assert!(large >= 5, "should be ~fifth large: {large}");
+    }
+
+    #[test]
+    fn selectivities_bounded() {
+        for j in gen() {
+            if let JobProfile::MapReduce(mr) = &j.profile {
+                let s = mr.input.0 / mr.shuffle.0;
+                assert!(s >= 0.25 - 1e-9 && s <= 4.0 + 1e-9, "selectivity {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        assert_eq!(gen(), gen());
+        assert_ne!(
+            generate(&W1Params::with_seed(1), Scale::full()),
+            generate(&W1Params::with_seed(2), Scale::full())
+        );
+    }
+
+    #[test]
+    fn scaling_reduces_tasks() {
+        let full = gen();
+        let scaled = generate(&W1Params::with_seed(7), Scale { task_divisor: 4.0, data_divisor: 1.0 });
+        for (a, b) in full.iter().zip(&scaled) {
+            assert!(b.profile.total_tasks() <= a.profile.total_tasks());
+            assert_eq!(a.profile.total_input(), b.profile.total_input());
+        }
+    }
+
+    #[test]
+    fn size_class_binning() {
+        assert_eq!(SizeClass::of_slots(10, 120), SizeClass::Small);
+        assert_eq!(SizeClass::of_slots(100, 120), SizeClass::Medium);
+        assert_eq!(SizeClass::of_slots(600, 120), SizeClass::Large);
+    }
+}

@@ -1,0 +1,131 @@
+//! Workload W2 — derived from the SWIM Yahoo workloads (§6.1, §6.2.1):
+//! "W2 is highly skewed. Almost 90% of the jobs are tiny with less than
+//! 200MB (75MB) of input (shuffle) data and two (out of the 400) jobs are
+//! relatively large, reading nearly 5.5TB each" … "the large jobs in W2
+//! have nearly 1.8 times more shuffle data than input data".
+
+use crate::Scale;
+use corral_model::{Bandwidth, Bytes, JobId, JobSpec, MapReduceProfile};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// W2 generator parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct W2Params {
+    /// Total number of jobs (the paper uses 400; experiments scale down).
+    pub jobs: usize,
+    /// Number of huge (~5.5 TB) jobs among them (the paper has 2).
+    pub large_jobs: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for W2Params {
+    fn default() -> Self {
+        W2Params {
+            jobs: 100,
+            large_jobs: 2,
+            seed: 0xA002,
+        }
+    }
+}
+
+/// Generates W2 with batch arrivals.
+pub fn generate(params: &W2Params, scale: Scale) -> Vec<JobSpec> {
+    assert!(params.large_jobs <= params.jobs);
+    let mut rng = StdRng::seed_from_u64(params.seed ^ 0x5732_0002);
+    let mut out = Vec::with_capacity(params.jobs);
+    // The two large jobs take fixed slots at deterministic positions so the
+    // skew never depends on sampling luck.
+    let stride = params.jobs / params.large_jobs.max(1);
+    for i in 0..params.jobs {
+        let is_large = params.large_jobs > 0 && i % stride.max(1) == 0 && (i / stride.max(1)) < params.large_jobs;
+        let mut spec = if is_large {
+            let input = 5.5e12 * rng.gen_range(0.95..1.05);
+            let shuffle = input * 1.8;
+            let maps = 2200;
+            JobSpec::map_reduce(
+                JobId(i as u32),
+                format!("w2-large-{i:03}"),
+                MapReduceProfile {
+                    input: Bytes(input),
+                    shuffle: Bytes(shuffle),
+                    output: Bytes(input * 0.2),
+                    maps,
+                    reduces: 1100,
+                    map_rate: Bandwidth::mbytes_per_sec(100.0),
+                    reduce_rate: Bandwidth::mbytes_per_sec(100.0),
+                },
+            )
+        } else {
+            // Tiny: < 200 MB input, < 75 MB shuffle, a handful of tasks.
+            let input = rng.gen_range(20e6..200e6);
+            let shuffle = rng.gen_range(5e6..75e6);
+            let maps = rng.gen_range(2..=8);
+            JobSpec::map_reduce(
+                JobId(i as u32),
+                format!("w2-tiny-{i:03}"),
+                MapReduceProfile {
+                    input: Bytes(input),
+                    shuffle: Bytes(shuffle),
+                    output: Bytes(shuffle * rng.gen_range(0.3..1.0)),
+                    maps,
+                    reduces: rng.gen_range(1..=4),
+                    map_rate: Bandwidth::mbytes_per_sec(rng.gen_range(60.0..140.0)),
+                    reduce_rate: Bandwidth::mbytes_per_sec(rng.gen_range(60.0..140.0)),
+                },
+            )
+        };
+        scale.apply(&mut spec);
+        out.push(spec);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corral_model::JobProfile;
+
+    #[test]
+    fn skew_matches_paper() {
+        let jobs = generate(&W2Params::default(), Scale::full());
+        assert_eq!(jobs.len(), 100);
+        let mut large = 0;
+        let mut tiny = 0;
+        for j in &jobs {
+            j.validate().unwrap();
+            if let JobProfile::MapReduce(mr) = &j.profile {
+                if mr.input.0 > 1e12 {
+                    large += 1;
+                    assert!((mr.shuffle.0 / mr.input.0 - 1.8).abs() < 0.01);
+                } else {
+                    tiny += 1;
+                    assert!(mr.input.0 < 200e6);
+                    assert!(mr.shuffle.0 < 75e6);
+                }
+            }
+        }
+        assert_eq!(large, 2, "exactly two ~5.5TB jobs");
+        assert_eq!(tiny, 98);
+    }
+
+    #[test]
+    fn large_jobs_dominate_total_bytes() {
+        let jobs = generate(&W2Params::default(), Scale::full());
+        let total: f64 = jobs.iter().map(|j| j.profile.total_input().0).sum();
+        let large: f64 = jobs
+            .iter()
+            .map(|j| j.profile.total_input().0)
+            .filter(|&b| b > 1e12)
+            .sum();
+        assert!(large / total > 0.95, "skew: large jobs carry >95% of bytes");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(&W2Params::default(), Scale::full());
+        let b = generate(&W2Params::default(), Scale::full());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,168 @@
+//! Workload W3 — derived from Microsoft Cosmos production traces (§6.1,
+//! Table 1). Log-normal marginals fitted to the published percentiles:
+//!
+//! | metric            | 50%-tile | 95%-tile |
+//! |-------------------|----------|----------|
+//! | number of tasks   | 180      | 2,060    |
+//! | input size (GB)   | 7.1      | 162.3    |
+//! | shuffle size (GB) | 6        | 71.5     |
+//!
+//! Task count and input size are correlated (bigger jobs have more tasks);
+//! we couple them through a shared normal factor (ρ ≈ 0.8).
+
+use crate::dists::{lognormal_from_median_p95, sample_normal};
+use crate::Scale;
+use corral_model::{Bandwidth, Bytes, JobId, JobSpec, MapReduceProfile};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// W3 generator parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct W3Params {
+    /// Number of jobs (the paper samples 200 from a 24-hour trace).
+    pub jobs: usize,
+    /// Correlation between task count and input size factors.
+    pub rho: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for W3Params {
+    fn default() -> Self {
+        W3Params {
+            jobs: 60,
+            rho: 0.8,
+            seed: 0xA003,
+        }
+    }
+}
+
+/// Table 1 percentile targets (used by the generator and checked by the
+/// `table1` experiment).
+pub mod table1 {
+    /// Median / 95th percentile of tasks per job.
+    pub const TASKS: (f64, f64) = (180.0, 2060.0);
+    /// Median / 95th percentile of input bytes.
+    pub const INPUT: (f64, f64) = (7.1e9, 162.3e9);
+    /// Median / 95th percentile of shuffle bytes.
+    pub const SHUFFLE: (f64, f64) = (6.0e9, 71.5e9);
+}
+
+/// Generates W3 with batch arrivals.
+pub fn generate(params: &W3Params, scale: Scale) -> Vec<JobSpec> {
+    let mut rng = StdRng::seed_from_u64(params.seed ^ 0x5733_0003);
+    let (mu_t, sg_t) = lognormal_from_median_p95(table1::TASKS.0, table1::TASKS.1);
+    let (mu_i, sg_i) = lognormal_from_median_p95(table1::INPUT.0, table1::INPUT.1);
+    let (mu_s, sg_s) = lognormal_from_median_p95(table1::SHUFFLE.0, table1::SHUFFLE.1);
+    let rho = params.rho.clamp(0.0, 1.0);
+
+    let mut out = Vec::with_capacity(params.jobs);
+    for i in 0..params.jobs {
+        // Correlated standard normals.
+        let z_shared = sample_normal(&mut rng);
+        let mix = |rng: &mut StdRng| rho * z_shared + (1.0 - rho * rho).sqrt() * sample_normal(rng);
+        let z_t = mix(&mut rng);
+        let z_i = mix(&mut rng);
+        let z_s = mix(&mut rng);
+
+        let tasks = ((mu_t + sg_t * z_t).exp().round() as usize).clamp(4, 6000);
+        let input = (mu_i + sg_i * z_i).exp();
+        let shuffle = (mu_s + sg_s * z_s).exp();
+        let maps = ((tasks as f64) * 0.7).round().max(1.0) as usize;
+        let reduces = (tasks - maps).max(1);
+        let mut spec = JobSpec::map_reduce(
+            JobId(i as u32),
+            format!("w3-{i:03}"),
+            MapReduceProfile {
+                input: Bytes(input),
+                shuffle: Bytes(shuffle),
+                output: Bytes(shuffle * rng.gen_range(0.1..0.6)),
+                maps,
+                reduces,
+                map_rate: Bandwidth::mbytes_per_sec(rng.gen_range(60.0..140.0)),
+                reduce_rate: Bandwidth::mbytes_per_sec(rng.gen_range(60.0..140.0)),
+            },
+        );
+        scale.apply(&mut spec);
+        out.push(spec);
+    }
+    out
+}
+
+/// Percentile over raw values (helper for Table 1 checks).
+pub fn pctile(values: &mut Vec<f64>, p: f64) -> f64 {
+    values.sort_by(f64::total_cmp);
+    if values.is_empty() {
+        return 0.0;
+    }
+    let idx = ((values.len() as f64 - 1.0) * p / 100.0).round() as usize;
+    values[idx.min(values.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corral_model::JobProfile;
+
+    #[test]
+    fn percentiles_track_table1() {
+        // With enough samples, the generated percentiles land near Table 1.
+        let jobs = generate(
+            &W3Params {
+                jobs: 4000,
+                ..Default::default()
+            },
+            Scale::full(),
+        );
+        let mut tasks: Vec<f64> = Vec::new();
+        let mut input: Vec<f64> = Vec::new();
+        let mut shuffle: Vec<f64> = Vec::new();
+        for j in &jobs {
+            if let JobProfile::MapReduce(mr) = &j.profile {
+                tasks.push((mr.maps + mr.reduces) as f64);
+                input.push(mr.input.0);
+                shuffle.push(mr.shuffle.0);
+            }
+        }
+        let t50 = pctile(&mut tasks, 50.0);
+        let t95 = pctile(&mut tasks, 95.0);
+        let i50 = pctile(&mut input, 50.0);
+        let s95 = pctile(&mut shuffle, 95.0);
+        assert!((t50 / 180.0 - 1.0).abs() < 0.2, "t50={t50}");
+        assert!((t95 / 2060.0 - 1.0).abs() < 0.25, "t95={t95}");
+        assert!((i50 / 7.1e9 - 1.0).abs() < 0.2, "i50={i50}");
+        assert!((s95 / 71.5e9 - 1.0).abs() < 0.3, "s95={s95}");
+    }
+
+    #[test]
+    fn tasks_and_input_are_correlated() {
+        let jobs = generate(&W3Params { jobs: 2000, ..Default::default() }, Scale::full());
+        let pairs: Vec<(f64, f64)> = jobs
+            .iter()
+            .filter_map(|j| match &j.profile {
+                JobProfile::MapReduce(mr) => {
+                    Some((((mr.maps + mr.reduces) as f64).ln(), mr.input.0.ln()))
+                }
+                _ => None,
+            })
+            .collect();
+        let n = pairs.len() as f64;
+        let mx = pairs.iter().map(|p| p.0).sum::<f64>() / n;
+        let my = pairs.iter().map(|p| p.1).sum::<f64>() / n;
+        let cov = pairs.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum::<f64>() / n;
+        let sx = (pairs.iter().map(|p| (p.0 - mx).powi(2)).sum::<f64>() / n).sqrt();
+        let sy = (pairs.iter().map(|p| (p.1 - my).powi(2)).sum::<f64>() / n).sqrt();
+        let corr = cov / (sx * sy);
+        assert!(corr > 0.4, "log-log correlation should be strong: {corr}");
+    }
+
+    #[test]
+    fn valid_and_deterministic() {
+        let a = generate(&W3Params::default(), Scale::bench_default());
+        for j in &a {
+            j.validate().unwrap();
+        }
+        let b = generate(&W3Params::default(), Scale::bench_default());
+        assert_eq!(a, b);
+    }
+}

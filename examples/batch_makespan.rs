@@ -1,0 +1,66 @@
+//! Batch scenario: a W1-style workload run as a batch under all four
+//! systems (Yarn-CS, Corral, LocalShuffle, ShuffleWatcher), reporting
+//! makespan and cross-rack traffic — a miniature of the paper's Figure 6.
+//!
+//! ```text
+//! cargo run --release -p corral --example batch_makespan
+//! ```
+
+use corral::cluster::config::DataPlacement;
+use corral::prelude::*;
+use corral::workloads::w1;
+
+fn main() {
+    let cfg = ClusterConfig::testbed_210();
+    // A modest W1 sample so the example runs in seconds.
+    let jobs = w1::generate(
+        &w1::W1Params {
+            jobs: 20,
+            ..w1::W1Params::with_seed(7)
+        },
+        Scale {
+            task_divisor: 8.0,
+            data_divisor: 2.0,
+        },
+    );
+
+    // 50% of each rack's core uplink is lost to background transfers.
+    let background = BackgroundModel::Constant {
+        per_rack: cfg.rack_core_bandwidth() * 0.5,
+    };
+    let base = SimParams {
+        cluster: cfg.clone(),
+        background,
+        horizon: SimTime::hours(12.0),
+        ..SimParams::testbed()
+    };
+
+    let plan = plan_jobs(&cfg, &jobs, Objective::Makespan, &PlannerConfig::default());
+
+    println!("{:>16} {:>12} {:>14} {:>10}", "system", "makespan", "cross-rack", "vs yarn");
+    let mut yarn_makespan = None;
+    for (label, kind, placement, use_plan) in [
+        ("yarn-cs", SchedulerKind::Capacity, DataPlacement::HdfsRandom, false),
+        ("corral", SchedulerKind::Planned, DataPlacement::PerPlan, true),
+        ("localshuffle", SchedulerKind::Planned, DataPlacement::HdfsRandom, true),
+        ("shufflewatcher", SchedulerKind::ShuffleWatcher, DataPlacement::HdfsRandom, false),
+    ] {
+        let mut params = base.clone();
+        params.placement = placement;
+        let empty = Plan::default();
+        let p = if use_plan { &plan } else { &empty };
+        let report = Engine::new(params, jobs.clone(), p, kind).run();
+        assert_eq!(report.unfinished, 0, "{label}: unfinished jobs");
+        let mk = report.makespan.as_secs();
+        let gain = yarn_makespan
+            .map(|y: f64| format!("{:+.1}%", (y - mk) / y * 100.0))
+            .unwrap_or_else(|| "--".into());
+        if yarn_makespan.is_none() {
+            yarn_makespan = Some(mk);
+        }
+        println!(
+            "{label:>16} {:>11.1}s {:>14} {gain:>10}",
+            mk, report.cross_rack_bytes
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! Flow-level scheduling (§6.6): the same workload under max-min-fair TCP
+//! and under Varys coflow scheduling, with and without Corral — showing
+//! that good endpoint placement (Corral) and good flow scheduling (Varys)
+//! compose.
+//!
+//! ```text
+//! cargo run --release -p corral --example flow_schedulers
+//! ```
+
+use corral::cluster::config::{DataPlacement, NetPolicy};
+use corral::prelude::*;
+use corral::workloads::w1;
+
+fn main() {
+    let cfg = ClusterConfig::testbed_210();
+    let mut jobs = w1::generate(
+        &w1::W1Params {
+            jobs: 24,
+            ..w1::W1Params::with_seed(41)
+        },
+        Scale {
+            task_divisor: 8.0,
+            data_divisor: 2.0,
+        },
+    );
+    assign_uniform_arrivals(&mut jobs, SimTime::minutes(10.0), 42);
+
+    let background = BackgroundModel::Constant {
+        per_rack: cfg.rack_core_bandwidth() * 0.5,
+    };
+    let base = SimParams {
+        cluster: cfg.clone(),
+        background,
+        horizon: SimTime::hours(12.0),
+        ..SimParams::testbed()
+    };
+    let plan = plan_jobs(
+        &cfg,
+        &jobs,
+        Objective::AvgCompletionTime,
+        &PlannerConfig::default(),
+    );
+
+    println!("{:>18} {:>12} {:>12}", "system", "mean jct", "median jct");
+    for (label, kind, placement, with_plan, net) in [
+        ("yarn-cs + tcp", SchedulerKind::Capacity, DataPlacement::HdfsRandom, false, NetPolicy::Tcp),
+        ("yarn-cs + varys", SchedulerKind::Capacity, DataPlacement::HdfsRandom, false, NetPolicy::Varys),
+        ("corral + tcp", SchedulerKind::Planned, DataPlacement::PerPlan, true, NetPolicy::Tcp),
+        ("corral + varys", SchedulerKind::Planned, DataPlacement::PerPlan, true, NetPolicy::Varys),
+    ] {
+        let mut params = base.clone();
+        params.placement = placement;
+        params.net = net;
+        let empty = Plan::default();
+        let p = if with_plan { &plan } else { &empty };
+        let report = Engine::new(params, jobs.clone(), p, kind).run();
+        assert_eq!(report.unfinished, 0);
+        println!(
+            "{label:>18} {:>11.1}s {:>11.1}s",
+            report.avg_completion_time(),
+            report.median_completion_time()
+        );
+    }
+}

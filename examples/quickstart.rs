@@ -1,0 +1,79 @@
+//! Quickstart: plan a small workload with Corral and execute it on the
+//! simulated cluster, comparing against YARN's capacity scheduler.
+//!
+//! ```text
+//! cargo run --release -p corral --example quickstart
+//! ```
+
+use corral::prelude::*;
+
+fn main() {
+    // A small cluster: 3 racks x 4 machines, 10G NICs, 4:1 oversubscription.
+    let cfg = ClusterConfig::tiny_test();
+
+    // Six MapReduce jobs with shuffle-heavy profiles.
+    let jobs: Vec<JobSpec> = (0..6)
+        .map(|i| {
+            JobSpec::map_reduce(
+                JobId(i),
+                format!("etl-{i}"),
+                MapReduceProfile {
+                    input: Bytes::gb(1.0 + i as f64 * 0.5),
+                    shuffle: Bytes::gb(2.0),
+                    output: Bytes::gb(0.2),
+                    maps: 8,
+                    reduces: 6,
+                    map_rate: Bandwidth::mbytes_per_sec(100.0),
+                    reduce_rate: Bandwidth::mbytes_per_sec(100.0),
+                },
+            )
+        })
+        .collect();
+
+    // 1. Offline planning: which racks should each job (and its data) use?
+    let plan = plan_jobs(&cfg, &jobs, Objective::Makespan, &PlannerConfig::default());
+    println!(
+        "offline plan (objective = {:.1}s predicted makespan):",
+        plan.objective_value
+    );
+    for (id, entry) in &plan.entries {
+        println!(
+            "  {id}: racks {:?}, priority {}, planned [{} .. {}]",
+            entry.racks.iter().map(|r| r.0).collect::<Vec<_>>(),
+            entry.priority,
+            entry.planned_start,
+            entry.planned_finish,
+        );
+    }
+
+    // 2. Execute with Corral (plan-driven placement) and with Yarn-CS.
+    let params = SimParams {
+        cluster: cfg,
+        placement: DataPlacement::PerPlan,
+        horizon: SimTime::hours(4.0),
+        ..SimParams::testbed()
+    };
+    let corral = Engine::new(params.clone(), jobs.clone(), &plan, SchedulerKind::Planned).run();
+
+    let mut yarn_params = params;
+    yarn_params.placement = DataPlacement::HdfsRandom;
+    let yarn = Engine::new(yarn_params, jobs, &Plan::default(), SchedulerKind::Capacity).run();
+
+    println!("\n                  {:>12} {:>12}", "corral", "yarn-cs");
+    println!(
+        "makespan          {:>12} {:>12}",
+        format!("{:.1}s", corral.makespan.as_secs()),
+        format!("{:.1}s", yarn.makespan.as_secs())
+    );
+    println!(
+        "cross-rack bytes  {:>12} {:>12}",
+        format!("{}", corral.cross_rack_bytes),
+        format!("{}", yarn.cross_rack_bytes)
+    );
+    println!(
+        "median jct        {:>12} {:>12}",
+        format!("{:.1}s", corral.median_completion_time()),
+        format!("{:.1}s", yarn.median_completion_time())
+    );
+    assert_eq!(corral.unfinished + yarn.unfinished, 0);
+}

@@ -1,0 +1,71 @@
+//! DAG workloads: run the modeled Hive/TPC-H queries (stage DAGs, not
+//! plain MapReduce) through the planner and the simulator — a miniature of
+//! the paper's §6.3 / Figure 10.
+//!
+//! ```text
+//! cargo run --release -p corral --example tpch_dags
+//! ```
+
+use corral::cluster::config::DataPlacement;
+use corral::prelude::*;
+use corral::workloads::tpch;
+
+fn main() {
+    let cfg = ClusterConfig::testbed_210();
+    // 15 queries over a 50 GB database (scaled down so the example is
+    // quick), arriving over 10 minutes.
+    let mut jobs = tpch::generate(50e9, Scale { task_divisor: 4.0, data_divisor: 1.0 });
+    assign_uniform_arrivals(&mut jobs, SimTime::minutes(10.0), 5);
+
+    // Show the DAG structure of one query.
+    let q5 = &jobs[2];
+    if let JobProfile::Dag(dag) = &q5.profile {
+        println!("{} stage graph:", q5.name);
+        for s in dag.stage_ids() {
+            let st = dag.stage(s);
+            let ins: Vec<String> = dag.in_edges(s).map(|e| format!("{}", e.from)).collect();
+            println!(
+                "  {s} {:<14} tasks={:<4} in={:<9} deps={:?}",
+                st.name,
+                st.tasks,
+                format!("{}", dag.stage_total_input(s)),
+                ins
+            );
+        }
+    }
+
+    let background = BackgroundModel::Constant {
+        per_rack: cfg.rack_core_bandwidth() * 0.5,
+    };
+    let base = SimParams {
+        cluster: cfg.clone(),
+        background,
+        horizon: SimTime::hours(12.0),
+        ..SimParams::testbed()
+    };
+
+    let plan = plan_jobs(
+        &cfg,
+        &jobs,
+        Objective::AvgCompletionTime,
+        &PlannerConfig::default(),
+    );
+
+    println!("\n{:>10} {:>12} {:>12}", "system", "mean jct", "median jct");
+    for (label, kind, placement, with_plan) in [
+        ("yarn-cs", SchedulerKind::Capacity, DataPlacement::HdfsRandom, false),
+        ("corral", SchedulerKind::Planned, DataPlacement::PerPlan, true),
+    ] {
+        let mut params = base.clone();
+        params.placement = placement;
+        let empty = Plan::default();
+        let p = if with_plan { &plan } else { &empty };
+        let report = Engine::new(params, jobs.clone(), p, kind).run();
+        assert_eq!(report.unfinished, 0);
+        println!(
+            "{label:>10} {:>11.1}s {:>11.1}s",
+            report.avg_completion_time(),
+            report.median_completion_time()
+        );
+    }
+}

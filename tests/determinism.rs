@@ -1,0 +1,65 @@
+//! Whole-system determinism: identical inputs produce bit-identical runs;
+//! different seeds genuinely change placement.
+
+use corral::cluster::config::DataPlacement;
+use corral::prelude::*;
+use corral::workloads::{w1, w3};
+
+fn run_once(seed: u64, kind: SchedulerKind, placement: DataPlacement) -> Vec<u64> {
+    let cfg = ClusterConfig::tiny_test();
+    let mut jobs = w1::generate(
+        &w1::W1Params {
+            jobs: 8,
+            ..w1::W1Params::with_seed(17)
+        },
+        Scale {
+            task_divisor: 10.0,
+            data_divisor: 10.0,
+        },
+    );
+    assign_uniform_arrivals(&mut jobs, SimTime::minutes(5.0), 17);
+    let plan = plan_jobs(&cfg, &jobs, Objective::Makespan, &PlannerConfig::default());
+    let params = SimParams {
+        cluster: cfg,
+        placement,
+        seed,
+        horizon: SimTime::hours(10.0),
+        ..SimParams::testbed()
+    };
+    let r = Engine::new(params, jobs, &plan, kind).run();
+    let mut bits = vec![
+        r.makespan.0.to_bits(),
+        r.cross_rack_bytes.0.to_bits(),
+        r.network_bytes.0.to_bits(),
+    ];
+    for (_, m) in &r.jobs {
+        bits.push(m.finished.unwrap().0.to_bits());
+        bits.push(m.task_seconds.to_bits());
+    }
+    bits
+}
+
+#[test]
+fn identical_inputs_bit_identical_outputs() {
+    for kind in [SchedulerKind::Capacity, SchedulerKind::Planned, SchedulerKind::ShuffleWatcher] {
+        let a = run_once(7, kind, DataPlacement::PerPlan);
+        let b = run_once(7, kind, DataPlacement::PerPlan);
+        assert_eq!(a, b, "{kind:?} must be deterministic");
+    }
+}
+
+#[test]
+fn seed_changes_placement_and_outcome() {
+    let a = run_once(7, SchedulerKind::Capacity, DataPlacement::HdfsRandom);
+    let b = run_once(8, SchedulerKind::Capacity, DataPlacement::HdfsRandom);
+    assert_ne!(a, b, "different seeds must alter DFS placement outcomes");
+}
+
+#[test]
+fn planner_is_deterministic() {
+    let cfg = ClusterConfig::testbed_210();
+    let jobs = w3::generate(&w3::W3Params { jobs: 30, ..Default::default() }, Scale::bench_default());
+    let p1 = plan_jobs(&cfg, &jobs, Objective::Makespan, &PlannerConfig::default());
+    let p2 = plan_jobs(&cfg, &jobs, Objective::Makespan, &PlannerConfig::default());
+    assert_eq!(p1, p2);
+}

@@ -1,0 +1,103 @@
+//! §7 failure handling: machine/rack failures kill running attempts, the
+//! DFS loses replicas but data survives (off-rack copies), and Corral's
+//! fallback lifts placement constraints when a job's racks are gutted.
+
+use corral::core::plan::{Plan, PlanEntry};
+use corral::cluster::config::{DataPlacement, FailureSpec};
+use corral::model::MachineId;
+use corral::prelude::*;
+
+fn job(id: u32) -> JobSpec {
+    JobSpec::map_reduce(
+        JobId(id),
+        format!("f{id}"),
+        MapReduceProfile {
+            input: Bytes::gb(4.0),
+            shuffle: Bytes::gb(2.0),
+            output: Bytes::gb(0.4),
+            maps: 16,
+            reduces: 8,
+            map_rate: Bandwidth::mbytes_per_sec(50.0),
+            reduce_rate: Bandwidth::mbytes_per_sec(50.0),
+        },
+    )
+}
+
+fn plan_on_rack(job: u32, rack: u32) -> Plan {
+    let mut plan = Plan::default();
+    plan.entries.insert(
+        JobId(job),
+        PlanEntry {
+            job: JobId(job),
+            racks: vec![RackId(rack)],
+            priority: 0,
+            planned_start: SimTime::ZERO,
+            planned_finish: SimTime(1e4),
+            predicted_latency: SimTime(1e4),
+        },
+    );
+    plan
+}
+
+fn params_with_failures(failures: Vec<FailureSpec>, threshold: f64) -> SimParams {
+    SimParams {
+        cluster: ClusterConfig::testbed_210(),
+        placement: DataPlacement::PerPlan,
+        horizon: SimTime::hours(2.0),
+        failure_fallback_threshold: threshold,
+        failures,
+        ..SimParams::testbed()
+    }
+}
+
+#[test]
+fn rack_failure_with_fallback_completes() {
+    let failures = vec![FailureSpec::Rack { at: SimTime(5.0), rack: RackId(2) }];
+    let params = params_with_failures(failures, 0.5);
+    let report = Engine::new(params, vec![job(0)], &plan_on_rack(0, 2), SchedulerKind::Planned).run();
+    assert_eq!(report.unfinished, 0, "fallback must rescue the job");
+    let m = &report.jobs[&JobId(0)];
+    assert!(m.tasks_killed > 0, "attempts on the dead rack must be killed");
+    assert!(m.finished.is_some());
+}
+
+#[test]
+fn without_fallback_the_job_stalls() {
+    // Threshold > 1 means fallback can never trigger; with its only rack
+    // dead the job cannot be placed and hits the horizon.
+    let failures = vec![FailureSpec::Rack { at: SimTime(5.0), rack: RackId(2) }];
+    let params = params_with_failures(failures, 2.0);
+    let report = Engine::new(params, vec![job(0)], &plan_on_rack(0, 2), SchedulerKind::Planned).run();
+    assert_eq!(report.unfinished, 1, "no fallback, no placement, no finish");
+}
+
+#[test]
+fn single_machine_failure_is_retried_in_place() {
+    // One machine of the planned rack dies; the rest of the rack absorbs
+    // the re-queued work without any fallback.
+    let failures = vec![FailureSpec::Machine { at: SimTime(3.0), machine: MachineId(60) }];
+    let params = params_with_failures(failures, 0.5);
+    let report = Engine::new(params, vec![job(0)], &plan_on_rack(0, 2), SchedulerKind::Planned).run();
+    assert_eq!(report.unfinished, 0);
+}
+
+#[test]
+fn failures_also_handled_under_capacity_scheduler() {
+    let failures = vec![
+        FailureSpec::Machine { at: SimTime(2.0), machine: MachineId(0) },
+        FailureSpec::Machine { at: SimTime(4.0), machine: MachineId(1) },
+        FailureSpec::Rack { at: SimTime(6.0), rack: RackId(6) },
+    ];
+    let mut params = params_with_failures(failures, 0.5);
+    params.placement = DataPlacement::HdfsRandom;
+    let jobs = vec![job(0), job(1).arriving_at(SimTime(10.0))];
+    let report = Engine::new(params, jobs, &Plan::default(), SchedulerKind::Capacity).run();
+    assert_eq!(report.unfinished, 0);
+}
+
+#[test]
+fn machine_id_type_guard() {
+    // Compile-time sanity for the test setup helpers above.
+    let m = MachineId(60);
+    assert_eq!(ClusterConfig::testbed_210().rack_of(m), RackId(2));
+}
