@@ -2,10 +2,10 @@
 //! to end under Yarn-CS and under Corral (planning included). Tracks
 //! regressions in the event loop, fabric and scheduler hot paths.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use corral_bench::{run_variant, RunConfig, Variant};
 use corral_core::Objective;
 use corral_workloads::{w1, Scale};
+use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench_end_to_end(c: &mut Criterion) {
     let jobs = w1::generate(

@@ -2,15 +2,22 @@
 //! and Varys SEBF allocation — at realistic flow counts, plus end-to-end
 //! fabric drain throughput.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use corral_model::Bandwidth;
 use corral_model::{Bytes, ClusterConfig, MachineId};
 use corral_simnet::allocator::{FlowView, RateAllocator};
-use corral_simnet::{Fabric, FairShare, FlowKind, FlowSpec, FlowTag, VarysSebf};
 use corral_simnet::{CoflowId, Topology};
-use corral_model::Bandwidth;
+use corral_simnet::{Fabric, FairShare, FlowKind, FlowSpec, FlowTag, VarysSebf};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 /// Builds a deterministic set of `n` flow views on the testbed topology.
-fn flow_set(topo: &Topology, n: usize) -> (Vec<Vec<corral_simnet::LinkId>>, Vec<Bytes>, Vec<Option<CoflowId>>) {
+fn flow_set(
+    topo: &Topology,
+    n: usize,
+) -> (
+    Vec<Vec<corral_simnet::LinkId>>,
+    Vec<Bytes>,
+    Vec<Option<CoflowId>>,
+) {
     let m = topo.config().total_machines();
     let mut paths = Vec::with_capacity(n);
     let mut sizes = Vec::with_capacity(n);
@@ -37,7 +44,11 @@ fn bench_allocators(c: &mut Criterion) {
             .iter()
             .zip(&sizes)
             .zip(&coflows)
-            .map(|((p, &s), &cf)| FlowView { path: p, remaining: s, coflow: cf })
+            .map(|((p, &s), &cf)| FlowView {
+                path: p,
+                remaining: s,
+                coflow: cf,
+            })
             .collect();
         let mut rates = vec![Bandwidth::ZERO; views.len()];
 

@@ -4,11 +4,11 @@
 //! measured once by `repro fig5`, while this bench tracks the smaller
 //! points precisely.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use corral_core::{plan_jobs, Objective, PlannerConfig};
 use corral_model::{Bandwidth, Bytes, ClusterConfig};
 use corral_workloads::w3::{self, W3Params};
 use corral_workloads::Scale;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn planner_cluster() -> ClusterConfig {
     ClusterConfig {
@@ -27,11 +27,16 @@ fn bench_planner(c: &mut Criterion) {
     let mut group = c.benchmark_group("planner_fig5");
     group.sample_size(10);
     for jobs in [25usize, 50, 100] {
-        let specs = w3::generate(&W3Params { jobs, ..Default::default() }, Scale::full());
+        let specs = w3::generate(
+            &W3Params {
+                jobs,
+                ..Default::default()
+            },
+            Scale::full(),
+        );
         group.bench_with_input(BenchmarkId::from_parameter(jobs), &specs, |b, specs| {
             b.iter(|| {
-                let plan =
-                    plan_jobs(&cfg, specs, Objective::Makespan, &PlannerConfig::default());
+                let plan = plan_jobs(&cfg, specs, Objective::Makespan, &PlannerConfig::default());
                 assert_eq!(plan.len(), specs.len());
                 plan.objective_value
             })

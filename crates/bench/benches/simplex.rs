@@ -1,12 +1,12 @@
 //! Criterion bench: the dense two-phase simplex on LP-Batch instances of
 //! increasing size (the Appendix-A relaxation the lpgap experiment solves).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use corral_core::latency::{LatencyModel, ResponseOptions};
 use corral_core::lp::batch_lower_bound;
 use corral_model::ClusterConfig;
 use corral_workloads::w1::{self, W1Params};
 use corral_workloads::Scale;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_lp_batch(c: &mut Criterion) {
     let cfg = ClusterConfig::testbed_210();

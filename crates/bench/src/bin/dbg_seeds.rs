@@ -13,6 +13,9 @@ fn main() {
         let rc = RunConfig::testbed(Objective::AvgCompletionTime);
         let y = run_variant(Variant::YarnCs, &jobs, &rc).avg_completion_time();
         let c = run_variant(Variant::Corral, &jobs, &rc).avg_completion_time();
-        println!("seed {seed:#x}: yarn={y:.1}s corral={c:.1}s gain={:+.1}%", reduction_pct(y, c));
+        println!(
+            "seed {seed:#x}: yarn={y:.1}s corral={c:.1}s gain={:+.1}%",
+            reduction_pct(y, c)
+        );
     }
 }

@@ -6,8 +6,27 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let ids: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
-            "fig1", "fig2", "table1", "pred", "fig5", "fig6", "fig7", "bal", "fig8", "fig9",
-            "fig10", "fig11", "fig12", "fig13", "fig14", "lpgap", "latmodel", "phases", "netseries", "replan", "ablations",
+            "fig1",
+            "fig2",
+            "table1",
+            "pred",
+            "fig5",
+            "fig6",
+            "fig7",
+            "bal",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig14",
+            "lpgap",
+            "latmodel",
+            "phases",
+            "netseries",
+            "replan",
+            "ablations",
         ]
     } else {
         args.iter().map(|s| s.as_str()).collect()

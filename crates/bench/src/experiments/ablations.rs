@@ -28,7 +28,11 @@ fn alpha_ablation() {
     table::row(&["alpha", "input CoV", "makespan"]);
     let jobs = workload("W1");
     let mut csv = Vec::new();
-    for (label, alpha) in [("0", Some(0.0)), ("default", None), ("10x", Some(10.0 / 3.75e9))] {
+    for (label, alpha) in [
+        ("0", Some(0.0)),
+        ("default", None),
+        ("10x", Some(10.0 / 3.75e9)),
+    ] {
         let mut rc = RunConfig::testbed(Objective::Makespan);
         rc.planner.response.alpha = alpha;
         let r = run_variant(Variant::Corral, &jobs, &rc);
@@ -91,7 +95,11 @@ fn delay_sched_ablation() {
             format!("{:.0}", r.cross_rack_bytes.as_gb()),
             table::secs(r.makespan.as_secs()),
         ]);
-        csv.push(vec![wait as f64, r.cross_rack_bytes.as_gb(), r.makespan.as_secs()]);
+        csv.push(vec![
+            wait as f64,
+            r.cross_rack_bytes.as_gb(),
+            r.makespan.as_secs(),
+        ]);
     }
     table::write_csv(
         "ablation_delay_sched",
@@ -110,9 +118,24 @@ fn ingest_ablation() {
     let mut csv = Vec::new();
     for (label, mode) in [
         ("preloaded", IngestMode::Preloaded),
-        ("upload, no lead", IngestMode::Simulated { lead_time: SimTime::ZERO }),
-        ("upload, 10min lead", IngestMode::Simulated { lead_time: SimTime::minutes(10.0) }),
-        ("upload, 60min lead", IngestMode::Simulated { lead_time: SimTime::minutes(60.0) }),
+        (
+            "upload, no lead",
+            IngestMode::Simulated {
+                lead_time: SimTime::ZERO,
+            },
+        ),
+        (
+            "upload, 10min lead",
+            IngestMode::Simulated {
+                lead_time: SimTime::minutes(10.0),
+            },
+        ),
+        (
+            "upload, 60min lead",
+            IngestMode::Simulated {
+                lead_time: SimTime::minutes(60.0),
+            },
+        ),
     ] {
         let mut rc = RunConfig::testbed(Objective::AvgCompletionTime);
         rc.params.ingest = mode;
@@ -147,11 +170,21 @@ fn straggler_ablation() {
         ("no stragglers", None),
         (
             "stragglers",
-            Some(StragglerModel { probability: 0.05, slowdown: 5.0, speculate: false, spec_threshold: 1.5 }),
+            Some(StragglerModel {
+                probability: 0.05,
+                slowdown: 5.0,
+                speculate: false,
+                spec_threshold: 1.5,
+            }),
         ),
         (
             "with speculation",
-            Some(StragglerModel { probability: 0.05, slowdown: 5.0, speculate: true, spec_threshold: 1.5 }),
+            Some(StragglerModel {
+                probability: 0.05,
+                slowdown: 5.0,
+                speculate: true,
+                spec_threshold: 1.5,
+            }),
         ),
     ] {
         let mut rc = RunConfig::testbed(Objective::Makespan);
@@ -165,11 +198,17 @@ fn straggler_ablation() {
         ]);
         csv.push(vec![
             model.map(|m| m.probability).unwrap_or(0.0),
-            model.map(|m| if m.speculate { 1.0 } else { 0.0 }).unwrap_or(0.0),
+            model
+                .map(|m| if m.speculate { 1.0 } else { 0.0 })
+                .unwrap_or(0.0),
             r.makespan.as_secs(),
         ]);
     }
-    table::write_csv("ablation_stragglers", &["prob", "speculate", "makespan_s"], &csv);
+    table::write_csv(
+        "ablation_stragglers",
+        &["prob", "speculate", "makespan_s"],
+        &csv,
+    );
 }
 
 /// Machine churn ablation (§7 resilience beyond single injected failures).

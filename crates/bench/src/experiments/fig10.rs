@@ -58,7 +58,12 @@ pub fn main() {
             .filter_map(|m| m.completion_time().map(|t| t.as_secs()))
             .collect();
         times.sort_by(f64::total_cmp);
-        assert_eq!(times.len(), query_ids.len(), "{}: queries unfinished", v.label());
+        assert_eq!(
+            times.len(),
+            query_ids.len(),
+            "{}: queries unfinished",
+            v.label()
+        );
         results.push((v.label().to_string(), times));
     }
 

@@ -99,10 +99,7 @@ pub fn main() {
         rows[0].1.iter().sum::<f64>() / rows[0].1.len().max(1) as f64,
         rows[1].1.iter().sum::<f64>() / rows[1].1.len().max(1) as f64,
     );
-    let adhoc_gain = reduction_pct(
-        percentile(&rows[0].2, 90.0),
-        percentile(&rows[1].2, 90.0),
-    );
+    let adhoc_gain = reduction_pct(percentile(&rows[0].2, 90.0), percentile(&rows[1].2, 90.0));
     println!(
         "   corral gains: recurring mean {} | ad hoc p90 {}",
         table::pct(rec_gain),

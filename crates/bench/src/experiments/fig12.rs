@@ -18,8 +18,12 @@ pub fn gains_at(gbps_equiv: f64) -> (f64, f64) {
     let mut rc = RunConfig::testbed(Objective::Makespan);
     rc.params.background = crate::runner::background_fraction(&rc.params.cluster, frac);
     let batch_jobs = workload("W1");
-    let yarn = run_variant(Variant::YarnCs, &batch_jobs, &rc).makespan.as_secs();
-    let corral = run_variant(Variant::Corral, &batch_jobs, &rc).makespan.as_secs();
+    let yarn = run_variant(Variant::YarnCs, &batch_jobs, &rc)
+        .makespan
+        .as_secs();
+    let corral = run_variant(Variant::Corral, &batch_jobs, &rc)
+        .makespan
+        .as_secs();
     let batch_gain = reduction_pct(yarn, corral);
 
     let mut rc = RunConfig::testbed(Objective::AvgCompletionTime);
@@ -38,11 +42,7 @@ pub fn main() {
     let mut csv = Vec::new();
     for &g in &[30.0, 35.0, 40.0] {
         let (batch, online) = gains_at(g);
-        table::row(&[
-            format!("{g:.0}Gbps"),
-            table::pct(batch),
-            table::pct(online),
-        ]);
+        table::row(&[format!("{g:.0}Gbps"), table::pct(batch), table::pct(online)]);
         csv.push(vec![g, batch, online]);
     }
     table::write_csv(

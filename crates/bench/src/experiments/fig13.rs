@@ -23,12 +23,19 @@ use corral_model::SimTime;
 pub fn gain_with_volume_error(err: f64) -> f64 {
     let true_jobs = workload("W1");
     let rc = RunConfig::testbed(Objective::Makespan);
-    let yarn = run_variant(Variant::YarnCs, &true_jobs, &rc).makespan.as_secs();
+    let yarn = run_variant(Variant::YarnCs, &true_jobs, &rc)
+        .makespan
+        .as_secs();
 
     let mut gains = Vec::new();
     for seed in [0xA13u64, 0xB13, 0xC13] {
         let predicted = perturb_volumes(&true_jobs, err, seed);
-        let plan = plan_jobs(&rc.params.cluster, &predicted, Objective::Makespan, &rc.planner);
+        let plan = plan_jobs(
+            &rc.params.cluster,
+            &predicted,
+            Objective::Makespan,
+            &rc.planner,
+        );
         let mut params = rc.params.clone();
         params.placement = DataPlacement::PerPlan;
         let corral = Engine::new(params, true_jobs.clone(), &plan, SchedulerKind::Planned)

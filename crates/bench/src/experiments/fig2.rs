@@ -26,5 +26,9 @@ pub fn main() {
             csv_rows.push(vec![ci as f64, x, cdf_at(&sample, x)]);
         }
     }
-    table::write_csv("fig2_slots_cdf", &["cluster", "slots", "cum_fraction"], &csv_rows);
+    table::write_csv(
+        "fig2_slots_cdf",
+        &["cluster", "slots", "cum_fraction"],
+        &csv_rows,
+    );
 }

@@ -47,7 +47,8 @@ pub fn run(workloads: &[&str]) -> Vec<Fig6Row> {
         for (i, v) in Variant::ALL.iter().enumerate() {
             let report = run_variant(*v, &jobs, &rc);
             assert_eq!(
-                report.unfinished, 0,
+                report.unfinished,
+                0,
                 "{w}/{}: {} unfinished jobs",
                 v.label(),
                 report.unfinished
@@ -83,7 +84,12 @@ pub fn main() {
     }
     table::write_csv(
         "fig6_makespan",
-        &["yarn_cs_s", "corral_s", "localshuffle_s", "shufflewatcher_s"],
+        &[
+            "yarn_cs_s",
+            "corral_s",
+            "localshuffle_s",
+            "shufflewatcher_s",
+        ],
         &csv,
     );
 }

@@ -53,7 +53,13 @@ pub fn main() {
     }
     table::write_csv(
         "fig7a_cross_rack",
-        &["workload_idx", "yarn_cs", "corral", "localshuffle", "shufflewatcher"],
+        &[
+            "workload_idx",
+            "yarn_cs",
+            "corral",
+            "localshuffle",
+            "shufflewatcher",
+        ],
         &csv,
     );
 
@@ -72,7 +78,13 @@ pub fn main() {
     }
     table::write_csv(
         "fig7b_compute_hours",
-        &["workload_idx", "yarn_cs", "corral", "localshuffle", "shufflewatcher"],
+        &[
+            "workload_idx",
+            "yarn_cs",
+            "corral",
+            "localshuffle",
+            "shufflewatcher",
+        ],
         &csv,
     );
 
@@ -98,7 +110,13 @@ pub fn main() {
     );
 
     table::section("§6.2.1 data balance: CoV of per-rack input bytes");
-    table::row(&["workload", "hdfs (yarn-cs)", "corral", "paper hdfs", "paper corral"]);
+    table::row(&[
+        "workload",
+        "hdfs (yarn-cs)",
+        "corral",
+        "paper hdfs",
+        "paper corral",
+    ]);
     for (wi, w) in workloads.iter().enumerate() {
         table::row(&[
             w.to_string(),

@@ -15,8 +15,12 @@ fn bin_means(jobs: &[JobSpec], report: &RunReport, slots_per_rack: usize) -> [f6
     let mut sums = [0.0; 3];
     let mut counts = [0usize; 3];
     for j in jobs {
-        let Some(m) = report.jobs.get(&j.id) else { continue };
-        let Some(ct) = m.completion_time() else { continue };
+        let Some(m) = report.jobs.get(&j.id) else {
+            continue;
+        };
+        let Some(ct) = m.completion_time() else {
+            continue;
+        };
         let class = SizeClass::of_slots(m.slots_requested, slots_per_rack);
         let b = match class {
             SizeClass::Small => 0,
@@ -28,7 +32,11 @@ fn bin_means(jobs: &[JobSpec], report: &RunReport, slots_per_rack: usize) -> [f6
     }
     let mut out = [0.0; 3];
     for b in 0..3 {
-        out[b] = if counts[b] > 0 { sums[b] / counts[b] as f64 } else { 0.0 };
+        out[b] = if counts[b] > 0 {
+            sums[b] / counts[b] as f64
+        } else {
+            0.0
+        };
     }
     out
 }
@@ -71,7 +79,13 @@ pub fn main() {
     }
     table::write_csv(
         "fig9_size_bins",
-        &["bin", "yarn_cs_s", "corral_s", "localshuffle_s", "shufflewatcher_s"],
+        &[
+            "bin",
+            "yarn_cs_s",
+            "corral_s",
+            "localshuffle_s",
+            "shufflewatcher_s",
+        ],
         &csv,
     );
 }

@@ -82,15 +82,15 @@ pub fn main() {
     let mut csv = Vec::new();
     for (wi, w) in ["W1", "W3"].iter().enumerate() {
         let (err, rho) = validate(w);
-        table::row(&[
-            w.to_string(),
-            format!("{err:.0}%"),
-            format!("{rho:.2}"),
-        ]);
+        table::row(&[w.to_string(), format!("{err:.0}%"), format!("{rho:.2}")]);
         csv.push(vec![wi as f64, err, rho]);
     }
     println!("   the model is a coarse proxy (errors expected); planning only needs the ranking");
-    table::write_csv("latmodel", &["workload_idx", "median_abs_err_pct", "spearman"], &csv);
+    table::write_csv(
+        "latmodel",
+        &["workload_idx", "median_abs_err_pct", "spearman"],
+        &csv,
+    );
 }
 
 #[cfg(test)]

@@ -50,17 +50,31 @@ pub fn heuristic_variants(
 ) -> (f64, f64) {
     let (models, _) = latency_tables(jobs, cfg);
     let meta: Vec<_> = jobs.iter().map(|j| (j.id, j.arrival)).collect();
-    let full =
-        provision_with_mode(&models, &meta, cfg.racks, objective, ProvisionMode::Exhaustive)
-            .objective_value;
-    let early =
-        provision_with_mode(&models, &meta, cfg.racks, objective, ProvisionMode::EarlyStop)
-            .objective_value;
+    let full = provision_with_mode(
+        &models,
+        &meta,
+        cfg.racks,
+        objective,
+        ProvisionMode::Exhaustive,
+    )
+    .objective_value;
+    let early = provision_with_mode(
+        &models,
+        &meta,
+        cfg.racks,
+        objective,
+        ProvisionMode::EarlyStop,
+    )
+    .objective_value;
     (full, early)
 }
 
 /// Online gap: (heuristic avg completion, LP bound, gap %).
-pub fn online_gap(jobs: &[corral_model::JobSpec], cfg: &ClusterConfig, epochs: usize) -> (f64, f64, f64) {
+pub fn online_gap(
+    jobs: &[corral_model::JobSpec],
+    cfg: &ClusterConfig,
+    epochs: usize,
+) -> (f64, f64, f64) {
     let (models, tables) = latency_tables(jobs, cfg);
     let meta: Vec<_> = jobs.iter().map(|j| (j.id, j.arrival)).collect();
     let out = provision(&models, &meta, cfg.racks, Objective::AvgCompletionTime);
@@ -87,11 +101,23 @@ pub fn main() {
     for (name, jobs) in [
         (
             "W1 batch",
-            w1::generate(&w1::W1Params { jobs: 40, ..w1::W1Params::with_seed(0x17A) }, bench_scale()),
+            w1::generate(
+                &w1::W1Params {
+                    jobs: 40,
+                    ..w1::W1Params::with_seed(0x17A)
+                },
+                bench_scale(),
+            ),
         ),
         (
             "W3 batch",
-            w3::generate(&w3::W3Params { jobs: 40, ..Default::default() }, bench_scale()),
+            w3::generate(
+                &w3::W3Params {
+                    jobs: 40,
+                    ..Default::default()
+                },
+                bench_scale(),
+            ),
         ),
     ] {
         let (h, lp, gap) = batch_gap(&jobs, &cfg);
@@ -104,10 +130,17 @@ pub fn main() {
         csv.push(vec![0.0, h, lp, gap]);
     }
 
-    for (name, mut jobs) in [(
-        "W1 online",
-        w1::generate(&w1::W1Params { jobs: 25, ..w1::W1Params::with_seed(0x17B) }, bench_scale()),
-    )] {
+    {
+        let (name, mut jobs) = (
+            "W1 online",
+            w1::generate(
+                &w1::W1Params {
+                    jobs: 25,
+                    ..w1::W1Params::with_seed(0x17B)
+                },
+                bench_scale(),
+            ),
+        );
         assign_uniform_arrivals(&mut jobs, SimTime::minutes(30.0), 0x17C);
         let (h, lp, gap) = online_gap(&jobs, &cfg, 200);
         table::row(&[
@@ -133,9 +166,18 @@ pub fn main() {
         slots_per_machine: 1,
         ..cfg.clone()
     };
-    let few_big = w3::generate(&w3::W3Params { jobs: 8, ..Default::default() }, corral_workloads::Scale::full());
+    let few_big = w3::generate(
+        &w3::W3Params {
+            jobs: 8,
+            ..Default::default()
+        },
+        corral_workloads::Scale::full(),
+    );
     let mut online = w1::generate(
-        &w1::W1Params { jobs: 30, ..w1::W1Params::with_seed(0x17D) },
+        &w1::W1Params {
+            jobs: 30,
+            ..w1::W1Params::with_seed(0x17D)
+        },
         corral_workloads::Scale::full(),
     );
     assign_uniform_arrivals(&mut online, SimTime::minutes(20.0), 0x17E);

@@ -3,28 +3,28 @@
 
 pub mod ablations;
 pub mod fig1;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
 pub mod fig2;
 pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
-pub mod fig10;
-pub mod fig11;
-pub mod fig12;
-pub mod fig13;
-pub mod fig14;
 pub mod latmodel;
-pub mod phases;
-pub mod netseries;
-pub mod replan;
 pub mod lpgap;
+pub mod netseries;
+pub mod phases;
 pub mod pred;
+pub mod replan;
 pub mod table1;
 
+use corral_model::JobSpec;
 use corral_model::SimTime;
 use corral_workloads::{assign_uniform_arrivals, w1, w2, w3, Scale};
-use corral_model::JobSpec;
 
 /// The workload scale used by the simulator experiments (see DESIGN.md §1
 /// and EXPERIMENTS.md): task counts divided by 4, volumes intact.
@@ -37,7 +37,10 @@ pub fn bench_scale() -> Scale {
 /// preserves that wave parity (275 maps vs 360 slots on a 3-rack
 /// allocation). See EXPERIMENTS.md.
 pub fn w2_scale() -> Scale {
-    Scale { task_divisor: 8.0, data_divisor: 1.0 }
+    Scale {
+        task_divisor: 8.0,
+        data_divisor: 1.0,
+    }
 }
 
 /// Standard instances of W1/W2/W3 used by figs 6–9 (batch arrivals). Job

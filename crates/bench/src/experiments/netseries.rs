@@ -24,8 +24,7 @@ pub fn main() {
         assert!(!series.is_empty(), "sampling must be on");
         let mean = series.iter().map(|&(_, u)| u).sum::<f64>() / series.len() as f64;
         let peak = series.iter().map(|&(_, u)| u).fold(0.0, f64::max);
-        let busy = series.iter().filter(|&&(_, u)| u > 0.5).count() as f64
-            / series.len() as f64;
+        let busy = series.iter().filter(|&&(_, u)| u > 0.5).count() as f64 / series.len() as f64;
         table::row(&[
             v.label().to_string(),
             format!("{:.1}%", mean * 100.0),

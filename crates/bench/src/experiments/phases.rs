@@ -39,7 +39,13 @@ pub fn main() {
     println!("   corral should shift fetch-time (network wait) into a larger compute share");
     table::write_csv(
         "phases",
-        &["system_idx", "fetch_pct", "compute_pct", "write_pct", "core_util_pct"],
+        &[
+            "system_idx",
+            "fetch_pct",
+            "compute_pct",
+            "write_pct",
+            "core_util_pct",
+        ],
         &csv,
     );
 }

@@ -33,5 +33,9 @@ pub fn main() {
         "6.5%".to_string(),
         format!("{:.1}%", ewma_mean * 100.0),
     ]);
-    table::write_csv("pred_mape", &["job_id", "daytype_mape_pct", "ewma_mape_pct"], &csv);
+    table::write_csv(
+        "pred_mape",
+        &["job_id", "daytype_mape_pct", "ewma_mape_pct"],
+        &csv,
+    );
 }

@@ -17,8 +17,8 @@ use corral_cluster::metrics::RunReport;
 use corral_cluster::scheduler::SchedulerKind;
 use corral_core::planner::perturb_arrivals;
 use corral_core::{plan_jobs, plan_jobs_pinned, Objective};
-use std::collections::BTreeMap;
 use corral_model::{JobSpec, SimTime};
+use std::collections::BTreeMap;
 
 /// Runs Corral with an initial (possibly stale) plan and optional periodic
 /// replanning every `interval` (None = never).
@@ -60,9 +60,7 @@ pub fn run_with_replanning(
                 // its data's racks and re-derives ordering around them.
                 let pins: BTreeMap<_, _> = remaining
                     .iter()
-                    .filter_map(|j| {
-                        initial.entry(j.id).map(|e| (j.id, e.racks.clone()))
-                    })
+                    .filter_map(|j| initial.entry(j.id).map(|e| (j.id, e.racks.clone())))
                     .collect();
                 let mut fresh = plan_jobs_pinned(
                     &rc.params.cluster,
@@ -120,5 +118,9 @@ pub fn main() {
     println!("   finding: with data anchored at upload-time locations, replanning can only");
     println!("   reorder; most of the stale-plan penalty is placement, which is sunk — the");
     println!("   paper's periodic replanning pays off chiefly for *data not yet uploaded*");
-    table::write_csv("replan", &["strategy_idx", "mean_jct_s", "median_jct_s"], &csv);
+    table::write_csv(
+        "replan",
+        &["strategy_idx", "mean_jct_s", "median_jct_s"],
+        &csv,
+    );
 }

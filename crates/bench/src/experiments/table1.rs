@@ -29,9 +29,27 @@ pub fn main() {
     }
     table::row(&["metric", "paper 50%", "gen 50%", "paper 95%", "gen 95%"]);
     let rows = [
-        ("tasks", 180.0, pctile(&mut tasks, 50.0), 2060.0, pctile(&mut tasks, 95.0)),
-        ("input GB", 7.1, pctile(&mut input, 50.0), 162.3, pctile(&mut input, 95.0)),
-        ("shuffle GB", 6.0, pctile(&mut shuffle, 50.0), 71.5, pctile(&mut shuffle, 95.0)),
+        (
+            "tasks",
+            180.0,
+            pctile(&mut tasks, 50.0),
+            2060.0,
+            pctile(&mut tasks, 95.0),
+        ),
+        (
+            "input GB",
+            7.1,
+            pctile(&mut input, 50.0),
+            162.3,
+            pctile(&mut input, 95.0),
+        ),
+        (
+            "shuffle GB",
+            6.0,
+            pctile(&mut shuffle, 50.0),
+            71.5,
+            pctile(&mut shuffle, 95.0),
+        ),
     ];
     let mut csv = Vec::new();
     for (i, (name, p50, g50, p95, g95)) in rows.iter().enumerate() {

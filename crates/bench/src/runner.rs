@@ -7,8 +7,8 @@ use corral_cluster::metrics::RunReport;
 use corral_cluster::scheduler::SchedulerKind;
 use corral_core::{plan_jobs, Objective, Plan, PlannerConfig};
 use corral_model::JobSpec;
-use corral_simnet::background::BackgroundModel;
 use corral_model::SimTime;
+use corral_simnet::background::BackgroundModel;
 
 /// The four systems compared throughout §6.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -88,10 +88,7 @@ pub fn scaled_testbed() -> corral_model::ClusterConfig {
 /// paper states background consumes "up to 50% of the core bandwidth
 /// usage", and Fig. 12 sweeps 30/35/40 Gbps of the testbed's 60 Gbps
 /// uplinks (fractions 0.5 / 0.583 / 0.667).
-pub fn background_fraction(
-    cluster: &corral_model::ClusterConfig,
-    frac: f64,
-) -> BackgroundModel {
+pub fn background_fraction(cluster: &corral_model::ClusterConfig, frac: f64) -> BackgroundModel {
     BackgroundModel::Constant {
         per_rack: cluster.rack_core_bandwidth() * frac,
     }

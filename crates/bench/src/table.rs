@@ -58,7 +58,8 @@ pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<f64>]) -> PathBuf {
 
 fn write_file(path: &Path, contents: &str) {
     let mut f = fs::File::create(path).expect("create results file");
-    f.write_all(contents.as_bytes()).expect("write results file");
+    f.write_all(contents.as_bytes())
+        .expect("write results file");
 }
 
 /// CDF rows `(value, cumulative_fraction)` from an unsorted sample.

@@ -12,15 +12,18 @@ use crate::metrics::{JobMetrics, RunReport};
 use crate::scheduler::{SchedulerKind, TaskScheduler};
 use corral_core::plan::Plan;
 use corral_dfs::{CorralPlacement, Dfs, HdfsDefault, PlacementPolicy};
-use corral_model::{
-    Bytes, FlowId, JobId, JobSpec, MachineId, RackId, SimTime, StageId, TaskId,
-};
+use corral_model::{Bytes, FlowId, JobId, JobSpec, MachineId, RackId, SimTime, StageId, TaskId};
 use corral_simnet::{
     CoflowId, EventQueue, Fabric, FairShare, FlowKind, FlowSpec, FlowTag, VarysSebf,
+};
+use corral_trace::{
+    LocalityCounts, LocalityLevel, MetricsRegistry, NullTracer, Percentiles, RunSummary,
+    SharedTracer, TraceEvent,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// Cluster-side events.
 #[derive(Debug, Clone, Copy)]
@@ -37,6 +40,8 @@ enum Event {
     Failure(FailureSpec),
     /// A transiently-failed machine rejoins.
     Repair(MachineId),
+    /// Deferred speculation check for a stage (`jobs` index, stage).
+    SpecCheck(usize, StageId),
 }
 
 /// Read-only cluster state handed to scheduling policies.
@@ -55,6 +60,10 @@ pub struct ClusterState {
     pub free_slots: Vec<u32>,
     /// Machine liveness.
     pub dead: Vec<bool>,
+    /// Structured event sink shared with the fabric and the scheduling
+    /// policy ([`NullTracer`] unless the run opted into tracing). Policies
+    /// should gate event construction on `tracer.enabled()`.
+    pub tracer: SharedTracer,
 }
 
 /// The simulator. Construct with [`Engine::new`], then call [`Engine::run`].
@@ -73,6 +82,8 @@ pub struct Engine {
     /// Ingress upload flows → owning job index.
     ingest_flows: BTreeMap<FlowId, usize>,
     next_task_id: u64,
+    /// Attempt counter per (job, stage, index); feeds the straggler coin.
+    attempt_seq: BTreeMap<(JobId, StageId, u32), u32>,
     next_coflow: u64,
     /// Coflow ids per (job, stage, phase-kind) so related flows share one.
     coflows: BTreeMap<(JobId, StageId, u8), CoflowId>,
@@ -84,6 +95,13 @@ pub struct Engine {
     scheduler_label: String,
     horizon_hit: bool,
     task_log: Vec<crate::metrics::TaskRecord>,
+    /// Cached `tracer.enabled()` so untraced runs pay one branch per site.
+    trace_on: bool,
+    /// Always-on run telemetry (cheap: a few histogram/gauge updates per
+    /// attempt) feeding [`RunSummary`].
+    registry: MetricsRegistry,
+    /// First-attempt placements by achieved locality level.
+    locality: LocalityCounts,
 }
 
 impl Engine {
@@ -152,6 +170,7 @@ impl Engine {
                 prio_order: Vec::new(),
                 free_slots: vec![0; machines],
                 dead: vec![false; machines],
+                tracer: Arc::new(NullTracer),
             },
             policy: kind.build(0),
             fabric,
@@ -162,6 +181,7 @@ impl Engine {
             flow_task: BTreeMap::new(),
             ingest_flows: BTreeMap::new(),
             next_task_id: 0,
+            attempt_seq: BTreeMap::new(),
             next_coflow: 0,
             coflows: BTreeMap::new(),
             rng: StdRng::seed_from_u64(0),
@@ -171,15 +191,20 @@ impl Engine {
             scheduler_label: String::new(),
             horizon_hit: false,
             task_log: Vec::new(),
+            trace_on: false,
+            registry: MetricsRegistry::new(),
+            locality: LocalityCounts::default(),
         };
+        // Anchor the busy-slot gauge at t=0 so its time average covers the
+        // whole run, including any idle prefix before the first launch.
+        engine.registry.gauge_set("slots_busy", 0.0, 0.0);
         engine.policy = kind.build(engine.st.params.locality_wait_slots);
         engine.scheduler_label = match (kind, engine.st.params.placement) {
             (SchedulerKind::Planned, DataPlacement::PerPlan) => "corral".to_string(),
             (SchedulerKind::Planned, DataPlacement::HdfsRandom) => "localshuffle".to_string(),
             _ => engine.policy.name().to_string(),
         };
-        engine.st.free_slots =
-            vec![engine.st.params.cluster.slots_per_machine as u32; machines];
+        engine.st.free_slots = vec![engine.st.params.cluster.slots_per_machine as u32; machines];
         engine.rng = rng.clone();
 
         // --- Ingest input data (offline, before execution; §3.1 step 2).
@@ -239,12 +264,7 @@ impl Engine {
         }
         let horizon = engine.st.params.horizon;
         for r in 0..engine.st.params.cluster.racks {
-            for (t, bw) in engine
-                .st
-                .params
-                .background
-                .schedule_for_rack(r, horizon)
-            {
+            for (t, bw) in engine.st.params.background.schedule_for_rack(r, horizon) {
                 engine
                     .queue
                     .schedule(t, Event::Background(RackId::from_index(r), bw));
@@ -293,6 +313,7 @@ impl Engine {
     /// allocation — the model assumes no preemption, §4.1). Input data
     /// placement is *not* redone: replicas were written at upload time.
     pub fn apply_plan_update(&mut self, plan: &Plan) {
+        let mut jobs_updated = 0usize;
         for ji in 0..self.st.jobs.len() {
             let job = &mut self.st.jobs[ji];
             if job.first_task_at.is_some() || job.is_finished() {
@@ -301,7 +322,11 @@ impl Engine {
             if let Some(entry) = plan.entry(job.spec.id) {
                 job.constrain_to(entry.racks.clone());
                 job.priority = entry.priority;
+                jobs_updated += 1;
             }
+        }
+        if self.trace_on {
+            self.emit(TraceEvent::Replanned { jobs_updated });
         }
         // Priorities changed: rebuild the priority order.
         let jobs = &self.st.jobs;
@@ -332,6 +357,23 @@ impl Engine {
     /// Current simulation time.
     pub fn now(&self) -> SimTime {
         self.st.now
+    }
+
+    /// Routes structured events for this run into `tracer`: task lifecycle
+    /// and job events from the engine, flow events from the fabric, and
+    /// scheduler decisions from the policy (via [`ClusterState::tracer`]).
+    /// Call before [`Engine::run`]; the default [`NullTracer`] keeps the
+    /// untraced path free.
+    pub fn set_tracer(&mut self, tracer: SharedTracer) {
+        self.trace_on = tracer.enabled();
+        self.fabric.set_tracer(tracer.clone());
+        self.st.tracer = tracer;
+    }
+
+    /// Records `ev` at the current simulation time. Callers gate on
+    /// `self.trace_on` so disabled runs skip event construction.
+    fn emit(&self, ev: TraceEvent) {
+        self.st.tracer.record(self.st.now.as_secs(), ev);
     }
 
     fn step_until(&mut self, limit: SimTime) -> bool {
@@ -380,10 +422,7 @@ impl Engine {
         let use_plan = self.st.params.placement == DataPlacement::PerPlan;
         let (planned, racks) = {
             let j = &self.st.jobs[ji];
-            (
-                !j.constrained_racks.is_empty(),
-                j.constrained_racks.clone(),
-            )
+            (!j.constrained_racks.is_empty(), j.constrained_racks.clone())
         };
         let corral_policy = CorralPlacement::new(racks);
         let hdfs = HdfsDefault;
@@ -449,7 +488,10 @@ impl Engine {
             .unwrap_or_else(|| vec![0.0; cfg.racks]);
         let mut order: Vec<usize> = (0..cfg.racks).collect();
         order.sort_by(|&a, &b| frac[b].total_cmp(&frac[a]).then(a.cmp(&b)));
-        let mut racks: Vec<RackId> = order[..need].iter().map(|&r| RackId::from_index(r)).collect();
+        let mut racks: Vec<RackId> = order[..need]
+            .iter()
+            .map(|&r| RackId::from_index(r))
+            .collect();
         racks.sort_unstable();
         racks
     }
@@ -468,18 +510,50 @@ impl Engine {
                     crate::config::IngestMode::Simulated { .. }
                 ) && job.ingest_remaining > 0;
                 if !uploading {
-                    job.arrived = true;
-                    self.mark_all_machines_dirty();
+                    self.on_job_arrived(ji);
                 }
             }
             Event::IngestStart(ji) => self.start_ingest(ji),
             Event::ComputeDone(tid) => self.on_compute_done(tid),
             Event::Background(rack, bw) => {
                 self.fabric.set_rack_background(rack, bw);
+                if self.trace_on {
+                    self.emit(TraceEvent::BackgroundEpoch {
+                        rack: rack.0,
+                        gbps: bw.as_gbps(),
+                    });
+                }
             }
             Event::Failure(f) => self.on_failure(f),
             Event::Repair(m) => self.on_repair(m),
+            Event::SpecCheck(ji, sid) => {
+                if self.st.params.stragglers.is_some_and(|sm| sm.speculate)
+                    && self.st.jobs[ji].stages[sid.index()].state != StageState::Done
+                {
+                    self.maybe_speculate(ji, sid);
+                }
+            }
         }
+    }
+
+    /// Marks job `ji` as arrived: its already-Ready stages start their
+    /// queueing-delay clocks now, and machines are re-offered.
+    fn on_job_arrived(&mut self, ji: usize) {
+        let now = self.st.now;
+        let id = {
+            let job = &mut self.st.jobs[ji];
+            job.arrived = true;
+            for s in job.stages.iter_mut() {
+                if s.state == StageState::Ready && s.ready_at.is_none() {
+                    s.ready_at = Some(now);
+                }
+            }
+            job.spec.id
+        };
+        if self.trace_on {
+            self.emit(TraceEvent::JobArrived { job: id.0 });
+        }
+        self.mark_all_machines_dirty();
     }
 
     fn all_jobs_finished(&self) -> bool {
@@ -508,14 +582,11 @@ impl Engine {
     /// starve the jobs planned onto them.
     fn dispatch(&mut self) {
         let k = self.st.params.cluster.machines_per_rack;
-        loop {
-            let Some(&m) = self
-                .dirty_machines
-                .iter()
-                .min_by_key(|m| (m.index() % k, m.index() / k))
-            else {
-                break;
-            };
+        while let Some(&m) = self
+            .dirty_machines
+            .iter()
+            .min_by_key(|m| (m.index() % k, m.index() / k))
+        {
             while !self.st.dead[m.index()] && self.st.free_slots[m.index()] > 0 {
                 match self.policy.pick(m, &self.st) {
                     Some(pick) => self.launch(pick, m),
@@ -533,7 +604,7 @@ impl Engine {
         let sid = pick.stage;
         let si = sid.index();
 
-        let (index, job_id, is_source) = {
+        let (index, is_source) = {
             let job = &mut self.st.jobs[ji];
             let stage = &mut job.stages[si];
             let index = stage.pending.remove(pick.pending_pos);
@@ -544,7 +615,7 @@ impl Engine {
                     mm.started = Some(now);
                 }
             }
-            (index, job.spec.id, stage.is_source)
+            (index, stage.is_source)
         };
         self.st.free_slots[m.index()] -= 1;
 
@@ -559,7 +630,6 @@ impl Engine {
             }
         }
         self.spawn_attempt(ji, sid, index, m);
-        let _ = (job_id, now);
     }
 
     /// Creates a task attempt (fetch flows + state) on machine `m`. The
@@ -571,11 +641,18 @@ impl Engine {
         let is_source = self.st.jobs[ji].stages[si].is_source;
         let tid = TaskId(self.next_task_id);
         self.next_task_id += 1;
+        let attempt = {
+            let n = self.attempt_seq.entry((job_id, sid, index)).or_insert(0);
+            let a = *n;
+            *n += 1;
+            a
+        };
         let mut task = RtTask {
             id: tid,
             job: job_id,
             stage: sid,
             index,
+            attempt,
             machine: m,
             phase: TaskPhase::Fetching,
             pending_flows: 0,
@@ -598,6 +675,53 @@ impl Engine {
         }
         self.task_flows.insert(tid, flows);
         self.tasks.insert(tid, task);
+
+        // Telemetry: achieved locality and queueing delay. The delay
+        // (stage runnable → slot assignment) is only meaningful for the
+        // first attempt — retries and speculative duplicates were not
+        // queueing.
+        let (locality, queue_delay) = {
+            let stage = &self.st.jobs[ji].stages[si];
+            let locality = match stage
+                .preferred
+                .get(index as usize)
+                .filter(|p| !p.is_empty())
+            {
+                None => LocalityLevel::Unconstrained,
+                Some(p) if p.contains(&m) => LocalityLevel::Machine,
+                Some(p) => {
+                    let cfg = &self.st.params.cluster;
+                    let rack = cfg.rack_of(m);
+                    if p.iter().any(|&pm| cfg.rack_of(pm) == rack) {
+                        LocalityLevel::Rack
+                    } else {
+                        LocalityLevel::Remote
+                    }
+                }
+            };
+            let delay = stage.ready_at.map_or(0.0, |r| (now - r).as_secs().max(0.0));
+            (locality, delay)
+        };
+        if attempt == 0 {
+            match locality {
+                LocalityLevel::Machine => self.locality.machine += 1,
+                LocalityLevel::Rack => self.locality.rack += 1,
+                LocalityLevel::Remote => self.locality.remote += 1,
+                LocalityLevel::Unconstrained => self.locality.unconstrained += 1,
+            }
+            self.registry.observe("task_queue_delay_s", queue_delay);
+        }
+        self.registry.gauge_add("slots_busy", now.as_secs(), 1.0);
+        if self.trace_on {
+            self.emit(TraceEvent::TaskScheduled {
+                job: job_id.0,
+                stage: sid.0,
+                index: index as usize,
+                machine: m.0,
+                locality,
+                queue_delay_s: queue_delay,
+            });
+        }
 
         if fetch_empty {
             self.begin_compute(tid);
@@ -711,7 +835,8 @@ impl Engine {
             // Group racks: the largest MAX_FETCH_FLOWS-1 racks get their own
             // flow; the rest merge into one flow sourced from the largest
             // remaining rack (deterministic: sort by count desc, rack asc).
-            let mut rack_list: Vec<(RackId, Vec<(MachineId, u32)>, u32)> = by_rack
+            type RackGroup = (RackId, Vec<(MachineId, u32)>, u32);
+            let mut rack_list: Vec<RackGroup> = by_rack
                 .into_iter()
                 .map(|(r, members)| {
                     let count: u32 = members.iter().map(|(_, c)| c).sum();
@@ -780,9 +905,9 @@ impl Engine {
         }
         // Cross-rack replica: rotate over other racks.
         if cfg.racks > 1 {
-            let mut rack_off = 1 + (task.index as usize) % (cfg.racks - 1);
-            for _ in 0..cfg.racks {
-                let r = RackId::from_index((my_rack.index() + rack_off) % cfg.racks);
+            let base = 1 + (task.index as usize) % (cfg.racks - 1);
+            for step in 0..cfg.racks {
+                let r = RackId::from_index((my_rack.index() + base + step) % cfg.racks);
                 if r != my_rack {
                     let live: Vec<MachineId> = cfg
                         .machines_in_rack(r)
@@ -802,7 +927,6 @@ impl Engine {
                         break;
                     }
                 }
-                rack_off += 1;
             }
         }
         flows
@@ -838,8 +962,7 @@ impl Engine {
             debug_assert!(job.ingest_remaining > 0);
             job.ingest_remaining -= 1;
             if job.ingest_remaining == 0 && job.arrival_passed && !job.arrived {
-                job.arrived = true;
-                self.mark_all_machines_dirty();
+                self.on_job_arrived(ji);
             }
             return;
         }
@@ -863,16 +986,31 @@ impl Engine {
 
     fn begin_compute(&mut self, tid: TaskId) {
         let now = self.st.now;
-        let (ji, sid) = {
+        let (ji, sid, job_id, index, attempt, m) = {
             let task = self.tasks.get_mut(&tid).expect("task missing");
             task.phase = TaskPhase::Computing;
             task.compute_started = Some(now);
-            (self.job_index[&task.job], task.stage)
+            (
+                self.job_index[&task.job],
+                task.stage,
+                task.job,
+                task.index,
+                task.attempt,
+                task.machine,
+            )
         };
+        if self.trace_on {
+            self.emit(TraceEvent::TaskComputeStart {
+                job: job_id.0,
+                stage: sid.0,
+                index: index as usize,
+                machine: m.0,
+            });
+        }
         let mut dur = self.st.jobs[ji].compute_time(sid);
         if let Some(sm) = self.st.params.stragglers {
-            use rand::Rng;
-            if self.rng.gen::<f64>() < sm.probability {
+            let coin = straggler_coin(self.st.params.seed, job_id, sid, index, attempt);
+            if coin < sm.probability {
                 dur = dur * sm.slowdown;
             }
         }
@@ -930,9 +1068,14 @@ impl Engine {
             started += 1;
         }
         self.st.jobs[ji].ingest_remaining = started;
+        if self.trace_on && started > 0 {
+            self.emit(TraceEvent::IngestStarted {
+                job: job_id.0,
+                flows: started as usize,
+            });
+        }
         if started == 0 && self.st.jobs[ji].arrival_passed {
-            self.st.jobs[ji].arrived = true;
-            self.mark_all_machines_dirty();
+            self.on_job_arrived(ji);
         }
     }
 
@@ -953,6 +1096,15 @@ impl Engine {
             .get_mut(&tid)
             .expect("flow table missing")
             .extend(flows);
+        if self.trace_on {
+            let t = &self.tasks[&tid];
+            self.emit(TraceEvent::TaskWriteStart {
+                job: t.job.0,
+                stage: t.stage.0,
+                index: t.index as usize,
+                machine: t.machine.0,
+            });
+        }
         if self.tasks[&tid].pending_flows == 0 {
             self.complete_task(tid);
         }
@@ -987,6 +1139,20 @@ impl Engine {
         let is_source = self.st.jobs[ji].stages[task.stage.index()].is_source;
         if let Some(mm) = self.metrics.get_mut(&task.job) {
             mm.task_seconds += dur;
+        }
+        self.registry.gauge_add("slots_busy", now.as_secs(), -1.0);
+        self.registry.inc("tasks_finished", 1);
+        self.registry.observe("task_duration_s", dur);
+        if self.trace_on {
+            self.emit(TraceEvent::TaskFinished {
+                job: task.job.0,
+                stage: task.stage.0,
+                index: task.index as usize,
+                machine: m.0,
+                scheduled_s: task.scheduled_at.as_secs(),
+                compute_started_s: task.compute_started.map(|t| t.as_secs()),
+                write_started_s: task.write_started.map(|t| t.as_secs()),
+            });
         }
 
         // A speculative duplicate finishing after its sibling is redundant:
@@ -1030,12 +1196,7 @@ impl Engine {
 
         if stage_done {
             self.on_stage_done(ji, task.stage);
-        } else if self
-            .st
-            .params
-            .stragglers
-            .is_some_and(|sm| sm.speculate)
-        {
+        } else if self.st.params.stragglers.is_some_and(|sm| sm.speculate) {
             self.maybe_speculate(ji, task.stage);
         }
     }
@@ -1058,7 +1219,9 @@ impl Engine {
             .filter(|t| {
                 t.job == job_id
                     && t.stage == sid
-                    && (now - t.scheduled_at).as_secs() > cutoff
+                    // Inclusive: a deferred SpecCheck lands exactly on the
+                    // crossing time, and a strict test would skip it there.
+                    && (now - t.scheduled_at).as_secs() >= cutoff
             })
             .map(|t| t.index)
             .collect();
@@ -1083,12 +1246,33 @@ impl Engine {
             candidates.sort_by_key(|m| (m.index() % k, m.index() / k));
             let Some(&m) = candidates.first() else {
                 // No slot right now; allow a later completion to retry.
-                self.st.jobs[ji].stages[sid.index()].speculated.remove(&index);
+                self.st.jobs[ji].stages[sid.index()]
+                    .speculated
+                    .remove(&index);
                 continue;
             };
             self.st.free_slots[m.index()] -= 1;
             self.st.jobs[ji].stages[sid.index()].running += 1;
             self.spawn_attempt(ji, sid, index, m);
+        }
+
+        // A tail straggler can outlive every completion event in its
+        // stage, so completion-driven checks alone would never flag it.
+        // Schedule a deferred check for the earliest future moment a
+        // still-running, not-yet-duplicated attempt crosses the cutoff.
+        let next = self
+            .tasks
+            .values()
+            .filter(|t| t.job == job_id && t.stage == sid)
+            .filter(|t| {
+                let stage = &self.st.jobs[ji].stages[sid.index()];
+                !stage.completed[t.index as usize] && !stage.speculated.contains(&t.index)
+            })
+            .map(|t| t.scheduled_at.as_secs() + cutoff)
+            .filter(|&at| at > now.as_secs())
+            .min_by(|a, b| a.total_cmp(b));
+        if let Some(at) = next {
+            self.queue.schedule(SimTime(at), Event::SpecCheck(ji, sid));
         }
     }
 
@@ -1099,17 +1283,17 @@ impl Engine {
             job.stages_done += 1;
         }
         // Unblock children (each distinct child once).
-        let children: BTreeSet<StageId> = self.st.jobs[ji]
-            .dag
-            .out_edges(sid)
-            .map(|e| e.to)
-            .collect();
+        let children: BTreeSet<StageId> =
+            self.st.jobs[ji].dag.out_edges(sid).map(|e| e.to).collect();
         let mut unblocked = false;
+        let now = self.st.now;
         for c in children {
             let job = &mut self.st.jobs[ji];
             if let StageState::Waiting(n) = job.stages[c.index()].state {
                 job.stages[c.index()].state = if n <= 1 {
                     unblocked = true;
+                    // Queueing-delay clock starts now for the child's tasks.
+                    job.stages[c.index()].ready_at = Some(now);
                     StageState::Ready
                 } else {
                     StageState::Waiting(n - 1)
@@ -1119,11 +1303,29 @@ impl Engine {
         if unblocked {
             self.mark_all_machines_dirty();
         }
-        let job = &mut self.st.jobs[ji];
-        if job.stages_done == job.stages.len() {
-            job.finished_at = Some(self.st.now);
-            if let Some(mm) = self.metrics.get_mut(&job.spec.id) {
-                mm.finished = Some(self.st.now);
+        let finished = {
+            let job = &mut self.st.jobs[ji];
+            if job.stages_done == job.stages.len() {
+                job.finished_at = Some(now);
+                if let Some(mm) = self.metrics.get_mut(&job.spec.id) {
+                    mm.finished = Some(now);
+                }
+                let arrival = self
+                    .metrics
+                    .get(&job.spec.id)
+                    .map_or(SimTime::ZERO, |m| m.arrival);
+                Some((job.spec.id, (now - arrival).as_secs()))
+            } else {
+                None
+            }
+        };
+        if let Some((id, completion_s)) = finished {
+            self.registry.inc("jobs_finished", 1);
+            if self.trace_on {
+                self.emit(TraceEvent::JobFinished {
+                    job: id.0,
+                    completion_s,
+                });
             }
         }
     }
@@ -1152,6 +1354,11 @@ impl Engine {
             self.st.free_slots[m.index()] = 0;
             self.dfs.kill_machine(m);
             self.dirty_machines.remove(&m);
+        }
+        if self.trace_on {
+            for &m in &victims {
+                self.emit(TraceEvent::MachineFailed { machine: m.0 });
+            }
         }
 
         // Kill task attempts on dead machines and attempts with flows
@@ -1209,6 +1416,9 @@ impl Engine {
         self.dfs.revive_machine(m);
         self.st.free_slots[m.index()] = self.st.params.cluster.slots_per_machine as u32;
         self.dirty_machines.insert(m);
+        if self.trace_on {
+            self.emit(TraceEvent::MachineRepaired { machine: m.0 });
+        }
     }
 
     /// Kills a task attempt: cancels its flows, frees its slot (if the
@@ -1245,6 +1455,18 @@ impl Engine {
         if let Some(mm) = self.metrics.get_mut(&task.job) {
             mm.tasks_killed += 1;
         }
+        self.registry
+            .gauge_add("slots_busy", self.st.now.as_secs(), -1.0);
+        self.registry.inc("tasks_killed", 1);
+        if self.trace_on {
+            self.emit(TraceEvent::TaskKilled {
+                job: task.job.0,
+                stage: task.stage.0,
+                index: task.index as usize,
+                machine: m.0,
+                scheduled_s: task.scheduled_at.as_secs(),
+            });
+        }
         self.task_log.push(crate::metrics::TaskRecord {
             job: task.job,
             stage: task.stage,
@@ -1275,14 +1497,59 @@ impl Engine {
             .fold(SimTime::ZERO, SimTime::max);
         let unfinished = self.st.jobs.iter().filter(|j| !j.is_finished()).count();
         let (edge_utilization, core_utilization) = self.fabric.class_utilization();
+        let makespan = if unfinished > 0 && self.horizon_hit {
+            self.st.params.horizon
+        } else {
+            makespan
+        };
+
+        // End-of-run summary from the metrics registry and fabric stats.
+        let end_t = makespan.as_secs();
+        let total_slots = self.st.params.cluster.total_slots() as f64;
+        let busy_avg = self
+            .registry
+            .gauge("slots_busy")
+            .and_then(|g| g.time_avg(end_t))
+            .unwrap_or(0.0);
+        let summary = RunSummary {
+            scheduler: self.scheduler_label.clone(),
+            makespan_s: end_t,
+            jobs: self.st.jobs.len(),
+            jobs_finished: self.st.jobs.len() - unfinished,
+            tasks_finished: self.registry.counter("tasks_finished"),
+            tasks_killed: self.registry.counter("tasks_killed"),
+            slot_utilization: if total_slots > 0.0 && end_t > 0.0 {
+                (busy_avg / total_slots).clamp(0.0, 1.0)
+            } else {
+                0.0
+            },
+            locality: self.locality,
+            queue_delay_s: self
+                .registry
+                .histogram("task_queue_delay_s")
+                .and_then(Percentiles::from_histogram),
+            task_duration_s: self
+                .registry
+                .histogram("task_duration_s")
+                .and_then(Percentiles::from_histogram),
+            cross_rack_fraction: if stats.network_bytes.0 > 0.0 {
+                stats.cross_rack_bytes.0 / stats.network_bytes.0
+            } else {
+                0.0
+            },
+            edge_utilization,
+            core_utilization,
+            flows_started: stats.flows_started,
+            flows_completed: stats.flows_completed,
+            network_bytes: stats.network_bytes.0,
+            cross_rack_bytes: stats.cross_rack_bytes.0,
+        };
+        self.st.tracer.flush();
+
         RunReport {
             scheduler: self.scheduler_label.clone(),
             net: self.fabric.allocator_name().to_string(),
-            makespan: if unfinished > 0 && self.horizon_hit {
-                self.st.params.horizon
-            } else {
-                makespan
-            },
+            makespan,
             jobs: std::mem::take(&mut self.metrics),
             cross_rack_bytes: stats.cross_rack_bytes,
             network_bytes: stats.network_bytes,
@@ -1293,6 +1560,7 @@ impl Engine {
             core_utilization,
             core_utilization_series: self.fabric.core_utilization_series(),
             task_log: std::mem::take(&mut self.task_log),
+            summary,
         }
     }
 
@@ -1307,4 +1575,34 @@ impl Engine {
     pub fn dfs(&self) -> &Dfs {
         &self.dfs
     }
+}
+
+/// Deterministic straggler coin in `[0, 1)` for one task attempt.
+///
+/// Hashing the attempt identity (instead of drawing from the engine's
+/// shared rng stream) keeps straggler outcomes identical across runs that
+/// differ only in scheduling order or speculation policy: a given attempt
+/// straggles — or not — regardless of how many other rng draws happened
+/// before it. That makes A/B comparisons (e.g. speculation on vs off)
+/// measure the policy, not a reshuffled coin sequence. Murmur3 fmix64
+/// finalizer over the mixed words.
+fn straggler_coin(seed: u64, job: JobId, stage: StageId, index: u32, attempt: u32) -> f64 {
+    fn fmix64(mut h: u64) -> u64 {
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+        h ^= h >> 33;
+        h
+    }
+    let mut h = seed;
+    for w in [
+        u64::from(job.0),
+        u64::from(stage.0),
+        u64::from(index),
+        u64::from(attempt),
+    ] {
+        h = fmix64(h ^ w.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    }
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }

@@ -29,6 +29,9 @@ pub struct RtTask {
     pub stage: StageId,
     /// Task index within the stage, `0..total`.
     pub index: u32,
+    /// Attempt number for this `(stage, index)`: 0 for the first launch,
+    /// incremented by retries and speculative duplicates.
+    pub attempt: u32,
     /// Machine whose slot the attempt occupies.
     pub machine: MachineId,
     /// Current phase.
@@ -84,6 +87,9 @@ pub struct RtStage {
     /// Sum of completed attempt durations (seconds) — drives outlier
     /// detection.
     pub duration_sum: f64,
+    /// When the stage became runnable (job arrived and all parents done) —
+    /// the start of the queueing-delay clock for its tasks.
+    pub ready_at: Option<SimTime>,
 }
 
 impl RtStage {
@@ -104,6 +110,7 @@ impl RtStage {
             completed: vec![false; total as usize],
             speculated: std::collections::BTreeSet::new(),
             duration_sum: 0.0,
+            ready_at: None,
         }
     }
 
@@ -329,10 +336,30 @@ mod tests {
                 .map(|i| StageProfile::new(format!("s{i}"), 2, Bandwidth::mbytes_per_sec(10.0)))
                 .collect(),
             edges: vec![
-                DagEdge { from: StageId(0), to: StageId(1), bytes: Bytes::mb(1.0), kind: EdgeKind::Shuffle },
-                DagEdge { from: StageId(0), to: StageId(2), bytes: Bytes::mb(1.0), kind: EdgeKind::Shuffle },
-                DagEdge { from: StageId(1), to: StageId(3), bytes: Bytes::mb(1.0), kind: EdgeKind::Shuffle },
-                DagEdge { from: StageId(2), to: StageId(3), bytes: Bytes::mb(1.0), kind: EdgeKind::Shuffle },
+                DagEdge {
+                    from: StageId(0),
+                    to: StageId(1),
+                    bytes: Bytes::mb(1.0),
+                    kind: EdgeKind::Shuffle,
+                },
+                DagEdge {
+                    from: StageId(0),
+                    to: StageId(2),
+                    bytes: Bytes::mb(1.0),
+                    kind: EdgeKind::Shuffle,
+                },
+                DagEdge {
+                    from: StageId(1),
+                    to: StageId(3),
+                    bytes: Bytes::mb(1.0),
+                    kind: EdgeKind::Shuffle,
+                },
+                DagEdge {
+                    from: StageId(2),
+                    to: StageId(3),
+                    bytes: Bytes::mb(1.0),
+                    kind: EdgeKind::Shuffle,
+                },
             ],
         };
         let spec = JobSpec {

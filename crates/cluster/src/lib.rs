@@ -25,9 +25,9 @@
 //!   - [`scheduler::ShuffleWatcherScheduler`] — the ShuffleWatcher baseline:
 //!     per-job greedy rack subsets with no inter-job coordination and no
 //!     data placement.
-//!   The *LocalShuffle* baseline of §6.1 is [`scheduler::PlannedScheduler`]
-//!   combined with stock-HDFS data placement
-//!   ([`config::DataPlacement::HdfsRandom`]).
+//!     The *LocalShuffle* baseline of §6.1 is [`scheduler::PlannedScheduler`]
+//!     combined with stock-HDFS data placement
+//!     ([`config::DataPlacement::HdfsRandom`]).
 //!
 //! The engine co-simulates with the network fabric: between cluster events
 //! the fabric evolves linearly, and whichever of (next cluster event, next

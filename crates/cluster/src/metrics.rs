@@ -66,7 +66,10 @@ impl JobMetrics {
         if self.reduce_task_seconds.is_empty() {
             None
         } else {
-            Some(self.reduce_task_seconds.iter().sum::<f64>() / self.reduce_task_seconds.len() as f64)
+            Some(
+                self.reduce_task_seconds.iter().sum::<f64>()
+                    / self.reduce_task_seconds.len() as f64,
+            )
         }
     }
 }
@@ -103,6 +106,9 @@ pub struct RunReport {
     /// Execution timeline: one record per task attempt, in completion
     /// order.
     pub task_log: Vec<TaskRecord>,
+    /// The human-readable end-of-run summary (utilization, locality hit
+    /// rates, queueing-delay percentiles) — printable via `Display`.
+    pub summary: corral_trace::RunSummary,
 }
 
 impl RunReport {
@@ -181,7 +187,11 @@ impl RunReport {
 
     /// Per-job average reduce-task durations, sorted (Fig. 7c CDF input).
     pub fn avg_reduce_times(&self) -> Vec<f64> {
-        let mut v: Vec<f64> = self.jobs.values().filter_map(|m| m.avg_reduce_time()).collect();
+        let mut v: Vec<f64> = self
+            .jobs
+            .values()
+            .filter_map(|m| m.avg_reduce_time())
+            .collect();
         v.sort_by(f64::total_cmp);
         v
     }
@@ -258,7 +268,13 @@ mod tests {
     #[test]
     fn unfinished_jobs_do_not_pollute_cdfs() {
         let mut r = RunReport::default();
-        r.jobs.insert(JobId(0), JobMetrics { finished: None, ..Default::default() });
+        r.jobs.insert(
+            JobId(0),
+            JobMetrics {
+                finished: None,
+                ..Default::default()
+            },
+        );
         assert!(r.completion_times().is_empty());
         assert_eq!(r.avg_completion_time(), 0.0);
     }

@@ -74,6 +74,16 @@ impl TaskScheduler for CapacityScheduler {
                 }
                 let w = self.waits.entry(ji).or_insert(0);
                 *w += 1;
+                if st.tracer.enabled() {
+                    st.tracer.record(
+                        st.now.as_secs(),
+                        corral_trace::TraceEvent::SchedulerWait {
+                            job: job.spec.id.0,
+                            waits: *w,
+                            machine: machine.0,
+                        },
+                    );
+                }
                 if *w > self.wait_slots {
                     let cfg = &st.params.cluster;
                     if let Some(pos) = find_rack_local(

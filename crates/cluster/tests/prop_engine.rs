@@ -5,9 +5,7 @@ use corral_cluster::config::{DataPlacement, SimParams};
 use corral_cluster::engine::Engine;
 use corral_cluster::scheduler::SchedulerKind;
 use corral_core::{plan_jobs, Objective, Plan, PlannerConfig};
-use corral_model::{
-    Bandwidth, Bytes, ClusterConfig, JobId, JobSpec, MapReduceProfile, SimTime,
-};
+use corral_model::{Bandwidth, Bytes, ClusterConfig, JobId, JobSpec, MapReduceProfile, SimTime};
 use proptest::prelude::*;
 
 fn params(seed: u64) -> SimParams {
@@ -23,11 +21,11 @@ fn params(seed: u64) -> SimParams {
 fn jobs_strategy() -> impl Strategy<Value = Vec<JobSpec>> {
     proptest::collection::vec(
         (
-            1e7f64..5e9,  // input
-            0.0f64..5e9,  // shuffle
-            0.0f64..1e9,  // output
-            1usize..12,   // maps
-            1usize..8,    // reduces
+            1e7f64..5e9,   // input
+            0.0f64..5e9,   // shuffle
+            0.0f64..1e9,   // output
+            1usize..12,    // maps
+            1usize..8,     // reduces
             0.0f64..600.0, // arrival
         ),
         1..8,

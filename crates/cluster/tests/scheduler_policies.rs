@@ -5,9 +5,7 @@
 use corral_cluster::config::SimParams;
 use corral_cluster::engine::ClusterState;
 use corral_cluster::job::RtJob;
-use corral_cluster::scheduler::{
-    CapacityScheduler, PlannedScheduler, TaskScheduler,
-};
+use corral_cluster::scheduler::{CapacityScheduler, PlannedScheduler, TaskScheduler};
 use corral_model::{
     Bandwidth, Bytes, ClusterConfig, JobId, JobSpec, MachineId, MapReduceProfile, RackId, SimTime,
     StageId,
@@ -50,6 +48,7 @@ fn state(jobs: Vec<RtJob>) -> ClusterState {
         prio_order: (0..n).collect(),
         free_slots: vec![2; machines],
         dead: vec![false; machines],
+        tracer: std::sync::Arc::new(corral_trace::NullTracer),
     };
     // Priority order: by priority field then index.
     st.prio_order.sort_by_key(|&i| (st.jobs[i].priority, i));
@@ -87,7 +86,9 @@ fn capacity_delay_ladder_eventually_relaxes() {
     assert!(pol.pick(MachineId(11), &st).is_none());
     // ...then rack-local would be allowed (machine 3 is rack 0, like the
     // data) ...
-    let p = pol.pick(MachineId(3), &st).expect("rack-local allowed after wait");
+    let p = pol
+        .pick(MachineId(3), &st)
+        .expect("rack-local allowed after wait");
     assert_eq!(st.jobs[0].stages[0].pending[p.pending_pos], 0);
     // ...and after the second threshold any machine gets a task.
     let mut pol = CapacityScheduler::new(1);
@@ -137,7 +138,10 @@ fn planned_fallback_lifts_constraints() {
     a.fallback = true;
     let st = state(vec![a]);
     let mut pol = PlannedScheduler::new("corral");
-    assert!(pol.pick(MachineId(8), &st).is_some(), "fallback opens rack 2");
+    assert!(
+        pol.pick(MachineId(8), &st).is_some(),
+        "fallback opens rack 2"
+    );
 }
 
 #[test]
@@ -156,11 +160,7 @@ fn planned_prefers_rack_local_input() {
     let mut j = job(0, 3, 1);
     j.constrain_to(vec![RackId(0), RackId(1)]);
     // Task 1's replica is on rack 1 (machine 5); tasks 0/2 on rack 0.
-    j.stages[0].preferred = vec![
-        vec![MachineId(0)],
-        vec![MachineId(5)],
-        vec![MachineId(1)],
-    ];
+    j.stages[0].preferred = vec![vec![MachineId(0)], vec![MachineId(5)], vec![MachineId(1)]];
     let st = state(vec![j]);
     let mut pol = PlannedScheduler::new("corral");
     // Machine 6 (rack 1): rack-local choice is task 1.

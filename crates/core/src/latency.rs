@@ -240,7 +240,13 @@ mod tests {
         ClusterConfig::testbed_210()
     }
 
-    fn mr(input_gb: f64, shuffle_gb: f64, output_gb: f64, maps: usize, reduces: usize) -> MapReduceProfile {
+    fn mr(
+        input_gb: f64,
+        shuffle_gb: f64,
+        output_gb: f64,
+        maps: usize,
+        reduces: usize,
+    ) -> MapReduceProfile {
         MapReduceProfile {
             input: Bytes::gb(input_gb),
             shuffle: Bytes::gb(shuffle_gb),
@@ -264,7 +270,10 @@ mod tests {
         // Compare against a hypothetical core-rate transfer of all data:
         let core_only = Bytes::gb(100.0).0 / (30.0) / (c.nic_bandwidth.0 / c.oversubscription);
         let w = 1.0; // 100 reduces fit in 120 slots
-        assert!(l1.as_secs() < w * core_only, "1-rack shuffle must beat core path");
+        assert!(
+            l1.as_secs() < w * core_only,
+            "1-rack shuffle must beat core path"
+        );
     }
 
     #[test]
@@ -290,7 +299,10 @@ mod tests {
         let l1 = mr_latency(&j, 1, &c).as_secs();
         let l4 = mr_latency(&j, 4, &c).as_secs();
         let rel = (l1 - l4).abs() / l1;
-        assert!(rel < 0.05, "spreading a small job moves latency < 5%: {l1} vs {l4}");
+        assert!(
+            rel < 0.05,
+            "spreading a small job moves latency < 5%: {l1} vs {l4}"
+        );
     }
 
     #[test]
@@ -351,10 +363,30 @@ mod tests {
                 StageProfile::new("d", 50, rate).with_dfs_output(Bytes::gb(1.0)),
             ],
             edges: vec![
-                DagEdge { from: StageId(0), to: StageId(1), bytes: Bytes::gb(50.0), kind: EdgeKind::Shuffle },
-                DagEdge { from: StageId(0), to: StageId(2), bytes: Bytes::gb(0.1), kind: EdgeKind::Shuffle },
-                DagEdge { from: StageId(1), to: StageId(3), bytes: Bytes::gb(5.0), kind: EdgeKind::Shuffle },
-                DagEdge { from: StageId(2), to: StageId(3), bytes: Bytes::gb(0.1), kind: EdgeKind::Shuffle },
+                DagEdge {
+                    from: StageId(0),
+                    to: StageId(1),
+                    bytes: Bytes::gb(50.0),
+                    kind: EdgeKind::Shuffle,
+                },
+                DagEdge {
+                    from: StageId(0),
+                    to: StageId(2),
+                    bytes: Bytes::gb(0.1),
+                    kind: EdgeKind::Shuffle,
+                },
+                DagEdge {
+                    from: StageId(1),
+                    to: StageId(3),
+                    bytes: Bytes::gb(5.0),
+                    kind: EdgeKind::Shuffle,
+                },
+                DagEdge {
+                    from: StageId(2),
+                    to: StageId(3),
+                    bytes: Bytes::gb(0.1),
+                    kind: EdgeKind::Shuffle,
+                },
             ],
         };
         let l = dag_latency(&dag, 2, &c).as_secs();

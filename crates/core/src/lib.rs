@@ -51,6 +51,6 @@ pub mod provision;
 pub use latency::{dag_latency, mr_latency, LatencyModel, ResponseOptions};
 pub use objective::Objective;
 pub use plan::{Plan, PlanEntry};
-pub use planner::{plan_jobs, plan_jobs_pinned, PlannerConfig};
-pub use provision::{provision, provision_with_mode, ProvisionMode};
+pub use planner::{plan_jobs, plan_jobs_pinned, plan_jobs_with_tracer, PlannerConfig};
 pub use predict::{HistoryPoint, Predictor};
+pub use provision::{provision, provision_with_mode, ProvisionMode};

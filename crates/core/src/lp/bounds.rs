@@ -57,22 +57,22 @@ pub fn batch_lower_bound(latency: &[Vec<f64>], total_racks: usize) -> Option<f64
         constraints: vec![],
     };
 
-    for j in 0..j_count {
-        assert_eq!(latency[j].len(), r_count, "latency table shape mismatch");
+    for (j, lat_j) in latency.iter().enumerate() {
+        assert_eq!(lat_j.len(), r_count, "latency table shape mismatch");
         // (2) Σ_r x_jr = 1
         let coeffs: Vec<(usize, f64)> = (1..=r_count).map(|r| (x(j, r), 1.0)).collect();
         lp = lp.with(coeffs, Relation::Eq, 1.0);
         // (3) T − Σ_r x_jr L_j(r) ≥ 0
         let mut coeffs: Vec<(usize, f64)> =
-            (1..=r_count).map(|r| (x(j, r), -latency[j][r - 1])).collect();
+            (1..=r_count).map(|r| (x(j, r), -lat_j[r - 1])).collect();
         coeffs.push((t_var, 1.0));
         lp = lp.with(coeffs, Relation::Ge, 0.0);
     }
     // (4) T·R − Σ_{j,r} x_jr L_j(r)·r ≥ 0
     let mut coeffs: Vec<(usize, f64)> = Vec::with_capacity(j_count * r_count + 1);
-    for j in 0..j_count {
+    for (j, lat_j) in latency.iter().enumerate() {
         for r in 1..=r_count {
-            coeffs.push((x(j, r), -latency[j][r - 1] * r as f64));
+            coeffs.push((x(j, r), -lat_j[r - 1] * r as f64));
         }
     }
     coeffs.push((t_var, total_racks as f64));
@@ -116,8 +116,8 @@ pub fn online_lower_bound(
         t: usize,
     }
     let mut vars: Vec<Var> = Vec::new();
-    for j in 0..j_count {
-        let t0 = (arrivals[j] / delta).floor() as usize;
+    for (j, &arrival) in arrivals.iter().enumerate() {
+        let t0 = (arrival / delta).floor() as usize;
         for r in 1..=r_count {
             for t in t0..epochs {
                 vars.push(Var { j, r, t });
@@ -128,8 +128,7 @@ pub fn online_lower_bound(
     let mut objective = vec![0.0; n];
     for (idx, v) in vars.iter().enumerate() {
         let start = (v.t as f64 * delta).max(arrivals[v.j]);
-        objective[idx] =
-            (start + latency[v.j][v.r - 1] - arrivals[v.j]).max(0.0) / j_count as f64;
+        objective[idx] = (start + latency[v.j][v.r - 1] - arrivals[v.j]).max(0.0) / j_count as f64;
     }
     let mut lp = LinearProgram {
         num_vars: n,
@@ -152,11 +151,9 @@ pub fn online_lower_bound(
         let dur_epochs = (latency[v.j][v.r - 1] / delta).floor() as usize;
         if dur_epochs >= 2 {
             let from = v.t + 1;
-            let to = (v.t + dur_epochs).min(epochs); // exclusive
-            for e in from..to.max(from) {
-                if e < epochs {
-                    per_epoch[e].push((idx, v.r as f64));
-                }
+            let to = (v.t + dur_epochs).min(epochs); // exclusive; ≤ epochs
+            for row in per_epoch.iter_mut().take(to).skip(from) {
+                row.push((idx, v.r as f64));
             }
         }
     }
@@ -226,7 +223,10 @@ mod tests {
         let lat = vec![vec![10.0]; 4];
         let arr = vec![0.0; 4];
         let lb = online_lower_bound(&lat, &arr, 1, 60.0, 30).unwrap();
-        assert!(lb > 15.0, "queueing must push the bound well above 10: {lb}");
+        assert!(
+            lb > 15.0,
+            "queueing must push the bound well above 10: {lb}"
+        );
         assert!(lb <= 25.0 + 1e-6);
     }
 
@@ -237,6 +237,6 @@ mod tests {
         let lat = vec![vec![5.0]];
         let arr = vec![100.0];
         let lb = online_lower_bound(&lat, &arr, 1, 200.0, 40).unwrap();
-        assert!(lb >= 5.0 - 1e-6 && lb <= 10.0, "lb={lb}");
+        assert!((5.0 - 1e-6..=10.0).contains(&lb), "lb={lb}");
     }
 }

@@ -73,11 +73,7 @@ impl DatasetPlacementProblem {
             if read.job >= self.job_racks.len() || read.dataset >= d_count {
                 return None;
             }
-            let in_set = |r: usize| {
-                self.job_racks[read.job]
-                    .iter()
-                    .any(|rr| rr.index() == r)
-            };
+            let in_set = |r: usize| self.job_racks[read.job].iter().any(|rr| rr.index() == r);
             for r in 0..r_count {
                 if !in_set(r) {
                     objective[var(read.dataset, r)] +=
@@ -101,11 +97,11 @@ impl DatasetPlacementProblem {
             if caps.len() != r_count {
                 return None;
             }
-            for r in 0..r_count {
+            for (r, &cap) in caps.iter().enumerate() {
                 let coeffs: Vec<(usize, f64)> = (0..d_count)
                     .map(|d| (var(d, r), self.dataset_sizes[d]))
                     .collect();
-                lp = lp.with(coeffs, Relation::Le, caps[r]);
+                lp = lp.with(coeffs, Relation::Le, cap);
             }
         }
 
@@ -136,7 +132,11 @@ mod tests {
     fn single_reader_places_dataset_in_its_racks() {
         let p = DatasetPlacementProblem {
             dataset_sizes: vec![100.0],
-            reads: vec![DatasetRead { job: 0, dataset: 0, weight: 1.0 }],
+            reads: vec![DatasetRead {
+                job: 0,
+                dataset: 0,
+                weight: 1.0,
+            }],
             job_racks: vec![racks(&[2, 3])],
             racks: 5,
             rack_capacity: None,
@@ -154,15 +154,27 @@ mod tests {
         let p = DatasetPlacementProblem {
             dataset_sizes: vec![50.0],
             reads: vec![
-                DatasetRead { job: 0, dataset: 0, weight: 3.0 },
-                DatasetRead { job: 1, dataset: 0, weight: 1.0 },
+                DatasetRead {
+                    job: 0,
+                    dataset: 0,
+                    weight: 3.0,
+                },
+                DatasetRead {
+                    job: 1,
+                    dataset: 0,
+                    weight: 1.0,
+                },
             ],
             job_racks: vec![racks(&[0]), racks(&[1])],
             racks: 2,
             rack_capacity: None,
         };
         let sol = p.solve().unwrap();
-        assert!((sol.fractions[0][0] - 1.0).abs() < 1e-7, "{:?}", sol.fractions);
+        assert!(
+            (sol.fractions[0][0] - 1.0).abs() < 1e-7,
+            "{:?}",
+            sol.fractions
+        );
         // Cost = job 1's reads: 1.0 × 50 bytes.
         assert!((sol.cross_rack_bytes - 50.0).abs() < 1e-6);
     }
@@ -173,8 +185,16 @@ mod tests {
         let p = DatasetPlacementProblem {
             dataset_sizes: vec![80.0],
             reads: vec![
-                DatasetRead { job: 0, dataset: 0, weight: 1.0 },
-                DatasetRead { job: 1, dataset: 0, weight: 1.0 },
+                DatasetRead {
+                    job: 0,
+                    dataset: 0,
+                    weight: 1.0,
+                },
+                DatasetRead {
+                    job: 1,
+                    dataset: 0,
+                    weight: 1.0,
+                },
             ],
             job_racks: vec![racks(&[0, 1]), racks(&[1, 2])],
             racks: 3,
@@ -191,7 +211,11 @@ mod tests {
         // elsewhere and be read across the core.
         let p = DatasetPlacementProblem {
             dataset_sizes: vec![100.0],
-            reads: vec![DatasetRead { job: 0, dataset: 0, weight: 1.0 }],
+            reads: vec![DatasetRead {
+                job: 0,
+                dataset: 0,
+                weight: 1.0,
+            }],
             job_racks: vec![racks(&[0])],
             racks: 2,
             rack_capacity: Some(vec![50.0, 1000.0]),
@@ -218,8 +242,16 @@ mod tests {
         let p = DatasetPlacementProblem {
             dataset_sizes: vec![10.0, 20.0],
             reads: vec![
-                DatasetRead { job: 0, dataset: 0, weight: 1.0 },
-                DatasetRead { job: 1, dataset: 1, weight: 1.0 },
+                DatasetRead {
+                    job: 0,
+                    dataset: 0,
+                    weight: 1.0,
+                },
+                DatasetRead {
+                    job: 1,
+                    dataset: 1,
+                    weight: 1.0,
+                },
             ],
             job_racks: vec![racks(&[0]), racks(&[1])],
             racks: 2,

@@ -149,8 +149,8 @@ impl LinearProgram {
             // Reduced-cost row for phase-1 objective: z = Σ artificials.
             // c_j = 1 for artificials, 0 otherwise; subtract basic rows.
             let mut cost = vec![0.0; cols];
-            for j in art_start..art_start + n_art {
-                cost[j] = 1.0;
+            for c in cost.iter_mut().skip(art_start).take(n_art) {
+                *c = 1.0;
             }
             for (i, &b) in basis.iter().enumerate() {
                 if b >= art_start {
@@ -256,7 +256,8 @@ fn run_simplex(
         for i in 0..m {
             if t[i][j] > TOL {
                 let ratio = t[i][rhs_col] / t[i][j];
-                if ratio < best - TOL || (ratio < best + TOL && (row == usize::MAX || basis[i] < basis[row]))
+                if ratio < best - TOL
+                    || (ratio < best + TOL && (row == usize::MAX || basis[i] < basis[row]))
                 {
                     best = ratio;
                     row = i;
@@ -283,26 +284,28 @@ fn pivot_with_cost(
     row: usize,
     col: usize,
 ) {
-    let cols = t[0].len();
     let p = t[row][col];
     debug_assert!(p.abs() > TOL, "pivot on ~zero element");
-    for j in 0..cols {
-        t[row][j] /= p;
+    for v in t[row].iter_mut() {
+        *v /= p;
     }
     t[row][col] = 1.0; // exact
-    for i in 0..t.len() {
-        if i != row && t[i][col].abs() > TOL {
-            let f = t[i][col];
-            for j in 0..cols {
-                t[i][j] -= f * t[row][j];
+                       // Split borrows so the pivot row can be read while other rows mutate.
+    let (before, rest) = t.split_at_mut(row);
+    let (pivot_row, after) = rest.split_first_mut().expect("row in range");
+    for r in before.iter_mut().chain(after.iter_mut()) {
+        if r[col].abs() > TOL {
+            let f = r[col];
+            for (dst, &src) in r.iter_mut().zip(pivot_row.iter()) {
+                *dst -= f * src;
             }
-            t[i][col] = 0.0;
+            r[col] = 0.0;
         }
     }
     if cost[col].abs() > TOL {
         let f = cost[col];
-        for j in 0..cols {
-            cost[j] -= f * t[row][j];
+        for (c, &src) in cost.iter_mut().zip(pivot_row.iter()) {
+            *c -= f * src;
         }
         cost[col] = 0.0;
     }
@@ -416,7 +419,10 @@ mod tests {
         .with(vec![(0, 200.0), (1, 20.0), (2, 1.0)], Relation::Le, 10000.0);
         let (obj, _) = optimal(&lp);
         assert!(obj.is_finite());
-        assert!(obj <= -10000.0 + 1e-6, "Klee-Minty optimum is -10000, got {obj}");
+        assert!(
+            obj <= -10000.0 + 1e-6,
+            "Klee-Minty optimum is -10000, got {obj}"
+        );
     }
 
     #[test]

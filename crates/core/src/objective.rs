@@ -20,10 +20,7 @@ impl Objective {
             return 0.0;
         }
         match self {
-            Objective::Makespan => jobs
-                .iter()
-                .map(|(_, f)| f.as_secs())
-                .fold(0.0, f64::max),
+            Objective::Makespan => jobs.iter().map(|(_, f)| f.as_secs()).fold(0.0, f64::max),
             Objective::AvgCompletionTime => {
                 jobs.iter()
                     .map(|(a, f)| (f.as_secs() - a.as_secs()).max(0.0))
@@ -50,7 +47,10 @@ mod tests {
 
     #[test]
     fn avg_completion_subtracts_arrival() {
-        let jobs = vec![(SimTime(0.0), SimTime(10.0)), (SimTime(10.0), SimTime(20.0))];
+        let jobs = vec![
+            (SimTime(0.0), SimTime(10.0)),
+            (SimTime(10.0), SimTime(20.0)),
+        ];
         assert_eq!(Objective::AvgCompletionTime.evaluate(&jobs), 10.0);
     }
 

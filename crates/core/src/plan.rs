@@ -167,7 +167,8 @@ mod tests {
     fn csv_rejects_garbage() {
         assert!(Plan::from_csv("").is_err());
         assert!(Plan::from_csv("nope\n1,2,3").is_err());
-        let bad = "job,priority,planned_start_s,planned_finish_s,predicted_latency_s,racks\n1,0,0,1,1,\n";
+        let bad =
+            "job,priority,planned_start_s,planned_finish_s,predicted_latency_s,racks\n1,0,0,1,1,\n";
         assert!(Plan::from_csv(bad).is_err(), "empty rack set must fail");
     }
 

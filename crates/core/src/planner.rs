@@ -30,6 +30,43 @@ pub fn plan_jobs(
     plan_jobs_pinned(cfg, jobs, objective, planner, &BTreeMap::new())
 }
 
+/// [`plan_jobs`], also emitting `PlanComputed` / `PlannerAssigned` trace
+/// events. Planning happens before the simulation clock starts, so events
+/// are stamped at `t = 0`.
+pub fn plan_jobs_with_tracer(
+    cfg: &ClusterConfig,
+    jobs: &[JobSpec],
+    objective: Objective,
+    planner: &PlannerConfig,
+    tracer: &dyn corral_trace::Tracer,
+) -> Plan {
+    let plan = plan_jobs(cfg, jobs, objective, planner);
+    if tracer.enabled() {
+        let label = match objective {
+            Objective::Makespan => "makespan",
+            Objective::AvgCompletionTime => "avgjct",
+        };
+        tracer.record(
+            0.0,
+            corral_trace::TraceEvent::PlanComputed {
+                jobs: plan.len(),
+                objective: label,
+            },
+        );
+        for e in plan.entries.values() {
+            tracer.record(
+                0.0,
+                corral_trace::TraceEvent::PlannerAssigned {
+                    job: e.job.0,
+                    racks: e.racks.len(),
+                    priority: e.priority,
+                },
+            );
+        }
+    }
+    plan
+}
+
 /// [`plan_jobs`] with per-job rack pins: pinned jobs keep exactly those
 /// racks (their data already lives there — §3.1 replanning), while the rest
 /// are provisioned and placed around them.
@@ -179,11 +216,15 @@ mod tests {
     #[test]
     fn plan_covers_all_plannable_jobs() {
         let cfg = ClusterConfig::testbed_210();
-        let jobs = vec![spec(0, 10.0, 100), spec(1, 5.0, 50), spec(2, 1.0, 10).ad_hoc()];
+        let jobs = vec![
+            spec(0, 10.0, 100),
+            spec(1, 5.0, 50),
+            spec(2, 1.0, 10).ad_hoc(),
+        ];
         let plan = plan_jobs(&cfg, &jobs, Objective::Makespan, &PlannerConfig::default());
         assert_eq!(plan.len(), 2, "ad hoc jobs are not planned");
         assert!(plan.entry(JobId(2)).is_none());
-        for (_, e) in &plan.entries {
+        for e in plan.entries.values() {
             assert!(!e.racks.is_empty());
             assert!(e.racks.iter().all(|r| r.index() < cfg.racks));
             assert!(e.planned_finish >= e.planned_start);
@@ -193,7 +234,9 @@ mod tests {
     #[test]
     fn priorities_follow_start_times() {
         let cfg = ClusterConfig::testbed_210();
-        let jobs: Vec<JobSpec> = (0..10).map(|i| spec(i, 5.0 + i as f64 * 20.0, 100)).collect();
+        let jobs: Vec<JobSpec> = (0..10)
+            .map(|i| spec(i, 5.0 + i as f64 * 20.0, 100))
+            .collect();
         let plan = plan_jobs(&cfg, &jobs, Objective::Makespan, &PlannerConfig::default());
         let mut entries: Vec<&PlanEntry> = plan.entries.values().collect();
         entries.sort_by_key(|e| e.priority);
@@ -226,7 +269,10 @@ mod tests {
             .zip(&jobs)
             .filter(|(x, y)| x.arrival != y.arrival)
             .count();
-        assert!(changed > 20 && changed < 80, "~50% should move, got {changed}");
+        assert!(
+            changed > 20 && changed < 80,
+            "~50% should move, got {changed}"
+        );
         for (x, y) in a.iter().zip(&jobs) {
             let d = (x.arrival.as_secs() - y.arrival.as_secs()).abs();
             assert!(d <= 240.0 + 1e-9);

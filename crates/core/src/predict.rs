@@ -161,10 +161,26 @@ mod tests {
     fn averages_same_daytype_same_slot_only() {
         let p = Predictor::default();
         let hist = vec![
-            HistoryPoint { day: 0, slot: 14, value: 100.0 }, // Mon
-            HistoryPoint { day: 1, slot: 14, value: 120.0 }, // Tue
-            HistoryPoint { day: 1, slot: 9, value: 999.0 },  // wrong slot
-            HistoryPoint { day: 5, slot: 14, value: 10.0 },  // Sat — wrong day-type
+            HistoryPoint {
+                day: 0,
+                slot: 14,
+                value: 100.0,
+            }, // Mon
+            HistoryPoint {
+                day: 1,
+                slot: 14,
+                value: 120.0,
+            }, // Tue
+            HistoryPoint {
+                day: 1,
+                slot: 9,
+                value: 999.0,
+            }, // wrong slot
+            HistoryPoint {
+                day: 5,
+                slot: 14,
+                value: 10.0,
+            }, // Sat — wrong day-type
         ];
         // Predicting Wednesday (day 2) 2PM: mean(100, 120) = 110.
         assert_eq!(p.predict(&hist, 2, 14), Some(110.0));
@@ -176,8 +192,16 @@ mod tests {
     fn only_past_instances_are_used() {
         let p = Predictor::default();
         let hist = vec![
-            HistoryPoint { day: 2, slot: 8, value: 50.0 },
-            HistoryPoint { day: 3, slot: 8, value: 70.0 },
+            HistoryPoint {
+                day: 2,
+                slot: 8,
+                value: 50.0,
+            },
+            HistoryPoint {
+                day: 3,
+                slot: 8,
+                value: 70.0,
+            },
         ];
         // Prediction for day 2 must not see day 2 or day 3.
         assert_eq!(p.predict(&hist, 2, 8), None);
@@ -188,8 +212,16 @@ mod tests {
     fn window_limits_lookback() {
         let p = Predictor { window_days: 7 };
         let hist = vec![
-            HistoryPoint { day: 0, slot: 0, value: 1000.0 },
-            HistoryPoint { day: 14, slot: 0, value: 10.0 },
+            HistoryPoint {
+                day: 0,
+                slot: 0,
+                value: 1000.0,
+            },
+            HistoryPoint {
+                day: 14,
+                slot: 0,
+                value: 10.0,
+            },
         ];
         // Day 16 (Wed): day 0 is outside the 7-day window; only day 14.
         assert_eq!(p.predict(&hist, 16, 0), Some(10.0));
@@ -199,7 +231,11 @@ mod tests {
     fn mape_on_stable_series_is_zero() {
         let p = Predictor::default();
         let hist: Vec<HistoryPoint> = (0..5)
-            .map(|d| HistoryPoint { day: d, slot: 2, value: 42.0 })
+            .map(|d| HistoryPoint {
+                day: d,
+                slot: 2,
+                value: 42.0,
+            })
             .collect();
         let err = p.mape(&hist).unwrap();
         assert!(err.abs() < 1e-12);
@@ -224,7 +260,11 @@ mod tests {
     fn ewma_tracks_level_and_loses_on_daytype_shifts() {
         // Flat series: EWMA is exact.
         let flat: Vec<HistoryPoint> = (0..10)
-            .map(|d| HistoryPoint { day: d, slot: 0, value: 50.0 })
+            .map(|d| HistoryPoint {
+                day: d,
+                slot: 0,
+                value: 50.0,
+            })
             .collect();
         let e = EwmaPredictor::default();
         assert!((e.mape(&flat).unwrap()).abs() < 1e-12);
@@ -248,8 +288,16 @@ mod tests {
     fn ewma_uses_only_past_same_slot() {
         let e = EwmaPredictor::default();
         let hist = vec![
-            HistoryPoint { day: 0, slot: 1, value: 10.0 },
-            HistoryPoint { day: 1, slot: 2, value: 99.0 },
+            HistoryPoint {
+                day: 0,
+                slot: 1,
+                value: 10.0,
+            },
+            HistoryPoint {
+                day: 1,
+                slot: 2,
+                value: 99.0,
+            },
         ];
         assert_eq!(e.predict(&hist, 2, 1), Some(10.0));
         assert_eq!(e.predict(&hist, 0, 1), None);
@@ -258,7 +306,14 @@ mod tests {
     #[test]
     fn cold_start_returns_none() {
         let p = Predictor::default();
-        assert_eq!(p.mape(&[HistoryPoint { day: 0, slot: 0, value: 5.0 }]), None);
+        assert_eq!(
+            p.mape(&[HistoryPoint {
+                day: 0,
+                slot: 0,
+                value: 5.0
+            }]),
+            None
+        );
         assert_eq!(p.predict(&[], 3, 0), None);
     }
 }

@@ -84,9 +84,7 @@ pub fn prioritize(
                 .then(x.job.cmp(&y.job))
         };
         if online {
-            a.arrival
-                .total_cmp(b.arrival)
-                .then_with(|| batch_key(a, b))
+            a.arrival.total_cmp(b.arrival).then_with(|| batch_key(a, b))
         } else {
             batch_key(a, b)
         }
@@ -162,7 +160,11 @@ mod tests {
         // Three 1-rack jobs on 3 racks all start immediately on different
         // racks (earliest-free, tie by rack id).
         let s = prioritize(
-            &[inp(0, 1, 10.0, 0.0), inp(1, 1, 8.0, 0.0), inp(2, 1, 6.0, 0.0)],
+            &[
+                inp(0, 1, 10.0, 0.0),
+                inp(1, 1, 8.0, 0.0),
+                inp(2, 1, 6.0, 0.0),
+            ],
             3,
             false,
         );
@@ -218,7 +220,11 @@ mod tests {
         let s = prioritize(&[a, b], 3, false);
         let t0 = s.iter().find(|x| x.job == JobId(0)).unwrap();
         let t1 = s.iter().find(|x| x.job == JobId(1)).unwrap();
-        let (first, second) = if t0.start < t1.start { (t0, t1) } else { (t1, t0) };
+        let (first, second) = if t0.start < t1.start {
+            (t0, t1)
+        } else {
+            (t1, t0)
+        };
         assert!(second.start.0 >= first.finish.0 - 1e-9);
     }
 
@@ -228,7 +234,11 @@ mod tests {
         // Wide first: finishes at 4 on both racks. Then 3s on rack 0 (F=7),
         // 2s on rack 1 (F=6). Makespan 7.
         let s = prioritize(
-            &[inp(0, 1, 3.0, 0.0), inp(1, 2, 4.0, 0.0), inp(2, 1, 2.0, 0.0)],
+            &[
+                inp(0, 1, 3.0, 0.0),
+                inp(1, 2, 4.0, 0.0),
+                inp(2, 1, 2.0, 0.0),
+            ],
             2,
             false,
         );

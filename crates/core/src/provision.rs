@@ -52,7 +52,13 @@ pub fn provision(
     total_racks: usize,
     objective: Objective,
 ) -> ProvisionOutcome {
-    provision_with_mode(models, jobs, total_racks, objective, ProvisionMode::Exhaustive)
+    provision_with_mode(
+        models,
+        jobs,
+        total_racks,
+        objective,
+        ProvisionMode::Exhaustive,
+    )
 }
 
 /// [`provision`] with an explicit exploration mode.
@@ -177,11 +183,7 @@ mod tests {
             map_rate: Bandwidth::mbytes_per_sec(100.0),
             reduce_rate: Bandwidth::mbytes_per_sec(100.0),
         };
-        LatencyModel::build(
-            &JobProfile::MapReduce(mr),
-            cfg,
-            &ResponseOptions::default(),
-        )
+        LatencyModel::build(&JobProfile::MapReduce(mr), cfg, &ResponseOptions::default())
     }
 
     #[test]
@@ -196,14 +198,22 @@ mod tests {
         ];
         let jobs: Vec<(JobId, SimTime)> = (0..4).map(|i| (JobId(i), SimTime::ZERO)).collect();
         let out = provision(&models, &jobs, c.racks, Objective::Makespan);
-        assert!(out.racks[0] > 1, "huge job should get several racks: {:?}", out.racks);
+        assert!(
+            out.racks[0] > 1,
+            "huge job should get several racks: {:?}",
+            out.racks
+        );
         for i in 1..4 {
             assert!(
                 out.racks[i] < out.racks[0],
                 "tiny jobs should stay much narrower than the huge job: {:?}",
                 out.racks
             );
-            assert!(out.racks[i] <= 2, "tiny jobs should stay near one rack: {:?}", out.racks);
+            assert!(
+                out.racks[i] <= 2,
+                "tiny jobs should stay near one rack: {:?}",
+                out.racks
+            );
         }
     }
 
@@ -211,7 +221,14 @@ mod tests {
     fn objective_never_worse_than_all_ones() {
         let c = cfg();
         let models: Vec<LatencyModel> = (0..6)
-            .map(|i| model(10.0 * (i + 1) as f64, 5.0 * (i + 1) as f64, 100 * (i + 1), &c))
+            .map(|i| {
+                model(
+                    10.0 * (i + 1) as f64,
+                    5.0 * (i + 1) as f64,
+                    100 * (i + 1),
+                    &c,
+                )
+            })
             .collect();
         let jobs: Vec<(JobId, SimTime)> = (0..6).map(|i| (JobId(i), SimTime::ZERO)).collect();
 
@@ -241,10 +258,7 @@ mod tests {
 
     #[test]
     fn single_rack_cluster() {
-        let c = ClusterConfig {
-            racks: 1,
-            ..cfg()
-        };
+        let c = ClusterConfig { racks: 1, ..cfg() };
         let models = vec![model(10.0, 5.0, 100, &c), model(20.0, 10.0, 200, &c)];
         let jobs = vec![(JobId(0), SimTime::ZERO), (JobId(1), SimTime::ZERO)];
         let out = provision(&models, &jobs, 1, Objective::Makespan);
@@ -274,7 +288,12 @@ mod tests {
         let jobs = vec![(JobId(0), SimTime::ZERO), (JobId(1), SimTime::ZERO)];
         let pins = vec![Some(vec![RackId(5), RackId(6)]), None];
         let out = provision_pinned(
-            &models, &jobs, &pins, c.racks, Objective::Makespan, ProvisionMode::Exhaustive,
+            &models,
+            &jobs,
+            &pins,
+            c.racks,
+            Objective::Makespan,
+            ProvisionMode::Exhaustive,
         );
         let pinned_sched = out.schedule.iter().find(|s| s.job == JobId(0)).unwrap();
         assert_eq!(pinned_sched.racks, vec![RackId(5), RackId(6)]);
@@ -294,10 +313,18 @@ mod tests {
             let jobs: Vec<(JobId, SimTime)> =
                 (0..8).map(|i| (JobId(i as u32), SimTime::ZERO)).collect();
             let full = provision_with_mode(
-                &models, &jobs, c.racks, Objective::Makespan, ProvisionMode::Exhaustive,
+                &models,
+                &jobs,
+                c.racks,
+                Objective::Makespan,
+                ProvisionMode::Exhaustive,
             );
             let early = provision_with_mode(
-                &models, &jobs, c.racks, Objective::Makespan, ProvisionMode::EarlyStop,
+                &models,
+                &jobs,
+                c.racks,
+                Objective::Makespan,
+                ProvisionMode::EarlyStop,
             );
             assert!(
                 full.objective_value <= early.objective_value + 1e-9,

@@ -2,15 +2,13 @@
 //! simplex correctness, predictor sanity.
 
 use corral_core::latency::{LatencyModel, ResponseOptions};
-use corral_core::lp::simplex::{LinearProgram, LpOutcome, Relation};
 use corral_core::lp::batch_lower_bound;
+use corral_core::lp::simplex::{LinearProgram, LpOutcome, Relation};
 use corral_core::predict::{HistoryPoint, Predictor};
 use corral_core::prioritize::{prioritize, PrioritizeInput};
 use corral_core::provision::provision;
 use corral_core::Objective;
-use corral_model::{
-    Bandwidth, Bytes, ClusterConfig, JobId, JobProfile, MapReduceProfile, SimTime,
-};
+use corral_model::{Bandwidth, Bytes, ClusterConfig, JobId, JobProfile, MapReduceProfile, SimTime};
 use proptest::prelude::*;
 
 fn cluster() -> ClusterConfig {

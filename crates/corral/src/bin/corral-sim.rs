@@ -5,21 +5,26 @@
 //! corral-sim gen w1 --jobs 40 --seed 7 -o w1.csv     # generate a workload trace
 //! corral-sim plan w1.csv --objective makespan         # print the offline plan
 //! corral-sim simulate w1.csv --scheduler corral \
-//!             --background 0.5 --timeline gantt.csv   # run the simulator
+//!             --trace run.jsonl --perfetto run.json \
+//!             --summary                                # run with tracing on
 //! ```
 //!
 //! Argument parsing is deliberately hand-rolled (the workspace carries no
-//! CLI dependency); every flag has a default so the quick path is
+//! CLI dependency); see [`corral::cli::Flags`]. Unknown flags are
+//! rejected, every known flag has a default, so the quick path is
 //! `corral-sim gen w1 -o t.csv && corral-sim simulate t.csv`.
 
+use corral::cli::Flags;
 use corral::cluster::config::{DataPlacement, SimParams};
 use corral::cluster::engine::Engine;
 use corral::cluster::scheduler::SchedulerKind;
-use corral::core::{plan_jobs, Objective, Plan, PlannerConfig};
+use corral::core::{plan_jobs, plan_jobs_with_tracer, Objective, Plan, PlannerConfig};
 use corral::model::{ClusterConfig, JobSpec, SimTime};
 use corral::simnet::background::BackgroundModel;
+use corral::trace::{chrome_trace, FanoutTracer, JsonlTracer, MemTracer, SharedTracer, Tracer};
 use corral::workloads::{assign_uniform_arrivals, swim, trace, w1, w2, w3, Scale};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -28,6 +33,10 @@ fn main() -> ExitCode {
         Some("import-swim") => cmd_import_swim(&args[1..]),
         Some("plan") => cmd_plan(&args[1..]),
         Some("simulate") => cmd_simulate(&args[1..]),
+        Some("--version") | Some("-V") => {
+            println!("corral-sim {}", env!("CARGO_PKG_VERSION"));
+            Ok(())
+        }
         Some("help") | Some("--help") | Some("-h") | None => {
             print_usage();
             Ok(())
@@ -57,76 +66,76 @@ USAGE:
                  [--scheduler yarn-cs|corral|localshuffle|shufflewatcher]
                  [--objective makespan|avgjct] [--background FRAC]
                  [--seed S] [--plan <plan.csv>] [--timeline <gantt.csv>]
+                 [--trace <events.jsonl>] [--perfetto <trace.json>]
+                 [--summary]
+  corral-sim --version
 
 The cluster is the paper's 210-machine testbed (7 racks x 30 machines,
-10 Gbps NICs, 5:1 oversubscription, 4 slots/machine)."
+10 Gbps NICs, 5:1 oversubscription, 4 slots/machine).
+
+Observability: --trace streams structured events as JSONL, --perfetto
+writes a Chrome/Perfetto trace-viewer file (load at ui.perfetto.dev),
+--summary prints utilization, locality and queueing-delay percentiles."
     );
 }
 
-/// Minimal flag reader: `--key value` pairs plus positionals.
-struct Flags<'a> {
-    args: &'a [String],
-}
-
-impl<'a> Flags<'a> {
-    fn positional(&self, idx: usize) -> Option<&'a str> {
-        self.args
-            .iter()
-            .enumerate()
-            .filter(|(i, a)| {
-                if a.starts_with('-') {
-                    return false;
-                }
-                // A value directly following a flag is not positional.
-                let prev_is_flag = *i > 0
-                    && (self.args[i - 1].starts_with("--") || self.args[i - 1] == "-o");
-                !prev_is_flag
-            })
-            .map(|(_, a)| a.as_str())
-            .nth(idx)
-    }
-
-    fn value(&self, key: &str) -> Option<&'a str> {
-        self.args
-            .iter()
-            .position(|a| a == key)
-            .and_then(|i| self.args.get(i + 1))
-            .map(|s| s.as_str())
-    }
-
-    fn parse<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
-        match self.value(key) {
-            None => Ok(default),
-            Some(v) => v
-                .parse()
-                .map_err(|_| format!("bad value for {key}: {v:?}")),
-        }
-    }
-}
-
 fn cmd_gen(args: &[String]) -> Result<(), String> {
-    let f = Flags { args };
+    let f = Flags::parse(
+        args,
+        &[
+            "-o",
+            "--out",
+            "--jobs",
+            "--seed",
+            "--task-div",
+            "--window-min",
+        ],
+        &[],
+    )?;
     let kind = f.positional(0).ok_or("gen: which workload? (w1|w2|w3)")?;
-    let out = f.value("-o").or(f.value("--out")).ok_or("gen: -o <file> required")?;
-    let seed: u64 = f.parse("--seed", 1)?;
-    let task_div: f64 = f.parse("--task-div", 4.0)?;
-    let window_min: f64 = f.parse("--window-min", 0.0)?;
+    let out = f
+        .value("-o")
+        .or(f.value("--out"))
+        .ok_or("gen: -o <file> required")?;
+    let seed: u64 = f.parse_or("--seed", 1)?;
+    let task_div: f64 = f.parse_or("--task-div", 4.0)?;
+    let window_min: f64 = f.parse_or("--window-min", 0.0)?;
     let scale = Scale {
         task_divisor: task_div,
         data_divisor: 1.0,
     };
     let mut jobs: Vec<JobSpec> = match kind {
         "w1" => {
-            let jobs: usize = f.parse("--jobs", 60)?;
-            w1::generate(&w1::W1Params { jobs, ..w1::W1Params::with_seed(seed) }, scale)
+            let jobs: usize = f.parse_or("--jobs", 60)?;
+            w1::generate(
+                &w1::W1Params {
+                    jobs,
+                    ..w1::W1Params::with_seed(seed)
+                },
+                scale,
+            )
         }
         "w2" => {
-            let jobs: usize = f.parse("--jobs", 100)?;
-            w2::generate(&w2::W2Params { jobs, seed, ..Default::default() }, scale)
+            let jobs: usize = f.parse_or("--jobs", 100)?;
+            w2::generate(
+                &w2::W2Params {
+                    jobs,
+                    seed,
+                    ..Default::default()
+                },
+                scale,
+            )
         }
         "w3" => {
-            let jobs: usize = f.parse("--jobs", 60)?;
-            w3::generate(&w3::W3Params { jobs, seed, ..Default::default() }, scale)
+            let jobs: usize = f.parse_or("--jobs", 60)?;
+            w3::generate(
+                &w3::W3Params {
+                    jobs,
+                    seed,
+                    ..Default::default()
+                },
+                scale,
+            )
         }
         other => return Err(format!("unknown workload {other:?} (w1|w2|w3)")),
     };
@@ -140,13 +149,21 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_import_swim(args: &[String]) -> Result<(), String> {
-    let f = Flags { args };
-    let path = f.positional(0).ok_or("import-swim: SWIM .tsv file required")?;
-    let out = f.value("-o").or(f.value("--out")).ok_or("import-swim: -o <file> required")?;
-    let task_div: f64 = f.parse("--task-div", 4.0)?;
+    let f = Flags::parse(args, &["-o", "--out", "--task-div"], &[])?;
+    let path = f
+        .positional(0)
+        .ok_or("import-swim: SWIM .tsv file required")?;
+    let out = f
+        .value("-o")
+        .or(f.value("--out"))
+        .ok_or("import-swim: -o <file> required")?;
+    let task_div: f64 = f.parse_or("--task-div", 4.0)?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     let params = swim::SwimParams {
-        scale: Scale { task_divisor: task_div, data_divisor: 1.0 },
+        scale: Scale {
+            task_divisor: task_div,
+            data_divisor: 1.0,
+        },
         ..Default::default()
     };
     let jobs = swim::parse(&text, &params).map_err(|e| e.to_string())?;
@@ -170,7 +187,7 @@ fn objective_flag(f: &Flags) -> Result<Objective, String> {
 }
 
 fn cmd_plan(args: &[String]) -> Result<(), String> {
-    let f = Flags { args };
+    let f = Flags::parse(args, &["--objective", "--out"], &[])?;
     let path = f.positional(0).ok_or("plan: trace file required")?;
     let jobs = load_trace(path)?;
     let cfg = ClusterConfig::testbed_210();
@@ -185,7 +202,10 @@ fn cmd_plan(args: &[String]) -> Result<(), String> {
         std::fs::write(out, plan.to_csv()).map_err(|e| format!("writing {out}: {e}"))?;
         println!("wrote plan to {out}");
     }
-    println!("{:>6} {:>5} {:>14} {:>10} {:>10}  racks", "job", "prio", "latency", "start", "finish");
+    println!(
+        "{:>6} {:>5} {:>14} {:>10} {:>10}  racks",
+        "job", "prio", "latency", "start", "finish"
+    );
     let mut entries: Vec<_> = plan.entries.values().collect();
     entries.sort_by_key(|e| e.priority);
     for e in entries {
@@ -202,13 +222,31 @@ fn cmd_plan(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Capacity of the `--perfetto` in-memory ring: enough for every event of
+/// a full testbed run; if a pathological run overflows it, the exporter
+/// reports the drop count instead of silently truncating.
+const PERFETTO_RING: usize = 4_000_000;
+
 fn cmd_simulate(args: &[String]) -> Result<(), String> {
-    let f = Flags { args };
+    let f = Flags::parse(
+        args,
+        &[
+            "--objective",
+            "--background",
+            "--seed",
+            "--scheduler",
+            "--plan",
+            "--timeline",
+            "--trace",
+            "--perfetto",
+        ],
+        &["--summary"],
+    )?;
     let path = f.positional(0).ok_or("simulate: trace file required")?;
     let jobs = load_trace(path)?;
     let objective = objective_flag(&f)?;
-    let background: f64 = f.parse("--background", 0.5)?;
-    let seed: u64 = f.parse("--seed", 0xC0441)?;
+    let background: f64 = f.parse_or("--background", 0.5)?;
+    let seed: u64 = f.parse_or("--seed", 0xC0441)?;
 
     let cfg = ClusterConfig::testbed_210();
     let mut params = SimParams::testbed();
@@ -224,20 +262,59 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         "yarn-cs" => (SchedulerKind::Capacity, DataPlacement::HdfsRandom, false),
         "corral" => (SchedulerKind::Planned, DataPlacement::PerPlan, true),
         "localshuffle" => (SchedulerKind::Planned, DataPlacement::HdfsRandom, true),
-        "shufflewatcher" => (SchedulerKind::ShuffleWatcher, DataPlacement::HdfsRandom, false),
+        "shufflewatcher" => (
+            SchedulerKind::ShuffleWatcher,
+            DataPlacement::HdfsRandom,
+            false,
+        ),
         other => return Err(format!("unknown scheduler {other:?}")),
     };
     params.placement = placement;
+
+    // Trace sinks: JSONL file, in-memory ring for the Perfetto export, or
+    // both fanned out.
+    let jsonl: Option<Arc<JsonlTracer<_>>> = match f.value("--trace") {
+        Some(p) => Some(Arc::new(
+            JsonlTracer::create(p).map_err(|e| format!("creating {p}: {e}"))?,
+        )),
+        None => None,
+    };
+    let mem: Option<Arc<MemTracer>> = f
+        .value("--perfetto")
+        .map(|_| Arc::new(MemTracer::new(PERFETTO_RING)));
+    let tracer: Option<SharedTracer> = match (&jsonl, &mem) {
+        (Some(j), Some(m)) => Some(Arc::new(FanoutTracer::new(vec![
+            j.clone() as SharedTracer,
+            m.clone() as SharedTracer,
+        ]))),
+        (Some(j), None) => Some(j.clone() as SharedTracer),
+        (None, Some(m)) => Some(m.clone() as SharedTracer),
+        (None, None) => None,
+    };
+
     let plan = if let Some(path) = f.value("--plan") {
         let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
         Plan::from_csv(&text)?
     } else if needs_plan {
-        plan_jobs(&cfg, &jobs, objective, &PlannerConfig::default())
+        match &tracer {
+            Some(t) => plan_jobs_with_tracer(
+                &cfg,
+                &jobs,
+                objective,
+                &PlannerConfig::default(),
+                t.as_ref(),
+            ),
+            None => plan_jobs(&cfg, &jobs, objective, &PlannerConfig::default()),
+        }
     } else {
         Plan::default()
     };
 
-    let report = Engine::new(params, jobs, &plan, kind).run();
+    let mut engine = Engine::new(params, jobs, &plan, kind);
+    if let Some(t) = &tracer {
+        engine.set_tracer(t.clone());
+    }
+    let report = engine.run();
     println!("scheduler        {}", report.scheduler);
     println!("network          {}", report.net);
     println!("makespan         {:.1}s", report.makespan.as_secs());
@@ -251,9 +328,34 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         println!("UNFINISHED JOBS  {}", report.unfinished);
     }
     if let Some(out) = f.value("--timeline") {
-        std::fs::write(out, report.timeline_csv())
-            .map_err(|e| format!("writing {out}: {e}"))?;
-        println!("timeline         {out} ({} attempts)", report.task_log.len());
+        std::fs::write(out, report.timeline_csv()).map_err(|e| format!("writing {out}: {e}"))?;
+        println!(
+            "timeline         {out} ({} attempts)",
+            report.task_log.len()
+        );
+    }
+    if let Some(j) = &jsonl {
+        j.flush();
+        println!(
+            "trace            {} ({} events)",
+            f.value("--trace").unwrap(),
+            j.lines()
+        );
+    }
+    if let Some(m) = &mem {
+        let out = f.value("--perfetto").unwrap();
+        let events = m.events();
+        std::fs::write(out, chrome_trace(&events)).map_err(|e| format!("writing {out}: {e}"))?;
+        if m.dropped() > 0 {
+            eprintln!(
+                "warning: perfetto ring overflowed, {} oldest events dropped",
+                m.dropped()
+            );
+        }
+        println!("perfetto         {out} ({} events)", events.len());
+    }
+    if f.has("--summary") {
+        print!("{}", report.summary);
     }
     Ok(())
 }

@@ -1,0 +1,191 @@
+//! Hand-rolled argument parsing for `corral-sim` (the workspace carries
+//! no CLI dependency).
+//!
+//! Each subcommand declares its known `--key value` flags and boolean
+//! switches up front; anything else starting with `-` is rejected with a
+//! clear error instead of being silently ignored, so a typo like
+//! `--sheduler` fails fast rather than running with the default.
+
+/// Parsed arguments for one subcommand: positionals plus validated flags.
+#[derive(Debug)]
+pub struct Flags<'a> {
+    args: &'a [String],
+    value_flags: &'static [&'static str],
+    bool_flags: &'static [&'static str],
+}
+
+impl<'a> Flags<'a> {
+    /// Validates `args` against the declared flag sets.
+    ///
+    /// Errors on a flag not in either list and on a value flag with no
+    /// following value.
+    pub fn parse(
+        args: &'a [String],
+        value_flags: &'static [&'static str],
+        bool_flags: &'static [&'static str],
+    ) -> Result<Self, String> {
+        let f = Flags {
+            args,
+            value_flags,
+            bool_flags,
+        };
+        let mut i = 0;
+        while i < args.len() {
+            let a = args[i].as_str();
+            if is_flag(a) {
+                if value_flags.contains(&a) {
+                    if i + 1 >= args.len() {
+                        return Err(format!("{a} requires a value"));
+                    }
+                    i += 2;
+                    continue;
+                }
+                if bool_flags.contains(&a) {
+                    i += 1;
+                    continue;
+                }
+                let mut known: Vec<&str> = value_flags
+                    .iter()
+                    .chain(bool_flags.iter())
+                    .copied()
+                    .collect();
+                known.sort_unstable();
+                return Err(format!(
+                    "unknown flag {a:?}; known flags: {}",
+                    known.join(", ")
+                ));
+            }
+            i += 1;
+        }
+        Ok(f)
+    }
+
+    /// The `idx`-th positional argument (tokens that are neither flags
+    /// nor values consumed by a value flag).
+    pub fn positional(&self, idx: usize) -> Option<&'a str> {
+        let mut seen = 0;
+        let mut i = 0;
+        while i < self.args.len() {
+            let a = self.args[i].as_str();
+            if is_flag(a) {
+                i += if self.value_flags.contains(&a) { 2 } else { 1 };
+                continue;
+            }
+            if seen == idx {
+                return Some(a);
+            }
+            seen += 1;
+            i += 1;
+        }
+        None
+    }
+
+    /// The value following `key`, if the flag was given.
+    pub fn value(&self, key: &str) -> Option<&'a str> {
+        debug_assert!(
+            self.value_flags.contains(&key),
+            "{key} not declared as a value flag"
+        );
+        self.args
+            .iter()
+            .position(|a| a == key)
+            .and_then(|i| self.args.get(i + 1))
+            .map(|s| s.as_str())
+    }
+
+    /// Whether boolean switch `key` was given.
+    pub fn has(&self, key: &str) -> bool {
+        debug_assert!(
+            self.bool_flags.contains(&key),
+            "{key} not declared as a bool flag"
+        );
+        self.args.iter().any(|a| a == key)
+    }
+
+    /// Parses the value of `key`, falling back to `default` when absent.
+    pub fn parse_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.value(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("bad value for {key}: {v:?}")),
+        }
+    }
+}
+
+/// A token is a flag if it starts with `-` and is not a bare `-` or a
+/// negative number (so `--background -0.5` style values still work as
+/// positionals, though flag values are skipped before this is consulted).
+fn is_flag(a: &str) -> bool {
+    let mut chars = a.chars();
+    chars.next() == Some('-')
+        && chars
+            .next()
+            .is_some_and(|c| !c.is_ascii_digit() && c != '.')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn positionals_skip_flag_values() {
+        let a = args(&["trace.csv", "--seed", "7", "out.csv", "--summary"]);
+        let f = Flags::parse(&a, &["--seed"], &["--summary"]).unwrap();
+        assert_eq!(f.positional(0), Some("trace.csv"));
+        assert_eq!(f.positional(1), Some("out.csv"));
+        assert_eq!(f.positional(2), None);
+    }
+
+    #[test]
+    fn unknown_flag_is_rejected_with_flag_list() {
+        let a = args(&["t.csv", "--sheduler", "corral"]);
+        let err = Flags::parse(&a, &["--scheduler"], &[]).unwrap_err();
+        assert!(err.contains("unknown flag \"--sheduler\""), "{err}");
+        assert!(err.contains("--scheduler"), "{err}");
+    }
+
+    #[test]
+    fn value_flag_requires_value() {
+        let a = args(&["t.csv", "--seed"]);
+        let err = Flags::parse(&a, &["--seed"], &[]).unwrap_err();
+        assert!(err.contains("--seed requires a value"), "{err}");
+    }
+
+    #[test]
+    fn bool_flag_and_values_parse() {
+        let a = args(&["--seed", "42", "--summary"]);
+        let f = Flags::parse(&a, &["--seed"], &["--summary"]).unwrap();
+        assert!(f.has("--summary"));
+        assert_eq!(f.value("--seed"), Some("42"));
+        assert_eq!(f.parse_or("--seed", 0u64).unwrap(), 42);
+    }
+
+    #[test]
+    fn parse_or_defaults_and_reports_bad_values() {
+        let a = args(&["--background", "lots"]);
+        let f = Flags::parse(&a, &["--background", "--seed"], &[]).unwrap();
+        assert_eq!(f.parse_or("--seed", 5u64).unwrap(), 5);
+        let err = f.parse_or::<f64>("--background", 0.5).unwrap_err();
+        assert!(err.contains("bad value for --background"), "{err}");
+    }
+
+    #[test]
+    fn negative_numbers_are_not_flags() {
+        let a = args(&["--background", "-0.5", "-3"]);
+        let f = Flags::parse(&a, &["--background"], &[]).unwrap();
+        assert_eq!(f.value("--background"), Some("-0.5"));
+        assert_eq!(f.positional(0), Some("-3"));
+    }
+
+    #[test]
+    fn short_o_flag_consumes_its_value() {
+        let a = args(&["w1", "-o", "out.csv"]);
+        let f = Flags::parse(&a, &["-o"], &[]).unwrap();
+        assert_eq!(f.positional(0), Some("w1"));
+        assert_eq!(f.value("-o"), Some("out.csv"));
+        assert_eq!(f.positional(1), None);
+    }
+}

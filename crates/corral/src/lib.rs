@@ -48,7 +48,10 @@ pub use corral_core as core;
 pub use corral_dfs as dfs;
 pub use corral_model as model;
 pub use corral_simnet as simnet;
+pub use corral_trace as trace;
 pub use corral_workloads as workloads;
+
+pub mod cli;
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {

@@ -25,8 +25,7 @@ impl<'a> LoadView<'a> {
         rack: RackId,
     ) -> impl Iterator<Item = MachineId> + 'b {
         let dead = self.dead;
-        cfg.machines_in_rack(rack)
-            .filter(move |m| !dead[m.index()])
+        cfg.machines_in_rack(rack).filter(move |m| !dead[m.index()])
     }
 
     /// True if `rack` has at least `n` live machines.
@@ -271,9 +270,7 @@ mod tests {
         let cfg = cfg();
         let (m, r, mut d) = no_load(&cfg);
         // Kill all of rack 0 and half of rack 1.
-        for i in 0..4 {
-            d[i] = true;
-        }
+        d[0..4].fill(true);
         d[4] = true;
         d[5] = true;
         let mut rng = StdRng::seed_from_u64(5);
@@ -294,9 +291,7 @@ mod tests {
     fn corral_falls_back_when_planned_racks_dead() {
         let cfg = cfg();
         let (m, r, mut d) = no_load(&cfg);
-        for i in 0..4 {
-            d[i] = true; // rack 0 fully dead
-        }
+        d[0..4].fill(true); // rack 0 fully dead
         let policy = CorralPlacement::new(vec![RackId(0)]);
         let mut rng = StdRng::seed_from_u64(9);
         let placed = policy.place(&cfg, view(&m, &r, &d), &mut rng);

@@ -34,7 +34,10 @@ fn check_placement_invariants(
     let used_racks: std::collections::BTreeSet<_> =
         placed.iter().map(|&m| cfg.rack_of(m)).collect();
     if placed.len() >= 2 && live_racks.len() >= 2 {
-        prop_assert!(used_racks.len() >= 2, "replicas must span racks: {placed:?}");
+        prop_assert!(
+            used_racks.len() >= 2,
+            "replicas must span racks: {placed:?}"
+        );
     }
     Ok(())
 }

@@ -135,13 +135,14 @@ impl ClusterConfig {
         if self.slots_per_machine == 0 {
             return Err("machines must have at least one slot".into());
         }
-        if !(self.nic_bandwidth.0 > 0.0) {
+        // `is_nan()` spelled out: NaN must be rejected, not just <= 0.
+        if self.nic_bandwidth.0 <= 0.0 || self.nic_bandwidth.0.is_nan() {
             return Err("NIC bandwidth must be positive".into());
         }
-        if !(self.oversubscription >= 1.0) {
+        if self.oversubscription < 1.0 || self.oversubscription.is_nan() {
             return Err("oversubscription ratio must be >= 1".into());
         }
-        if !(self.chunk_size.0 > 0.0) {
+        if self.chunk_size.0 <= 0.0 || self.chunk_size.0.is_nan() {
             return Err("chunk size must be positive".into());
         }
         if self.replication == 0 {

@@ -199,7 +199,7 @@ impl DagProfile {
                     st.name
                 )));
             }
-            if !(st.rate.0 > 0.0) {
+            if st.rate.0 <= 0.0 || st.rate.0.is_nan() {
                 return Err(ModelError::InvalidJob(format!(
                     "stage {i} ({}) has non-positive rate",
                     st.name
@@ -214,7 +214,9 @@ impl DagProfile {
         }
         for e in &self.edges {
             if e.from.index() >= self.stages.len() || e.to.index() >= self.stages.len() {
-                return Err(ModelError::InvalidJob("edge references unknown stage".into()));
+                return Err(ModelError::InvalidJob(
+                    "edge references unknown stage".into(),
+                ));
             }
             if e.from == e.to {
                 return Err(ModelError::InvalidJob("self-loop edge".into()));
@@ -272,7 +274,11 @@ impl MapReduceProfile {
         if self.maps == 0 || self.reduces == 0 {
             return Err(ModelError::InvalidJob("zero map or reduce tasks".into()));
         }
-        if !(self.map_rate.0 > 0.0) || !(self.reduce_rate.0 > 0.0) {
+        if self.map_rate.0 <= 0.0
+            || self.map_rate.0.is_nan()
+            || self.reduce_rate.0 <= 0.0
+            || self.reduce_rate.0.is_nan()
+        {
             return Err(ModelError::InvalidJob("non-positive task rate".into()));
         }
         if self.input.0 < 0.0 || self.shuffle.0 < 0.0 || self.output.0 < 0.0 {
@@ -432,7 +438,10 @@ mod tests {
         assert_eq!(d.stage_total_input(StageId(1)), Bytes::gb(5.0));
         assert_eq!(d.stage_total_output(StageId(1)), Bytes::gb(1.0));
         assert_eq!(JobProfile::Dag(d.clone()).total_input(), p.total_input());
-        assert_eq!(JobProfile::Dag(d.clone()).total_shuffle(), p.total_shuffle());
+        assert_eq!(
+            JobProfile::Dag(d.clone()).total_shuffle(),
+            p.total_shuffle()
+        );
         assert_eq!(JobProfile::Dag(d).total_output(), p.total_output());
     }
 
@@ -446,8 +455,18 @@ mod tests {
                 StageProfile::new("c", 5, Bandwidth(1.0)),
             ],
             edges: vec![
-                DagEdge { from: StageId(0), to: StageId(1), bytes: Bytes(1.0), kind: EdgeKind::Shuffle },
-                DagEdge { from: StageId(1), to: StageId(2), bytes: Bytes(1.0), kind: EdgeKind::Shuffle },
+                DagEdge {
+                    from: StageId(0),
+                    to: StageId(1),
+                    bytes: Bytes(1.0),
+                    kind: EdgeKind::Shuffle,
+                },
+                DagEdge {
+                    from: StageId(1),
+                    to: StageId(2),
+                    bytes: Bytes(1.0),
+                    kind: EdgeKind::Shuffle,
+                },
             ],
         };
         assert_eq!(JobProfile::Dag(d).slots_requested(), 9);
@@ -461,10 +480,30 @@ mod tests {
                 .map(|i| StageProfile::new(format!("s{i}"), 1, Bandwidth(1.0)))
                 .collect(),
             edges: vec![
-                DagEdge { from: StageId(0), to: StageId(1), bytes: Bytes(1.0), kind: EdgeKind::Shuffle },
-                DagEdge { from: StageId(0), to: StageId(2), bytes: Bytes(1.0), kind: EdgeKind::Shuffle },
-                DagEdge { from: StageId(1), to: StageId(3), bytes: Bytes(1.0), kind: EdgeKind::Shuffle },
-                DagEdge { from: StageId(2), to: StageId(3), bytes: Bytes(1.0), kind: EdgeKind::Shuffle },
+                DagEdge {
+                    from: StageId(0),
+                    to: StageId(1),
+                    bytes: Bytes(1.0),
+                    kind: EdgeKind::Shuffle,
+                },
+                DagEdge {
+                    from: StageId(0),
+                    to: StageId(2),
+                    bytes: Bytes(1.0),
+                    kind: EdgeKind::Shuffle,
+                },
+                DagEdge {
+                    from: StageId(1),
+                    to: StageId(3),
+                    bytes: Bytes(1.0),
+                    kind: EdgeKind::Shuffle,
+                },
+                DagEdge {
+                    from: StageId(2),
+                    to: StageId(3),
+                    bytes: Bytes(1.0),
+                    kind: EdgeKind::Shuffle,
+                },
             ],
         };
         let order = d.topo_order().unwrap();
@@ -481,8 +520,18 @@ mod tests {
                 StageProfile::new("b", 1, Bandwidth(1.0)),
             ],
             edges: vec![
-                DagEdge { from: StageId(0), to: StageId(1), bytes: Bytes(1.0), kind: EdgeKind::Shuffle },
-                DagEdge { from: StageId(1), to: StageId(0), bytes: Bytes(1.0), kind: EdgeKind::Shuffle },
+                DagEdge {
+                    from: StageId(0),
+                    to: StageId(1),
+                    bytes: Bytes(1.0),
+                    kind: EdgeKind::Shuffle,
+                },
+                DagEdge {
+                    from: StageId(1),
+                    to: StageId(0),
+                    bytes: Bytes(1.0),
+                    kind: EdgeKind::Shuffle,
+                },
             ],
         };
         assert!(d.validate().is_err());

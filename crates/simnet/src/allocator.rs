@@ -72,8 +72,16 @@ mod tests {
         let links = vec![uplink];
         let path = [LinkId(0)];
         let flows = [
-            FlowView { path: &path, remaining: Bytes(1000.0), coflow: None },
-            FlowView { path: &path, remaining: Bytes(1000.0), coflow: None },
+            FlowView {
+                path: &path,
+                remaining: Bytes(1000.0),
+                coflow: None,
+            },
+            FlowView {
+                path: &path,
+                remaining: Bytes(1000.0),
+                coflow: None,
+            },
         ];
         let mut rates = [Bandwidth::ZERO; 2];
         FairShare.allocate(&links, &flows, &mut rates);

@@ -72,8 +72,10 @@ impl BackgroundModel {
                 mean_dwell,
                 seed,
             } => {
-                let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E3779B97F4A7C15)
-                    ^ (rack as u64).wrapping_mul(0xD1B54A32D192ED03));
+                let mut rng = StdRng::seed_from_u64(
+                    seed.wrapping_mul(0x9E3779B97F4A7C15)
+                        ^ (rack as u64).wrapping_mul(0xD1B54A32D192ED03),
+                );
                 let mut t = SimTime::ZERO;
                 let mut on = rng.gen_bool(0.5);
                 let mut out = Vec::new();

@@ -8,11 +8,24 @@
 //! closed form.
 
 use crate::allocator::{FlowView, RateAllocator};
-use crate::flow::{FlowSpec, FlowState, FlowTag};
+use crate::flow::{FlowKind, FlowSpec, FlowState, FlowTag};
 use crate::link::LinkId;
 use crate::stats::FabricStats;
 use crate::topology::Topology;
 use corral_model::{Bandwidth, Bytes, ClusterConfig, FlowId, RackId, SimTime};
+use corral_trace::{FlowClass, NullTracer, SharedTracer, TraceEvent};
+
+/// Maps the fabric's [`FlowKind`] onto the dependency-free trace
+/// vocabulary's [`FlowClass`].
+fn flow_class(kind: FlowKind) -> FlowClass {
+    match kind {
+        FlowKind::InputRead => FlowClass::InputRead,
+        FlowKind::Shuffle => FlowClass::Shuffle,
+        FlowKind::OutputWrite => FlowClass::OutputWrite,
+        FlowKind::Ingest => FlowClass::Ingest,
+        FlowKind::Background => FlowClass::Background,
+    }
+}
 
 /// A finished flow, reported by [`Fabric::advance_to`].
 #[derive(Debug, Clone, Copy)]
@@ -46,6 +59,10 @@ pub struct Fabric {
     /// Optional utilization sampling: bucket width and per-bucket core
     /// bytes (cross-rack traffic, counted once per flow).
     sampling: Option<(f64, Vec<f64>)>,
+    /// Structured event sink (flow lifecycle).
+    tracer: SharedTracer,
+    /// Cached `tracer.enabled()` so the hot path is one branch.
+    trace_on: bool,
 }
 
 impl Fabric {
@@ -63,7 +80,16 @@ impl Fabric {
             stats: FabricStats::default(),
             local_rate,
             sampling: None,
+            tracer: std::sync::Arc::new(NullTracer),
+            trace_on: false,
         }
+    }
+
+    /// Routes `FlowStarted` / `FlowFinished` events into `tracer`. The
+    /// default [`NullTracer`] keeps the untraced path free.
+    pub fn set_tracer(&mut self, tracer: SharedTracer) {
+        self.trace_on = tracer.enabled();
+        self.tracer = tracer;
     }
 
     /// Enables per-bucket sampling of cross-rack (core) traffic; see
@@ -188,6 +214,19 @@ impl Fabric {
         self.active.push(id);
         self.stats.flows_started += 1;
         self.dirty = true;
+        if self.trace_on {
+            self.tracer.record(
+                self.now.as_secs(),
+                TraceEvent::FlowStarted {
+                    flow: id.0,
+                    src: dst.0, // nominal: the external source has no id
+                    dst: dst.0,
+                    bytes: bytes.clamp_non_negative().0,
+                    class: flow_class(tag.kind),
+                    job: tag.job.map(|j| j.0),
+                },
+            );
+        }
         id
     }
 
@@ -208,6 +247,19 @@ impl Fabric {
         self.active.push(id);
         self.stats.flows_started += 1;
         self.dirty = true;
+        if self.trace_on {
+            self.tracer.record(
+                self.now.as_secs(),
+                TraceEvent::FlowStarted {
+                    flow: id.0,
+                    src: spec.src.0,
+                    dst: spec.dst.0,
+                    bytes: spec.bytes.clamp_non_negative().0,
+                    class: flow_class(spec.tag.kind),
+                    job: spec.tag.job.map(|j| j.0),
+                },
+            );
+        }
         id
     }
 
@@ -244,7 +296,9 @@ impl Fabric {
         if self.dirty {
             self.recompute();
         }
-        self.next_completion.is_finite().then_some(self.next_completion)
+        self.next_completion
+            .is_finite()
+            .then_some(self.next_completion)
     }
 
     /// Advances the fabric clock to `t`, transferring bytes and collecting
@@ -301,7 +355,9 @@ impl Fabric {
         let mut views: Vec<FlowView<'_>> = Vec::with_capacity(self.active.len());
         let mut view_ids: Vec<FlowId> = Vec::with_capacity(self.active.len());
         for &id in &self.active {
-            let f = self.flows[id.index()].as_ref().expect("active flow missing");
+            let f = self.flows[id.index()]
+                .as_ref()
+                .expect("active flow missing");
             if f.path.is_empty() {
                 continue;
             }
@@ -379,11 +435,11 @@ impl Fabric {
                     if series.len() <= last {
                         series.resize(last + 1, 0.0);
                     }
-                    for b in first..=last {
+                    for (b, slot) in series.iter_mut().enumerate().take(last + 1).skip(first) {
                         let lo = (b as f64 * bucket).max(t0);
                         let hi = ((b + 1) as f64 * bucket).min(t1);
                         if hi > lo {
-                            series[b] += delta.0 * (hi - lo) / dt.0;
+                            *slot += delta.0 * (hi - lo) / dt.0;
                         }
                     }
                 }
@@ -407,6 +463,15 @@ impl Fabric {
                 let f = self.flows[id.index()].take().unwrap();
                 self.active.remove(i);
                 self.stats.flows_completed += 1;
+                if self.trace_on {
+                    self.tracer.record(
+                        now.as_secs(),
+                        TraceEvent::FlowFinished {
+                            flow: id.0,
+                            bytes: f.spec.bytes.clamp_non_negative().0,
+                        },
+                    );
+                }
                 out.push(CompletedFlow {
                     id,
                     tag: f.spec.tag,
@@ -422,20 +487,23 @@ impl Fabric {
             // We were called because next_completion fired, yet no flow hit
             // zero — pure floating point drift. Force-complete the closest
             // flow to guarantee progress.
-            if let Some((pos, &id)) = self
-                .active
-                .iter()
-                .enumerate()
-                .min_by(|(_, a), (_, b)| {
-                    let fa = self.flows[a.index()].as_ref().unwrap().remaining.0;
-                    let fb = self.flows[b.index()].as_ref().unwrap().remaining.0;
-                    fa.total_cmp(&fb)
-                })
-                .map(|(i, id)| (i, id))
-            {
+            if let Some((pos, &id)) = self.active.iter().enumerate().min_by(|(_, a), (_, b)| {
+                let fa = self.flows[a.index()].as_ref().unwrap().remaining.0;
+                let fb = self.flows[b.index()].as_ref().unwrap().remaining.0;
+                fa.total_cmp(&fb)
+            }) {
                 let f = self.flows[id.index()].take().unwrap();
                 self.active.remove(pos);
                 self.stats.flows_completed += 1;
+                if self.trace_on {
+                    self.tracer.record(
+                        now.as_secs(),
+                        TraceEvent::FlowFinished {
+                            flow: id.0,
+                            bytes: f.spec.bytes.clamp_non_negative().0,
+                        },
+                    );
+                }
                 out.push(CompletedFlow {
                     id,
                     tag: f.spec.tag,
@@ -444,6 +512,7 @@ impl Fabric {
                 });
             }
         }
+        self.stats.debug_validate();
         self.dirty = true;
     }
 }
@@ -604,7 +673,10 @@ mod tests {
         f.drain();
         let (edge, core) = f.class_utilization();
         assert!(core > 0.0 && core <= 1.0, "core={core}");
-        assert!(edge > 0.0 && edge < core, "one of many NICs used: {edge} vs {core}");
+        assert!(
+            edge > 0.0 && edge < core,
+            "one of many NICs used: {edge} vs {core}"
+        );
         // Drill-down: the uplink of rack 0 carried all 1.25 GB.
         let up = f.topology().rack_up(RackId(0));
         assert!((f.link_carried(up).as_gb() - 1.25).abs() < 1e-6);
@@ -645,5 +717,60 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(), run(), "bit-identical completion traces");
+    }
+
+    #[test]
+    fn tracer_sees_flow_lifecycle() {
+        use corral_trace::{MemTracer, TraceEvent};
+        use std::sync::Arc;
+
+        let mem = Arc::new(MemTracer::new(64));
+        let mut f = fabric();
+        f.set_tracer(mem.clone());
+        f.start_flow(spec(0, 1, 0.5));
+        f.start_ingress_flow(
+            MachineId(2),
+            Bytes::gb(0.25),
+            FlowTag::infrastructure(FlowKind::Ingest),
+            None,
+        );
+        f.drain();
+
+        let evs = mem.events();
+        let started: Vec<_> = evs
+            .iter()
+            .filter_map(|e| match &e.ev {
+                TraceEvent::FlowStarted { class, .. } => Some(*class),
+                _ => None,
+            })
+            .collect();
+        let finished = evs
+            .iter()
+            .filter(|e| matches!(e.ev, TraceEvent::FlowFinished { .. }))
+            .count();
+        assert_eq!(
+            started,
+            vec![
+                corral_trace::FlowClass::Shuffle,
+                corral_trace::FlowClass::Ingest
+            ]
+        );
+        assert_eq!(finished, 2);
+    }
+
+    #[test]
+    fn stats_invariants_hold_with_cancellation() {
+        let mut f = fabric();
+        let a = f.start_flow(spec(0, 1, 0.5));
+        f.start_flow(spec(0, 2, 0.5));
+        f.advance_to(SimTime::secs(0.1));
+        f.cancel_flow(a); // cancelled flows never complete
+        f.drain(); // runs debug_validate internally on each harvest
+        let s = f.stats();
+        assert_eq!(s.flows_started, 2);
+        assert_eq!(s.flows_completed, 1);
+        assert!(s.flows_completed <= s.flows_started);
+        assert!(s.cross_rack_bytes.0 <= s.network_bytes.0 + 1e-6);
+        assert!(s.network_bytes.0 >= 0.0 && s.local_bytes.0 >= 0.0);
     }
 }

@@ -236,12 +236,15 @@ mod tests {
         for _case in 0..50 {
             let nl = 3 + (next() % 8) as usize;
             let nf = 1 + (next() % 20) as usize;
-            let caps: Vec<f64> = (0..nl).map(|_| 1.0 + (next() % 1000) as f64 / 10.0).collect();
+            let caps: Vec<f64> = (0..nl)
+                .map(|_| 1.0 + (next() % 1000) as f64 / 10.0)
+                .collect();
             let paths_own: Vec<Vec<LinkId>> = (0..nf)
                 .map(|_| {
                     let len = 1 + (next() % 3) as usize;
-                    let mut p: Vec<LinkId> =
-                        (0..len).map(|_| LinkId((next() % nl as u64) as u32)).collect();
+                    let mut p: Vec<LinkId> = (0..len)
+                        .map(|_| LinkId((next() % nl as u64) as u32))
+                        .collect();
                     p.dedup();
                     p
                 })

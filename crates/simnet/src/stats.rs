@@ -37,6 +37,7 @@ pub struct FabricStats {
 impl FabricStats {
     /// Records `amount` of ingress (external upload) traffic.
     pub(crate) fn record_ingest(&mut self, amount: Bytes) {
+        debug_assert!(amount.0 >= 0.0, "negative ingest amount {amount:?}");
         self.ingest_bytes += amount;
     }
 
@@ -48,6 +49,7 @@ impl FabricStats {
         cross_rack: bool,
         local: bool,
     ) {
+        debug_assert!(amount.0 >= 0.0, "negative transfer amount {amount:?}");
         if local {
             self.local_bytes += amount;
             return;
@@ -70,6 +72,31 @@ impl FabricStats {
             .get(&job)
             .copied()
             .unwrap_or(Bytes::ZERO)
+    }
+
+    /// Debug-build sanity checks on the counters. Since every recorded
+    /// amount is non-negative, all byte counters are monotone over the
+    /// run; a flow can only complete after it started.
+    pub(crate) fn debug_validate(&self) {
+        debug_assert!(
+            self.flows_completed <= self.flows_started,
+            "{} flows completed but only {} started",
+            self.flows_completed,
+            self.flows_started
+        );
+        debug_assert!(
+            self.cross_rack_bytes.0 >= 0.0
+                && self.network_bytes.0 >= 0.0
+                && self.local_bytes.0 >= 0.0
+                && self.ingest_bytes.0 >= 0.0,
+            "negative byte counter: {self:?}"
+        );
+        debug_assert!(
+            self.cross_rack_bytes.0 <= self.network_bytes.0 + 1e-6,
+            "cross-rack bytes {} exceed network bytes {}",
+            self.cross_rack_bytes.0,
+            self.network_bytes.0
+        );
     }
 }
 

@@ -46,9 +46,7 @@ impl RateAllocator for VarysSebf {
         // (disjoint id space via the high bit).
         let mut groups: BTreeMap<CoflowId, Vec<usize>> = BTreeMap::new();
         for (i, f) in flows.iter().enumerate() {
-            let key = f
-                .coflow
-                .unwrap_or(CoflowId(1 << 63 | i as u64));
+            let key = f.coflow.unwrap_or(CoflowId(1 << 63 | i as u64));
             groups.entry(key).or_default().push(i);
         }
 
@@ -158,8 +156,16 @@ mod tests {
         let links = vec![link(100.0)];
         let path = [LinkId(0)];
         let flows = [
-            FlowView { path: &path, remaining: Bytes(1000.0), coflow: Some(CoflowId(0)) },
-            FlowView { path: &path, remaining: Bytes(10.0), coflow: Some(CoflowId(1)) },
+            FlowView {
+                path: &path,
+                remaining: Bytes(1000.0),
+                coflow: Some(CoflowId(0)),
+            },
+            FlowView {
+                path: &path,
+                remaining: Bytes(10.0),
+                coflow: Some(CoflowId(1)),
+            },
         ];
         let mut rates = [Bandwidth::ZERO; 2];
         VarysSebf.allocate(&links, &flows, &mut rates);
@@ -181,8 +187,16 @@ mod tests {
         let p0 = [LinkId(0)];
         let p1 = [LinkId(1)];
         let flows = [
-            FlowView { path: &p0, remaining: Bytes(300.0), coflow: Some(CoflowId(7)) },
-            FlowView { path: &p1, remaining: Bytes(100.0), coflow: Some(CoflowId(7)) },
+            FlowView {
+                path: &p0,
+                remaining: Bytes(300.0),
+                coflow: Some(CoflowId(7)),
+            },
+            FlowView {
+                path: &p1,
+                remaining: Bytes(100.0),
+                coflow: Some(CoflowId(7)),
+            },
         ];
         let mut rates = [Bandwidth::ZERO; 2];
         VarysSebf.allocate(&links, &flows, &mut rates);
@@ -198,9 +212,21 @@ mod tests {
         let p1 = [LinkId(0)];
         let p2 = [LinkId(1)];
         let flows = [
-            FlowView { path: &p0, remaining: Bytes(500.0), coflow: Some(CoflowId(1)) },
-            FlowView { path: &p1, remaining: Bytes(200.0), coflow: Some(CoflowId(2)) },
-            FlowView { path: &p2, remaining: Bytes(900.0), coflow: None },
+            FlowView {
+                path: &p0,
+                remaining: Bytes(500.0),
+                coflow: Some(CoflowId(1)),
+            },
+            FlowView {
+                path: &p1,
+                remaining: Bytes(200.0),
+                coflow: Some(CoflowId(2)),
+            },
+            FlowView {
+                path: &p2,
+                remaining: Bytes(900.0),
+                coflow: None,
+            },
         ];
         let mut rates = [Bandwidth::ZERO; 3];
         VarysSebf.allocate(&links, &flows, &mut rates);
@@ -216,7 +242,11 @@ mod tests {
     fn coflowless_flows_still_progress() {
         let links = vec![link(10.0)];
         let path = [LinkId(0)];
-        let flows = [FlowView { path: &path, remaining: Bytes(100.0), coflow: None }];
+        let flows = [FlowView {
+            path: &path,
+            remaining: Bytes(100.0),
+            coflow: None,
+        }];
         let mut rates = [Bandwidth::ZERO];
         VarysSebf.allocate(&links, &flows, &mut rates);
         assert!((rates[0].0 - 10.0).abs() < 1e-6);

@@ -4,7 +4,9 @@
 use corral_model::{Bandwidth, Bytes, ClusterConfig, MachineId};
 use corral_simnet::allocator::{FlowView, RateAllocator};
 use corral_simnet::maxmin::{link_loads, max_min_rates};
-use corral_simnet::{CoflowId, Fabric, FairShare, FlowKind, FlowSpec, FlowTag, LinkId, Topology, VarysSebf};
+use corral_simnet::{
+    CoflowId, Fabric, FairShare, FlowKind, FlowSpec, FlowTag, LinkId, Topology, VarysSebf,
+};
 use proptest::prelude::*;
 
 fn cfg() -> ClusterConfig {
@@ -13,7 +15,15 @@ fn cfg() -> ClusterConfig {
 
 /// Strategy: a set of random flows on the tiny topology.
 fn flows(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<(u32, u32, f64, Option<u64>)>> {
-    proptest::collection::vec((0u32..12, 0u32..12, 1e3f64..1e10, proptest::option::of(0u64..5)), n)
+    proptest::collection::vec(
+        (
+            0u32..12,
+            0u32..12,
+            1e3f64..1e10,
+            proptest::option::of(0u64..5),
+        ),
+        n,
+    )
 }
 
 proptest! {

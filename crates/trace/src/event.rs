@@ -1,0 +1,442 @@
+//! The structured event vocabulary emitted by the simulator stack.
+//!
+//! Events carry raw ids (`u32`/`u64`) rather than the model's newtypes so
+//! this crate stays dependency-free; the instrumented crates unwrap their
+//! ids at the call site. Times are seconds of simulation time and ride
+//! alongside the event in [`crate::tracer::TimedEvent`].
+
+use crate::json;
+
+/// How good a spot the scheduler found for a task relative to its
+/// preferred (data-local) machines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LocalityLevel {
+    /// Placed on a machine holding the task's input.
+    Machine,
+    /// Placed in a rack holding the task's input.
+    Rack,
+    /// Placed away from all preferred machines.
+    Remote,
+    /// The task had no placement preference (e.g. reduce stages).
+    Unconstrained,
+}
+
+impl LocalityLevel {
+    /// Stable lowercase label used in JSONL and summaries.
+    pub fn label(self) -> &'static str {
+        match self {
+            LocalityLevel::Machine => "machine",
+            LocalityLevel::Rack => "rack",
+            LocalityLevel::Remote => "remote",
+            LocalityLevel::Unconstrained => "unconstrained",
+        }
+    }
+}
+
+/// The class of a network flow (mirrors `corral-simnet`'s `FlowKind`
+/// without depending on it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlowClass {
+    /// DFS input read into a map task.
+    InputRead,
+    /// Intermediate (shuffle) bytes between stages.
+    Shuffle,
+    /// Output write toward the DFS.
+    OutputWrite,
+    /// Ingest of fresh data into the cluster.
+    Ingest,
+    /// Modeled background traffic.
+    Background,
+}
+
+impl FlowClass {
+    /// Stable lowercase label used in JSONL.
+    pub fn label(self) -> &'static str {
+        match self {
+            FlowClass::InputRead => "input_read",
+            FlowClass::Shuffle => "shuffle",
+            FlowClass::OutputWrite => "output_write",
+            FlowClass::Ingest => "ingest",
+            FlowClass::Background => "background",
+        }
+    }
+}
+
+/// One structured simulator event. See the module docs for conventions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A job entered the system.
+    JobArrived {
+        /// Job id.
+        job: u32,
+    },
+    /// A job's last task finished.
+    JobFinished {
+        /// Job id.
+        job: u32,
+        /// Arrival-to-completion time in seconds.
+        completion_s: f64,
+    },
+    /// A task was assigned to a slot.
+    TaskScheduled {
+        /// Job id.
+        job: u32,
+        /// Stage id within the job.
+        stage: u32,
+        /// Task index within the stage.
+        index: usize,
+        /// Machine the task landed on.
+        machine: u32,
+        /// Achieved locality relative to the stage's preferred machines.
+        locality: LocalityLevel,
+        /// Seconds the task's stage sat runnable before this assignment.
+        queue_delay_s: f64,
+    },
+    /// A task finished fetching input and began computing.
+    TaskComputeStart {
+        /// Job id.
+        job: u32,
+        /// Stage id within the job.
+        stage: u32,
+        /// Task index within the stage.
+        index: usize,
+        /// Machine the task runs on.
+        machine: u32,
+    },
+    /// A task finished computing and began writing output.
+    TaskWriteStart {
+        /// Job id.
+        job: u32,
+        /// Stage id within the job.
+        stage: u32,
+        /// Task index within the stage.
+        index: usize,
+        /// Machine the task runs on.
+        machine: u32,
+    },
+    /// A task attempt completed successfully.
+    TaskFinished {
+        /// Job id.
+        job: u32,
+        /// Stage id within the job.
+        stage: u32,
+        /// Task index within the stage.
+        index: usize,
+        /// Machine the task ran on.
+        machine: u32,
+        /// When the attempt was scheduled (s).
+        scheduled_s: f64,
+        /// When compute began (s), if it got that far.
+        compute_started_s: Option<f64>,
+        /// When the output write began (s), if it got that far.
+        write_started_s: Option<f64>,
+    },
+    /// A task attempt was killed (failure, speculation loser, …).
+    TaskKilled {
+        /// Job id.
+        job: u32,
+        /// Stage id within the job.
+        stage: u32,
+        /// Task index within the stage.
+        index: usize,
+        /// Machine the attempt ran on.
+        machine: u32,
+        /// When the attempt was scheduled (s).
+        scheduled_s: f64,
+    },
+    /// A network flow was admitted into the fabric.
+    FlowStarted {
+        /// Fabric-assigned flow id.
+        flow: u64,
+        /// Source machine (the destination itself for ingress flows).
+        src: u32,
+        /// Destination machine.
+        dst: u32,
+        /// Flow volume in bytes.
+        bytes: f64,
+        /// What the flow carries.
+        class: FlowClass,
+        /// Owning job, when the flow belongs to one.
+        job: Option<u32>,
+    },
+    /// A network flow drained completely.
+    FlowFinished {
+        /// Fabric-assigned flow id.
+        flow: u64,
+        /// Flow volume in bytes.
+        bytes: f64,
+    },
+    /// Delay scheduling skipped a job's task on a machine while waiting
+    /// for a local slot.
+    SchedulerWait {
+        /// Job id.
+        job: u32,
+        /// Consecutive waits so far for this job.
+        waits: u32,
+        /// Machine whose slot was declined.
+        machine: u32,
+    },
+    /// The offline planner produced (or refreshed) a plan.
+    PlanComputed {
+        /// Number of jobs covered by the plan.
+        jobs: usize,
+        /// Objective the planner optimized.
+        objective: &'static str,
+    },
+    /// The planner assigned a job its rack set and priority.
+    PlannerAssigned {
+        /// Job id.
+        job: u32,
+        /// Number of racks in the job's rack set.
+        racks: usize,
+        /// Plan priority (lower runs first).
+        priority: u32,
+    },
+    /// The running engine adopted an updated plan mid-flight.
+    Replanned {
+        /// Jobs whose rack sets changed.
+        jobs_updated: usize,
+    },
+    /// Background traffic on a rack's uplink changed level.
+    BackgroundEpoch {
+        /// Rack id.
+        rack: u32,
+        /// New background level in Gbit/s.
+        gbps: f64,
+    },
+    /// Ingest flows for a job's input started.
+    IngestStarted {
+        /// Job id.
+        job: u32,
+        /// Number of ingest flows created.
+        flows: usize,
+    },
+    /// A machine failed; its tasks died with it.
+    MachineFailed {
+        /// Machine id.
+        machine: u32,
+    },
+    /// A failed machine rejoined the cluster.
+    MachineRepaired {
+        /// Machine id.
+        machine: u32,
+    },
+}
+
+impl TraceEvent {
+    /// Stable snake_case tag identifying the variant in JSONL.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            TraceEvent::JobArrived { .. } => "job_arrived",
+            TraceEvent::JobFinished { .. } => "job_finished",
+            TraceEvent::TaskScheduled { .. } => "task_scheduled",
+            TraceEvent::TaskComputeStart { .. } => "task_compute_start",
+            TraceEvent::TaskWriteStart { .. } => "task_write_start",
+            TraceEvent::TaskFinished { .. } => "task_finished",
+            TraceEvent::TaskKilled { .. } => "task_killed",
+            TraceEvent::FlowStarted { .. } => "flow_started",
+            TraceEvent::FlowFinished { .. } => "flow_finished",
+            TraceEvent::SchedulerWait { .. } => "scheduler_wait",
+            TraceEvent::PlanComputed { .. } => "plan_computed",
+            TraceEvent::PlannerAssigned { .. } => "planner_assigned",
+            TraceEvent::Replanned { .. } => "replanned",
+            TraceEvent::BackgroundEpoch { .. } => "background_epoch",
+            TraceEvent::IngestStarted { .. } => "ingest_started",
+            TraceEvent::MachineFailed { .. } => "machine_failed",
+            TraceEvent::MachineRepaired { .. } => "machine_repaired",
+        }
+    }
+
+    /// Serializes the event as one JSON object `{"t":…,"ev":…,…}`
+    /// appended to `out` (no trailing newline).
+    pub fn write_json(&self, t: f64, out: &mut String) {
+        out.push('{');
+        json::push_key(out, "t");
+        json::push_f64(out, t);
+        json::field_str(out, "ev", self.tag());
+        match self {
+            TraceEvent::JobArrived { job } => {
+                json::field_u64(out, "job", u64::from(*job));
+            }
+            TraceEvent::JobFinished { job, completion_s } => {
+                json::field_u64(out, "job", u64::from(*job));
+                json::field_f64(out, "completion_s", *completion_s);
+            }
+            TraceEvent::TaskScheduled {
+                job,
+                stage,
+                index,
+                machine,
+                locality,
+                queue_delay_s,
+            } => {
+                json::field_u64(out, "job", u64::from(*job));
+                json::field_u64(out, "stage", u64::from(*stage));
+                json::field_usize(out, "index", *index);
+                json::field_u64(out, "machine", u64::from(*machine));
+                json::field_str(out, "locality", locality.label());
+                json::field_f64(out, "queue_delay_s", *queue_delay_s);
+            }
+            TraceEvent::TaskComputeStart {
+                job,
+                stage,
+                index,
+                machine,
+            }
+            | TraceEvent::TaskWriteStart {
+                job,
+                stage,
+                index,
+                machine,
+            } => {
+                json::field_u64(out, "job", u64::from(*job));
+                json::field_u64(out, "stage", u64::from(*stage));
+                json::field_usize(out, "index", *index);
+                json::field_u64(out, "machine", u64::from(*machine));
+            }
+            TraceEvent::TaskFinished {
+                job,
+                stage,
+                index,
+                machine,
+                scheduled_s,
+                compute_started_s,
+                write_started_s,
+            } => {
+                json::field_u64(out, "job", u64::from(*job));
+                json::field_u64(out, "stage", u64::from(*stage));
+                json::field_usize(out, "index", *index);
+                json::field_u64(out, "machine", u64::from(*machine));
+                json::field_f64(out, "scheduled_s", *scheduled_s);
+                json::field_opt_f64(out, "compute_started_s", *compute_started_s);
+                json::field_opt_f64(out, "write_started_s", *write_started_s);
+            }
+            TraceEvent::TaskKilled {
+                job,
+                stage,
+                index,
+                machine,
+                scheduled_s,
+            } => {
+                json::field_u64(out, "job", u64::from(*job));
+                json::field_u64(out, "stage", u64::from(*stage));
+                json::field_usize(out, "index", *index);
+                json::field_u64(out, "machine", u64::from(*machine));
+                json::field_f64(out, "scheduled_s", *scheduled_s);
+            }
+            TraceEvent::FlowStarted {
+                flow,
+                src,
+                dst,
+                bytes,
+                class,
+                job,
+            } => {
+                json::field_u64(out, "flow", *flow);
+                json::field_u64(out, "src", u64::from(*src));
+                json::field_u64(out, "dst", u64::from(*dst));
+                json::field_f64(out, "bytes", *bytes);
+                json::field_str(out, "class", class.label());
+                if let Some(job) = job {
+                    json::field_u64(out, "job", u64::from(*job));
+                }
+            }
+            TraceEvent::FlowFinished { flow, bytes } => {
+                json::field_u64(out, "flow", *flow);
+                json::field_f64(out, "bytes", *bytes);
+            }
+            TraceEvent::SchedulerWait {
+                job,
+                waits,
+                machine,
+            } => {
+                json::field_u64(out, "job", u64::from(*job));
+                json::field_u64(out, "waits", u64::from(*waits));
+                json::field_u64(out, "machine", u64::from(*machine));
+            }
+            TraceEvent::PlanComputed { jobs, objective } => {
+                json::field_usize(out, "jobs", *jobs);
+                json::field_str(out, "objective", objective);
+            }
+            TraceEvent::PlannerAssigned {
+                job,
+                racks,
+                priority,
+            } => {
+                json::field_u64(out, "job", u64::from(*job));
+                json::field_usize(out, "racks", *racks);
+                json::field_u64(out, "priority", u64::from(*priority));
+            }
+            TraceEvent::Replanned { jobs_updated } => {
+                json::field_usize(out, "jobs_updated", *jobs_updated);
+            }
+            TraceEvent::BackgroundEpoch { rack, gbps } => {
+                json::field_u64(out, "rack", u64::from(*rack));
+                json::field_f64(out, "gbps", *gbps);
+            }
+            TraceEvent::IngestStarted { job, flows } => {
+                json::field_u64(out, "job", u64::from(*job));
+                json::field_usize(out, "flows", *flows);
+            }
+            TraceEvent::MachineFailed { machine } | TraceEvent::MachineRepaired { machine } => {
+                json::field_u64(out, "machine", u64::from(*machine));
+            }
+        }
+        out.push('}');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_line_shape() {
+        let ev = TraceEvent::TaskScheduled {
+            job: 3,
+            stage: 1,
+            index: 9,
+            machine: 42,
+            locality: LocalityLevel::Rack,
+            queue_delay_s: 0.25,
+        };
+        let mut s = String::new();
+        ev.write_json(12.5, &mut s);
+        assert_eq!(
+            s,
+            "{\"t\":12.5,\"ev\":\"task_scheduled\",\"job\":3,\"stage\":1,\"index\":9,\
+             \"machine\":42,\"locality\":\"rack\",\"queue_delay_s\":0.25}"
+        );
+    }
+
+    #[test]
+    fn optional_fields_render_null() {
+        let ev = TraceEvent::TaskFinished {
+            job: 0,
+            stage: 0,
+            index: 0,
+            machine: 1,
+            scheduled_s: 1.0,
+            compute_started_s: None,
+            write_started_s: Some(4.0),
+        };
+        let mut s = String::new();
+        ev.write_json(5.0, &mut s);
+        assert!(s.contains("\"compute_started_s\":null"));
+        assert!(s.contains("\"write_started_s\":4"));
+    }
+
+    #[test]
+    fn every_variant_has_a_distinct_tag() {
+        let evs = [
+            TraceEvent::JobArrived { job: 0 },
+            TraceEvent::FlowFinished {
+                flow: 0,
+                bytes: 0.0,
+            },
+            TraceEvent::Replanned { jobs_updated: 0 },
+        ];
+        let tags: Vec<_> = evs.iter().map(|e| e.tag()).collect();
+        assert_eq!(tags, vec!["job_arrived", "flow_finished", "replanned"]);
+    }
+}

@@ -1,0 +1,243 @@
+//! Log-linear histograms for sim-time quantities (HDR-histogram style):
+//! base-2 octaves each split into [`SUB_BUCKETS`] linear sub-buckets, so
+//! relative error is bounded by `1/SUB_BUCKETS` across ~21 decades while
+//! the whole structure is a flat array of counters.
+
+/// Linear sub-buckets per power-of-two octave (bounds relative error).
+pub const SUB_BUCKETS: usize = 16;
+
+/// Smallest representable exponent: values below `2^MIN_EXP` land in the
+/// first bucket (covers 1 ns at second scale and 1 byte at GB scale).
+const MIN_EXP: i32 = -30;
+
+/// Largest representable exponent: values at or above `2^(MAX_EXP+1)`
+/// land in the overflow bucket.
+const MAX_EXP: i32 = 40;
+
+const OCTAVES: usize = (MAX_EXP - MIN_EXP + 1) as usize;
+
+/// A log-linear histogram over non-negative `f64` samples.
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    buckets: Vec<u64>,
+    zero_count: u64,
+    overflow: u64,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            buckets: vec![0; OCTAVES * SUB_BUCKETS],
+            zero_count: 0,
+            overflow: 0,
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn bucket_index(v: f64) -> Option<usize> {
+        // v is finite and > 0 here.
+        let exp = v.log2().floor() as i32;
+        if exp > MAX_EXP {
+            return None; // overflow
+        }
+        let exp = exp.max(MIN_EXP);
+        let scale = (2f64).powi(exp);
+        let mantissa = (v / scale).clamp(1.0, 2.0);
+        let sub = (((mantissa - 1.0) * SUB_BUCKETS as f64) as usize).min(SUB_BUCKETS - 1);
+        Some((exp - MIN_EXP) as usize * SUB_BUCKETS + sub)
+    }
+
+    /// Representative value (geometric center) of bucket `i`.
+    fn bucket_value(i: usize) -> f64 {
+        let exp = MIN_EXP + (i / SUB_BUCKETS) as i32;
+        let sub = (i % SUB_BUCKETS) as f64;
+        (2f64).powi(exp) * (1.0 + (sub + 0.5) / SUB_BUCKETS as f64)
+    }
+
+    /// Records one sample. Negative, NaN and infinite samples are
+    /// clamped into the zero bucket (they indicate upstream bugs but
+    /// must not poison the whole histogram).
+    pub fn record(&mut self, v: f64) {
+        let v = if v.is_finite() && v > 0.0 { v } else { 0.0 };
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        if v == 0.0 {
+            self.zero_count += 1;
+        } else {
+            match Self::bucket_index(v) {
+                Some(i) => self.buckets[i] += 1,
+                None => self.overflow += 1,
+            }
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean of recorded samples, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum / self.count as f64)
+        }
+    }
+
+    /// Smallest recorded sample (after clamping), or `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.min)
+        }
+    }
+
+    /// Largest recorded sample, or `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.max)
+        }
+    }
+
+    /// Samples that exceeded the representable range and were counted in
+    /// the overflow bucket.
+    pub fn overflow_count(&self) -> u64 {
+        self.overflow
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`), or `None` when empty.
+    ///
+    /// Answers are bucket representatives clamped to the observed
+    /// `[min, max]`, so single-sample histograms return the exact value
+    /// and relative error is bounded by the sub-bucket width otherwise.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the sample we want, 1-based: ceil(q * count), at least 1.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = self.zero_count;
+        if rank <= seen {
+            return Some(0.0_f64.clamp(self.min, self.max));
+        }
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if rank <= seen {
+                return Some(Self::bucket_value(i).clamp(self.min, self.max));
+            }
+        }
+        // Lands in the overflow bucket: the best point estimate is the
+        // observed maximum.
+        Some(self.max)
+    }
+
+    /// Convenience: the 50th percentile.
+    pub fn p50(&self) -> Option<f64> {
+        self.quantile(0.50)
+    }
+
+    /// Convenience: the 90th percentile.
+    pub fn p90(&self) -> Option<f64> {
+        self.quantile(0.90)
+    }
+
+    /// Convenience: the 99th percentile.
+    pub fn p99(&self) -> Option<f64> {
+        self.quantile(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_has_no_stats() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+    }
+
+    #[test]
+    fn single_sample_is_exact() {
+        let mut h = LogHistogram::new();
+        h.record(3.7);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.p50(), Some(3.7));
+        assert_eq!(h.p99(), Some(3.7));
+        assert_eq!(h.mean(), Some(3.7));
+    }
+
+    #[test]
+    fn overflow_bucket_counts_and_answers_max() {
+        let mut h = LogHistogram::new();
+        h.record(1.0);
+        h.record(1e40); // way above 2^40
+        assert_eq!(h.overflow_count(), 1);
+        assert_eq!(h.quantile(1.0), Some(1e40));
+        assert_eq!(h.max(), Some(1e40));
+    }
+
+    #[test]
+    fn zero_and_negative_clamp_to_zero_bucket() {
+        let mut h = LogHistogram::new();
+        h.record(0.0);
+        h.record(-5.0);
+        h.record(f64::NAN);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.p50(), Some(0.0));
+        assert_eq!(h.max(), Some(0.0));
+    }
+
+    #[test]
+    fn quantiles_are_order_statistics_within_bucket_error() {
+        let mut h = LogHistogram::new();
+        for i in 1..=1000 {
+            h.record(i as f64);
+        }
+        let p50 = h.p50().unwrap();
+        let p90 = h.p90().unwrap();
+        let p99 = h.p99().unwrap();
+        assert!((p50 - 500.0).abs() / 500.0 < 0.10, "p50={p50}");
+        assert!((p90 - 900.0).abs() / 900.0 < 0.10, "p90={p90}");
+        assert!((p99 - 990.0).abs() / 990.0 < 0.10, "p99={p99}");
+        assert!(p50 <= p90 && p90 <= p99);
+    }
+
+    #[test]
+    fn tiny_values_land_in_first_octave() {
+        let mut h = LogHistogram::new();
+        h.record(1e-12); // below 2^-30
+        assert_eq!(h.overflow_count(), 0);
+        assert_eq!(h.p50(), Some(1e-12)); // clamped to observed min
+    }
+}

@@ -1,0 +1,39 @@
+//! # corral-trace
+//!
+//! Structured observability for the Corral simulator stack: a zero-dep
+//! event sink, a metrics registry, and exporters.
+//!
+//! * [`event::TraceEvent`] — the vocabulary: task lifecycle, network
+//!   flows, scheduler/planner decisions, background-traffic epochs;
+//! * [`tracer::Tracer`] — the sink trait, with [`NullTracer`] (free),
+//!   [`MemTracer`] (ring buffer) and [`JsonlTracer`] (streaming JSONL);
+//! * [`metrics::MetricsRegistry`] — counters, sim-time-weighted gauges
+//!   and log-linear [`histogram::LogHistogram`]s (p50/p90/p99);
+//! * exporters — JSONL (via [`JsonlTracer`]), Chrome/Perfetto
+//!   [`perfetto::chrome_trace`], and the plain-text
+//!   [`summary::RunSummary`].
+//!
+//! The crate deliberately depends on nothing (not even the model crate):
+//! events carry raw ids and `f64` seconds, so every layer of the stack —
+//! `simnet`, `cluster`, `core`, the CLI and `viz` — can use it without
+//! dependency cycles.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod histogram;
+pub mod json;
+pub mod metrics;
+pub mod perfetto;
+pub mod summary;
+pub mod tracer;
+
+pub use event::{FlowClass, LocalityLevel, TraceEvent};
+pub use histogram::LogHistogram;
+pub use metrics::{MetricsRegistry, TimeWeightedGauge};
+pub use perfetto::chrome_trace;
+pub use summary::{LocalityCounts, Percentiles, RunSummary};
+pub use tracer::{
+    FanoutTracer, JsonlTracer, MemTracer, NullTracer, SharedTracer, TimedEvent, Tracer,
+};

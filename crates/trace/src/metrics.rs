@@ -1,0 +1,252 @@
+//! A small metrics registry: named counters, sim-time-weighted gauges,
+//! and [`LogHistogram`]s, all behind `&mut` (the engine owns its
+//! registry; nothing here needs sharing). Keys are `&'static str` so the
+//! hot path never allocates; iteration order is the `BTreeMap`'s sorted
+//! order, making text dumps deterministic.
+
+use std::collections::BTreeMap;
+
+use crate::histogram::LogHistogram;
+use crate::json;
+
+/// A gauge integrated over simulation time: `set(t, v)` closes the
+/// previous level at `t`, so `time_avg(end)` is the exact time-weighted
+/// mean of the step function.
+#[derive(Debug, Clone, Default)]
+pub struct TimeWeightedGauge {
+    started_at: Option<f64>,
+    last_t: f64,
+    last_v: f64,
+    integral: f64,
+    min: f64,
+    max: f64,
+}
+
+impl TimeWeightedGauge {
+    /// Sets the gauge to `v` at time `t` (times must be non-decreasing).
+    pub fn set(&mut self, t: f64, v: f64) {
+        match self.started_at {
+            None => {
+                self.started_at = Some(t);
+                self.min = v;
+                self.max = v;
+            }
+            Some(_) => {
+                let dt = (t - self.last_t).max(0.0);
+                self.integral += self.last_v * dt;
+                self.min = self.min.min(v);
+                self.max = self.max.max(v);
+            }
+        }
+        self.last_t = t;
+        self.last_v = v;
+    }
+
+    /// Adds `delta` to the current level at time `t`.
+    pub fn add(&mut self, t: f64, delta: f64) {
+        let v = self.last_v + delta;
+        self.set(t, v);
+    }
+
+    /// The current level.
+    pub fn value(&self) -> f64 {
+        self.last_v
+    }
+
+    /// Time-weighted mean over `[first_set, end_t]`, or `None` if the
+    /// gauge was never set or the window is empty.
+    pub fn time_avg(&self, end_t: f64) -> Option<f64> {
+        let start = self.started_at?;
+        let span = end_t - start;
+        if span <= 0.0 {
+            return Some(self.last_v);
+        }
+        let tail = (end_t - self.last_t).max(0.0);
+        Some((self.integral + self.last_v * tail) / span)
+    }
+
+    /// Smallest level ever set.
+    pub fn min(&self) -> Option<f64> {
+        self.started_at.map(|_| self.min)
+    }
+
+    /// Largest level ever set.
+    pub fn max(&self) -> Option<f64> {
+        self.started_at.map(|_| self.max)
+    }
+}
+
+/// Named counters, gauges and histograms for one run.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, TimeWeightedGauge>,
+    histograms: BTreeMap<&'static str, LogHistogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `by` to counter `name` (creating it at zero).
+    pub fn inc(&mut self, name: &'static str, by: u64) {
+        *self.counters.entry(name).or_insert(0) += by;
+    }
+
+    /// Reads counter `name` (zero if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets gauge `name` to `v` at sim time `t`.
+    pub fn gauge_set(&mut self, name: &'static str, t: f64, v: f64) {
+        self.gauges.entry(name).or_default().set(t, v);
+    }
+
+    /// Adds `delta` to gauge `name` at sim time `t`.
+    pub fn gauge_add(&mut self, name: &'static str, t: f64, delta: f64) {
+        self.gauges.entry(name).or_default().add(t, delta);
+    }
+
+    /// Reads gauge `name`, if it was ever set.
+    pub fn gauge(&self, name: &str) -> Option<&TimeWeightedGauge> {
+        self.gauges.get(name)
+    }
+
+    /// Records `v` into histogram `name` (creating it empty).
+    pub fn observe(&mut self, name: &'static str, v: f64) {
+        self.histograms.entry(name).or_default().record(v);
+    }
+
+    /// Reads histogram `name`, if it has ever been observed into.
+    pub fn histogram(&self, name: &str) -> Option<&LogHistogram> {
+        self.histograms.get(name)
+    }
+
+    /// Deterministic plain-text dump (sorted by metric name), one metric
+    /// per line — used by debug output and tests.
+    pub fn render_text(&self, end_t: f64) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            out.push_str(&format!("counter {name} {v}\n"));
+        }
+        for (name, g) in &self.gauges {
+            out.push_str(&format!(
+                "gauge {name} value {} time_avg {}\n",
+                g.value(),
+                g.time_avg(end_t).unwrap_or(0.0),
+            ));
+        }
+        for (name, h) in &self.histograms {
+            out.push_str(&format!(
+                "histogram {name} count {} mean {} p50 {} p90 {} p99 {}\n",
+                h.count(),
+                h.mean().unwrap_or(0.0),
+                h.p50().unwrap_or(0.0),
+                h.p90().unwrap_or(0.0),
+                h.p99().unwrap_or(0.0),
+            ));
+        }
+        out
+    }
+
+    /// Deterministic JSON object mapping metric names to values (the
+    /// machine-readable sibling of [`MetricsRegistry::render_text`]).
+    pub fn render_json(&self, end_t: f64) -> String {
+        let mut out = String::new();
+        out.push('{');
+        out.push_str("\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::push_key(&mut out, name);
+            out.push_str(&v.to_string());
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, g)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::push_key(&mut out, name);
+            out.push('{');
+            json::push_key(&mut out, "value");
+            json::push_f64(&mut out, g.value());
+            json::field_opt_f64(&mut out, "time_avg", g.time_avg(end_t));
+            out.push('}');
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::push_key(&mut out, name);
+            out.push('{');
+            json::push_key(&mut out, "count");
+            out.push_str(&h.count().to_string());
+            json::field_opt_f64(&mut out, "mean", h.mean());
+            json::field_opt_f64(&mut out, "p50", h.p50());
+            json::field_opt_f64(&mut out, "p90", h.p90());
+            json::field_opt_f64(&mut out, "p99", h.p99());
+            out.push('}');
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut r = MetricsRegistry::new();
+        r.inc("tasks", 1);
+        r.inc("tasks", 2);
+        assert_eq!(r.counter("tasks"), 3);
+        assert_eq!(r.counter("absent"), 0);
+    }
+
+    #[test]
+    fn gauge_time_average_is_exact_for_steps() {
+        let mut g = TimeWeightedGauge::default();
+        g.set(0.0, 2.0); // level 2 over [0, 10)
+        g.set(10.0, 4.0); // level 4 over [10, 20)
+        assert_eq!(g.time_avg(20.0), Some(3.0));
+        assert_eq!(g.min(), Some(2.0));
+        assert_eq!(g.max(), Some(4.0));
+        assert_eq!(g.value(), 4.0);
+    }
+
+    #[test]
+    fn gauge_add_tracks_occupancy() {
+        let mut r = MetricsRegistry::new();
+        r.gauge_add("busy", 0.0, 1.0);
+        r.gauge_add("busy", 5.0, 1.0);
+        r.gauge_add("busy", 10.0, -2.0);
+        // 1 over [0,5), 2 over [5,10), 0 after: avg over [0,10] = 1.5.
+        let avg = r.gauge("busy").unwrap().time_avg(10.0).unwrap();
+        assert!((avg - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn text_dump_is_sorted_and_complete() {
+        let mut r = MetricsRegistry::new();
+        r.inc("b_counter", 1);
+        r.inc("a_counter", 1);
+        r.observe("lat", 2.0);
+        r.gauge_set("load", 0.0, 1.0);
+        let text = r.render_text(1.0);
+        let a = text.find("a_counter").unwrap();
+        let b = text.find("b_counter").unwrap();
+        assert!(a < b);
+        assert!(text.contains("histogram lat count 1"));
+        assert!(text.contains("gauge load"));
+        let js = r.render_json(1.0);
+        assert!(js.starts_with('{') && js.ends_with('}'));
+        assert!(js.contains("\"a_counter\":1"));
+    }
+}

@@ -1,0 +1,284 @@
+//! Chrome/Perfetto `trace.json` export.
+//!
+//! Converts a recorded event stream into the Chrome trace-event JSON
+//! format (`{"traceEvents":[…]}`), which opens directly in
+//! <https://ui.perfetto.dev> or `chrome://tracing`:
+//!
+//! * each task attempt becomes a complete (`"ph":"X"`) slice on
+//!   `pid 1` ("tasks"), `tid = machine`, with its fetch/compute/write
+//!   sub-phases as nested slices;
+//! * each network flow becomes a slice on `pid 2` ("network"),
+//!   `tid = src machine`;
+//! * background-traffic epochs and plan events become instants
+//!   (`"ph":"i"`) on `pid 3` ("control").
+//!
+//! Timestamps are microseconds, as the format requires.
+
+use std::collections::HashMap;
+
+use crate::event::TraceEvent;
+use crate::json;
+use crate::tracer::TimedEvent;
+
+const PID_TASKS: u32 = 1;
+const PID_NETWORK: u32 = 2;
+const PID_CONTROL: u32 = 3;
+
+fn us(t: f64) -> f64 {
+    t * 1e6
+}
+
+struct EventWriter {
+    out: String,
+    first: bool,
+}
+
+impl EventWriter {
+    fn new() -> Self {
+        EventWriter {
+            out: String::from("{\"traceEvents\":["),
+            first: true,
+        }
+    }
+
+    fn sep(&mut self) {
+        if self.first {
+            self.first = false;
+        } else {
+            self.out.push(',');
+        }
+    }
+
+    fn complete(&mut self, name: &str, pid: u32, tid: u32, start_s: f64, end_s: f64) {
+        self.sep();
+        self.out.push('{');
+        json::push_key(&mut self.out, "name");
+        json::push_str_escaped(&mut self.out, name);
+        self.out.push_str(",\"ph\":\"X\"");
+        json::field_f64(&mut self.out, "ts", us(start_s));
+        json::field_f64(&mut self.out, "dur", us((end_s - start_s).max(0.0)));
+        json::field_u64(&mut self.out, "pid", u64::from(pid));
+        json::field_u64(&mut self.out, "tid", u64::from(tid));
+        self.out.push('}');
+    }
+
+    fn instant(&mut self, name: &str, pid: u32, tid: u32, t_s: f64) {
+        self.sep();
+        self.out.push('{');
+        json::push_key(&mut self.out, "name");
+        json::push_str_escaped(&mut self.out, name);
+        self.out.push_str(",\"ph\":\"i\",\"s\":\"t\"");
+        json::field_f64(&mut self.out, "ts", us(t_s));
+        json::field_u64(&mut self.out, "pid", u64::from(pid));
+        json::field_u64(&mut self.out, "tid", u64::from(tid));
+        self.out.push('}');
+    }
+
+    fn process_name(&mut self, pid: u32, name: &str) {
+        self.sep();
+        self.out.push('{');
+        self.out
+            .push_str("\"name\":\"process_name\",\"ph\":\"M\",\"args\":{\"name\":");
+        json::push_str_escaped(&mut self.out, name);
+        self.out.push('}');
+        json::field_u64(&mut self.out, "pid", u64::from(pid));
+        self.out.push('}');
+    }
+
+    fn finish(mut self) -> String {
+        self.out.push_str("]}");
+        self.out
+    }
+}
+
+/// Renders recorded events as a Chrome trace JSON document.
+pub fn chrome_trace(events: &[TimedEvent]) -> String {
+    let mut w = EventWriter::new();
+    w.process_name(PID_TASKS, "tasks");
+    w.process_name(PID_NETWORK, "network");
+    w.process_name(PID_CONTROL, "control");
+
+    // Open flows: id -> (start time, label, src machine).
+    let mut open_flows: HashMap<u64, (f64, String, u32)> = HashMap::new();
+
+    for te in events {
+        match &te.ev {
+            TraceEvent::TaskFinished {
+                job,
+                stage,
+                index,
+                machine,
+                scheduled_s,
+                compute_started_s,
+                write_started_s,
+            } => {
+                let name = format!("j{job}/s{stage}/t{index}");
+                w.complete(&name, PID_TASKS, *machine, *scheduled_s, te.t);
+                // Nested phase slices where the boundaries are known.
+                if let Some(cs) = compute_started_s {
+                    w.complete(
+                        &format!("{name} fetch"),
+                        PID_TASKS,
+                        *machine,
+                        *scheduled_s,
+                        *cs,
+                    );
+                    let ce = write_started_s.unwrap_or(te.t);
+                    w.complete(&format!("{name} compute"), PID_TASKS, *machine, *cs, ce);
+                }
+                if let Some(ws) = write_started_s {
+                    w.complete(&format!("{name} write"), PID_TASKS, *machine, *ws, te.t);
+                }
+            }
+            TraceEvent::TaskKilled {
+                job,
+                stage,
+                index,
+                machine,
+                scheduled_s,
+            } => {
+                let name = format!("j{job}/s{stage}/t{index} (killed)");
+                w.complete(&name, PID_TASKS, *machine, *scheduled_s, te.t);
+            }
+            TraceEvent::FlowStarted {
+                flow,
+                src,
+                dst,
+                bytes,
+                class,
+                job,
+            } => {
+                let label = match job {
+                    Some(j) => format!(
+                        "{} j{} {}→{} ({:.1} MB)",
+                        class.label(),
+                        j,
+                        src,
+                        dst,
+                        bytes / 1e6
+                    ),
+                    None => {
+                        format!("{} {}→{} ({:.1} MB)", class.label(), src, dst, bytes / 1e6)
+                    }
+                };
+                open_flows.insert(*flow, (te.t, label, *src));
+            }
+            TraceEvent::FlowFinished { flow, .. } => {
+                if let Some((start, label, src)) = open_flows.remove(flow) {
+                    w.complete(&label, PID_NETWORK, src, start, te.t);
+                }
+            }
+            TraceEvent::BackgroundEpoch { rack, gbps } => {
+                w.instant(
+                    &format!("bg r{rack} {gbps:.2} Gbps"),
+                    PID_CONTROL,
+                    *rack,
+                    te.t,
+                );
+            }
+            TraceEvent::PlanComputed { jobs, objective } => {
+                w.instant(
+                    &format!("plan {jobs} jobs ({objective})"),
+                    PID_CONTROL,
+                    0,
+                    te.t,
+                );
+            }
+            TraceEvent::Replanned { jobs_updated } => {
+                w.instant(&format!("replan {jobs_updated} jobs"), PID_CONTROL, 0, te.t);
+            }
+            TraceEvent::MachineFailed { machine } => {
+                w.instant(&format!("fail m{machine}"), PID_CONTROL, 1, te.t);
+            }
+            TraceEvent::MachineRepaired { machine } => {
+                w.instant(&format!("repair m{machine}"), PID_CONTROL, 1, te.t);
+            }
+            TraceEvent::JobArrived { job } => {
+                w.instant(&format!("arrive j{job}"), PID_CONTROL, 2, te.t);
+            }
+            TraceEvent::JobFinished { job, .. } => {
+                w.instant(&format!("finish j{job}"), PID_CONTROL, 2, te.t);
+            }
+            // Fine-grained scheduling events don't add viewer value.
+            TraceEvent::TaskScheduled { .. }
+            | TraceEvent::TaskComputeStart { .. }
+            | TraceEvent::TaskWriteStart { .. }
+            | TraceEvent::SchedulerWait { .. }
+            | TraceEvent::PlannerAssigned { .. }
+            | TraceEvent::IngestStarted { .. } => {}
+        }
+    }
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::FlowClass;
+
+    #[test]
+    fn emits_task_and_flow_slices() {
+        let events = vec![
+            TimedEvent {
+                t: 1.0,
+                ev: TraceEvent::FlowStarted {
+                    flow: 7,
+                    src: 2,
+                    dst: 5,
+                    bytes: 3e6,
+                    class: FlowClass::Shuffle,
+                    job: Some(1),
+                },
+            },
+            TimedEvent {
+                t: 4.0,
+                ev: TraceEvent::FlowFinished {
+                    flow: 7,
+                    bytes: 3e6,
+                },
+            },
+            TimedEvent {
+                t: 9.0,
+                ev: TraceEvent::TaskFinished {
+                    job: 1,
+                    stage: 0,
+                    index: 3,
+                    machine: 2,
+                    scheduled_s: 5.0,
+                    compute_started_s: Some(6.0),
+                    write_started_s: Some(8.0),
+                },
+            },
+        ];
+        let out = chrome_trace(&events);
+        assert!(out.starts_with("{\"traceEvents\":["));
+        assert!(out.ends_with("]}"));
+        assert!(out.contains("\"name\":\"j1/s0/t3\""));
+        assert!(out.contains("j1/s0/t3 fetch"));
+        assert!(out.contains("j1/s0/t3 compute"));
+        assert!(out.contains("j1/s0/t3 write"));
+        assert!(out.contains("shuffle j1 2→5"));
+        // Flow slice: ts 1e6 us, dur 3e6 us.
+        assert!(out.contains("\"ts\":1000000"));
+        assert!(out.contains("\"dur\":3000000"));
+        assert!(out.contains("process_name"));
+    }
+
+    #[test]
+    fn unmatched_flow_start_is_dropped_not_corrupt() {
+        let events = vec![TimedEvent {
+            t: 1.0,
+            ev: TraceEvent::FlowStarted {
+                flow: 1,
+                src: 0,
+                dst: 1,
+                bytes: 1.0,
+                class: FlowClass::Ingest,
+                job: None,
+            },
+        }];
+        let out = chrome_trace(&events);
+        assert!(!out.contains("ingest 0"));
+        assert!(out.ends_with("]}"));
+    }
+}

@@ -1,0 +1,262 @@
+//! Event sinks: the [`Tracer`] trait and its three implementations —
+//! [`NullTracer`] (free), [`MemTracer`] (bounded ring buffer, feeds the
+//! Perfetto exporter), and [`JsonlTracer`] (streaming newline-delimited
+//! JSON). [`FanoutTracer`] duplicates events to several sinks when a run
+//! wants more than one output.
+//!
+//! Sinks take `&self` (interior mutability) so one `Arc<dyn Tracer>` can
+//! be shared by the cluster engine, the network fabric, and the
+//! scheduler without threading mutable borrows through all of them.
+
+use std::collections::VecDeque;
+use std::io::{self, BufWriter, Write};
+use std::sync::{Arc, Mutex};
+
+use crate::event::TraceEvent;
+
+/// A timestamped event as retained by [`MemTracer`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedEvent {
+    /// Simulation time in seconds.
+    pub t: f64,
+    /// The event.
+    pub ev: TraceEvent,
+}
+
+/// An event sink. Implementations must be cheap when disabled: callers
+/// check [`Tracer::enabled`] once and skip event construction entirely
+/// for the null sink.
+pub trait Tracer: Send + Sync {
+    /// Whether events should be constructed and recorded at all.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Records one event at simulation time `t` (seconds).
+    fn record(&self, t: f64, ev: TraceEvent);
+
+    /// Flushes any buffered output.
+    fn flush(&self) {}
+}
+
+/// Shared handle to a tracer, cloned into every instrumented component.
+pub type SharedTracer = Arc<dyn Tracer>;
+
+/// The do-nothing sink; `enabled()` is `false` so instrumented hot paths
+/// skip event construction.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullTracer;
+
+impl Tracer for NullTracer {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&self, _t: f64, _ev: TraceEvent) {}
+}
+
+/// Bounded in-memory ring buffer of the most recent events.
+pub struct MemTracer {
+    inner: Mutex<MemInner>,
+}
+
+struct MemInner {
+    buf: VecDeque<TimedEvent>,
+    cap: usize,
+    dropped: u64,
+}
+
+impl MemTracer {
+    /// A ring keeping at most `capacity` events (older events are
+    /// dropped first, with a drop counter).
+    pub fn new(capacity: usize) -> Self {
+        MemTracer {
+            inner: Mutex::new(MemInner {
+                buf: VecDeque::with_capacity(capacity.min(4096)),
+                cap: capacity.max(1),
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// Snapshot of the retained events, oldest first.
+    pub fn events(&self) -> Vec<TimedEvent> {
+        let inner = self.inner.lock().unwrap();
+        inner.buf.iter().cloned().collect()
+    }
+
+    /// How many events were evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().unwrap().dropped
+    }
+}
+
+impl Tracer for MemTracer {
+    fn record(&self, t: f64, ev: TraceEvent) {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.buf.len() == inner.cap {
+            inner.buf.pop_front();
+            inner.dropped += 1;
+        }
+        inner.buf.push_back(TimedEvent { t, ev });
+    }
+}
+
+/// Streams events as newline-delimited JSON objects to any writer.
+pub struct JsonlTracer<W: Write + Send> {
+    inner: Mutex<JsonlInner<W>>,
+}
+
+struct JsonlInner<W> {
+    out: W,
+    scratch: String,
+    lines: u64,
+}
+
+impl JsonlTracer<BufWriter<std::fs::File>> {
+    /// Opens (truncates) `path` and streams JSONL into it.
+    pub fn create(path: &str) -> io::Result<Self> {
+        Ok(JsonlTracer::new(BufWriter::new(std::fs::File::create(
+            path,
+        )?)))
+    }
+}
+
+impl<W: Write + Send> JsonlTracer<W> {
+    /// Wraps an arbitrary writer (used by tests with `Vec<u8>`).
+    pub fn new(out: W) -> Self {
+        JsonlTracer {
+            inner: Mutex::new(JsonlInner {
+                out,
+                scratch: String::with_capacity(256),
+                lines: 0,
+            }),
+        }
+    }
+
+    /// Number of lines written so far.
+    pub fn lines(&self) -> u64 {
+        self.inner.lock().unwrap().lines
+    }
+
+    /// Flushes and returns the underlying writer.
+    pub fn into_inner(self) -> W {
+        let mut inner = self.inner.into_inner().unwrap();
+        let _ = inner.out.flush();
+        inner.out
+    }
+}
+
+impl<W: Write + Send> Tracer for JsonlTracer<W> {
+    fn record(&self, t: f64, ev: TraceEvent) {
+        let mut inner = self.inner.lock().unwrap();
+        let JsonlInner {
+            out,
+            scratch,
+            lines,
+        } = &mut *inner;
+        scratch.clear();
+        ev.write_json(t, scratch);
+        scratch.push('\n');
+        // A tracer has no error channel; an unwritable sink is a
+        // programming/environment error worth failing loudly on.
+        out.write_all(scratch.as_bytes())
+            .expect("trace sink write failed");
+        *lines += 1;
+    }
+
+    fn flush(&self) {
+        let _ = self.inner.lock().unwrap().out.flush();
+    }
+}
+
+/// Duplicates every event to several sinks (e.g. `--trace` JSONL and an
+/// in-memory ring for `--perfetto` in the same run).
+pub struct FanoutTracer {
+    sinks: Vec<SharedTracer>,
+}
+
+impl FanoutTracer {
+    /// A fanout over `sinks`.
+    pub fn new(sinks: Vec<SharedTracer>) -> Self {
+        FanoutTracer { sinks }
+    }
+}
+
+impl Tracer for FanoutTracer {
+    fn enabled(&self) -> bool {
+        self.sinks.iter().any(|s| s.enabled())
+    }
+
+    fn record(&self, t: f64, ev: TraceEvent) {
+        match self.sinks.len() {
+            0 => {}
+            1 => self.sinks[0].record(t, ev),
+            _ => {
+                for s in &self.sinks[..self.sinks.len() - 1] {
+                    s.record(t, ev.clone());
+                }
+                self.sinks[self.sinks.len() - 1].record(t, ev);
+            }
+        }
+    }
+
+    fn flush(&self) {
+        for s in &self.sinks {
+            s.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(job: u32) -> TraceEvent {
+        TraceEvent::JobArrived { job }
+    }
+
+    #[test]
+    fn null_tracer_is_disabled() {
+        let t = NullTracer;
+        assert!(!t.enabled());
+        t.record(1.0, ev(0)); // no-op
+    }
+
+    #[test]
+    fn mem_tracer_rings() {
+        let t = MemTracer::new(3);
+        for i in 0..5 {
+            t.record(i as f64, ev(i));
+        }
+        let evs = t.events();
+        assert_eq!(evs.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        assert_eq!(evs[0].ev, ev(2));
+        assert_eq!(evs[2].ev, ev(4));
+    }
+
+    #[test]
+    fn jsonl_tracer_streams_lines() {
+        let t = JsonlTracer::new(Vec::new());
+        t.record(0.5, ev(1));
+        t.record(1.5, ev(2));
+        assert_eq!(t.lines(), 2);
+        let bytes = t.into_inner();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0], "{\"t\":0.5,\"ev\":\"job_arrived\",\"job\":1}");
+    }
+
+    #[test]
+    fn fanout_duplicates() {
+        let a = Arc::new(MemTracer::new(10));
+        let b = Arc::new(MemTracer::new(10));
+        let f = FanoutTracer::new(vec![a.clone(), b.clone()]);
+        assert!(f.enabled());
+        f.record(2.0, ev(7));
+        assert_eq!(a.events(), b.events());
+        assert_eq!(a.events().len(), 1);
+    }
+}

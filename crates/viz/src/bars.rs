@@ -8,18 +8,17 @@ use crate::PALETTE;
 /// Renders a grouped bar chart: one group per category, one bar per series.
 /// Values may be negative (the paper's reduction plots are); the zero line
 /// is drawn explicitly.
-pub fn grouped_bars(
-    frame: &Frame,
-    categories: &[String],
-    series: &[(String, Vec<f64>)],
-) -> String {
+pub fn grouped_bars(frame: &Frame, categories: &[String], series: &[(String, Vec<f64>)]) -> String {
     let mut doc = SvgDoc::new(frame.width, frame.height);
     let (min, max) = series
         .iter()
         .flat_map(|(_, v)| v.iter().copied())
         .fold((0.0_f64, 0.0_f64), |(lo, hi), v| (lo.min(v), hi.max(v)));
     let pad = ((max - min).abs() * 0.1).max(1.0);
-    let y = Scale::linear((min - if min < 0.0 { pad } else { 0.0 }, max + pad), frame.y_range());
+    let y = Scale::linear(
+        (min - if min < 0.0 { pad } else { 0.0 }, max + pad),
+        frame.y_range(),
+    );
     let x = Scale::linear((0.0, categories.len() as f64), frame.x_range());
     frame.draw_axes(&mut doc, &x, &y);
 
@@ -35,7 +34,11 @@ pub fn grouped_bars(
             let gx = x0 + ci as f64 * group_w + group_w * 0.1;
             let bx = gx + si as f64 * bar_w;
             let by = y.map(v);
-            let (top, h) = if v >= 0.0 { (by, zero - by) } else { (zero, by - zero) };
+            let (top, h) = if v >= 0.0 {
+                (by, zero - by)
+            } else {
+                (zero, by - zero)
+            };
             doc.rect(bx, top, bar_w * 0.92, h, color, None);
         }
         legend.push((label.clone(), color.to_string()));
@@ -78,11 +81,7 @@ mod tests {
     #[test]
     fn negative_values_hang_below_zero_line() {
         let frame = Frame::new("t", "", "y");
-        let out = grouped_bars(
-            &frame,
-            &["a".into()],
-            &[("s".into(), vec![-10.0])],
-        );
+        let out = grouped_bars(&frame, &["a".into()], &[("s".into(), vec![-10.0])]);
         assert!(out.contains("<rect"));
     }
 }

@@ -162,21 +162,31 @@ fn save(dir: &Path, stem: &str, svg: String) -> bool {
 
 /// `(x, y)` two-column CSVs → single-series line chart.
 fn render_simple_line(dir: &Path, stem: &str, title: &str, xl: &str, yl: &str) -> bool {
-    let Some(rows) = load(dir, stem) else { return false };
+    let Some(rows) = load(dir, stem) else {
+        return false;
+    };
     let pts: Vec<(f64, f64)> = rows.iter().map(|r| (r[0], r[1])).collect();
     let frame = Frame::new(title, xl, yl);
-    save(dir, stem, line_chart(&frame, &[(yl.to_string(), pts)], false))
+    save(
+        dir,
+        stem,
+        line_chart(&frame, &[(yl.to_string(), pts)], false),
+    )
 }
 
 /// `workload_idx, yarn, corral, ls, sw` absolute values → reduction bars.
 fn render_reduction_bars(dir: &Path, stem: &str, title: &str) -> bool {
-    let Some(rows) = load(dir, stem) else { return false };
+    let Some(rows) = load(dir, stem) else {
+        return false;
+    };
     // fig6 has no leading index column; fig7a/b do. Detect by width.
     let (names, base_col) = if rows[0].len() == 4 {
         (vec!["W1".to_string(), "W2".into(), "W3".into()], 0)
     } else {
         (
-            rows.iter().map(|r| format!("W{}", r[0] as usize + 1)).collect(),
+            rows.iter()
+                .map(|r| format!("W{}", r[0] as usize + 1))
+                .collect(),
             1,
         )
     };
@@ -188,7 +198,11 @@ fn render_reduction_bars(dir: &Path, stem: &str, title: &str) -> bool {
         let yarn = r[base_col];
         for (si, s) in series.iter_mut().enumerate() {
             let v = r[base_col + 1 + si];
-            s.1.push(if yarn.abs() < f64::EPSILON { 0.0 } else { (yarn - v) / yarn * 100.0 });
+            s.1.push(if yarn.abs() < f64::EPSILON {
+                0.0
+            } else {
+                (yarn - v) / yarn * 100.0
+            });
         }
     }
     let frame = Frame::new(title, "", "% reduction vs yarn-cs");
@@ -197,7 +211,9 @@ fn render_reduction_bars(dir: &Path, stem: &str, title: &str) -> bool {
 
 /// `(system_idx, value, cum_fraction)` → per-system CDF.
 fn render_system_cdf(dir: &Path, stem: &str, title: &str, xl: &str, log_x: bool) -> bool {
-    let Some(rows) = load(dir, stem) else { return false };
+    let Some(rows) = load(dir, stem) else {
+        return false;
+    };
     let mut series: Vec<(String, Vec<f64>)> = Vec::new();
     for r in &rows {
         let idx = r[0] as usize;
@@ -212,7 +228,9 @@ fn render_system_cdf(dir: &Path, stem: &str, title: &str, xl: &str, log_x: bool)
 }
 
 fn render_fig1(dir: &Path) -> bool {
-    let Some(rows) = load(dir, "fig1_recurring_sizes") else { return false };
+    let Some(rows) = load(dir, "fig1_recurring_sizes") else {
+        return false;
+    };
     let n_jobs = rows[0].len() - 1;
     let series: Vec<(String, Vec<(f64, f64)>)> = (0..n_jobs)
         .map(|j| {
@@ -227,17 +245,26 @@ fn render_fig1(dir: &Path) -> bool {
         "day",
         "input size (log10 GB)",
     );
-    save(dir, "fig1_recurring_sizes", line_chart(&frame, &series, false))
+    save(
+        dir,
+        "fig1_recurring_sizes",
+        line_chart(&frame, &series, false),
+    )
 }
 
 fn render_fig2(dir: &Path) -> bool {
-    let Some(rows) = load(dir, "fig2_slots_cdf") else { return false };
+    let Some(rows) = load(dir, "fig2_slots_cdf") else {
+        return false;
+    };
     // (cluster, slots, cum_fraction): plot cum vs log10(slots) as lines.
     let mut series: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
     for r in &rows {
         let c = r[0] as usize;
         while series.len() <= c {
-            series.push((format!("cluster-{}", (b'A' + series.len() as u8) as char), Vec::new()));
+            series.push((
+                format!("cluster-{}", (b'A' + series.len() as u8) as char),
+                Vec::new(),
+            ));
         }
         series[c].1.push((r[1].max(1.0).log10(), r[2]));
     }
@@ -251,7 +278,9 @@ fn render_fig2(dir: &Path) -> bool {
 
 fn render_fig9(dir: &Path) -> bool {
     // (bin, yarn_s, corral_s, ls_s, sw_s) absolute means → reduction bars.
-    let Some(rows) = load(dir, "fig9_size_bins") else { return false };
+    let Some(rows) = load(dir, "fig9_size_bins") else {
+        return false;
+    };
     let names = vec!["small".to_string(), "medium".into(), "large".into()];
     let mut series: Vec<(String, Vec<f64>)> = SYSTEMS[1..]
         .iter()
@@ -261,7 +290,11 @@ fn render_fig9(dir: &Path) -> bool {
         let yarn = r[1];
         for (si, s) in series.iter_mut().enumerate() {
             let v = r[2 + si];
-            s.1.push(if yarn.abs() < f64::EPSILON { 0.0 } else { (yarn - v) / yarn * 100.0 });
+            s.1.push(if yarn.abs() < f64::EPSILON {
+                0.0
+            } else {
+                (yarn - v) / yarn * 100.0
+            });
         }
     }
     let frame = Frame::new(
@@ -275,17 +308,17 @@ fn render_fig9(dir: &Path) -> bool {
 fn render_fig11(dir: &Path) -> bool {
     // (group_idx, system_idx, completion_s, cum_fraction):
     // four curves — {recurring, adhoc} × {yarn-cs, corral}.
-    let Some(rows) = load(dir, "fig11_mix_cdf") else { return false };
+    let Some(rows) = load(dir, "fig11_mix_cdf") else {
+        return false;
+    };
     let labels = [
         "recurring / yarn-cs",
         "recurring / corral",
         "ad hoc / yarn-cs",
         "ad hoc / corral",
     ];
-    let mut series: Vec<(String, Vec<f64>)> = labels
-        .iter()
-        .map(|l| (l.to_string(), Vec::new()))
-        .collect();
+    let mut series: Vec<(String, Vec<f64>)> =
+        labels.iter().map(|l| (l.to_string(), Vec::new())).collect();
     for r in &rows {
         let idx = (r[0] as usize * 2 + r[1] as usize).min(3);
         series[idx].1.push(r[2]);
@@ -299,7 +332,9 @@ fn render_fig11(dir: &Path) -> bool {
 }
 
 fn render_fig12(dir: &Path) -> bool {
-    let Some(rows) = load(dir, "fig12_background_sweep") else { return false };
+    let Some(rows) = load(dir, "fig12_background_sweep") else {
+        return false;
+    };
     let batch: Vec<(f64, f64)> = rows.iter().map(|r| (r[0], r[1])).collect();
     let online: Vec<(f64, f64)> = rows.iter().map(|r| (r[0], r[2])).collect();
     let frame = Frame::new(
@@ -312,19 +347,22 @@ fn render_fig12(dir: &Path) -> bool {
         "fig12_background_sweep",
         line_chart(
             &frame,
-            &[("makespan (batch)".into(), batch), ("avg jct (online)".into(), online)],
+            &[
+                ("makespan (batch)".into(), batch),
+                ("avg jct (online)".into(), online),
+            ],
             false,
         ),
     )
 }
 
 fn render_fig14(dir: &Path) -> bool {
-    let Some(rows) = load(dir, "fig14_large_sim_cdf") else { return false };
+    let Some(rows) = load(dir, "fig14_large_sim_cdf") else {
+        return false;
+    };
     let labels = ["yarn-cs+tcp", "yarn-cs+varys", "corral+tcp", "corral+varys"];
-    let mut series: Vec<(String, Vec<f64>)> = labels
-        .iter()
-        .map(|l| (l.to_string(), Vec::new()))
-        .collect();
+    let mut series: Vec<(String, Vec<f64>)> =
+        labels.iter().map(|l| (l.to_string(), Vec::new())).collect();
     for r in &rows {
         let idx = (r[0] as usize).min(series.len() - 1);
         series[idx].1.push(r[1]);
@@ -338,7 +376,9 @@ fn render_fig14(dir: &Path) -> bool {
 }
 
 fn render_netseries(dir: &Path) -> bool {
-    let Some(rows) = load(dir, "netseries") else { return false };
+    let Some(rows) = load(dir, "netseries") else {
+        return false;
+    };
     let mut series: Vec<(String, Vec<(f64, f64)>)> = vec![
         ("yarn-cs".into(), Vec::new()),
         ("corral".into(), Vec::new()),

@@ -78,11 +78,7 @@ mod tests {
     #[test]
     fn log_axis_accepts_wide_ranges() {
         let frame = Frame::new("t", "x", "y");
-        let out = cdf_chart(
-            &frame,
-            &[("s".into(), vec![0.1, 10.0, 10_000.0])],
-            true,
-        );
+        let out = cdf_chart(&frame, &[("s".into(), vec![0.1, 10.0, 10_000.0])], true);
         assert!(out.contains("<polyline"));
     }
 

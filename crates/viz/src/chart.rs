@@ -22,7 +22,11 @@ pub struct Frame {
 
 impl Frame {
     /// A standard 640×400 frame.
-    pub fn new(title: impl Into<String>, x_label: impl Into<String>, y_label: impl Into<String>) -> Self {
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
         Frame {
             width: 640.0,
             height: 400.0,
@@ -85,7 +89,14 @@ impl Frame {
             }
             doc.line(x0 - 4.0, py, x0, py, "#222", 1.0);
             doc.line(x0, py, x1, py, "#eee", 0.5);
-            doc.text(x0 - 7.0, py + 3.5, &Scale::label(t), 10.0, Anchor::End, None);
+            doc.text(
+                x0 - 7.0,
+                py + 3.5,
+                &Scale::label(t),
+                10.0,
+                Anchor::End,
+                None,
+            );
         }
         // Axis labels.
         doc.text(

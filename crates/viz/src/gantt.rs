@@ -115,8 +115,20 @@ mod tests {
     fn renders_bars_and_rack_lines() {
         let frame = Frame::new("Timeline", "time (s)", "machine");
         let tasks = vec![
-            GanttTask { job: 0, machine: 0, start: 0.0, end: 5.0, killed: false },
-            GanttTask { job: 1, machine: 7, start: 2.0, end: 9.0, killed: true },
+            GanttTask {
+                job: 0,
+                machine: 0,
+                start: 0.0,
+                end: 5.0,
+                killed: false,
+            },
+            GanttTask {
+                job: 1,
+                machine: 7,
+                start: 2.0,
+                end: 9.0,
+                killed: true,
+            },
         ];
         let out = gantt_chart(&frame, &tasks, 12, 4);
         // Background + 2 bars.

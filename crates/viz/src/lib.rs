@@ -8,7 +8,9 @@
 //! * [`bars`] — grouped bar charts (Figs. 6, 7a, 7b, 9, 12);
 //! * [`lines`] — line/series plots (Figs. 1, 5, 13);
 //! * [`gantt`] — machine × time task timelines from the engine's task-log
-//!   CSV (`RunReport::timeline_csv()` in `corral-cluster`).
+//!   CSV (`RunReport::timeline_csv()` in `corral-cluster`);
+//! * [`trace`] — the same timelines parsed directly from a `corral-trace`
+//!   JSONL event file (`corral-sim simulate --trace`).
 //!
 //! Everything is built on a small hand-rolled [`svg`] writer and the
 //! [`scale`] axis helpers — no external dependencies, so the figures render
@@ -30,11 +32,13 @@ pub mod gantt;
 pub mod lines;
 pub mod scale;
 pub mod svg;
+pub mod trace;
 
 pub use bars::grouped_bars;
 pub use cdf::cdf_chart;
 pub use gantt::gantt_chart;
 pub use lines::line_chart;
+pub use trace::parse_trace_jsonl;
 
 /// The categorical palette used across figures (colorblind-safe-ish,
 /// ordered to match the paper's system ordering: Yarn-CS, Corral,

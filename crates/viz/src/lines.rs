@@ -9,8 +9,14 @@ use crate::PALETTE;
 /// with points as `(x, y)`.
 pub fn line_chart(frame: &Frame, series: &[(String, Vec<(f64, f64)>)], log_y: bool) -> String {
     let mut doc = SvgDoc::new(frame.width, frame.height);
-    let xs: Vec<f64> = series.iter().flat_map(|(_, p)| p.iter().map(|q| q.0)).collect();
-    let ys: Vec<f64> = series.iter().flat_map(|(_, p)| p.iter().map(|q| q.1)).collect();
+    let xs: Vec<f64> = series
+        .iter()
+        .flat_map(|(_, p)| p.iter().map(|q| q.0))
+        .collect();
+    let ys: Vec<f64> = series
+        .iter()
+        .flat_map(|(_, p)| p.iter().map(|q| q.1))
+        .collect();
     if xs.is_empty() {
         return doc.finish();
     }
@@ -70,11 +76,7 @@ mod tests {
     #[test]
     fn log_y_handles_decades() {
         let frame = Frame::new("t", "x", "y");
-        let out = line_chart(
-            &frame,
-            &[("s".into(), vec![(0.0, 1.0), (1.0, 1e6)])],
-            true,
-        );
+        let out = line_chart(&frame, &[("s".into(), vec![(0.0, 1.0), (1.0, 1e6)])], true);
         assert!(out.contains("<polyline"));
     }
 }

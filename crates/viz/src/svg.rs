@@ -127,7 +127,15 @@ impl SvgDoc {
 
     /// Text at `(x, y)`; `size` in px; optional rotation (degrees, about
     /// the text origin).
-    pub fn text(&mut self, x: f64, y: f64, s: &str, size: f64, anchor: Anchor, rotate: Option<f64>) {
+    pub fn text(
+        &mut self,
+        x: f64,
+        y: f64,
+        s: &str,
+        size: f64,
+        anchor: Anchor,
+        rotate: Option<f64>,
+    ) {
         let transform = rotate
             .map(|deg| format!(" transform=\"rotate({deg} {} {})\"", fmt_num(x), fmt_num(y)))
             .unwrap_or_default();
@@ -165,7 +173,14 @@ mod tests {
         d.line(0.0, 0.0, 10.0, 10.0, "red", 1.5);
         d.polyline(&[(0.0, 0.0), (5.0, 5.5)], "blue", 2.0);
         d.circle(9.0, 9.0, 3.0, "green");
-        d.text(50.0, 50.0, "hi <there> & co", 12.0, Anchor::Middle, Some(-90.0));
+        d.text(
+            50.0,
+            50.0,
+            "hi <there> & co",
+            12.0,
+            Anchor::Middle,
+            Some(-90.0),
+        );
         let out = d.finish();
         assert!(out.starts_with("<svg"));
         assert!(out.ends_with("</svg>\n"));

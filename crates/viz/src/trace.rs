@@ -1,0 +1,99 @@
+//! Gantt timelines straight from a `corral-trace` JSONL event file.
+//!
+//! `corral-sim simulate --trace run.jsonl` streams one JSON object per
+//! event; the `task_finished` / `task_killed` events carry everything a
+//! timeline needs (machine, scheduled time, finish time), so a Gantt can
+//! be rendered from the trace alone — no separate `--timeline` CSV. The
+//! parsing is a hand-rolled key scan (this crate is dependency-free);
+//! lines that are not task events, or are malformed, are skipped.
+
+use crate::gantt::GanttTask;
+
+/// Extracts the number following `"key":` in a flat JSON object line.
+fn json_num(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !matches!(c, '0'..='9' | '-' | '+' | '.' | 'e' | 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parses trace JSONL into Gantt bars: one bar per `task_finished` /
+/// `task_killed` event, spanning scheduled → event time.
+pub fn parse_trace_jsonl(text: &str) -> Vec<GanttTask> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let killed = if line.contains("\"ev\":\"task_finished\"") {
+            false
+        } else if line.contains("\"ev\":\"task_killed\"") {
+            true
+        } else {
+            continue;
+        };
+        let (Some(end), Some(job), Some(machine), Some(start)) = (
+            json_num(line, "t"),
+            json_num(line, "job"),
+            json_num(line, "machine"),
+            json_num(line, "scheduled_s"),
+        ) else {
+            continue;
+        };
+        out.push(GanttTask {
+            job: job as u32,
+            machine: machine as u32,
+            start,
+            end,
+            killed,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_task_events_and_skips_the_rest() {
+        let text = concat!(
+            "{\"t\":0.0,\"ev\":\"job_arrived\",\"job\":1}\n",
+            "{\"t\":12.5,\"ev\":\"task_finished\",\"job\":1,\"stage\":0,\"index\":3,",
+            "\"machine\":17,\"scheduled_s\":2.5,\"compute_started_s\":3.0,",
+            "\"write_started_s\":10.0}\n",
+            "{\"t\":20.0,\"ev\":\"task_killed\",\"job\":2,\"stage\":1,\"index\":0,",
+            "\"machine\":4,\"scheduled_s\":15.0}\n",
+            "{\"t\":21.0,\"ev\":\"flow_finished\",\"flow\":9,\"bytes\":100}\n",
+        );
+        let tasks = parse_trace_jsonl(text);
+        assert_eq!(tasks.len(), 2);
+        assert_eq!(tasks[0].job, 1);
+        assert_eq!(tasks[0].machine, 17);
+        assert_eq!(tasks[0].start, 2.5);
+        assert_eq!(tasks[0].end, 12.5);
+        assert!(!tasks[0].killed);
+        assert!(tasks[1].killed);
+        assert_eq!(tasks[1].start, 15.0);
+    }
+
+    #[test]
+    fn malformed_lines_are_skipped() {
+        let text = concat!(
+            "not json at all\n",
+            "{\"t\":1.0,\"ev\":\"task_finished\",\"job\":1}\n", // no machine/scheduled_s
+            "{\"t\":2.0,\"ev\":\"task_finished\",\"job\":1,\"machine\":0,\"scheduled_s\":1.0}\n",
+        );
+        let tasks = parse_trace_jsonl(text);
+        assert_eq!(tasks.len(), 1);
+        assert_eq!(tasks[0].end, 2.0);
+    }
+
+    #[test]
+    fn json_num_handles_exponents_and_boundaries() {
+        let line = "{\"t\":1.5e-3,\"job\":42}";
+        assert_eq!(json_num(line, "t"), Some(1.5e-3));
+        assert_eq!(json_num(line, "job"), Some(42.0));
+        assert_eq!(json_num(line, "absent"), None);
+    }
+}

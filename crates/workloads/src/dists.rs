@@ -68,7 +68,9 @@ mod tests {
     fn lognormal_fit_hits_quantiles() {
         let (mu, sigma) = lognormal_from_median_p95(180.0, 2060.0);
         let mut r = rng();
-        let mut v: Vec<f64> = (0..20000).map(|_| sample_lognormal(&mut r, mu, sigma)).collect();
+        let mut v: Vec<f64> = (0..20000)
+            .map(|_| sample_lognormal(&mut r, mu, sigma))
+            .collect();
         v.sort_by(f64::total_cmp);
         let median = v[v.len() / 2];
         let p95 = v[(v.len() as f64 * 0.95) as usize];
@@ -98,10 +100,15 @@ mod tests {
     #[test]
     fn pareto_bounds_and_tail() {
         let mut r = rng();
-        let samples: Vec<f64> = (0..10000).map(|_| sample_pareto(&mut r, 2.0, 1.5)).collect();
+        let samples: Vec<f64> = (0..10000)
+            .map(|_| sample_pareto(&mut r, 2.0, 1.5))
+            .collect();
         assert!(samples.iter().all(|&x| x >= 2.0));
         let big = samples.iter().filter(|&&x| x > 20.0).count();
-        assert!(big > 10, "a Pareto(1.5) tail should exceed 10x xmin sometimes");
+        assert!(
+            big > 10,
+            "a Pareto(1.5) tail should exceed 10x xmin sometimes"
+        );
     }
 
     #[test]

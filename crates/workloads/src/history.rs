@@ -43,8 +43,7 @@ impl RecurringJob {
                 let level = self.base_bytes
                     * if weekend { self.weekend_factor } else { 1.0 }
                     * self.daily_growth.powi(day as i32);
-                let noise =
-                    (crate::dists::sample_normal(&mut rng) * self.noise_sigma).exp();
+                let noise = (crate::dists::sample_normal(&mut rng) * self.noise_sigma).exp();
                 HistoryPoint {
                     day,
                     slot: self.slot,
@@ -60,12 +59,54 @@ impl RecurringJob {
 /// log10 with each tick a 10× increase.)
 pub fn fig1_jobs() -> Vec<RecurringJob> {
     vec![
-        RecurringJob { id: 1, base_bytes: 4e9, weekend_factor: 1.0, daily_growth: 1.001, noise_sigma: 0.05, slot: 2 },
-        RecurringJob { id: 2, base_bytes: 5e10, weekend_factor: 0.55, daily_growth: 1.002, noise_sigma: 0.07, slot: 6 },
-        RecurringJob { id: 3, base_bytes: 3e11, weekend_factor: 0.8, daily_growth: 1.000, noise_sigma: 0.05, slot: 9 },
-        RecurringJob { id: 4, base_bytes: 2e12, weekend_factor: 1.25, daily_growth: 1.003, noise_sigma: 0.08, slot: 14 },
-        RecurringJob { id: 5, base_bytes: 1.2e13, weekend_factor: 0.6, daily_growth: 1.001, noise_sigma: 0.06, slot: 18 },
-        RecurringJob { id: 6, base_bytes: 4.5e13, weekend_factor: 0.9, daily_growth: 1.002, noise_sigma: 0.07, slot: 22 },
+        RecurringJob {
+            id: 1,
+            base_bytes: 4e9,
+            weekend_factor: 1.0,
+            daily_growth: 1.001,
+            noise_sigma: 0.05,
+            slot: 2,
+        },
+        RecurringJob {
+            id: 2,
+            base_bytes: 5e10,
+            weekend_factor: 0.55,
+            daily_growth: 1.002,
+            noise_sigma: 0.07,
+            slot: 6,
+        },
+        RecurringJob {
+            id: 3,
+            base_bytes: 3e11,
+            weekend_factor: 0.8,
+            daily_growth: 1.000,
+            noise_sigma: 0.05,
+            slot: 9,
+        },
+        RecurringJob {
+            id: 4,
+            base_bytes: 2e12,
+            weekend_factor: 1.25,
+            daily_growth: 1.003,
+            noise_sigma: 0.08,
+            slot: 14,
+        },
+        RecurringJob {
+            id: 5,
+            base_bytes: 1.2e13,
+            weekend_factor: 0.6,
+            daily_growth: 1.001,
+            noise_sigma: 0.06,
+            slot: 18,
+        },
+        RecurringJob {
+            id: 6,
+            base_bytes: 4.5e13,
+            weekend_factor: 0.9,
+            daily_growth: 1.002,
+            noise_sigma: 0.07,
+            slot: 22,
+        },
     ]
 }
 
@@ -134,7 +175,10 @@ mod tests {
     #[test]
     fn fig1_spans_orders_of_magnitude() {
         let jobs = fig1_jobs();
-        let min = jobs.iter().map(|j| j.base_bytes).fold(f64::INFINITY, f64::min);
+        let min = jobs
+            .iter()
+            .map(|j| j.base_bytes)
+            .fold(f64::INFINITY, f64::min);
         let max = jobs.iter().map(|j| j.base_bytes).fold(0.0, f64::max);
         assert!(max / min > 1000.0, "Fig 1 y-axis spans several decades");
     }

@@ -96,9 +96,14 @@ mod tests {
     fn uniform_arrivals_in_window() {
         let mut js = jobs(200);
         assign_uniform_arrivals(&mut js, SimTime::minutes(60.0), 1);
-        assert!(js.iter().all(|j| j.arrival >= SimTime::ZERO && j.arrival < SimTime::minutes(60.0)));
+        assert!(js
+            .iter()
+            .all(|j| j.arrival >= SimTime::ZERO && j.arrival < SimTime::minutes(60.0)));
         // Spread: not all in one half.
-        let early = js.iter().filter(|j| j.arrival < SimTime::minutes(30.0)).count();
+        let early = js
+            .iter()
+            .filter(|j| j.arrival < SimTime::minutes(30.0))
+            .count();
         assert!(early > 50 && early < 150);
         // Deterministic.
         let mut js2 = jobs(200);

@@ -102,7 +102,11 @@ mod tests {
                 reduce_rate: Bandwidth::mbytes_per_sec(100.0),
             },
         );
-        Scale { task_divisor: 4.0, data_divisor: 1.0 }.apply(&mut spec);
+        Scale {
+            task_divisor: 4.0,
+            data_divisor: 1.0,
+        }
+        .apply(&mut spec);
         match &spec.profile {
             JobProfile::MapReduce(mr) => {
                 assert_eq!(mr.maps, 25);
@@ -115,7 +119,10 @@ mod tests {
 
     #[test]
     fn tasks_floor_at_one() {
-        let s = Scale { task_divisor: 10.0, data_divisor: 1.0 };
+        let s = Scale {
+            task_divisor: 10.0,
+            data_divisor: 1.0,
+        };
         assert_eq!(s.tasks(3), 1);
         assert_eq!(s.tasks(0), 1);
         assert_eq!(s.tasks(25), 3); // rounds

@@ -29,9 +29,21 @@ pub struct ClusterSlots {
 
 /// The three clusters with the paper's under-one-rack fractions.
 pub const CLUSTERS: [ClusterSlots; 3] = [
-    ClusterSlots { name: "cluster-A", frac_under_rack: 0.75, sigma: 2.2 },
-    ClusterSlots { name: "cluster-B", frac_under_rack: 0.87, sigma: 2.2 },
-    ClusterSlots { name: "cluster-C", frac_under_rack: 0.95, sigma: 2.2 },
+    ClusterSlots {
+        name: "cluster-A",
+        frac_under_rack: 0.75,
+        sigma: 2.2,
+    },
+    ClusterSlots {
+        name: "cluster-B",
+        frac_under_rack: 0.87,
+        sigma: 2.2,
+    },
+    ClusterSlots {
+        name: "cluster-C",
+        frac_under_rack: 0.95,
+        sigma: 2.2,
+    },
 ];
 
 impl ClusterSlots {
@@ -59,7 +71,7 @@ pub fn inv_norm_cdf(p: f64) -> f64 {
         -3.969683028665376e+01,
         2.209460984245205e+02,
         -2.759285104469687e+02,
-        1.383577518672690e+02,
+        1.383_577_518_672_69e2,
         -3.066479806614716e+01,
         2.506628277459239e+00,
     ];

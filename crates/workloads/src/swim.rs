@@ -152,7 +152,10 @@ mod tests {
     #[test]
     fn scaling_applies() {
         let params = SwimParams {
-            scale: Scale { task_divisor: 8.0, data_divisor: 1.0 },
+            scale: Scale {
+                task_divisor: 8.0,
+                data_divisor: 1.0,
+            },
             ..Default::default()
         };
         let jobs = parse(SAMPLE, &params).unwrap();

@@ -149,7 +149,7 @@ impl B {
         let id = StageId::from_index(self.stages.len());
         self.stages.push(
             StageProfile::new("order-limit", 1, Bandwidth::mbytes_per_sec(XFORM_RATE_MBPS))
-                .with_dfs_output(Bytes(last.1.min(64e6).max(1e6))),
+                .with_dfs_output(Bytes(last.1.clamp(1e6, 64e6))),
         );
         self.edges.push(DagEdge {
             from: last.0,

@@ -31,7 +31,10 @@ impl std::fmt::Display for TraceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             TraceError::DagJobUnsupported(id) => {
-                write!(f, "job {id} is DAG-structured; the CSV trace format covers MapReduce only")
+                write!(
+                    f,
+                    "job {id} is DAG-structured; the CSV trace format covers MapReduce only"
+                )
             }
             TraceError::Parse(line, what) => write!(f, "trace line {line}: {what}"),
         }
@@ -168,7 +171,10 @@ mod tests {
         assert!(matches!(from_csv(""), Err(TraceError::Parse(0, _))));
         assert!(matches!(from_csv("nope"), Err(TraceError::Parse(1, _))));
         let bad_fields = format!("{HEADER}\n1,x,0,true,1,1,1,2\n");
-        assert!(matches!(from_csv(&bad_fields), Err(TraceError::Parse(2, _))));
+        assert!(matches!(
+            from_csv(&bad_fields),
+            Err(TraceError::Parse(2, _))
+        ));
         let bad_number = format!("{HEADER}\n1,x,zero,true,1,1,1,2,1,1,1\n");
         match from_csv(&bad_number) {
             Err(TraceError::Parse(2, what)) => assert!(what.contains("arrival")),
@@ -181,7 +187,13 @@ mod tests {
 
     #[test]
     fn commas_in_names_are_sanitized() {
-        let mut jobs = w1::generate(&W1Params { jobs: 1, ..W1Params::with_seed(5) }, Scale::full());
+        let mut jobs = w1::generate(
+            &W1Params {
+                jobs: 1,
+                ..W1Params::with_seed(5)
+            },
+            Scale::full(),
+        );
         jobs[0].name = "weird,name".into();
         let back = from_csv(&to_csv(&jobs).unwrap()).unwrap();
         assert_eq!(back[0].name, "weird;name");

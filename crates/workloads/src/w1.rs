@@ -164,7 +164,7 @@ mod tests {
         for j in gen() {
             if let JobProfile::MapReduce(mr) = &j.profile {
                 let s = mr.input.0 / mr.shuffle.0;
-                assert!(s >= 0.25 - 1e-9 && s <= 4.0 + 1e-9, "selectivity {s}");
+                assert!((0.25 - 1e-9..=4.0 + 1e-9).contains(&s), "selectivity {s}");
             }
         }
     }
@@ -181,7 +181,13 @@ mod tests {
     #[test]
     fn scaling_reduces_tasks() {
         let full = gen();
-        let scaled = generate(&W1Params::with_seed(7), Scale { task_divisor: 4.0, data_divisor: 1.0 });
+        let scaled = generate(
+            &W1Params::with_seed(7),
+            Scale {
+                task_divisor: 4.0,
+                data_divisor: 1.0,
+            },
+        );
         for (a, b) in full.iter().zip(&scaled) {
             assert!(b.profile.total_tasks() <= a.profile.total_tasks());
             assert_eq!(a.profile.total_input(), b.profile.total_input());

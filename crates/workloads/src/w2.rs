@@ -39,7 +39,9 @@ pub fn generate(params: &W2Params, scale: Scale) -> Vec<JobSpec> {
     // skew never depends on sampling luck.
     let stride = params.jobs / params.large_jobs.max(1);
     for i in 0..params.jobs {
-        let is_large = params.large_jobs > 0 && i % stride.max(1) == 0 && (i / stride.max(1)) < params.large_jobs;
+        let is_large = params.large_jobs > 0
+            && i % stride.max(1) == 0
+            && (i / stride.max(1)) < params.large_jobs;
         let mut spec = if is_large {
             let input = 5.5e12 * rng.gen_range(0.95..1.05);
             let shuffle = input * 1.8;

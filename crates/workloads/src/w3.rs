@@ -90,7 +90,7 @@ pub fn generate(params: &W3Params, scale: Scale) -> Vec<JobSpec> {
 }
 
 /// Percentile over raw values (helper for Table 1 checks).
-pub fn pctile(values: &mut Vec<f64>, p: f64) -> f64 {
+pub fn pctile(values: &mut [f64], p: f64) -> f64 {
     values.sort_by(f64::total_cmp);
     if values.is_empty() {
         return 0.0;
@@ -136,7 +136,13 @@ mod tests {
 
     #[test]
     fn tasks_and_input_are_correlated() {
-        let jobs = generate(&W3Params { jobs: 2000, ..Default::default() }, Scale::full());
+        let jobs = generate(
+            &W3Params {
+                jobs: 2000,
+                ..Default::default()
+            },
+            Scale::full(),
+        );
         let pairs: Vec<(f64, f64)> = jobs
             .iter()
             .filter_map(|j| match &j.profile {

@@ -19,11 +19,23 @@ fn main() {
         data_divisor: 2.0,
     };
     // 20 recurring jobs over 15 minutes + 10 ad hoc jobs at t = 0.
-    let mut jobs = w1::generate(&w1::W1Params { jobs: 20, ..w1::W1Params::with_seed(61) }, scale);
+    let mut jobs = w1::generate(
+        &w1::W1Params {
+            jobs: 20,
+            ..w1::W1Params::with_seed(61)
+        },
+        scale,
+    );
     assign_uniform_arrivals(&mut jobs, SimTime::minutes(15.0), 62);
     let recurring_ids: Vec<JobId> = jobs.iter().map(|j| j.id).collect();
 
-    let mut adhoc = w1::generate(&w1::W1Params { jobs: 10, ..w1::W1Params::with_seed(63) }, scale);
+    let mut adhoc = w1::generate(
+        &w1::W1Params {
+            jobs: 10,
+            ..w1::W1Params::with_seed(63)
+        },
+        scale,
+    );
     let mut adhoc_ids = Vec::new();
     for (i, j) in adhoc.iter_mut().enumerate() {
         j.id = JobId(500 + i as u32);
@@ -43,7 +55,12 @@ fn main() {
     };
 
     // Only the recurring jobs end up in the plan.
-    let plan = plan_jobs(&cfg, &jobs, Objective::AvgCompletionTime, &PlannerConfig::default());
+    let plan = plan_jobs(
+        &cfg,
+        &jobs,
+        Objective::AvgCompletionTime,
+        &PlannerConfig::default(),
+    );
     assert_eq!(plan.len(), recurring_ids.len());
 
     let summarize = |report: &RunReport, ids: &[JobId]| -> (f64, f64) {
@@ -62,8 +79,18 @@ fn main() {
         "system", "recurring mean", "recurring p90", "adhoc mean", "adhoc p90"
     );
     for (label, kind, placement, with_plan) in [
-        ("yarn-cs", SchedulerKind::Capacity, DataPlacement::HdfsRandom, false),
-        ("corral", SchedulerKind::Planned, DataPlacement::PerPlan, true),
+        (
+            "yarn-cs",
+            SchedulerKind::Capacity,
+            DataPlacement::HdfsRandom,
+            false,
+        ),
+        (
+            "corral",
+            SchedulerKind::Planned,
+            DataPlacement::PerPlan,
+            true,
+        ),
     ] {
         let mut params = base.clone();
         params.placement = placement;

@@ -37,13 +37,36 @@ fn main() {
 
     let plan = plan_jobs(&cfg, &jobs, Objective::Makespan, &PlannerConfig::default());
 
-    println!("{:>16} {:>12} {:>14} {:>10}", "system", "makespan", "cross-rack", "vs yarn");
+    println!(
+        "{:>16} {:>12} {:>14} {:>10}",
+        "system", "makespan", "cross-rack", "vs yarn"
+    );
     let mut yarn_makespan = None;
     for (label, kind, placement, use_plan) in [
-        ("yarn-cs", SchedulerKind::Capacity, DataPlacement::HdfsRandom, false),
-        ("corral", SchedulerKind::Planned, DataPlacement::PerPlan, true),
-        ("localshuffle", SchedulerKind::Planned, DataPlacement::HdfsRandom, true),
-        ("shufflewatcher", SchedulerKind::ShuffleWatcher, DataPlacement::HdfsRandom, false),
+        (
+            "yarn-cs",
+            SchedulerKind::Capacity,
+            DataPlacement::HdfsRandom,
+            false,
+        ),
+        (
+            "corral",
+            SchedulerKind::Planned,
+            DataPlacement::PerPlan,
+            true,
+        ),
+        (
+            "localshuffle",
+            SchedulerKind::Planned,
+            DataPlacement::HdfsRandom,
+            true,
+        ),
+        (
+            "shufflewatcher",
+            SchedulerKind::ShuffleWatcher,
+            DataPlacement::HdfsRandom,
+            false,
+        ),
     ] {
         let mut params = base.clone();
         params.placement = placement;

@@ -43,10 +43,34 @@ fn main() {
 
     println!("{:>18} {:>12} {:>12}", "system", "mean jct", "median jct");
     for (label, kind, placement, with_plan, net) in [
-        ("yarn-cs + tcp", SchedulerKind::Capacity, DataPlacement::HdfsRandom, false, NetPolicy::Tcp),
-        ("yarn-cs + varys", SchedulerKind::Capacity, DataPlacement::HdfsRandom, false, NetPolicy::Varys),
-        ("corral + tcp", SchedulerKind::Planned, DataPlacement::PerPlan, true, NetPolicy::Tcp),
-        ("corral + varys", SchedulerKind::Planned, DataPlacement::PerPlan, true, NetPolicy::Varys),
+        (
+            "yarn-cs + tcp",
+            SchedulerKind::Capacity,
+            DataPlacement::HdfsRandom,
+            false,
+            NetPolicy::Tcp,
+        ),
+        (
+            "yarn-cs + varys",
+            SchedulerKind::Capacity,
+            DataPlacement::HdfsRandom,
+            false,
+            NetPolicy::Varys,
+        ),
+        (
+            "corral + tcp",
+            SchedulerKind::Planned,
+            DataPlacement::PerPlan,
+            true,
+            NetPolicy::Tcp,
+        ),
+        (
+            "corral + varys",
+            SchedulerKind::Planned,
+            DataPlacement::PerPlan,
+            true,
+            NetPolicy::Varys,
+        ),
     ] {
         let mut params = base.clone();
         params.placement = placement;

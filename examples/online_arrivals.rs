@@ -49,8 +49,18 @@ fn main() {
         "system", "p25", "p50", "p90", "mean"
     );
     for (label, kind, placement, with_plan) in [
-        ("yarn-cs", SchedulerKind::Capacity, DataPlacement::HdfsRandom, false),
-        ("corral", SchedulerKind::Planned, DataPlacement::PerPlan, true),
+        (
+            "yarn-cs",
+            SchedulerKind::Capacity,
+            DataPlacement::HdfsRandom,
+            false,
+        ),
+        (
+            "corral",
+            SchedulerKind::Planned,
+            DataPlacement::PerPlan,
+            true,
+        ),
     ] {
         let mut params = base.clone();
         params.placement = placement;

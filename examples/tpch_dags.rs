@@ -14,7 +14,13 @@ fn main() {
     let cfg = ClusterConfig::testbed_210();
     // 15 queries over a 50 GB database (scaled down so the example is
     // quick), arriving over 10 minutes.
-    let mut jobs = tpch::generate(50e9, Scale { task_divisor: 4.0, data_divisor: 1.0 });
+    let mut jobs = tpch::generate(
+        50e9,
+        Scale {
+            task_divisor: 4.0,
+            data_divisor: 1.0,
+        },
+    );
     assign_uniform_arrivals(&mut jobs, SimTime::minutes(10.0), 5);
 
     // Show the DAG structure of one query.
@@ -53,8 +59,18 @@ fn main() {
 
     println!("\n{:>10} {:>12} {:>12}", "system", "mean jct", "median jct");
     for (label, kind, placement, with_plan) in [
-        ("yarn-cs", SchedulerKind::Capacity, DataPlacement::HdfsRandom, false),
-        ("corral", SchedulerKind::Planned, DataPlacement::PerPlan, true),
+        (
+            "yarn-cs",
+            SchedulerKind::Capacity,
+            DataPlacement::HdfsRandom,
+            false,
+        ),
+        (
+            "corral",
+            SchedulerKind::Planned,
+            DataPlacement::PerPlan,
+            true,
+        ),
     ] {
         let mut params = base.clone();
         params.placement = placement;

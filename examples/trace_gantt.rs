@@ -1,0 +1,69 @@
+//! Tracing walkthrough: run a small simulation with an in-memory tracer,
+//! print the run summary, and render a Gantt chart straight from the
+//! trace events (no timeline CSV involved).
+//!
+//! ```text
+//! cargo run --release -p corral --example trace_gantt
+//! ```
+//!
+//! Writes `trace_gantt.svg` to the current directory.
+
+use corral::prelude::*;
+use corral::trace::{JsonlTracer, MemTracer, Tracer};
+use corral::workloads::w1;
+use std::sync::Arc;
+
+fn main() {
+    let cfg = ClusterConfig::tiny_test();
+    let jobs = w1::generate(
+        &w1::W1Params {
+            jobs: 6,
+            ..w1::W1Params::with_seed(3)
+        },
+        Scale {
+            task_divisor: 16.0,
+            data_divisor: 8.0,
+        },
+    );
+    let plan = plan_jobs(&cfg, &jobs, Objective::Makespan, &PlannerConfig::default());
+
+    let params = SimParams {
+        cluster: cfg.clone(),
+        placement: DataPlacement::PerPlan,
+        horizon: SimTime::hours(8.0),
+        ..SimParams::testbed()
+    };
+    let mem = Arc::new(MemTracer::new(1_000_000));
+    let mut engine = Engine::new(params, jobs, &plan, SchedulerKind::Planned);
+    engine.set_tracer(mem.clone());
+    let report = engine.run();
+
+    // The end-of-run summary --summary would print.
+    print!("{}", report.summary);
+
+    // Serialize the retained events to JSONL (what --trace streams)...
+    let jsonl = Arc::new(JsonlTracer::new(Vec::new()));
+    for e in mem.events() {
+        jsonl.record(e.t, e.ev);
+    }
+    let text = String::from_utf8(
+        Arc::try_unwrap(jsonl)
+            .ok()
+            .expect("sole owner")
+            .into_inner(),
+    )
+    .expect("trace is utf-8");
+    println!("\ntrace: {} JSONL events retained", text.lines().count());
+
+    // ...and render the machine × time Gantt directly from the trace.
+    let tasks = corral_viz::parse_trace_jsonl(&text);
+    let frame = corral_viz::chart::Frame::new("tasks by machine over time", "time (s)", "machine");
+    let svg = corral_viz::gantt_chart(
+        &frame,
+        &tasks,
+        cfg.total_machines() as u32,
+        cfg.machines_per_rack as u32,
+    );
+    std::fs::write("trace_gantt.svg", &svg).expect("write trace_gantt.svg");
+    println!("wrote trace_gantt.svg ({} task bars)", tasks.len());
+}

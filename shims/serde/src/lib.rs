@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde`. The workspace derives
+//! `Serialize`/`Deserialize` on its model types for downstream consumers
+//! but never serializes through serde at runtime (all output formats are
+//! hand-rolled CSV/JSON), so marker traits with blanket impls are
+//! sufficient: every `T: Serialize` bound is satisfied and the derive
+//! attribute (including `#[serde(transparent)]` etc.) parses and expands
+//! to nothing.
+
+#![forbid(unsafe_code)]
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all types.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

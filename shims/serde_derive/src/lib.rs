@@ -1,0 +1,21 @@
+//! No-op `Serialize` / `Deserialize` derives for the offline serde shim.
+//!
+//! The shim's traits are marker traits with blanket impls, so the derives
+//! only need to exist (and accept `#[serde(...)]` attributes) — they
+//! expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and `#[serde(...)]` attributes; expands
+/// to nothing (the shim blanket-implements the trait).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and `#[serde(...)]` attributes; expands
+/// to nothing (the shim blanket-implements the trait).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -26,14 +26,12 @@ fn run_cov(placement: DataPlacement, with_plan: bool) -> f64 {
         horizon: SimTime::hours(20.0),
         ..SimParams::testbed()
     };
-    let kind = if with_plan { SchedulerKind::Planned } else { SchedulerKind::Capacity };
-    let report = Engine::new(
-        params,
-        jobs,
-        if with_plan { &plan } else { &empty },
-        kind,
-    )
-    .run();
+    let kind = if with_plan {
+        SchedulerKind::Planned
+    } else {
+        SchedulerKind::Capacity
+    };
+    let report = Engine::new(params, jobs, if with_plan { &plan } else { &empty }, kind).run();
     assert_eq!(report.unfinished, 0);
     report.input_balance_cov
 }
@@ -86,5 +84,8 @@ fn direct_dfs_policy_comparison() {
         corral_cov <= hdfs_cov,
         "corral {corral_cov} must balance at least as well as hdfs {hdfs_cov}"
     );
-    assert!(corral_cov < 0.01, "near-perfect balance expected: {corral_cov}");
+    assert!(
+        corral_cov < 0.01,
+        "near-perfect balance expected: {corral_cov}"
+    );
 }

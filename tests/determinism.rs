@@ -32,7 +32,7 @@ fn run_once(seed: u64, kind: SchedulerKind, placement: DataPlacement) -> Vec<u64
         r.cross_rack_bytes.0.to_bits(),
         r.network_bytes.0.to_bits(),
     ];
-    for (_, m) in &r.jobs {
+    for m in r.jobs.values() {
         bits.push(m.finished.unwrap().0.to_bits());
         bits.push(m.task_seconds.to_bits());
     }
@@ -41,7 +41,11 @@ fn run_once(seed: u64, kind: SchedulerKind, placement: DataPlacement) -> Vec<u64
 
 #[test]
 fn identical_inputs_bit_identical_outputs() {
-    for kind in [SchedulerKind::Capacity, SchedulerKind::Planned, SchedulerKind::ShuffleWatcher] {
+    for kind in [
+        SchedulerKind::Capacity,
+        SchedulerKind::Planned,
+        SchedulerKind::ShuffleWatcher,
+    ] {
         let a = run_once(7, kind, DataPlacement::PerPlan);
         let b = run_once(7, kind, DataPlacement::PerPlan);
         assert_eq!(a, b, "{kind:?} must be deterministic");
@@ -58,7 +62,13 @@ fn seed_changes_placement_and_outcome() {
 #[test]
 fn planner_is_deterministic() {
     let cfg = ClusterConfig::testbed_210();
-    let jobs = w3::generate(&w3::W3Params { jobs: 30, ..Default::default() }, Scale::bench_default());
+    let jobs = w3::generate(
+        &w3::W3Params {
+            jobs: 30,
+            ..Default::default()
+        },
+        Scale::bench_default(),
+    );
     let p1 = plan_jobs(&cfg, &jobs, Objective::Makespan, &PlannerConfig::default());
     let p2 = plan_jobs(&cfg, &jobs, Objective::Makespan, &PlannerConfig::default());
     assert_eq!(p1, p2);

@@ -27,8 +27,14 @@ fn base_params(cfg: &ClusterConfig) -> SimParams {
 fn full_pipeline_all_variants() {
     let cfg = ClusterConfig::testbed_210();
     let jobs = w1::generate(
-        &w1::W1Params { jobs: 30, ..w1::W1Params::with_seed(5) },
-        Scale { task_divisor: 10.0, data_divisor: 1.5 },
+        &w1::W1Params {
+            jobs: 30,
+            ..w1::W1Params::with_seed(5)
+        },
+        Scale {
+            task_divisor: 10.0,
+            data_divisor: 1.5,
+        },
     );
     let plan = plan_jobs(&cfg, &jobs, Objective::Makespan, &PlannerConfig::default());
     assert_eq!(plan.len(), jobs.len());
@@ -38,17 +44,25 @@ fn full_pipeline_all_variants() {
         (SchedulerKind::Capacity, DataPlacement::HdfsRandom, false),
         (SchedulerKind::Planned, DataPlacement::PerPlan, true),
         (SchedulerKind::Planned, DataPlacement::HdfsRandom, true),
-        (SchedulerKind::ShuffleWatcher, DataPlacement::HdfsRandom, false),
+        (
+            SchedulerKind::ShuffleWatcher,
+            DataPlacement::HdfsRandom,
+            false,
+        ),
     ] {
         let mut params = base_params(&cfg);
         params.placement = placement;
         let empty = Plan::default();
         let p = if with_plan { &plan } else { &empty };
         let report = Engine::new(params, jobs.clone(), p, kind).run();
-        assert_eq!(report.unfinished, 0, "{}: unfinished jobs", report.scheduler);
+        assert_eq!(
+            report.unfinished, 0,
+            "{}: unfinished jobs",
+            report.scheduler
+        );
         assert_eq!(report.jobs.len(), jobs.len());
         // Sanity of metrics.
-        for (_, m) in &report.jobs {
+        for m in report.jobs.values() {
             assert!(m.finished.unwrap() >= m.started.unwrap());
             assert!(m.task_seconds > 0.0);
             assert!(m.tasks_completed > 0);
@@ -79,9 +93,20 @@ fn full_pipeline_all_variants() {
 #[test]
 fn online_pipeline_with_arrivals() {
     let cfg = ClusterConfig::testbed_210();
-    let mut jobs = w1::generate(&w1::W1Params { jobs: 10, ..w1::W1Params::with_seed(6) }, scale());
+    let mut jobs = w1::generate(
+        &w1::W1Params {
+            jobs: 10,
+            ..w1::W1Params::with_seed(6)
+        },
+        scale(),
+    );
     assign_uniform_arrivals(&mut jobs, SimTime::minutes(10.0), 6);
-    let plan = plan_jobs(&cfg, &jobs, Objective::AvgCompletionTime, &PlannerConfig::default());
+    let plan = plan_jobs(
+        &cfg,
+        &jobs,
+        Objective::AvgCompletionTime,
+        &PlannerConfig::default(),
+    );
 
     let mut params = base_params(&cfg);
     params.placement = DataPlacement::PerPlan;
@@ -102,7 +127,13 @@ fn online_pipeline_with_arrivals() {
 fn dag_jobs_full_pipeline() {
     use corral::workloads::tpch;
     let cfg = ClusterConfig::testbed_210();
-    let jobs = tpch::generate(20e9, Scale { task_divisor: 4.0, data_divisor: 1.0 });
+    let jobs = tpch::generate(
+        20e9,
+        Scale {
+            task_divisor: 4.0,
+            data_divisor: 1.0,
+        },
+    );
     let plan = plan_jobs(&cfg, &jobs, Objective::Makespan, &PlannerConfig::default());
     let mut params = base_params(&cfg);
     params.placement = DataPlacement::PerPlan;
@@ -111,6 +142,11 @@ fn dag_jobs_full_pipeline() {
     // Every query completed all of its stages' tasks.
     for j in &jobs {
         let m = &report.jobs[&j.id];
-        assert_eq!(m.tasks_completed as usize, j.profile.total_tasks(), "{}", j.name);
+        assert_eq!(
+            m.tasks_completed as usize,
+            j.profile.total_tasks(),
+            "{}",
+            j.name
+        );
     }
 }

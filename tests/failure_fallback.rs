@@ -2,8 +2,8 @@
 //! DFS loses replicas but data survives (off-rack copies), and Corral's
 //! fallback lifts placement constraints when a job's racks are gutted.
 
-use corral::core::plan::{Plan, PlanEntry};
 use corral::cluster::config::{DataPlacement, FailureSpec};
+use corral::core::plan::{Plan, PlanEntry};
 use corral::model::MachineId;
 use corral::prelude::*;
 
@@ -52,12 +52,24 @@ fn params_with_failures(failures: Vec<FailureSpec>, threshold: f64) -> SimParams
 
 #[test]
 fn rack_failure_with_fallback_completes() {
-    let failures = vec![FailureSpec::Rack { at: SimTime(5.0), rack: RackId(2) }];
+    let failures = vec![FailureSpec::Rack {
+        at: SimTime(5.0),
+        rack: RackId(2),
+    }];
     let params = params_with_failures(failures, 0.5);
-    let report = Engine::new(params, vec![job(0)], &plan_on_rack(0, 2), SchedulerKind::Planned).run();
+    let report = Engine::new(
+        params,
+        vec![job(0)],
+        &plan_on_rack(0, 2),
+        SchedulerKind::Planned,
+    )
+    .run();
     assert_eq!(report.unfinished, 0, "fallback must rescue the job");
     let m = &report.jobs[&JobId(0)];
-    assert!(m.tasks_killed > 0, "attempts on the dead rack must be killed");
+    assert!(
+        m.tasks_killed > 0,
+        "attempts on the dead rack must be killed"
+    );
     assert!(m.finished.is_some());
 }
 
@@ -65,9 +77,18 @@ fn rack_failure_with_fallback_completes() {
 fn without_fallback_the_job_stalls() {
     // Threshold > 1 means fallback can never trigger; with its only rack
     // dead the job cannot be placed and hits the horizon.
-    let failures = vec![FailureSpec::Rack { at: SimTime(5.0), rack: RackId(2) }];
+    let failures = vec![FailureSpec::Rack {
+        at: SimTime(5.0),
+        rack: RackId(2),
+    }];
     let params = params_with_failures(failures, 2.0);
-    let report = Engine::new(params, vec![job(0)], &plan_on_rack(0, 2), SchedulerKind::Planned).run();
+    let report = Engine::new(
+        params,
+        vec![job(0)],
+        &plan_on_rack(0, 2),
+        SchedulerKind::Planned,
+    )
+    .run();
     assert_eq!(report.unfinished, 1, "no fallback, no placement, no finish");
 }
 
@@ -75,18 +96,36 @@ fn without_fallback_the_job_stalls() {
 fn single_machine_failure_is_retried_in_place() {
     // One machine of the planned rack dies; the rest of the rack absorbs
     // the re-queued work without any fallback.
-    let failures = vec![FailureSpec::Machine { at: SimTime(3.0), machine: MachineId(60) }];
+    let failures = vec![FailureSpec::Machine {
+        at: SimTime(3.0),
+        machine: MachineId(60),
+    }];
     let params = params_with_failures(failures, 0.5);
-    let report = Engine::new(params, vec![job(0)], &plan_on_rack(0, 2), SchedulerKind::Planned).run();
+    let report = Engine::new(
+        params,
+        vec![job(0)],
+        &plan_on_rack(0, 2),
+        SchedulerKind::Planned,
+    )
+    .run();
     assert_eq!(report.unfinished, 0);
 }
 
 #[test]
 fn failures_also_handled_under_capacity_scheduler() {
     let failures = vec![
-        FailureSpec::Machine { at: SimTime(2.0), machine: MachineId(0) },
-        FailureSpec::Machine { at: SimTime(4.0), machine: MachineId(1) },
-        FailureSpec::Rack { at: SimTime(6.0), rack: RackId(6) },
+        FailureSpec::Machine {
+            at: SimTime(2.0),
+            machine: MachineId(0),
+        },
+        FailureSpec::Machine {
+            at: SimTime(4.0),
+            machine: MachineId(1),
+        },
+        FailureSpec::Rack {
+            at: SimTime(6.0),
+            rack: RackId(6),
+        },
     ];
     let mut params = params_with_failures(failures, 0.5);
     params.placement = DataPlacement::HdfsRandom;

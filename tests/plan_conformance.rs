@@ -2,8 +2,8 @@
 //! data is placed per the plan, its observable traffic stays rack-local —
 //! only the DFS output's off-rack replica crosses the core (§3.1).
 
-use corral::core::plan::{Plan, PlanEntry};
 use corral::cluster::config::DataPlacement;
+use corral::core::plan::{Plan, PlanEntry};
 use corral::prelude::*;
 
 fn shuffle_heavy_job(id: u32, racks_hint: f64) -> JobSpec {

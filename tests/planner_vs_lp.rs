@@ -27,7 +27,10 @@ fn batch_heuristic_within_modest_gap_of_lp() {
     let cfg = ClusterConfig::testbed_210();
     for seed in [1u64, 2, 3] {
         let jobs = w1::generate(
-            &w1::W1Params { jobs: 25, ..w1::W1Params::with_seed(seed) },
+            &w1::W1Params {
+                jobs: 25,
+                ..w1::W1Params::with_seed(seed)
+            },
             Scale::bench_default(),
         );
         let (models, tabs) = tables(&jobs, &cfg);
@@ -47,7 +50,10 @@ fn batch_heuristic_within_modest_gap_of_lp() {
 fn online_heuristic_bounded_by_time_indexed_lp() {
     let cfg = ClusterConfig::testbed_210();
     let mut jobs = w3::generate(
-        &w3::W3Params { jobs: 15, ..Default::default() },
+        &w3::W3Params {
+            jobs: 15,
+            ..Default::default()
+        },
         Scale::bench_default(),
     );
     assign_uniform_arrivals(&mut jobs, SimTime::minutes(10.0), 9);

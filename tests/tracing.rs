@@ -1,0 +1,185 @@
+//! Tracing and run-summary integration tests: the trace pipeline is
+//! deterministic (same seed → byte-identical JSONL), the event stream
+//! covers the task/flow/job lifecycle, and the end-of-run summary's
+//! numbers are internally consistent.
+
+use corral::cluster::config::DataPlacement;
+use corral::prelude::*;
+use corral::trace::{JsonlTracer, MemTracer, TraceEvent, Tracer};
+use corral::workloads::w1;
+use std::sync::Arc;
+
+fn jobs() -> Vec<JobSpec> {
+    w1::generate(
+        &w1::W1Params {
+            jobs: 8,
+            ..w1::W1Params::with_seed(11)
+        },
+        Scale {
+            task_divisor: 10.0,
+            data_divisor: 4.0,
+        },
+    )
+}
+
+fn params(cfg: &ClusterConfig) -> SimParams {
+    SimParams {
+        cluster: cfg.clone(),
+        background: BackgroundModel::Constant {
+            per_rack: cfg.rack_core_bandwidth() * 0.5,
+        },
+        horizon: SimTime::hours(20.0),
+        placement: DataPlacement::PerPlan,
+        ..SimParams::testbed()
+    }
+}
+
+/// One full run with a JSONL tracer writing into memory; returns the
+/// trace bytes and the report.
+fn traced_run() -> (Vec<u8>, RunReport) {
+    let cfg = ClusterConfig::testbed_210();
+    let jobs = jobs();
+    let plan = plan_jobs(&cfg, &jobs, Objective::Makespan, &PlannerConfig::default());
+    let tracer = Arc::new(JsonlTracer::new(Vec::new()));
+    let mut engine = Engine::new(params(&cfg), jobs, &plan, SchedulerKind::Planned);
+    engine.set_tracer(tracer.clone());
+    let report = engine.run();
+    let bytes = Arc::try_unwrap(tracer)
+        .ok()
+        .expect("engine dropped its tracer handle")
+        .into_inner();
+    (bytes, report)
+}
+
+#[test]
+fn same_seed_runs_produce_identical_traces() {
+    let (a, ra) = traced_run();
+    let (b, rb) = traced_run();
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "same-seed traces must be byte-identical");
+    assert_eq!(ra.makespan, rb.makespan);
+    assert_eq!(ra.summary, rb.summary);
+}
+
+#[test]
+fn trace_covers_the_lifecycle_and_is_valid_jsonl() {
+    let (bytes, report) = traced_run();
+    let text = String::from_utf8(bytes).expect("trace is utf-8");
+    for needle in [
+        "\"ev\":\"job_arrived\"",
+        "\"ev\":\"task_scheduled\"",
+        "\"ev\":\"task_finished\"",
+        "\"ev\":\"flow_started\"",
+        "\"ev\":\"flow_finished\"",
+        "\"ev\":\"job_finished\"",
+    ] {
+        assert!(text.contains(needle), "trace missing {needle}");
+    }
+    let mut last_t = 0.0;
+    for line in text.lines() {
+        assert!(
+            line.starts_with("{\"t\":") && line.ends_with('}'),
+            "malformed trace line: {line}"
+        );
+        // Timestamps are non-decreasing: events are emitted in sim order.
+        let t: f64 = line["{\"t\":".len()..line.find(',').unwrap()]
+            .parse()
+            .expect("numeric timestamp");
+        assert!(t >= last_t, "trace went backwards: {t} after {last_t}");
+        last_t = t;
+    }
+    let finishes = text.matches("\"ev\":\"task_finished\"").count() as u64;
+    assert_eq!(finishes, report.summary.tasks_finished);
+}
+
+#[test]
+fn summary_numbers_are_consistent() {
+    let (_, report) = traced_run();
+    let s = &report.summary;
+    assert_eq!(s.scheduler, report.scheduler);
+    assert_eq!(s.jobs, 8);
+    assert_eq!(s.jobs_finished, 8);
+    assert!(s.tasks_finished > 0);
+    assert!(s.slot_utilization > 0.0 && s.slot_utilization <= 1.0);
+    assert!((s.makespan_s - report.makespan.as_secs()).abs() < 1e-9);
+    assert!(s.flows_completed <= s.flows_started);
+    assert!(s.cross_rack_fraction >= 0.0 && s.cross_rack_fraction <= 1.0);
+    assert!((s.network_bytes - report.network_bytes.0).abs() < 1e-6);
+    let l = &s.locality;
+    assert_eq!(
+        l.machine + l.rack + l.remote + l.unconstrained,
+        s.tasks_finished,
+        "every first attempt lands in exactly one locality bucket"
+    );
+    assert!(s.task_duration_s.is_some());
+    let p = s.task_duration_s.unwrap();
+    assert!(p.p50 <= p.p90 && p.p90 <= p.p99);
+}
+
+#[test]
+fn untraced_run_matches_traced_run() {
+    // Tracing is observability only: switching the sink on must not
+    // change the simulation.
+    let cfg = ClusterConfig::testbed_210();
+    let jobs_v = jobs();
+    let plan = plan_jobs(
+        &cfg,
+        &jobs_v,
+        Objective::Makespan,
+        &PlannerConfig::default(),
+    );
+    let silent = Engine::new(params(&cfg), jobs_v, &plan, SchedulerKind::Planned).run();
+    let (_, traced) = traced_run();
+    assert_eq!(silent.makespan, traced.makespan);
+    assert_eq!(silent.cross_rack_bytes, traced.cross_rack_bytes);
+    assert_eq!(silent.summary.tasks_finished, traced.summary.tasks_finished);
+}
+
+#[test]
+fn mem_tracer_feeds_gantt_rendering() {
+    // The viz crate can render a Gantt straight from trace events.
+    let cfg = ClusterConfig::testbed_210();
+    let jobs_v = jobs();
+    let plan = plan_jobs(
+        &cfg,
+        &jobs_v,
+        Objective::Makespan,
+        &PlannerConfig::default(),
+    );
+    let mem = Arc::new(MemTracer::new(1_000_000));
+    let mut engine = Engine::new(params(&cfg), jobs_v, &plan, SchedulerKind::Planned);
+    engine.set_tracer(mem.clone());
+    let report = engine.run();
+    assert_eq!(mem.dropped(), 0);
+
+    // Round-trip through JSONL text, as `--trace` output would be.
+    let jsonl = Arc::new(JsonlTracer::new(Vec::new()));
+    for e in mem.events() {
+        jsonl.record(e.t, e.ev);
+    }
+    let text = String::from_utf8(Arc::try_unwrap(jsonl).ok().unwrap().into_inner()).unwrap();
+    let tasks = corral_viz::parse_trace_jsonl(&text);
+    assert_eq!(tasks.len() as u64, report.summary.tasks_finished);
+    let frame = corral_viz::chart::Frame::new("trace gantt", "time (s)", "machine");
+    let svg = corral_viz::gantt_chart(&frame, &tasks, 210, 30);
+    assert!(svg.contains("<svg"));
+    assert!(svg.contains("rect"));
+}
+
+#[test]
+fn scheduler_wait_events_fire_under_capacity_scheduler() {
+    let cfg = ClusterConfig::testbed_210();
+    let jobs_v = jobs();
+    let mut p = params(&cfg);
+    p.placement = DataPlacement::HdfsRandom;
+    let mem = Arc::new(MemTracer::new(1_000_000));
+    let mut engine = Engine::new(p, jobs_v, &Plan::default(), SchedulerKind::Capacity);
+    engine.set_tracer(mem.clone());
+    engine.run();
+    let waits = mem
+        .events()
+        .iter()
+        .filter(|e| matches!(e.ev, TraceEvent::SchedulerWait { .. }))
+        .count();
+    assert!(waits > 0, "delay scheduling never waited — suspicious");
+}
