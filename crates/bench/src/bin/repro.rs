@@ -1,11 +1,30 @@
-//! Experiment driver: `repro <id>...` or `repro all`.
+//! Experiment driver: `repro [<id>...|all] [-j/--jobs N] [--seeds N]`.
+//!
+//! `-j/--jobs` sets the sweep-pool worker count for the experiments
+//! that run `(seed × variant)` grids (default: host parallelism);
+//! `--seeds` sets the arrival-seed pool size for the online experiments
+//! (default 8; `--seeds 3` reproduces the harness's historical pool).
+
+use corral::cli::{sweep_flags, Flags, SWEEP_VALUE_FLAGS};
+use corral_bench::config::DEFAULT_SEEDS;
 use corral_bench::experiments as ex;
+use std::process::ExitCode;
 use std::time::Instant;
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let ids: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
-        vec![
+fn run(args: &[String]) -> Result<(), String> {
+    let f = Flags::parse(args, &SWEEP_VALUE_FLAGS, &[])?;
+    let (jobs, seeds) = sweep_flags(&f, DEFAULT_SEEDS)?;
+    corral_bench::config::set_jobs(jobs);
+    corral_bench::config::set_seeds(seeds);
+
+    let mut ids = Vec::new();
+    let mut i = 0;
+    while let Some(id) = f.positional(i) {
+        ids.push(id);
+        i += 1;
+    }
+    if ids.is_empty() || ids.contains(&"all") {
+        ids = vec![
             "fig1",
             "fig2",
             "table1",
@@ -27,10 +46,8 @@ fn main() {
             "netseries",
             "replan",
             "ablations",
-        ]
-    } else {
-        args.iter().map(|s| s.as_str()).collect()
-    };
+        ];
+    }
     for id in ids {
         let t = Instant::now();
         match id {
@@ -54,8 +71,21 @@ fn main() {
             "phases" => ex::phases::main(),
             "replan" => ex::replan::main(),
             "netseries" => ex::netseries::main(),
+            "sweepbench" => ex::sweepbench::main(),
             other => eprintln!("unknown experiment: {other}"),
         }
         eprintln!("[{id}: {:.1}s]", t.elapsed().as_secs_f64());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
     }
 }

@@ -17,9 +17,15 @@ use corral_core::planner::{perturb_arrivals, perturb_volumes};
 use corral_core::{plan_jobs, Objective};
 use corral_model::SimTime;
 
+/// Perturbation seeds for 13a's volume-error trials (these seed the
+/// *estimate noise*, not arrival patterns, so they stay a fixed trio
+/// independent of `--seeds`).
+const VOLUME_SEEDS: [u64; 3] = [0xA13, 0xB13, 0xC13];
+
 /// 13a: batch makespan reduction vs Yarn-CS when the planner's per-job
 /// data-size estimates are off by up to ±`err` (0.0–0.5). The plan is
 /// built from the erroneous estimates; execution uses the true volumes.
+/// The per-seed trials run as a parallel sweep.
 pub fn gain_with_volume_error(err: f64) -> f64 {
     let true_jobs = workload("W1");
     let rc = RunConfig::testbed(Objective::Makespan);
@@ -27,9 +33,8 @@ pub fn gain_with_volume_error(err: f64) -> f64 {
         .makespan
         .as_secs();
 
-    let mut gains = Vec::new();
-    for seed in [0xA13u64, 0xB13, 0xC13] {
-        let predicted = perturb_volumes(&true_jobs, err, seed);
+    let gains = crate::config::pool().run_all(VOLUME_SEEDS.len(), |i| {
+        let predicted = perturb_volumes(&true_jobs, err, VOLUME_SEEDS[i]);
         let plan = plan_jobs(
             &rc.params.cluster,
             &predicted,
@@ -42,17 +47,20 @@ pub fn gain_with_volume_error(err: f64) -> f64 {
             .run()
             .makespan
             .as_secs();
-        gains.push(reduction_pct(yarn, corral));
-    }
+        reduction_pct(yarn, corral)
+    });
     gains.iter().sum::<f64>() / gains.len() as f64
 }
 
 /// 13b: online average-completion reduction when a fraction `f` of jobs
-/// start up to ±4 min away from their planned arrival.
+/// start up to ±4 min away from their planned arrival. Pooled over the
+/// configured arrival seeds; each seed's (baseline, corral) pair is one
+/// sweep cell.
 pub fn gain_with_arrival_error(f: f64) -> f64 {
     let rc = RunConfig::testbed(Objective::AvgCompletionTime);
-    let mut gains = Vec::new();
-    for seed in crate::experiments::fig8::ARRIVAL_SEEDS {
+    let seeds = crate::config::arrival_seeds();
+    let gains = crate::config::pool().run_all(seeds.len(), |i| {
+        let seed = seeds[i];
         let planned_jobs = workload_online("W1", seed);
         let actual_jobs = perturb_arrivals(&planned_jobs, f, SimTime::minutes(4.0), seed ^ 0xD13);
 
@@ -72,8 +80,8 @@ pub fn gain_with_arrival_error(f: f64) -> f64 {
         let corral = Engine::new(params, actual_jobs, &plan, SchedulerKind::Planned)
             .run()
             .avg_completion_time();
-        gains.push(reduction_pct(yarn, corral));
-    }
+        reduction_pct(yarn, corral)
+    });
     gains.iter().sum::<f64>() / gains.len() as f64
 }
 

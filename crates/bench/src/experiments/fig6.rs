@@ -6,7 +6,7 @@
 //! negative on all three.
 
 use crate::experiments::workload;
-use crate::runner::{run_variant, RunConfig, Variant};
+use crate::runner::{run_variant_grid, RunConfig, Variant};
 use crate::table;
 use corral_cluster::metrics::reduction_pct;
 use corral_core::Objective;
@@ -37,15 +37,16 @@ impl Fig6Row {
     }
 }
 
-/// Runs the experiment for the given workloads (default all three).
+/// Runs the experiment for the given workloads (default all three) as
+/// one parallel `(workload × variant)` sweep.
 pub fn run(workloads: &[&str]) -> Vec<Fig6Row> {
     let rc = RunConfig::testbed(Objective::Makespan);
+    let jobsets: Vec<_> = workloads.iter().map(|&w| workload(w)).collect();
+    let grid = run_variant_grid(&jobsets, &rc);
     let mut rows = Vec::new();
-    for &w in workloads {
-        let jobs = workload(w);
+    for (&w, reports) in workloads.iter().zip(&grid) {
         let mut makespans = [0.0; 4];
-        for (i, v) in Variant::ALL.iter().enumerate() {
-            let report = run_variant(*v, &jobs, &rc);
+        for (i, (v, report)) in Variant::ALL.iter().zip(reports).enumerate() {
             assert_eq!(
                 report.unfinished,
                 0,

@@ -10,7 +10,7 @@
 //! * bal: CoV of per-rack input bytes (Corral ≤ 0.004, HDFS ≈ 0.014).
 
 use crate::experiments::workload;
-use crate::runner::{run_variant, RunConfig, Variant};
+use crate::runner::{run_variant_grid, RunConfig, Variant};
 use crate::table;
 use corral_cluster::metrics::{percentile, reduction_pct};
 use corral_core::Objective;
@@ -25,10 +25,10 @@ pub fn main() {
     let mut covs = vec![[0.0; 4]; workloads.len()];
     let mut w1_reduce_cdfs: Vec<(String, Vec<f64>)> = Vec::new();
 
+    let jobsets: Vec<_> = workloads.iter().map(|&w| workload(w)).collect();
+    let grid = run_variant_grid(&jobsets, &rc);
     for (wi, w) in workloads.iter().enumerate() {
-        let jobs = workload(w);
-        for (vi, v) in Variant::ALL.iter().enumerate() {
-            let r = run_variant(*v, &jobs, &rc);
+        for (vi, (v, r)) in Variant::ALL.iter().zip(&grid[wi]).enumerate() {
             cross[wi][vi] = r.cross_rack_bytes.0;
             hours[wi][vi] = r.total_task_seconds();
             covs[wi][vi] = r.input_balance_cov;

@@ -5,28 +5,32 @@
 //! tail.
 
 use crate::experiments::workload_online;
-use crate::runner::{run_variant, RunConfig, Variant};
+use crate::runner::{run_variant_grid, RunConfig, Variant};
 use crate::table;
 use corral_cluster::metrics::{percentile, reduction_pct};
 use corral_core::Objective;
 
-/// Arrival seeds pooled by the online experiments. Yarn-CS completion
-/// times vary a lot with the arrival pattern (Corral's are stable — the
-/// isolation the paper sells), so single-seed results are noisy.
-pub const ARRIVAL_SEEDS: [u64; 3] = [0x1, 0xF18, 0xF19];
-
-/// Completion-time distributions per system for one workload, pooled over
-/// [`ARRIVAL_SEEDS`].
+/// Completion-time distributions per system for one workload, pooled
+/// over the configured arrival-seed pool
+/// ([`crate::config::arrival_seeds`], default 8 seeds — Yarn-CS
+/// completion times vary a lot with the arrival pattern while Corral's
+/// are stable, the isolation the paper sells, so single-seed results
+/// are noisy). The `(seed × variant)` grid runs on the sweep pool;
+/// pooling order is seed-major and deterministic.
 pub fn run(workload_name: &str) -> Vec<(String, Vec<f64>)> {
     let rc = RunConfig::testbed(Objective::AvgCompletionTime);
+    let seeds = crate::config::arrival_seeds();
+    let jobsets: Vec<_> = seeds
+        .iter()
+        .map(|&s| workload_online(workload_name, s))
+        .collect();
+    let grid = run_variant_grid(&jobsets, &rc);
     let mut out: Vec<(String, Vec<f64>)> = Variant::ALL
         .iter()
         .map(|v| (v.label().to_string(), Vec::new()))
         .collect();
-    for seed in ARRIVAL_SEEDS {
-        let jobs = workload_online(workload_name, seed);
-        for (vi, v) in Variant::ALL.iter().enumerate() {
-            let r = run_variant(*v, &jobs, &rc);
+    for per_seed in &grid {
+        for (vi, (v, r)) in Variant::ALL.iter().zip(per_seed).enumerate() {
             assert_eq!(r.unfinished, 0, "{}: unfinished jobs", v.label());
             out[vi].1.extend(r.completion_times());
         }

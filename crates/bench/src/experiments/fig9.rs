@@ -4,7 +4,7 @@
 //! jobs but hurts large ones.
 
 use crate::experiments::workload_online;
-use crate::runner::{run_variant, RunConfig, Variant};
+use crate::runner::{run_variant_grid, RunConfig, Variant};
 use crate::table;
 use corral_cluster::metrics::{reduction_pct, RunReport};
 use corral_core::Objective;
@@ -41,19 +41,20 @@ fn bin_means(jobs: &[JobSpec], report: &RunReport, slots_per_rack: usize) -> [f6
     out
 }
 
-/// Prints the per-bin reductions (pooled over the fig8 arrival seeds).
+/// Prints the per-bin reductions (pooled over the configured
+/// arrival-seed pool, run as one parallel `(seed × variant)` sweep).
 pub fn main() {
     table::section("Figure 9: % reduction in avg completion time by job size, W1 online");
     let rc = RunConfig::testbed(Objective::AvgCompletionTime);
     let spr = rc.params.cluster.slots_per_rack();
 
-    let seeds = crate::experiments::fig8::ARRIVAL_SEEDS;
+    let seeds = crate::config::arrival_seeds();
+    let jobsets: Vec<_> = seeds.iter().map(|&s| workload_online("W1", s)).collect();
+    let grid = run_variant_grid(&jobsets, &rc);
     let mut means = vec![[0.0f64; 3]; Variant::ALL.len()];
-    for seed in seeds {
-        let jobs = workload_online("W1", seed);
-        for (vi, v) in Variant::ALL.iter().enumerate() {
-            let r = run_variant(*v, &jobs, &rc);
-            let m = bin_means(&jobs, &r, spr);
+    for (jobs, per_seed) in jobsets.iter().zip(&grid) {
+        for (vi, r) in per_seed.iter().enumerate() {
+            let m = bin_means(jobs, r, spr);
             for b in 0..3 {
                 means[vi][b] += m[b] / seeds.len() as f64;
             }

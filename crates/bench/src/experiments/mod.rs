@@ -20,6 +20,7 @@ pub mod netseries;
 pub mod phases;
 pub mod pred;
 pub mod replan;
+pub mod sweepbench;
 pub mod table1;
 
 use corral_model::JobSpec;

@@ -94,14 +94,19 @@ pub fn main() {
         ("replan 5min".into(), Vec::new()),
         ("oracle plan".into(), Vec::new()),
     ];
-    for seed in crate::experiments::fig8::ARRIVAL_SEEDS {
-        let true_jobs = workload_online("W1", seed);
-        let forecast = perturb_arrivals(&true_jobs, 0.5, SimTime::minutes(8.0), seed ^ 0x8E);
-        let runs = [
+    let seeds = crate::config::arrival_seeds();
+    // One sweep cell per arrival seed; the three strategies stay serial
+    // inside the cell so they share its workload/forecast by reference.
+    let per_seed = crate::config::pool().run_all(seeds.len(), |i| {
+        let true_jobs = workload_online("W1", seeds[i]);
+        let forecast = perturb_arrivals(&true_jobs, 0.5, SimTime::minutes(8.0), seeds[i] ^ 0x8E);
+        [
             run_with_replanning(&true_jobs, &forecast, &rc, None),
             run_with_replanning(&true_jobs, &forecast, &rc, Some(SimTime::minutes(5.0))),
             run_with_replanning(&true_jobs, &true_jobs, &rc, None),
-        ];
+        ]
+    });
+    for runs in &per_seed {
         for (i, r) in runs.iter().enumerate() {
             assert_eq!(r.unfinished, 0);
             agg[i].1.extend(r.completion_times());

@@ -1,0 +1,92 @@
+//! Sweep-engine wall-clock benchmark: runs a small, fixed smoke subset
+//! of the experiment grid serially and under the parallel pool, and
+//! records both timings in `BENCH_sweep.json` so the perf trajectory of
+//! `repro all` gets data points per commit.
+//!
+//! Not part of `repro all` (it exists to time the harness, not to
+//! reproduce a paper artifact); CI runs `repro sweepbench --jobs 4`
+//! under a time budget. The smoke subset is a reduced W1 online
+//! workload — 2 arrival seeds × 4 variants = 8 cells — big enough that
+//! per-cell runtime dwarfs pool overhead, small enough for CI.
+
+use crate::runner::{RunConfig, Variant};
+use crate::table;
+use corral_core::Objective;
+use corral_model::{JobSpec, SimTime};
+use corral_sweep::SweepPool;
+use corral_workloads::{assign_uniform_arrivals, w1};
+use std::time::Instant;
+
+/// Arrival seeds of the smoke subset (first two of the standard pool).
+const SMOKE_SEEDS: [u64; 2] = [0x1, 0xF18];
+
+fn smoke_jobset(seed: u64) -> Vec<JobSpec> {
+    let mut jobs = w1::generate(
+        &w1::W1Params {
+            jobs: 40,
+            bytes_per_task: 512e6,
+            ..w1::W1Params::with_seed(0xA001)
+        },
+        crate::experiments::bench_scale(),
+    );
+    assign_uniform_arrivals(&mut jobs, SimTime::minutes(20.0), seed);
+    jobs
+}
+
+fn run_grid(pool: &SweepPool, jobsets: &[Vec<JobSpec>], rc: &RunConfig) -> f64 {
+    let nv = Variant::ALL.len();
+    let t = Instant::now();
+    let reports = pool.run_all(jobsets.len() * nv, |i| {
+        crate::runner::run_variant(Variant::ALL[i % nv], &jobsets[i / nv], rc)
+    });
+    let elapsed = t.elapsed().as_secs_f64();
+    assert_eq!(reports.len(), jobsets.len() * nv);
+    elapsed
+}
+
+/// Times the smoke subset serially and at the configured `--jobs`, then
+/// writes `BENCH_sweep.json` in the working directory.
+pub fn main() {
+    table::section("sweepbench: serial vs parallel wall-clock, smoke subset");
+    let rc = RunConfig::testbed(Objective::AvgCompletionTime);
+    let jobsets: Vec<_> = SMOKE_SEEDS.iter().map(|&s| smoke_jobset(s)).collect();
+    let cells = jobsets.len() * Variant::ALL.len();
+    let jobs = SweepPool::new(crate::config::jobs()).jobs(); // resolve 0 = auto
+
+    let serial_s = run_grid(&SweepPool::new(1), &jobsets, &rc);
+    let parallel_s = run_grid(&SweepPool::new(jobs), &jobsets, &rc);
+    let speedup = serial_s / parallel_s.max(1e-9);
+    let host_cpus = corral_sweep::default_jobs();
+
+    table::row(&[
+        "cells",
+        "jobs",
+        "host_cpus",
+        "serial",
+        "parallel",
+        "speedup",
+    ]);
+    table::row(&[
+        cells.to_string(),
+        jobs.to_string(),
+        host_cpus.to_string(),
+        table::secs(serial_s),
+        table::secs(parallel_s),
+        format!("{speedup:.2}x"),
+    ]);
+    if host_cpus < jobs {
+        println!(
+            "   note: host exposes {host_cpus} CPU(s) < --jobs {jobs}; \
+             expected speedup is ~min(jobs, cpus, cells)"
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"sweep_smoke_subset\",\n  \"cells\": {cells},\n  \
+         \"jobs\": {jobs},\n  \"host_cpus\": {host_cpus},\n  \
+         \"serial_s\": {serial_s:.3},\n  \"parallel_s\": {parallel_s:.3},\n  \
+         \"speedup\": {speedup:.3}\n}}\n"
+    );
+    std::fs::write("BENCH_sweep.json", &json).expect("write BENCH_sweep.json");
+    println!("   wrote BENCH_sweep.json");
+}

@@ -16,8 +16,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod config;
 pub mod experiments;
 pub mod runner;
 pub mod table;
 
-pub use runner::{run_variant, RunConfig, Variant};
+pub use runner::{run_variant, run_variant_grid, RunConfig, Variant};

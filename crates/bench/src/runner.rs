@@ -44,6 +44,16 @@ impl Variant {
 }
 
 /// Parameters shared by one experiment's runs.
+///
+/// Concurrency hygiene: `RunConfig` (and everything inside `SimParams`)
+/// is plain owned data — no `Arc`/`Rc`, no interior mutability, no file
+/// paths — so cloning one per sweep cell shares nothing mutable. Tracer
+/// sinks are *not* part of the config (the engine takes one explicitly
+/// via `Engine::set_tracer`), and [`run_variant`] never touches the
+/// filesystem; every `results/*.csv` is written by an experiment's
+/// `main()` after all cells have been collected, so two cells can never
+/// race on an output file. `sweep_hygiene` below asserts the
+/// send/sync part of this contract at compile time.
 #[derive(Debug, Clone)]
 pub struct RunConfig {
     /// Simulator parameters (cluster, background, seed, horizon …).
@@ -123,6 +133,41 @@ pub fn run_variant(v: Variant, jobs: &[JobSpec], rc: &RunConfig) -> RunReport {
         }
     };
     Engine::new(params, jobs.to_vec(), &plan, kind).run()
+}
+
+/// Runs the full `(jobset × variant)` grid on the harness's sweep pool
+/// and returns reports as `out[jobset_idx][variant_idx]` (variants in
+/// [`Variant::ALL`] order).
+///
+/// Each cell is one independent [`run_variant`] call — its engine, RNGs
+/// and tracer are cell-owned — so the collected grid is byte-identical
+/// whatever `--jobs` is (asserted by
+/// `crates/bench/tests/sweep_determinism.rs`). A panicking cell fails
+/// the sweep *after* every other cell has completed, with a message
+/// naming all failed cells.
+pub fn run_variant_grid(jobsets: &[Vec<JobSpec>], rc: &RunConfig) -> Vec<Vec<RunReport>> {
+    let nv = Variant::ALL.len();
+    let reports = crate::config::pool().run_all(jobsets.len() * nv, |i| {
+        run_variant(Variant::ALL[i % nv], &jobsets[i / nv], rc)
+    });
+    let mut out: Vec<Vec<RunReport>> = Vec::with_capacity(jobsets.len());
+    let mut it = reports.into_iter();
+    for _ in 0..jobsets.len() {
+        out.push(it.by_ref().take(nv).collect());
+    }
+    out
+}
+
+// Compile-time half of the hygiene contract: a cell config can be moved
+// to and shared across worker threads only if it contains no un-synced
+// interior mutability.
+#[allow(dead_code)]
+mod sweep_hygiene {
+    fn assert_send_sync<T: Send + Sync>() {}
+    fn run_config_is_shareable() {
+        assert_send_sync::<super::RunConfig>();
+        assert_send_sync::<corral_cluster::metrics::RunReport>();
+    }
 }
 
 #[cfg(test)]

@@ -1,9 +1,19 @@
 //! Plain-text table printing and CSV output for experiment results.
+//!
+//! Output hygiene under the parallel sweep engine: sweep *cells* (the
+//! `run_variant` calls) never write files — only experiment `main()`s
+//! do, after collecting all cells — and this module keeps that safe in
+//! depth: every CSV is staged to a temp file and atomically renamed
+//! into place, and a process-wide registry flags any second write to
+//! the same path (panicking in debug builds), so a concurrency bug
+//! upstream turns into a loud failure instead of a torn results file.
 
+use std::collections::HashSet;
 use std::fmt::Display;
 use std::fs;
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::Mutex;
 
 /// Directory where experiments drop their CSV series.
 pub fn results_dir() -> PathBuf {
@@ -56,10 +66,32 @@ pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<f64>]) -> PathBuf {
     path
 }
 
+/// Paths written by this process — a second write to the same results
+/// file means two experiments (or, worse, two sweep cells) are racing
+/// on one output.
+static WRITTEN: Mutex<Option<HashSet<PathBuf>>> = Mutex::new(None);
+
 fn write_file(path: &Path, contents: &str) {
-    let mut f = fs::File::create(path).expect("create results file");
-    f.write_all(contents.as_bytes())
-        .expect("write results file");
+    {
+        let mut written = WRITTEN.lock().unwrap();
+        let set = written.get_or_insert_with(HashSet::new);
+        if !set.insert(path.to_path_buf()) {
+            debug_assert!(false, "{} written twice in one process", path.display());
+            eprintln!(
+                "warning: {} written twice in one process — overwriting",
+                path.display()
+            );
+        }
+    }
+    // Stage then rename: readers (and a crash mid-write) never observe a
+    // half-written results file.
+    let staged = path.with_extension("csv.tmp");
+    {
+        let mut f = fs::File::create(&staged).expect("create results file");
+        f.write_all(contents.as_bytes())
+            .expect("write results file");
+    }
+    fs::rename(&staged, path).expect("publish results file");
 }
 
 /// CDF rows `(value, cumulative_fraction)` from an unsorted sample.

@@ -14,7 +14,7 @@
 //! rejected, every known flag has a default, so the quick path is
 //! `corral-sim gen w1 -o t.csv && corral-sim simulate t.csv`.
 
-use corral::cli::Flags;
+use corral::cli::{sweep_flags, Flags, SWEEP_VALUE_FLAGS};
 use corral::cluster::config::{DataPlacement, SimParams};
 use corral::cluster::engine::Engine;
 use corral::cluster::scheduler::SchedulerKind;
@@ -65,7 +65,8 @@ USAGE:
   corral-sim simulate <trace.csv>
                  [--scheduler yarn-cs|corral|localshuffle|shufflewatcher]
                  [--objective makespan|avgjct] [--background FRAC]
-                 [--seed S] [--plan <plan.csv>] [--timeline <gantt.csv>]
+                 [--seed S] [--seeds N] [-j/--jobs N]
+                 [--plan <plan.csv>] [--timeline <gantt.csv>]
                  [--trace <events.jsonl>] [--perfetto <trace.json>]
                  [--summary]
   corral-sim --version
@@ -75,7 +76,14 @@ The cluster is the paper's 210-machine testbed (7 racks x 30 machines,
 
 Observability: --trace streams structured events as JSONL, --perfetto
 writes a Chrome/Perfetto trace-viewer file (load at ui.perfetto.dev),
---summary prints utilization, locality and queueing-delay percentiles."
+--summary prints utilization, locality and queueing-delay percentiles.
+
+Sweeps: --seeds N runs the simulation under N seeds (--seed plus N-1
+derived from it) and prints per-seed rows plus mean/p50/p90/p99 and a
+95% CI half-width; -j/--jobs sets the worker count (default: all host
+cores). Per-seed results are byte-identical to running each seed
+serially; per-run exports (--trace/--perfetto/--timeline/--summary)
+require a single seed."
     );
 }
 
@@ -228,25 +236,30 @@ fn cmd_plan(args: &[String]) -> Result<(), String> {
 const PERFETTO_RING: usize = 4_000_000;
 
 fn cmd_simulate(args: &[String]) -> Result<(), String> {
-    let f = Flags::parse(
-        args,
-        &[
-            "--objective",
-            "--background",
-            "--seed",
-            "--scheduler",
-            "--plan",
-            "--timeline",
-            "--trace",
-            "--perfetto",
-        ],
-        &["--summary"],
-    )?;
+    const SIMULATE_VALUE_FLAGS: [&str; 11] = [
+        "--objective",
+        "--background",
+        "--seed",
+        "--scheduler",
+        "--plan",
+        "--timeline",
+        "--trace",
+        "--perfetto",
+        // the shared sweep flags (cli::SWEEP_VALUE_FLAGS)
+        "-j",
+        "--jobs",
+        "--seeds",
+    ];
+    debug_assert!(SWEEP_VALUE_FLAGS
+        .iter()
+        .all(|s| SIMULATE_VALUE_FLAGS.contains(s)));
+    let f = Flags::parse(args, &SIMULATE_VALUE_FLAGS, &["--summary"])?;
     let path = f.positional(0).ok_or("simulate: trace file required")?;
     let jobs = load_trace(path)?;
     let objective = objective_flag(&f)?;
     let background: f64 = f.parse_or("--background", 0.5)?;
     let seed: u64 = f.parse_or("--seed", 0xC0441)?;
+    let (pool_jobs, n_seeds) = sweep_flags(&f, 1)?;
 
     let cfg = ClusterConfig::testbed_210();
     let mut params = SimParams::testbed();
@@ -270,6 +283,27 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         other => return Err(format!("unknown scheduler {other:?}")),
     };
     params.placement = placement;
+
+    if n_seeds > 1 {
+        // Per-run exports are ambiguous across a seed pool.
+        for flag in ["--trace", "--perfetto", "--timeline"] {
+            if f.value(flag).is_some() {
+                return Err(format!("{flag} requires a single seed (drop --seeds)"));
+            }
+        }
+        if f.has("--summary") {
+            return Err("--summary requires a single seed (drop --seeds)".to_string());
+        }
+        let plan = if let Some(p) = f.value("--plan") {
+            let text = std::fs::read_to_string(p).map_err(|e| format!("reading {p}: {e}"))?;
+            Plan::from_csv(&text)?
+        } else if needs_plan {
+            plan_jobs(&cfg, &jobs, objective, &PlannerConfig::default())
+        } else {
+            Plan::default()
+        };
+        return simulate_seed_sweep(params, jobs, plan, kind, seed, n_seeds, pool_jobs);
+    }
 
     // Trace sinks: JSONL file, in-memory ring for the Perfetto export, or
     // both fanned out.
@@ -356,6 +390,67 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     }
     if f.has("--summary") {
         print!("{}", report.summary);
+    }
+    Ok(())
+}
+
+/// `simulate --seeds N`: runs the same trace and plan under `N` seeds
+/// (`--seed` itself plus `N−1` derived via splitmix64) on the sweep
+/// pool, printing per-seed rows in seed order and cross-seed summaries.
+///
+/// Each cell owns its engine and RNGs, and rows are collected by cell
+/// index, so the table is byte-identical whatever `--jobs` is.
+fn simulate_seed_sweep(
+    params: SimParams,
+    jobs: Vec<JobSpec>,
+    plan: Plan,
+    kind: SchedulerKind,
+    base_seed: u64,
+    n_seeds: usize,
+    pool_jobs: usize,
+) -> Result<(), String> {
+    let mut seeds = vec![base_seed];
+    seeds.extend(corral::sweep::derive_seeds(base_seed, n_seeds - 1));
+
+    let pool = corral::sweep::SweepPool::new(pool_jobs);
+    let results = pool.run(n_seeds, |i| {
+        let mut p = params.clone();
+        p.seed = seeds[i];
+        Engine::new(p, jobs.clone(), &plan, kind).run()
+    });
+
+    println!(
+        "{:>18} {:>12} {:>12} {:>12} {:>16} {:>10}",
+        "seed", "makespan", "mean jct", "median jct", "cross-rack", "unfinished"
+    );
+    let mut makespans = Vec::new();
+    let mut mean_jcts = Vec::new();
+    let mut failed = 0;
+    for (i, r) in results.iter().enumerate() {
+        match r {
+            Ok(r) => {
+                println!(
+                    "{:>#18x} {:>11.1}s {:>11.1}s {:>11.1}s {:>16} {:>10}",
+                    seeds[i],
+                    r.makespan.as_secs(),
+                    r.avg_completion_time(),
+                    r.median_completion_time(),
+                    r.cross_rack_bytes.to_string(),
+                    r.unfinished
+                );
+                makespans.push(r.makespan.as_secs());
+                mean_jcts.push(r.avg_completion_time());
+            }
+            Err(e) => {
+                failed += 1;
+                println!("{:>#18x} FAILED: {}", seeds[i], e.message);
+            }
+        }
+    }
+    println!("makespan   {}", corral::sweep::Summary::of(&makespans));
+    println!("mean jct   {}", corral::sweep::Summary::of(&mean_jcts));
+    if failed > 0 {
+        return Err(format!("{failed}/{n_seeds} seed runs failed"));
     }
     Ok(())
 }

@@ -111,6 +111,31 @@ impl<'a> Flags<'a> {
     }
 }
 
+/// Value flags shared by every sweep-capable command (`corral-sim
+/// simulate`, the `repro` driver): `-j`/`--jobs` select the sweep-pool
+/// worker count, `--seeds` the seed-pool size. Include these in the
+/// `value_flags` list passed to [`Flags::parse`] so the strict parser
+/// accepts them (and names them in its unknown-flag rejection message),
+/// then read them with [`sweep_flags`].
+pub const SWEEP_VALUE_FLAGS: [&str; 3] = ["-j", "--jobs", "--seeds"];
+
+/// Reads the shared sweep flags: `(jobs, seeds)`.
+///
+/// `jobs` is 0 when neither `-j` nor `--jobs` was given (callers
+/// resolve 0 to the host's parallelism); `seeds` falls back to
+/// `default_seeds` and must be ≥ 1.
+pub fn sweep_flags(f: &Flags, default_seeds: usize) -> Result<(usize, usize), String> {
+    let jobs = match f.value("-j") {
+        Some(v) => v.parse().map_err(|_| format!("bad value for -j: {v:?}"))?,
+        None => f.parse_or("--jobs", 0usize)?,
+    };
+    let seeds: usize = f.parse_or("--seeds", default_seeds)?;
+    if seeds == 0 {
+        return Err("--seeds must be at least 1".to_string());
+    }
+    Ok((jobs, seeds))
+}
+
 /// A token is a flag if it starts with `-` and is not a bare `-` or a
 /// negative number (so `--background -0.5` style values still work as
 /// positionals, though flag values are skipped before this is consulted).
@@ -178,6 +203,41 @@ mod tests {
         let f = Flags::parse(&a, &["--background"], &[]).unwrap();
         assert_eq!(f.value("--background"), Some("-0.5"));
         assert_eq!(f.positional(0), Some("-3"));
+    }
+
+    #[test]
+    fn sweep_flags_parse_both_spellings_and_default() {
+        let a = args(&["w1.csv", "-j", "4", "--seeds", "8"]);
+        let f = Flags::parse(&a, &SWEEP_VALUE_FLAGS, &[]).unwrap();
+        assert_eq!(sweep_flags(&f, 1).unwrap(), (4, 8));
+
+        let a = args(&["w1.csv", "--jobs", "2"]);
+        let f = Flags::parse(&a, &SWEEP_VALUE_FLAGS, &[]).unwrap();
+        assert_eq!(sweep_flags(&f, 1).unwrap(), (2, 1));
+
+        let a = args(&["w1.csv"]);
+        let f = Flags::parse(&a, &SWEEP_VALUE_FLAGS, &[]).unwrap();
+        assert_eq!(sweep_flags(&f, 8).unwrap(), (0, 8));
+    }
+
+    #[test]
+    fn sweep_flags_reject_bad_values() {
+        let a = args(&["--seeds", "0"]);
+        let f = Flags::parse(&a, &SWEEP_VALUE_FLAGS, &[]).unwrap();
+        assert!(sweep_flags(&f, 1).unwrap_err().contains("at least 1"));
+
+        let a = args(&["-j", "many"]);
+        let f = Flags::parse(&a, &SWEEP_VALUE_FLAGS, &[]).unwrap();
+        assert!(sweep_flags(&f, 1).unwrap_err().contains("bad value for -j"));
+    }
+
+    #[test]
+    fn unknown_flag_rejection_lists_sweep_flags() {
+        let a = args(&["t.csv", "--job"]);
+        let err = Flags::parse(&a, &SWEEP_VALUE_FLAGS, &[]).unwrap_err();
+        assert!(err.contains("--jobs"), "{err}");
+        assert!(err.contains("--seeds"), "{err}");
+        assert!(err.contains("-j"), "{err}");
     }
 
     #[test]

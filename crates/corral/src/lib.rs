@@ -11,7 +11,9 @@
 //! * [`core`] — Corral's offline planner (latency models, provisioning,
 //!   prioritization, LP bounds, recurring-job predictor);
 //! * [`workloads`] — generators for the paper's W1/W2/W3, TPC-H DAGs,
-//!   slot CDFs and recurring histories.
+//!   slot CDFs and recurring histories;
+//! * [`sweep`] — the deterministic parallel sweep engine (cell grids,
+//!   work pool, cross-seed aggregation) behind `--jobs`/`--seeds`.
 //!
 //! ## Quickstart
 //!
@@ -48,6 +50,7 @@ pub use corral_core as core;
 pub use corral_dfs as dfs;
 pub use corral_model as model;
 pub use corral_simnet as simnet;
+pub use corral_sweep as sweep;
 pub use corral_trace as trace;
 pub use corral_workloads as workloads;
 

@@ -1,0 +1,174 @@
+//! Cartesian sweep grids: a base configuration plus any number of axes,
+//! expanded into indexed cells in a fixed, documented order.
+//!
+//! The expansion order is row-major over the axes **in the order they
+//! were added**: the first axis varies slowest, the last fastest. That
+//! order is part of the determinism contract — cell index ↔ coordinate
+//! mapping never depends on execution.
+
+/// One materialized point of a sweep grid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cell<P> {
+    /// Flat index in expansion order (row-major, first axis slowest).
+    pub index: usize,
+    /// Per-axis value indices, one per axis in declaration order.
+    pub coords: Vec<usize>,
+    /// The fully applied configuration for this cell.
+    pub cfg: P,
+}
+
+/// Applies an axis's `value_idx`-th value onto a config.
+type ApplyFn<P> = Box<dyn Fn(&mut P, usize)>;
+
+struct Axis<P> {
+    name: String,
+    len: usize,
+    apply: ApplyFn<P>,
+}
+
+/// Builder for a cartesian grid over parameter axes.
+///
+/// Each axis is a list of values plus a setter that writes one value
+/// into the config; [`SweepSpec::cells`] clones the base once per cell
+/// and applies every axis.
+pub struct SweepSpec<P> {
+    base: P,
+    axes: Vec<Axis<P>>,
+}
+
+impl<P: Clone> SweepSpec<P> {
+    /// A grid with no axes (one cell: the base itself).
+    pub fn new(base: P) -> Self {
+        SweepSpec {
+            base,
+            axes: Vec::new(),
+        }
+    }
+
+    /// Adds an axis named `name` sweeping `values`; `set` writes one
+    /// value into a config. Empty axes are rejected (they would make
+    /// the whole grid empty by surprise).
+    pub fn axis<V, S>(mut self, name: &str, values: Vec<V>, set: S) -> Self
+    where
+        V: 'static,
+        S: Fn(&mut P, &V) + 'static,
+    {
+        assert!(!values.is_empty(), "axis {name:?} has no values");
+        self.axes.push(Axis {
+            name: name.to_string(),
+            len: values.len(),
+            apply: Box::new(move |cfg, i| set(cfg, &values[i])),
+        });
+        self
+    }
+
+    /// Number of cells the grid expands to.
+    pub fn len(&self) -> usize {
+        self.axes.iter().map(|a| a.len).product()
+    }
+
+    /// Whether the grid is empty (never, given non-empty axes).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Axis names in declaration order.
+    pub fn axis_names(&self) -> Vec<&str> {
+        self.axes.iter().map(|a| a.name.as_str()).collect()
+    }
+
+    /// The per-axis value indices of flat cell `index`.
+    pub fn coords(&self, index: usize) -> Vec<usize> {
+        let mut rem = index;
+        let mut coords = vec![0; self.axes.len()];
+        for (k, axis) in self.axes.iter().enumerate().rev() {
+            coords[k] = rem % axis.len;
+            rem /= axis.len;
+        }
+        coords
+    }
+
+    /// Materializes every cell, in index order.
+    pub fn cells(&self) -> Vec<Cell<P>> {
+        (0..self.len())
+            .map(|index| {
+                let coords = self.coords(index);
+                let mut cfg = self.base.clone();
+                for (axis, &ci) in self.axes.iter().zip(&coords) {
+                    (axis.apply)(&mut cfg, ci);
+                }
+                Cell { index, coords, cfg }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct Cfg {
+        variant: &'static str,
+        seed: u64,
+        bg: f64,
+    }
+
+    fn base() -> Cfg {
+        Cfg {
+            variant: "none",
+            seed: 0,
+            bg: 0.0,
+        }
+    }
+
+    #[test]
+    fn expansion_is_row_major_first_axis_slowest() {
+        let spec = SweepSpec::new(base())
+            .axis("variant", vec!["a", "b"], |c: &mut Cfg, v| c.variant = v)
+            .axis("seed", vec![1u64, 2, 3], |c: &mut Cfg, &s| c.seed = s);
+        assert_eq!(spec.len(), 6);
+        assert_eq!(spec.axis_names(), vec!["variant", "seed"]);
+        let cells = spec.cells();
+        let got: Vec<(&str, u64)> = cells.iter().map(|c| (c.cfg.variant, c.cfg.seed)).collect();
+        assert_eq!(
+            got,
+            vec![("a", 1), ("a", 2), ("a", 3), ("b", 1), ("b", 2), ("b", 3)]
+        );
+        assert_eq!(cells[4].coords, vec![1, 1]);
+        assert_eq!(cells[4].index, 4);
+    }
+
+    #[test]
+    fn three_axes_compose_and_coords_roundtrip() {
+        let spec = SweepSpec::new(base())
+            .axis("variant", vec!["a", "b"], |c: &mut Cfg, v| c.variant = v)
+            .axis("seed", vec![7u64, 8], |c: &mut Cfg, &s| c.seed = s)
+            .axis("bg", vec![0.3, 0.5], |c: &mut Cfg, &b| c.bg = b);
+        assert_eq!(spec.len(), 8);
+        for (i, cell) in spec.cells().iter().enumerate() {
+            assert_eq!(cell.index, i);
+            assert_eq!(cell.coords, spec.coords(i));
+        }
+        // Last axis varies fastest.
+        let cells = spec.cells();
+        assert_eq!(cells[0].cfg.bg, 0.3);
+        assert_eq!(cells[1].cfg.bg, 0.5);
+        assert_eq!(cells[1].cfg.seed, 7);
+    }
+
+    #[test]
+    fn no_axes_means_one_base_cell() {
+        let spec = SweepSpec::new(base());
+        let cells = spec.cells();
+        assert_eq!(cells.len(), 1);
+        assert_eq!(cells[0].cfg, base());
+        assert!(cells[0].coords.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "has no values")]
+    fn empty_axis_is_rejected() {
+        let _ = SweepSpec::new(base()).axis("seed", Vec::<u64>::new(), |c, &s| c.seed = s);
+    }
+}

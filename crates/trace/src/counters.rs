@@ -1,0 +1,113 @@
+//! Shared atomic counters for cross-thread progress reporting.
+//!
+//! [`MetricsRegistry`](crate::metrics::MetricsRegistry) is deliberately
+//! `&mut`-owned: one simulator run, one single-threaded engine, one
+//! registry. A *sweep* of many runs executing concurrently needs the
+//! opposite shape — a set of counters that many worker threads bump
+//! through a shared reference while a reporter thread reads them live.
+//! [`CounterSet`] is that shape: a fixed, `&'static str`-keyed family of
+//! [`AtomicU64`]s registered up front (so the hot path is one relaxed
+//! atomic add, no locking, no allocation) with a deterministic sorted
+//! snapshot for rendering.
+//!
+//! The set is intentionally not a general metrics system: no gauges, no
+//! histograms, no labels — those stay per-run in `MetricsRegistry`. This
+//! is the minimal cross-thread surface a progress display needs.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A fixed family of named atomic counters, shareable across threads.
+///
+/// Keys are declared at construction; incrementing an undeclared key is a
+/// programming error and panics (in every build — a progress counter that
+/// silently vanishes is worse than a crash in the harness).
+#[derive(Debug)]
+pub struct CounterSet {
+    // Sorted by name at construction so lookups can binary-search and
+    // snapshots iterate deterministically.
+    counters: Vec<(&'static str, AtomicU64)>,
+}
+
+impl CounterSet {
+    /// A set holding one zeroed counter per name in `names`
+    /// (duplicates collapse).
+    pub fn new(names: &[&'static str]) -> Self {
+        let mut sorted: Vec<&'static str> = names.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        CounterSet {
+            counters: sorted.into_iter().map(|n| (n, AtomicU64::new(0))).collect(),
+        }
+    }
+
+    fn slot(&self, name: &str) -> &AtomicU64 {
+        match self.counters.binary_search_by_key(&name, |(n, _)| n) {
+            Ok(i) => &self.counters[i].1,
+            Err(_) => panic!("counter {name:?} was not declared in this CounterSet"),
+        }
+    }
+
+    /// Adds `by` to counter `name`.
+    pub fn add(&self, name: &str, by: u64) {
+        self.slot(name).fetch_add(by, Ordering::Relaxed);
+    }
+
+    /// Adds 1 to counter `name`.
+    pub fn inc(&self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Current value of counter `name`.
+    pub fn get(&self, name: &str) -> u64 {
+        self.slot(name).load(Ordering::Relaxed)
+    }
+
+    /// All `(name, value)` pairs, sorted by name.
+    pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
+        self.counters
+            .iter()
+            .map(|(n, v)| (*n, v.load(Ordering::Relaxed)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counts_accumulate_and_snapshot_is_sorted() {
+        let c = CounterSet::new(&["b.done", "a.total", "a.total"]);
+        c.add("a.total", 10);
+        c.inc("b.done");
+        c.inc("b.done");
+        assert_eq!(c.get("a.total"), 10);
+        assert_eq!(c.get("b.done"), 2);
+        assert_eq!(c.snapshot(), vec![("a.total", 10), ("b.done", 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not declared")]
+    fn undeclared_counter_panics() {
+        CounterSet::new(&["known"]).inc("unknown");
+    }
+
+    #[test]
+    fn concurrent_increments_are_lossless() {
+        let c = Arc::new(CounterSet::new(&["n"]));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let c = c.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    c.inc("n");
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.get("n"), 8000);
+    }
+}

@@ -9,6 +9,8 @@
 //!   [`MemTracer`] (ring buffer) and [`JsonlTracer`] (streaming JSONL);
 //! * [`metrics::MetricsRegistry`] — counters, sim-time-weighted gauges
 //!   and log-linear [`histogram::LogHistogram`]s (p50/p90/p99);
+//! * [`counters::CounterSet`] — shared *atomic* counters for
+//!   cross-thread progress (the sweep engine's live cell counts);
 //! * exporters — JSONL (via [`JsonlTracer`]), Chrome/Perfetto
 //!   [`perfetto::chrome_trace`], and the plain-text
 //!   [`summary::RunSummary`].
@@ -21,6 +23,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod counters;
 pub mod event;
 pub mod histogram;
 pub mod json;
@@ -29,6 +32,7 @@ pub mod perfetto;
 pub mod summary;
 pub mod tracer;
 
+pub use counters::CounterSet;
 pub use event::{FlowClass, LocalityLevel, TraceEvent};
 pub use histogram::LogHistogram;
 pub use metrics::{MetricsRegistry, TimeWeightedGauge};
