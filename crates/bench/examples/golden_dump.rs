@@ -1,0 +1,51 @@
+//! Regenerates the golden fingerprints embedded in
+//! `tests/fabric_golden.rs`. Run after an *intentional* output change:
+//!
+//! ```text
+//! cargo run --release -p corral-bench --example golden_dump
+//! ```
+//!
+//! and paste the printed constants into the test. The workload here must
+//! stay in lockstep with `fabric_golden::golden_jobsets`.
+
+use corral_bench::runner::{run_variant, RunConfig, Variant};
+use corral_cluster::config::SimParams;
+use corral_core::{Objective, PlannerConfig};
+use corral_model::{ClusterConfig, SimTime};
+use corral_workloads::{assign_uniform_arrivals, w1, Scale};
+
+fn main() {
+    let mut params = SimParams::testbed();
+    params.cluster = ClusterConfig::tiny_test();
+    params.horizon = SimTime::hours(10.0);
+    let rc = RunConfig {
+        params,
+        objective: Objective::Makespan,
+        planner: PlannerConfig::default(),
+    };
+    let mut jobs = w1::generate(
+        &w1::W1Params {
+            jobs: 8,
+            ..w1::W1Params::with_seed(17)
+        },
+        Scale {
+            task_divisor: 10.0,
+            data_divisor: 10.0,
+        },
+    );
+    assign_uniform_arrivals(&mut jobs, SimTime::minutes(5.0), 0x1);
+
+    println!("// (variant, makespan_bits, avg_jct_bits, cross_rack_bits, network_bits)");
+    for v in Variant::ALL {
+        let r = run_variant(v, &jobs, &rc);
+        println!(
+            "    (\"{}\", 0x{:016x}, 0x{:016x}, 0x{:016x}, 0x{:016x}),",
+            v.label(),
+            r.makespan.0.to_bits(),
+            r.avg_completion_time().to_bits(),
+            r.cross_rack_bytes.0.to_bits(),
+            r.network_bytes.0.to_bits(),
+        );
+        println!("// summary[{}]: {}", v.label(), r.summary);
+    }
+}

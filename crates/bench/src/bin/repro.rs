@@ -72,6 +72,7 @@ fn run(args: &[String]) -> Result<(), String> {
             "replan" => ex::replan::main(),
             "netseries" => ex::netseries::main(),
             "sweepbench" => ex::sweepbench::main(),
+            "fabricbench" => ex::fabricbench::main(),
             other => eprintln!("unknown experiment: {other}"),
         }
         eprintln!("[{id}: {:.1}s]", t.elapsed().as_secs_f64());

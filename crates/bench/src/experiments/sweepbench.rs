@@ -56,11 +56,16 @@ pub fn main() {
     let serial_s = run_grid(&SweepPool::new(1), &jobsets, &rc);
     let parallel_s = run_grid(&SweepPool::new(jobs), &jobsets, &rc);
     let speedup = serial_s / parallel_s.max(1e-9);
+    // What the host actually exposes (`available_parallelism`, e.g. a
+    // container CPU quota) vs what the pool can actually use: never more
+    // workers than cells.
     let host_cpus = corral_sweep::default_jobs();
+    let effective_jobs = jobs.min(cells);
 
     table::row(&[
         "cells",
         "jobs",
+        "effective",
         "host_cpus",
         "serial",
         "parallel",
@@ -69,23 +74,39 @@ pub fn main() {
     table::row(&[
         cells.to_string(),
         jobs.to_string(),
+        effective_jobs.to_string(),
         host_cpus.to_string(),
         table::secs(serial_s),
         table::secs(parallel_s),
         format!("{speedup:.2}x"),
     ]);
-    if host_cpus < jobs {
-        println!(
-            "   note: host exposes {host_cpus} CPU(s) < --jobs {jobs}; \
-             expected speedup is ~min(jobs, cpus, cells)"
-        );
+    // Explain surprising readings rather than leaving them to guesswork,
+    // and persist the explanation in the JSON next to the numbers.
+    let note = if host_cpus < effective_jobs {
+        format!(
+            "host exposes {host_cpus} CPU(s) < {effective_jobs} effective worker(s); \
+             expected speedup is ~min(jobs, host_cpus, cells), and oversubscribed \
+             workers can make the parallel pass slower than serial"
+        )
+    } else if speedup < 1.0 {
+        format!(
+            "parallel pass slower than serial at {effective_jobs} worker(s) on \
+             {host_cpus} CPU(s): the {cells}-cell smoke grid is too small to \
+             amortize pool startup on this host"
+        )
+    } else {
+        String::new()
+    };
+    if !note.is_empty() {
+        println!("   note: {note}");
     }
 
     let json = format!(
         "{{\n  \"bench\": \"sweep_smoke_subset\",\n  \"cells\": {cells},\n  \
-         \"jobs\": {jobs},\n  \"host_cpus\": {host_cpus},\n  \
+         \"jobs\": {jobs},\n  \"effective_jobs\": {effective_jobs},\n  \
+         \"host_cpus\": {host_cpus},\n  \
          \"serial_s\": {serial_s:.3},\n  \"parallel_s\": {parallel_s:.3},\n  \
-         \"speedup\": {speedup:.3}\n}}\n"
+         \"speedup\": {speedup:.3},\n  \"note\": \"{note}\"\n}}\n"
     );
     std::fs::write("BENCH_sweep.json", &json).expect("write BENCH_sweep.json");
     println!("   wrote BENCH_sweep.json");

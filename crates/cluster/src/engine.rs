@@ -14,7 +14,7 @@ use corral_core::plan::Plan;
 use corral_dfs::{CorralPlacement, Dfs, HdfsDefault, PlacementPolicy};
 use corral_model::{Bytes, FlowId, JobId, JobSpec, MachineId, RackId, SimTime, StageId, TaskId};
 use corral_simnet::{
-    CoflowId, EventQueue, Fabric, FairShare, FlowKind, FlowSpec, FlowTag, VarysSebf,
+    CoflowId, CompletedFlow, EventQueue, Fabric, FairShare, FlowKind, FlowSpec, FlowTag, VarysSebf,
 };
 use corral_trace::{
     LocalityCounts, LocalityLevel, MetricsRegistry, NullTracer, Percentiles, RunSummary,
@@ -66,6 +66,33 @@ pub struct ClusterState {
     pub tracer: SharedTracer,
 }
 
+/// Engine-owned scratch hoisted out of the per-event hot loops. Buffers are
+/// `mem::take`n at each use site (freeing `self` for nested calls), cleared,
+/// refilled, and put back — never shrunk, so the steady state allocates
+/// nothing.
+#[derive(Debug, Default)]
+struct EngineScratch {
+    /// Flow completions drained from the fabric each event step.
+    completions: Vec<CompletedFlow>,
+    /// Sibling attempts to cancel on task completion.
+    tids: Vec<TaskId>,
+    /// Outlier task indices awaiting speculation.
+    indices: Vec<u32>,
+    /// Candidate machines (speculation targets, output-replica targets).
+    machines: Vec<MachineId>,
+    /// Incoming shuffle edges of a stage.
+    edges: Vec<(StageId, f64, corral_model::EdgeKind)>,
+    /// Producer `(machine, count)` pairs, stably sorted by rack.
+    producers: Vec<(MachineId, u32)>,
+    /// Per-rack producer runs: `(rack, start, end, count)` into `producers`.
+    rack_groups: Vec<(RackId, u32, u32, u32)>,
+    /// Live input replicas of a source task (filtered preferred list).
+    replicas: Vec<MachineId>,
+    /// Recycled per-task flow-list vectors: moved into `task_flows` on
+    /// spawn, returned here (cleared) when the task ends.
+    flow_lists: Vec<Vec<(FlowId, MachineId, MachineId)>>,
+}
+
 /// The simulator. Construct with [`Engine::new`], then call [`Engine::run`].
 pub struct Engine {
     st: ClusterState,
@@ -102,6 +129,8 @@ pub struct Engine {
     registry: MetricsRegistry,
     /// First-attempt placements by achieved locality level.
     locality: LocalityCounts,
+    /// Reused hot-loop buffers.
+    scratch: EngineScratch,
 }
 
 impl Engine {
@@ -117,6 +146,7 @@ impl Engine {
         let allocator: Box<dyn corral_simnet::RateAllocator> = match params.net {
             NetPolicy::Tcp => Box::new(FairShare),
             NetPolicy::Varys => Box::new(VarysSebf),
+            NetPolicy::TcpReference => Box::new(corral_simnet::ReferenceFairShare),
         };
         let mut fabric = Fabric::new(params.cluster.clone(), allocator);
         if let Some(bucket) = params.sample_core_utilization {
@@ -194,6 +224,7 @@ impl Engine {
             trace_on: false,
             registry: MetricsRegistry::new(),
             locality: LocalityCounts::default(),
+            scratch: EngineScratch::default(),
         };
         // Anchor the busy-slot gauge at t=0 so its time average covers the
         // whole run, including any idle prefix before the first launch.
@@ -397,10 +428,15 @@ impl Engine {
             // Always advance the fabric to `next` so flows started by this
             // iteration's dispatch are timestamped correctly. Completions at
             // exactly `next` fire first: they unblock tasks whose follow-up
-            // events land at the same instant.
-            for done in self.fabric.advance_to(next) {
-                self.on_flow_done(done.id);
+            // events land at the same instant. The completion buffer is
+            // engine-owned and reused across events (no per-event Vec).
+            let mut done = std::mem::take(&mut self.scratch.completions);
+            done.clear();
+            self.fabric.advance_collect(next, &mut done);
+            for c in &done {
+                self.on_flow_done(c.id);
             }
+            self.scratch.completions = done;
             while self.queue.peek_time().is_some_and(|t| t <= next) {
                 let (_, ev) = self.queue.pop().unwrap();
                 self.handle_event(ev);
@@ -661,8 +697,8 @@ impl Engine {
             write_started: None,
         };
 
-        // --- Create fetch flows.
-        let mut flows: Vec<(FlowId, MachineId, MachineId)> = Vec::new();
+        // --- Create fetch flows (recycled list: no allocation once warm).
+        let mut flows = self.scratch.flow_lists.pop().unwrap_or_default();
         if is_source {
             self.make_input_read_flow(ji, sid, index, m, tid, &mut flows);
         } else {
@@ -745,17 +781,13 @@ impl Engine {
         if share.is_negligible() {
             return;
         }
-        let replicas: Vec<MachineId> = job.stages[sid.index()]
-            .preferred
-            .get(index as usize)
-            .map(|p| {
-                p.iter()
-                    .copied()
-                    .filter(|r| !self.st.dead[r.index()])
-                    .collect()
-            })
-            .unwrap_or_default();
+        let mut replicas = std::mem::take(&mut self.scratch.replicas);
+        replicas.clear();
+        if let Some(p) = job.stages[sid.index()].preferred.get(index as usize) {
+            replicas.extend(p.iter().copied().filter(|r| !self.st.dead[r.index()]));
+        }
         if replicas.contains(&m) {
+            self.scratch.replicas = replicas;
             return; // machine-local read; disk folded into compute
         }
         let my_rack = cfg.rack_of(m);
@@ -769,6 +801,7 @@ impl Engine {
                 // (stand-in for re-replication / re-upload).
                 self.first_live_machine()
             });
+        self.scratch.replicas = replicas;
         if src == m {
             return;
         }
@@ -807,14 +840,19 @@ impl Engine {
     ) {
         let cfg = self.st.params.cluster.clone();
         let job_id = self.st.jobs[ji].spec.id;
-        let edges: Vec<(StageId, f64, corral_model::EdgeKind)> = self.st.jobs[ji]
-            .dag
-            .in_edges(sid)
-            .map(|e| (e.from, e.bytes.0, e.kind))
-            .collect();
+        let mut edges = std::mem::take(&mut self.scratch.edges);
+        let mut producers = std::mem::take(&mut self.scratch.producers);
+        let mut rack_groups = std::mem::take(&mut self.scratch.rack_groups);
+        edges.clear();
+        edges.extend(
+            self.st.jobs[ji]
+                .dag
+                .in_edges(sid)
+                .map(|e| (e.from, e.bytes.0, e.kind)),
+        );
         let dst_tasks = self.st.jobs[ji].dag.stage(sid).tasks as f64;
 
-        for (from, edge_bytes, kind) in edges {
+        for &(from, edge_bytes, kind) in &edges {
             let share = match kind {
                 corral_model::EdgeKind::Shuffle => edge_bytes / dst_tasks,
                 corral_model::EdgeKind::Broadcast => edge_bytes,
@@ -822,41 +860,51 @@ impl Engine {
             if share < 1.0 {
                 continue;
             }
-            // Group producers by rack.
-            let producers = self.st.jobs[ji].stages[from.index()].producers.clone();
-            let total: u32 = producers.iter().map(|(_, c)| c).sum();
+            // Group producers by rack: a stable sort by rack leaves the
+            // groups in ascending-rack order with each rack's members in
+            // original producer order — exactly the iteration order of the
+            // per-rack `BTreeMap` this replaces, without its allocations.
+            producers.clear();
+            producers.extend_from_slice(&self.st.jobs[ji].stages[from.index()].producers);
+            let total: u32 = producers.iter().map(|&(_, c)| c).sum();
             if total == 0 {
                 continue;
             }
-            let mut by_rack: BTreeMap<RackId, Vec<(MachineId, u32)>> = BTreeMap::new();
-            for (pm, c) in producers {
-                by_rack.entry(cfg.rack_of(pm)).or_default().push((pm, c));
+            producers.sort_by_key(|&(pm, _)| cfg.rack_of(pm));
+            rack_groups.clear();
+            let mut start = 0usize;
+            while start < producers.len() {
+                let r = cfg.rack_of(producers[start].0);
+                let mut end = start + 1;
+                while end < producers.len() && cfg.rack_of(producers[end].0) == r {
+                    end += 1;
+                }
+                let count: u32 = producers[start..end].iter().map(|&(_, c)| c).sum();
+                rack_groups.push((r, start as u32, end as u32, count));
+                start = end;
             }
             // Group racks: the largest MAX_FETCH_FLOWS-1 racks get their own
             // flow; the rest merge into one flow sourced from the largest
             // remaining rack (deterministic: sort by count desc, rack asc).
-            type RackGroup = (RackId, Vec<(MachineId, u32)>, u32);
-            let mut rack_list: Vec<RackGroup> = by_rack
-                .into_iter()
-                .map(|(r, members)| {
-                    let count: u32 = members.iter().map(|(_, c)| c).sum();
-                    (r, members, count)
-                })
-                .collect();
-            rack_list.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)));
+            rack_groups.sort_by(|a, b| b.3.cmp(&a.3).then(a.0.cmp(&b.0)));
             let coflow = self.coflow_for(job_id, sid, 1);
-            let distinct = rack_list.len().min(Self::MAX_FETCH_FLOWS);
-            for (i, (_rack, members, count)) in rack_list.iter().enumerate().take(distinct) {
-                let mut group_count = *count;
+            let distinct = rack_groups.len().min(Self::MAX_FETCH_FLOWS);
+            for i in 0..distinct {
+                let (_rack, gs, ge, count) = rack_groups[i];
+                let mut group_count = count;
                 if i == distinct - 1 {
                     // Absorb the merged tail.
-                    group_count += rack_list[distinct..].iter().map(|(_, _, c)| c).sum::<u32>();
+                    group_count += rack_groups[distinct..]
+                        .iter()
+                        .map(|&(_, _, _, c)| c)
+                        .sum::<u32>();
                 }
                 let bytes = share * group_count as f64 / total as f64;
                 if bytes < 1.0 {
                     continue;
                 }
                 // Rotate source across the rack's producers.
+                let members = &producers[gs as usize..ge as usize];
                 let src = members[(index as usize) % members.len()].0;
                 let f = self.fabric.start_flow(FlowSpec {
                     src,
@@ -868,30 +916,34 @@ impl Engine {
                 flows.push((f, src, m));
             }
         }
+        self.scratch.edges = edges;
+        self.scratch.producers = producers;
+        self.scratch.rack_groups = rack_groups;
     }
 
     /// Sink-stage output write: one same-rack replica flow plus one
     /// cross-rack replica flow (HDFS's fault-tolerance shape; the primary
-    /// replica is the local disk and costs no network).
-    fn make_output_flows(&mut self, tid: TaskId) -> Vec<(FlowId, MachineId, MachineId)> {
+    /// replica is the local disk and costs no network). Appends to `flows`.
+    fn make_output_flows(&mut self, tid: TaskId, flows: &mut Vec<(FlowId, MachineId, MachineId)>) {
         let task = self.tasks.get(&tid).expect("task missing").clone();
         let ji = self.job_index[&task.job];
         let cfg = self.st.params.cluster.clone();
         let share = self.st.jobs[ji].dfs_out_share(task.stage);
-        let mut flows = Vec::new();
         if share.is_negligible() {
-            return flows;
+            return;
         }
         let m = task.machine;
         let my_rack = cfg.rack_of(m);
+        let mut machines = std::mem::take(&mut self.scratch.machines);
         // Same-rack replica: next live machine in the rack.
-        let rack_machines: Vec<MachineId> = cfg
-            .machines_in_rack(my_rack)
-            .filter(|x| !self.st.dead[x.index()] && *x != m)
-            .collect();
-        if let Some(&dst) = rack_machines
-            .get((task.index as usize) % rack_machines.len().max(1))
-            .or(rack_machines.first())
+        machines.clear();
+        machines.extend(
+            cfg.machines_in_rack(my_rack)
+                .filter(|x| !self.st.dead[x.index()] && *x != m),
+        );
+        if let Some(&dst) = machines
+            .get((task.index as usize) % machines.len().max(1))
+            .or(machines.first())
         {
             let coflow = self.coflow_for(task.job, task.stage, 2);
             let f = self.fabric.start_flow(FlowSpec {
@@ -909,12 +961,10 @@ impl Engine {
             for step in 0..cfg.racks {
                 let r = RackId::from_index((my_rack.index() + base + step) % cfg.racks);
                 if r != my_rack {
-                    let live: Vec<MachineId> = cfg
-                        .machines_in_rack(r)
-                        .filter(|x| !self.st.dead[x.index()])
-                        .collect();
-                    if !live.is_empty() {
-                        let dst = live[(task.index as usize) % live.len()];
+                    machines.clear();
+                    machines.extend(cfg.machines_in_rack(r).filter(|x| !self.st.dead[x.index()]));
+                    if !machines.is_empty() {
+                        let dst = machines[(task.index as usize) % machines.len()];
                         let coflow = self.coflow_for(task.job, task.stage, 2);
                         let f = self.fabric.start_flow(FlowSpec {
                             src: m,
@@ -929,7 +979,7 @@ impl Engine {
                 }
             }
         }
-        flows
+        self.scratch.machines = machines;
     }
 
     fn first_live_machine(&self) -> MachineId {
@@ -1083,7 +1133,8 @@ impl Engine {
         if !self.tasks.contains_key(&tid) {
             return; // killed while computing
         }
-        let flows = self.make_output_flows(tid);
+        let mut flows = self.scratch.flow_lists.pop().unwrap_or_default();
+        self.make_output_flows(tid, &mut flows);
         let now = self.st.now;
         let task = self.tasks.get_mut(&tid).unwrap();
         task.phase = TaskPhase::Writing;
@@ -1095,7 +1146,8 @@ impl Engine {
         self.task_flows
             .get_mut(&tid)
             .expect("flow table missing")
-            .extend(flows);
+            .append(&mut flows);
+        self.scratch.flow_lists.push(flows);
         if self.trace_on {
             let t = &self.tasks[&tid];
             self.emit(TraceEvent::TaskWriteStart {
@@ -1112,7 +1164,10 @@ impl Engine {
 
     fn complete_task(&mut self, tid: TaskId) {
         let task = self.tasks.remove(&tid).expect("task missing");
-        self.task_flows.remove(&tid);
+        if let Some(mut v) = self.task_flows.remove(&tid) {
+            v.clear();
+            self.scratch.flow_lists.push(v);
+        }
         let now = self.st.now;
         self.task_log.push(crate::metrics::TaskRecord {
             job: task.job,
@@ -1184,15 +1239,20 @@ impl Engine {
 
         // Cancel any sibling attempts of the now-complete index (their
         // output is redundant; no re-queue).
-        let siblings: Vec<TaskId> = self
-            .tasks
-            .iter()
-            .filter(|(_, t)| t.job == task.job && t.stage == task.stage && t.index == task.index)
-            .map(|(id, _)| *id)
-            .collect();
-        for s in siblings {
+        let mut siblings = std::mem::take(&mut self.scratch.tids);
+        siblings.clear();
+        siblings.extend(
+            self.tasks
+                .iter()
+                .filter(|(_, t)| {
+                    t.job == task.job && t.stage == task.stage && t.index == task.index
+                })
+                .map(|(id, _)| *id),
+        );
+        for &s in &siblings {
             self.kill_task_inner(s, false);
         }
+        self.scratch.tids = siblings;
 
         if stage_done {
             self.on_stage_done(ji, task.stage);
@@ -1213,20 +1273,24 @@ impl Engine {
         let cutoff = sm.spec_threshold * avg;
         let now = self.st.now;
         let job_id = self.st.jobs[ji].spec.id;
-        let outliers: Vec<u32> = self
-            .tasks
-            .values()
-            .filter(|t| {
-                t.job == job_id
-                    && t.stage == sid
-                    // Inclusive: a deferred SpecCheck lands exactly on the
-                    // crossing time, and a strict test would skip it there.
-                    && (now - t.scheduled_at).as_secs() >= cutoff
-            })
-            .map(|t| t.index)
-            .collect();
+        let mut outliers = std::mem::take(&mut self.scratch.indices);
+        outliers.clear();
+        outliers.extend(
+            self.tasks
+                .values()
+                .filter(|t| {
+                    t.job == job_id
+                        && t.stage == sid
+                        // Inclusive: a deferred SpecCheck lands exactly on
+                        // the crossing time, and a strict test would skip
+                        // it there.
+                        && (now - t.scheduled_at).as_secs() >= cutoff
+                })
+                .map(|t| t.index),
+        );
         let k = self.st.params.cluster.machines_per_rack;
-        for index in outliers {
+        let mut candidates = std::mem::take(&mut self.scratch.machines);
+        for &index in &outliers {
             {
                 let stage = &mut self.st.jobs[ji].stages[sid.index()];
                 if stage.completed[index as usize] || !stage.speculated.insert(index) {
@@ -1234,15 +1298,18 @@ impl Engine {
                 }
             }
             // A free slot in an allowed rack, rack-interleaved order.
-            let mut candidates: Vec<MachineId> = (0..self.st.dead.len())
-                .filter(|&mi| {
-                    !self.st.dead[mi]
-                        && self.st.free_slots[mi] > 0
-                        && self.st.jobs[ji]
-                            .allowed_on(self.st.params.cluster.rack_of(MachineId::from_index(mi)))
-                })
-                .map(MachineId::from_index)
-                .collect();
+            candidates.clear();
+            candidates.extend(
+                (0..self.st.dead.len())
+                    .filter(|&mi| {
+                        !self.st.dead[mi]
+                            && self.st.free_slots[mi] > 0
+                            && self.st.jobs[ji].allowed_on(
+                                self.st.params.cluster.rack_of(MachineId::from_index(mi)),
+                            )
+                    })
+                    .map(MachineId::from_index),
+            );
             candidates.sort_by_key(|m| (m.index() % k, m.index() / k));
             let Some(&m) = candidates.first() else {
                 // No slot right now; allow a later completion to retry.
@@ -1255,6 +1322,8 @@ impl Engine {
             self.st.jobs[ji].stages[sid.index()].running += 1;
             self.spawn_attempt(ji, sid, index, m);
         }
+        self.scratch.indices = outliers;
+        self.scratch.machines = candidates;
 
         // A tail straggler can outlive every completion event in its
         // stage, so completion-driven checks alone would never flag it.
@@ -1433,11 +1502,13 @@ impl Engine {
         let Some(task) = self.tasks.remove(&tid) else {
             return;
         };
-        if let Some(flows) = self.task_flows.remove(&tid) {
-            for (f, _, _) in flows {
+        if let Some(mut flows) = self.task_flows.remove(&tid) {
+            for &(f, _, _) in &flows {
                 self.fabric.cancel_flow(f);
                 self.flow_task.remove(&f);
             }
+            flows.clear();
+            self.scratch.flow_lists.push(flows);
         }
         let m = task.machine;
         if !self.st.dead[m.index()] {

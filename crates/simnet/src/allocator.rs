@@ -11,7 +11,8 @@
 
 use crate::flow::CoflowId;
 use crate::link::{Link, LinkId};
-use crate::maxmin;
+use crate::maxmin::{self, MaxMinScratch};
+use crate::varys::VarysScratch;
 pub use crate::varys::VarysSebf;
 use corral_model::{Bandwidth, Bytes};
 
@@ -27,6 +28,84 @@ pub struct FlowView<'a> {
     pub coflow: Option<CoflowId>,
 }
 
+/// The active flow set in flat CSR form: flow `f` traverses
+/// `flow_links[flow_off[f] .. flow_off[f+1]]`. Built by the fabric into
+/// persistent buffers, so handing it to an allocator performs no
+/// allocation. Flows appear in ascending [`FlowId`](crate::flow::FlowId)
+/// order — the same order the legacy `&[FlowView]` slice used.
+#[derive(Debug, Clone, Copy)]
+pub struct FlowTable<'a> {
+    /// Prefix offsets into `flow_links`; length is `len() + 1`.
+    pub flow_off: &'a [u32],
+    /// Concatenated per-flow link paths.
+    pub flow_links: &'a [LinkId],
+    /// Bytes still to transfer, per flow.
+    pub remaining: &'a [f64],
+    /// Coflow membership, per flow.
+    pub coflow: &'a [Option<CoflowId>],
+}
+
+impl<'a> FlowTable<'a> {
+    /// Number of flows in the table.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.flow_off.len().saturating_sub(1)
+    }
+
+    /// True when the table holds no flows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The links flow `f` traverses.
+    #[inline]
+    pub fn path(&self, f: usize) -> &'a [LinkId] {
+        &self.flow_links[self.flow_off[f] as usize..self.flow_off[f + 1] as usize]
+    }
+}
+
+/// Reusable workspaces threaded through [`RateAllocator::allocate_table`].
+/// Owned by the fabric and reused across recomputes, so steady-state rate
+/// allocation performs no heap allocation.
+#[derive(Debug, Default)]
+pub struct AllocScratch {
+    /// Effective link capacities, refreshed each call.
+    pub caps: Vec<f64>,
+    /// Progressive-filling workspace (CSR link→flow index).
+    pub maxmin: MaxMinScratch,
+    /// Varys grouping/ordering workspace.
+    pub varys: VarysScratch,
+}
+
+impl AllocScratch {
+    /// Fresh, empty workspaces.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Freeze rounds executed by the most recent max-min run (including the
+    /// backfill pass for Varys).
+    pub fn last_rounds(&self) -> u64 {
+        self.maxmin.last_rounds()
+    }
+
+    /// Total reserved capacity across all scratch buffers, in elements.
+    /// Growth of this number indicates a (re)allocation; a flat reading
+    /// across recomputes certifies the steady state is allocation-free.
+    pub fn footprint(&self) -> usize {
+        self.caps.capacity() + self.maxmin.footprint() + self.varys.footprint()
+    }
+
+    /// Refreshes `caps` from the link table without reallocating once
+    /// capacity suffices.
+    pub(crate) fn refresh_caps(&mut self, links: &[Link]) {
+        self.caps.clear();
+        self.caps
+            .extend(links.iter().map(|l| l.effective_capacity().0));
+    }
+}
+
 /// A bandwidth allocation policy.
 pub trait RateAllocator: Send {
     /// Human-readable policy name (used in experiment output).
@@ -37,6 +116,32 @@ pub trait RateAllocator: Send {
     /// [`Link::effective_capacity`]); `rates` has one slot per flow and is
     /// fully overwritten.
     fn allocate(&mut self, links: &[Link], flows: &[FlowView<'_>], rates: &mut [Bandwidth]);
+
+    /// Scratch-carrying entry point used by the fabric's hot path. The
+    /// default implementation materializes `FlowView`s and forwards to
+    /// [`allocate`](Self::allocate) — correct but allocating; fast policies
+    /// override it to work directly on the CSR table.
+    fn allocate_table(
+        &mut self,
+        links: &[Link],
+        table: &FlowTable<'_>,
+        rates: &mut [f64],
+        scratch: &mut AllocScratch,
+    ) {
+        let _ = scratch;
+        let views: Vec<FlowView<'_>> = (0..table.len())
+            .map(|f| FlowView {
+                path: table.path(f),
+                remaining: Bytes(table.remaining[f]),
+                coflow: table.coflow[f],
+            })
+            .collect();
+        let mut bw = vec![Bandwidth::ZERO; views.len()];
+        self.allocate(links, &views, &mut bw);
+        for (r, b) in rates.iter_mut().zip(bw) {
+            *r = b.0;
+        }
+    }
 }
 
 /// Max-min fair sharing: the fluid proxy for long-lived TCP with ideal
@@ -57,6 +162,41 @@ impl RateAllocator for FairShare {
         for (r, raw) in rates.iter_mut().zip(raw) {
             *r = Bandwidth(raw);
         }
+    }
+
+    fn allocate_table(
+        &mut self,
+        links: &[Link],
+        table: &FlowTable<'_>,
+        rates: &mut [f64],
+        scratch: &mut AllocScratch,
+    ) {
+        scratch.refresh_caps(links);
+        maxmin::max_min_rates_csr(
+            &scratch.caps,
+            table.flow_off,
+            table.flow_links,
+            rates,
+            &mut scratch.maxmin,
+        );
+    }
+}
+
+/// The pre-optimization fair-share path, kept verbatim as a benchmarking
+/// and golden-test oracle: it deliberately does *not* override
+/// [`RateAllocator::allocate_table`], so every recompute goes through the
+/// legacy `FlowView` + `Vec<Vec<u32>>` machinery. It reports the same
+/// policy name as [`FairShare`] so run summaries are comparable verbatim.
+#[derive(Debug, Default, Clone)]
+pub struct ReferenceFairShare;
+
+impl RateAllocator for ReferenceFairShare {
+    fn name(&self) -> &'static str {
+        "tcp-fair"
+    }
+
+    fn allocate(&mut self, links: &[Link], flows: &[FlowView<'_>], rates: &mut [Bandwidth]) {
+        FairShare.allocate(links, flows, rates);
     }
 }
 

@@ -7,8 +7,8 @@
 //! "advance" moves exact byte amounts and completions are computed in
 //! closed form.
 
-use crate::allocator::{FlowView, RateAllocator};
-use crate::flow::{FlowKind, FlowSpec, FlowState, FlowTag};
+use crate::allocator::{AllocScratch, FlowTable, RateAllocator};
+use crate::flow::{CoflowId, FlowKind, FlowSpec, FlowState, FlowTag};
 use crate::link::LinkId;
 use crate::stats::FabricStats;
 use crate::topology::Topology;
@@ -40,6 +40,47 @@ pub struct CompletedFlow {
     pub finished: SimTime,
 }
 
+/// Persistent buffers for [`Fabric::recompute`]: the CSR flow table handed
+/// to the allocator plus its companion arrays. Cleared and refilled each
+/// recompute; never shrunk, so the steady state performs no allocation.
+#[derive(Debug, Default)]
+struct RecomputeScratch {
+    /// CSR prefix offsets (one per network flow, plus a trailing total).
+    flow_off: Vec<u32>,
+    /// Concatenated per-flow link paths.
+    flow_links: Vec<LinkId>,
+    /// Remaining bytes per network flow.
+    remaining: Vec<f64>,
+    /// Coflow membership per network flow.
+    coflow: Vec<Option<CoflowId>>,
+    /// `FlowId` of each network flow (row → id mapping).
+    view_ids: Vec<FlowId>,
+    /// Remaining bytes of the machine-local (empty-path) flows, in
+    /// `active` order; lets the next-completion fold run entirely on
+    /// dense arrays.
+    local_remaining: Vec<f64>,
+    /// Allocator output, one rate per network flow.
+    rates: Vec<f64>,
+    /// Allocator-side workspaces (max-min CSR, Varys grouping).
+    alloc: AllocScratch,
+}
+
+impl RecomputeScratch {
+    /// Total reserved capacity across every buffer, in elements. A flat
+    /// reading across recomputes certifies the steady state allocates
+    /// nothing (tracked by [`FabricStats::scratch_grows`]).
+    fn footprint(&self) -> usize {
+        self.flow_off.capacity()
+            + self.flow_links.capacity()
+            + self.remaining.capacity()
+            + self.coflow.capacity()
+            + self.view_ids.capacity()
+            + self.local_remaining.capacity()
+            + self.rates.capacity()
+            + self.alloc.footprint()
+    }
+}
+
 /// Flow-level network simulator for one cluster fabric.
 pub struct Fabric {
     topo: Topology,
@@ -47,6 +88,8 @@ pub struct Fabric {
     /// Flow table indexed by `FlowId`; completed/cancelled slots are `None`.
     flows: Vec<Option<FlowState>>,
     /// Active flow ids, ascending (ids are allocated monotonically).
+    /// Cancelled flows may linger as `None` slots until the next
+    /// [`Fabric::recompute`] purges them in one `retain` pass.
     active: Vec<FlowId>,
     now: SimTime,
     /// Set when the flow set or link capacities changed since the last rate
@@ -63,6 +106,10 @@ pub struct Fabric {
     tracer: SharedTracer,
     /// Cached `tracer.enabled()` so the hot path is one branch.
     trace_on: bool,
+    /// Reused recompute buffers (CSR table, rates, allocator workspaces).
+    scratch: RecomputeScratch,
+    /// `scratch.footprint()` after the previous recompute, to detect growth.
+    scratch_footprint: usize,
 }
 
 impl Fabric {
@@ -82,6 +129,8 @@ impl Fabric {
             sampling: None,
             tracer: std::sync::Arc::new(NullTracer),
             trace_on: false,
+            scratch: RecomputeScratch::default(),
+            scratch_footprint: 0,
         }
     }
 
@@ -169,7 +218,12 @@ impl Fabric {
 
     /// Number of in-flight flows.
     pub fn active_flow_count(&self) -> usize {
-        self.active.len()
+        // `active` may still hold flows cancelled since the last recompute
+        // (they are purged lazily); count only live slots.
+        self.active
+            .iter()
+            .filter(|id| self.flows[id.index()].is_some())
+            .count()
     }
 
     /// Remaining bytes of a flow, or `None` if it already finished.
@@ -208,7 +262,6 @@ impl Fabric {
             },
             path,
             remaining: bytes.clamp_non_negative(),
-            rate: Bandwidth::ZERO,
             cross_rack: false,
         }));
         self.active.push(id);
@@ -241,7 +294,6 @@ impl Fabric {
             spec,
             path,
             remaining: spec.bytes.clamp_non_negative(),
-            rate: Bandwidth::ZERO,
             cross_rack,
         }));
         self.active.push(id);
@@ -265,12 +317,14 @@ impl Fabric {
 
     /// Cancels an in-flight flow (no completion is reported). Cancelling a
     /// flow that already finished is a no-op.
+    ///
+    /// Removal from the active list is deferred: the slot is emptied here
+    /// and the id is dropped by the next [`Fabric::recompute`]'s single
+    /// `retain` pass, so a batch of cancellations (e.g. speculation kills)
+    /// costs one O(n) sweep instead of one O(n) `remove` each.
     pub fn cancel_flow(&mut self, id: FlowId) {
         if let Some(slot) = self.flows.get_mut(id.index()) {
             if slot.take().is_some() {
-                if let Ok(pos) = self.active.binary_search(&id) {
-                    self.active.remove(pos);
-                }
                 self.dirty = true;
             }
         }
@@ -304,9 +358,25 @@ impl Fabric {
     /// Advances the fabric clock to `t`, transferring bytes and collecting
     /// every flow that completes at or before `t` (in completion order).
     ///
+    /// Convenience wrapper over [`Fabric::advance_collect`] that allocates
+    /// a fresh `Vec` per call; hot loops should hold their own buffer and
+    /// call `advance_collect` directly.
+    ///
     /// # Panics
     /// Panics if `t` is earlier than the current fabric time.
     pub fn advance_to(&mut self, t: SimTime) -> Vec<CompletedFlow> {
+        let mut completed = Vec::new();
+        self.advance_collect(t, &mut completed);
+        completed
+    }
+
+    /// Allocation-free variant of [`Fabric::advance_to`]: completions are
+    /// *appended* to `out` (which is not cleared), so a caller-owned buffer
+    /// can be reused across events.
+    ///
+    /// # Panics
+    /// Panics if `t` is earlier than the current fabric time.
+    pub fn advance_collect(&mut self, t: SimTime, out: &mut Vec<CompletedFlow>) {
         assert!(
             t.0 >= self.now.0 - 1e-9,
             "fabric cannot move backwards: {} < {}",
@@ -314,23 +384,19 @@ impl Fabric {
             self.now
         );
         let t = t.max(self.now);
-        let mut completed = Vec::new();
         loop {
             if self.dirty {
                 self.recompute();
             }
             if self.next_completion.0 <= t.0 {
                 let tc = self.next_completion.max(self.now);
-                self.move_bytes(tc - self.now);
-                self.now = tc;
-                self.harvest_completions(&mut completed);
+                self.step_to_completion(tc, out);
             } else {
                 self.move_bytes(t - self.now);
                 self.now = t;
                 break;
             }
         }
-        completed
     }
 
     /// Runs the fabric until every active flow with a positive rate has
@@ -338,61 +404,112 @@ impl Fabric {
     /// backgrounded links) are left in place.
     pub fn drain(&mut self) -> Vec<CompletedFlow> {
         let mut out = Vec::new();
-        while let Some(tc) = self.next_completion() {
-            out.extend(self.advance_to(tc));
-        }
+        self.drain_collect(&mut out);
         out
+    }
+
+    /// Allocation-free variant of [`Fabric::drain`]: completions are
+    /// appended to `out`.
+    pub fn drain_collect(&mut self, out: &mut Vec<CompletedFlow>) {
+        while let Some(tc) = self.next_completion() {
+            self.advance_collect(tc, out);
+        }
     }
 
     // -- internals ----------------------------------------------------------
 
     /// Recomputes flow rates via the allocator and caches the next
-    /// completion time.
+    /// completion time. Steady-state allocation-free: the flow table is
+    /// rebuilt into persistent CSR buffers and the allocator works out of
+    /// reusable scratch (growth is tracked by
+    /// [`FabricStats::scratch_grows`]).
     fn recompute(&mut self) {
         self.dirty = false;
+        self.stats.recomputes += 1;
 
-        // Partition into network flows (allocator's problem) and local flows.
-        let mut views: Vec<FlowView<'_>> = Vec::with_capacity(self.active.len());
-        let mut view_ids: Vec<FlowId> = Vec::with_capacity(self.active.len());
-        for &id in &self.active {
-            let f = self.flows[id.index()]
-                .as_ref()
-                .expect("active flow missing");
-            if f.path.is_empty() {
-                continue;
+        // One pass over `active`: purge flows cancelled since the last
+        // recompute (preserving the ascending-FlowId order determinism
+        // relies on) while building the CSR table of network flows in that
+        // same order — the order the legacy `Vec<FlowView>` slice used.
+        // Machine-local (empty-path) flows stay active but are the
+        // fabric's problem, not the allocator's.
+        let flows = &self.flows;
+        let scratch = &mut self.scratch;
+        scratch.flow_off.clear();
+        scratch.flow_links.clear();
+        scratch.remaining.clear();
+        scratch.coflow.clear();
+        scratch.view_ids.clear();
+        scratch.local_remaining.clear();
+        scratch.flow_off.push(0);
+        self.active.retain(|&id| {
+            let Some(f) = flows[id.index()].as_ref() else {
+                return false;
+            };
+            if !f.path.is_empty() {
+                scratch.flow_links.extend_from_slice(f.path.as_slice());
+                scratch.flow_off.push(scratch.flow_links.len() as u32);
+                scratch.remaining.push(f.remaining.0);
+                scratch.coflow.push(f.spec.coflow);
+                scratch.view_ids.push(id);
+            } else {
+                scratch.local_remaining.push(f.remaining.0);
             }
-            views.push(FlowView {
-                path: f.path.as_slice(),
-                remaining: f.remaining,
-                coflow: f.spec.coflow,
-            });
-            view_ids.push(id);
+            true
+        });
+        scratch.rates.clear();
+        scratch.rates.resize(scratch.view_ids.len(), 0.0);
+        let table = FlowTable {
+            flow_off: &scratch.flow_off,
+            flow_links: &scratch.flow_links,
+            remaining: &scratch.remaining,
+            coflow: &scratch.coflow,
+        };
+        self.allocator.allocate_table(
+            self.topo.links(),
+            &table,
+            &mut scratch.rates,
+            &mut scratch.alloc,
+        );
+        self.stats.maxmin_rounds += scratch.alloc.last_rounds();
+        let footprint = scratch.footprint();
+        if footprint != self.scratch_footprint {
+            self.scratch_footprint = footprint;
+            self.stats.scratch_grows += 1;
         }
-        let mut rates = vec![Bandwidth::ZERO; views.len()];
-        self.allocator
-            .allocate(self.topo.links(), &views, &mut rates);
 
-        for (&id, &rate) in view_ids.iter().zip(rates.iter()) {
-            self.flows[id.index()].as_mut().unwrap().rate = rate;
-        }
+        // Fold the next completion time straight from the dense scratch
+        // arrays — rates are *not* written back to the scattered flow
+        // table; `move_bytes` / `step_to_completion` read them through a
+        // running cursor instead (`active` cannot change between a
+        // recompute and the next byte movement without setting `dirty`).
+        // Each flow's `tc` uses the same expressions as the old
+        // per-flow-table pass, and a `min` fold over the same values is
+        // order-insensitive (no NaNs arise), so the cached
+        // `next_completion` is bit-identical.
         let local_rate = self.local_rate;
-        for &id in &self.active {
-            let f = self.flows[id.index()].as_mut().unwrap();
-            if f.path.is_empty() {
-                f.rate = local_rate;
-            }
-        }
-
-        // Next completion.
         let mut next = SimTime::INFINITY;
-        for &id in &self.active {
-            let f = self.flows[id.index()].as_ref().unwrap();
-            let tc = if f.remaining.is_negligible() {
+        let scratch = &self.scratch;
+        for (vi, &raw) in scratch.rates.iter().enumerate() {
+            let remaining = Bytes(scratch.remaining[vi]);
+            let rate = Bandwidth(raw);
+            let tc = if remaining.is_negligible() {
                 self.now
-            } else if f.rate.is_negligible() {
+            } else if rate.is_negligible() {
                 SimTime::INFINITY
             } else {
-                self.now + f.remaining / f.rate
+                self.now + remaining / rate
+            };
+            next = next.min(tc);
+        }
+        for &rem in &scratch.local_remaining {
+            let remaining = Bytes(rem);
+            let tc = if remaining.is_negligible() {
+                self.now
+            } else if local_rate.is_negligible() {
+                SimTime::INFINITY
+            } else {
+                self.now + remaining / local_rate
             };
             next = next.min(tc);
         }
@@ -400,13 +517,27 @@ impl Fabric {
     }
 
     /// Transfers `dt` worth of bytes on every active flow and accounts them.
+    ///
+    /// Flow rates are read from the recompute scratch through a running
+    /// cursor: non-local flows appear in `active` order there, and the
+    /// active list cannot have changed since the last recompute (any
+    /// mutation sets `dirty`, and every caller recomputes first).
     fn move_bytes(&mut self, dt: SimTime) {
         if dt.0 <= 0.0 {
             return;
         }
+        let local_rate = self.local_rate;
+        let mut vi = 0usize;
         for &id in &self.active {
             let f = self.flows[id.index()].as_mut().unwrap();
-            let delta = (f.rate * dt).min(f.remaining);
+            let rate = if f.path.is_empty() {
+                local_rate
+            } else {
+                let r = Bandwidth(self.scratch.rates[vi]);
+                vi += 1;
+                r
+            };
+            let delta = (rate * dt).min(f.remaining);
             if delta.0 <= 0.0 {
                 continue;
             }
@@ -447,69 +578,128 @@ impl Fabric {
         }
     }
 
-    /// Removes flows whose remaining volume is negligible, reporting them as
-    /// completed at the current time.
-    fn harvest_completions(&mut self, out: &mut Vec<CompletedFlow>) {
-        let now = self.now;
-        let mut any = false;
-        let mut i = 0;
-        while i < self.active.len() {
-            let id = self.active[i];
-            let done = {
-                let f = self.flows[id.index()].as_ref().unwrap();
-                f.remaining.is_negligible()
-            };
-            if done {
-                let f = self.flows[id.index()].take().unwrap();
-                self.active.remove(i);
-                self.stats.flows_completed += 1;
-                if self.trace_on {
-                    self.tracer.record(
-                        now.as_secs(),
-                        TraceEvent::FlowFinished {
-                            flow: id.0,
-                            bytes: f.spec.bytes.clamp_non_negative().0,
-                        },
-                    );
-                }
-                out.push(CompletedFlow {
-                    id,
-                    tag: f.spec.tag,
-                    bytes: f.spec.bytes,
-                    finished: now,
-                });
-                any = true;
-            } else {
-                i += 1;
-            }
+    /// Emits one completion: empties the flow's slot, traces, accounts, and
+    /// appends to `out`. The caller removes the id from `active`.
+    fn emit_completion(&mut self, id: FlowId, now: SimTime, out: &mut Vec<CompletedFlow>) {
+        let f = self.flows[id.index()].take().unwrap();
+        self.stats.flows_completed += 1;
+        if self.trace_on {
+            self.tracer.record(
+                now.as_secs(),
+                TraceEvent::FlowFinished {
+                    flow: id.0,
+                    bytes: f.spec.bytes.clamp_non_negative().0,
+                },
+            );
         }
-        if !any {
+        out.push(CompletedFlow {
+            id,
+            tag: f.spec.tag,
+            bytes: f.spec.bytes,
+            finished: now,
+        });
+    }
+
+    /// One completion step: advances the clock to `tc`, transferring bytes
+    /// and removing flows whose remaining volume is then negligible
+    /// (reported as completed at `tc`). Byte movement and harvesting each
+    /// visit every active flow, so they are fused into a single `retain`
+    /// pass (no per-removal O(n) shifts) — halving the scattered flow-table
+    /// reads per event. Per-flow transfer amounts use the same expressions
+    /// as [`Fabric::move_bytes`], the accounting totals are order-free
+    /// sums, and the ascending-FlowId scan order — and hence the completion
+    /// order — is identical to the old move-then-harvest pair of passes.
+    fn step_to_completion(&mut self, tc: SimTime, out: &mut Vec<CompletedFlow>) {
+        let dt = tc - self.now;
+        let move_dt = (dt.0 > 0.0).then_some(dt);
+        let before = out.len();
+        let local_rate = self.local_rate;
+        let mut vi = 0usize;
+        let mut active = std::mem::take(&mut self.active);
+        active.retain(|&id| {
+            let Some(f) = self.flows[id.index()].as_mut() else {
+                // Cancelled since the last recompute; drop silently. (A
+                // cancelled flow was never in the rate scratch either, so
+                // the cursor stays aligned.)
+                return false;
+            };
+            // Rates live in the recompute scratch (see `move_bytes`); the
+            // cursor must advance for every non-local flow even when no
+            // bytes move.
+            let rate = if f.path.is_empty() {
+                local_rate
+            } else {
+                let r = Bandwidth(self.scratch.rates[vi]);
+                vi += 1;
+                r
+            };
+            if let Some(dt) = move_dt {
+                let delta = (rate * dt).min(f.remaining);
+                if delta.0 > 0.0 {
+                    f.remaining = (f.remaining - delta).clamp_non_negative();
+                    let local = f.path.is_empty();
+                    let cross = f.cross_rack;
+                    let job = f.spec.tag.job;
+                    let ingest = f.spec.tag.kind == crate::flow::FlowKind::Ingest;
+                    // Link byte accounting (per directed link).
+                    for l in f.path.as_slice() {
+                        self.topo.links_mut()[l.index()].carried += delta;
+                    }
+                    if ingest {
+                        self.stats.record_ingest(delta);
+                    } else {
+                        self.stats.record_transfer(job, delta, cross, local);
+                    }
+                    if cross && !ingest {
+                        if let Some((bucket, ref mut series)) = self.sampling {
+                            // Spread the transferred bytes across every
+                            // bucket the interval [now, now + dt) overlaps.
+                            let t0 = self.now.0;
+                            let t1 = t0 + dt.0;
+                            let first = (t0 / bucket) as usize;
+                            let last = (t1 / bucket) as usize;
+                            if series.len() <= last {
+                                series.resize(last + 1, 0.0);
+                            }
+                            for (b, slot) in
+                                series.iter_mut().enumerate().take(last + 1).skip(first)
+                            {
+                                let lo = (b as f64 * bucket).max(t0);
+                                let hi = ((b + 1) as f64 * bucket).min(t1);
+                                if hi > lo {
+                                    *slot += delta.0 * (hi - lo) / dt.0;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            if !self.flows[id.index()]
+                .as_ref()
+                .unwrap()
+                .remaining
+                .is_negligible()
+            {
+                return true;
+            }
+            self.emit_completion(id, tc, out);
+            false
+        });
+        self.active = active;
+        self.now = tc;
+        let now = tc;
+        if out.len() == before {
             // We were called because next_completion fired, yet no flow hit
             // zero — pure floating point drift. Force-complete the closest
-            // flow to guarantee progress.
-            if let Some((pos, &id)) = self.active.iter().enumerate().min_by(|(_, a), (_, b)| {
+            // flow to guarantee progress. (`min_by` keeps the *last* minimal
+            // element, matching the previous implementation.)
+            if let Some(&id) = self.active.iter().min_by(|a, b| {
                 let fa = self.flows[a.index()].as_ref().unwrap().remaining.0;
                 let fb = self.flows[b.index()].as_ref().unwrap().remaining.0;
                 fa.total_cmp(&fb)
             }) {
-                let f = self.flows[id.index()].take().unwrap();
-                self.active.remove(pos);
-                self.stats.flows_completed += 1;
-                if self.trace_on {
-                    self.tracer.record(
-                        now.as_secs(),
-                        TraceEvent::FlowFinished {
-                            flow: id.0,
-                            bytes: f.spec.bytes.clamp_non_negative().0,
-                        },
-                    );
-                }
-                out.push(CompletedFlow {
-                    id,
-                    tag: f.spec.tag,
-                    bytes: f.spec.bytes,
-                    finished: now,
-                });
+                self.emit_completion(id, now, out);
+                self.active.retain(|&x| x != id);
             }
         }
         self.stats.debug_validate();

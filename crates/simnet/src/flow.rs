@@ -1,7 +1,7 @@
 //! Fluid flow state and identification tags.
 
 use crate::topology::Path;
-use corral_model::{Bandwidth, Bytes, JobId, MachineId, StageId, TaskId};
+use corral_model::{Bytes, JobId, MachineId, StageId, TaskId};
 use serde::{Deserialize, Serialize};
 
 /// Identifies a coflow: the set of flows belonging to one semantic transfer
@@ -76,13 +76,15 @@ pub struct FlowSpec {
     pub coflow: Option<CoflowId>,
 }
 
-/// Internal per-flow state held by the fabric.
+/// Internal per-flow state held by the fabric. Rates are *not* stored
+/// here: between recomputes the current rate of every active flow lives
+/// in the fabric's dense scratch array (aligned with `active` order), so
+/// rate writeback never has to re-walk this scattered table.
 #[derive(Debug, Clone)]
 pub(crate) struct FlowState {
     pub spec: FlowSpec,
     pub path: Path,
     pub remaining: Bytes,
-    pub rate: Bandwidth,
     /// True if the path crosses the rack/core links.
     pub cross_rack: bool,
 }

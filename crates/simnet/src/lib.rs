@@ -67,10 +67,13 @@ pub mod stats;
 pub mod topology;
 pub mod varys;
 
-pub use allocator::{FairShare, RateAllocator, VarysSebf};
+pub use allocator::{
+    AllocScratch, FairShare, FlowTable, RateAllocator, ReferenceFairShare, VarysSebf,
+};
 pub use engine::EventQueue;
 pub use fabric::{CompletedFlow, Fabric};
 pub use flow::{CoflowId, FlowKind, FlowSpec, FlowTag};
 pub use link::{LinkClass, LinkId};
+pub use maxmin::MaxMinScratch;
 pub use stats::FabricStats;
 pub use topology::Topology;

@@ -13,6 +13,214 @@ use crate::link::LinkId;
 /// Relative tolerance used when deciding that a link has saturated.
 const EPS: f64 = 1e-9;
 
+/// Reusable workspace for [`max_min_rates_csr`]: flat CSR-style link→flow
+/// index arrays plus the per-link/per-flow progressive-filling state.
+///
+/// All buffers are `clear()`-ed and refilled on every call, so after a few
+/// warm-up calls at peak problem size the allocator performs **zero heap
+/// allocations** per invocation — the capacities plateau and every call
+/// runs entirely inside the retained buffers. [`MaxMinScratch::footprint`]
+/// exposes the summed capacities so callers (the fabric) can count
+/// steady-state growth events.
+#[derive(Debug, Default)]
+pub struct MaxMinScratch {
+    /// CSR offsets: flows crossing link `l` are
+    /// `link_flows[link_off[l]..link_off[l + 1]]`.
+    link_off: Vec<u32>,
+    /// CSR payload: flow indices, grouped by link, ascending within a link.
+    link_flows: Vec<u32>,
+    /// Per-link fill cursor used while building the CSR.
+    cursor: Vec<u32>,
+    /// Number of still-growing flows crossing each link.
+    unfrozen_on: Vec<u32>,
+    /// Rate already committed to frozen flows on each link.
+    frozen_load: Vec<f64>,
+    /// Per-flow frozen flag.
+    frozen: Vec<bool>,
+    /// Links that still carry unfrozen flows.
+    active: Vec<u32>,
+    /// Freeze rounds taken by the most recent call.
+    rounds: u64,
+}
+
+impl MaxMinScratch {
+    /// An empty workspace (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Freeze rounds (saturation iterations) of the most recent call.
+    pub fn last_rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Summed capacity of all retained buffers, in elements. Constant
+    /// across calls once the workspace has warmed up; a change means a
+    /// reallocation happened.
+    pub fn footprint(&self) -> usize {
+        self.link_off.capacity()
+            + self.link_flows.capacity()
+            + self.cursor.capacity()
+            + self.unfrozen_on.capacity()
+            + self.frozen_load.capacity()
+            + self.frozen.capacity()
+            + self.active.capacity()
+    }
+}
+
+/// Allocation-free variant of [`max_min_rates_into`] over a flattened flow
+/// table: flow `f`'s path is `flow_links[flow_off[f]..flow_off[f + 1]]`.
+///
+/// Produces bit-identical rates to the reference implementation (asserted
+/// by the randomized property test below): the progressive-filling rounds
+/// visit links and freeze flows in exactly the same order, with the same
+/// floating-point operation sequence — only the membership bookkeeping
+/// changed from per-link `Vec<Vec<u32>>` lists (allocated and cloned per
+/// call) to one retained CSR built with two passes over the flow table.
+pub fn max_min_rates_csr(
+    capacity: &[f64],
+    flow_off: &[u32],
+    flow_links: &[LinkId],
+    rates: &mut [f64],
+    ws: &mut MaxMinScratch,
+) {
+    let nl = capacity.len();
+    let nf = rates.len();
+    debug_assert_eq!(flow_off.len(), nf + 1);
+    let MaxMinScratch {
+        link_off,
+        link_flows,
+        cursor,
+        unfrozen_on,
+        frozen_load,
+        frozen,
+        active,
+        rounds,
+    } = ws;
+    *rounds = 0;
+
+    // Pass 1: per-link degrees (and the empty-path short circuit).
+    unfrozen_on.clear();
+    unfrozen_on.resize(nl, 0);
+    frozen_load.clear();
+    frozen_load.resize(nl, 0.0);
+    frozen.clear();
+    frozen.resize(nf, false);
+    let mut n_unfrozen = 0usize;
+    for f in 0..nf {
+        let path = &flow_links[flow_off[f] as usize..flow_off[f + 1] as usize];
+        if path.is_empty() {
+            rates[f] = f64::INFINITY;
+            frozen[f] = true;
+            continue;
+        }
+        n_unfrozen += 1;
+        for l in path {
+            debug_assert!(l.index() < nl, "path references unknown link");
+            unfrozen_on[l.index()] += 1;
+        }
+    }
+
+    // Pass 2: prefix-sum offsets, then scatter flow indices. Flows are
+    // visited in ascending order, so each link's CSR slice lists its
+    // member flows ascending — the same order the reference's per-link
+    // membership `Vec`s accumulate.
+    link_off.clear();
+    link_off.reserve(nl + 1);
+    link_off.push(0);
+    let mut acc = 0u32;
+    for &n in unfrozen_on.iter().take(nl) {
+        acc += n;
+        link_off.push(acc);
+    }
+    link_flows.clear();
+    link_flows.resize(acc as usize, 0);
+    cursor.clear();
+    cursor.extend_from_slice(&link_off[..nl]);
+    for f in 0..nf {
+        if frozen[f] {
+            continue; // empty path
+        }
+        for l in &flow_links[flow_off[f] as usize..flow_off[f + 1] as usize] {
+            let c = &mut cursor[l.index()];
+            link_flows[*c as usize] = f as u32;
+            *c += 1;
+        }
+    }
+
+    // Only links that actually carry unfrozen flows participate.
+    active.clear();
+    active.extend((0..nl as u32).filter(|&l| unfrozen_on[l as usize] > 0));
+
+    let mut level = 0.0_f64;
+    while n_unfrozen > 0 {
+        *rounds += 1;
+        // The next saturation point: the smallest level at which some link
+        // with unfrozen flows runs out of headroom. Dropping fully-frozen
+        // links and scanning for the minimum are fused into one pass; the
+        // retained links — and hence the delta min-fold sequence — are the
+        // same ascending set the two-pass version visited.
+        let mut best = f64::INFINITY;
+        active.retain(|&l| {
+            let l = l as usize;
+            if unfrozen_on[l] == 0 {
+                return false;
+            }
+            let headroom = capacity[l] - frozen_load[l] - unfrozen_on[l] as f64 * level;
+            let delta = (headroom / unfrozen_on[l] as f64).max(0.0);
+            if delta < best {
+                best = delta;
+            }
+            true
+        });
+        if !best.is_finite() {
+            break;
+        }
+        level += best;
+
+        // Freeze every unfrozen flow crossing a link that is now saturated.
+        // The CSR slice is immutable during the sweep (freezing only mutates
+        // the per-link counters), so no membership copy is needed — this is
+        // where the reference clones `members[l]` every round.
+        let tol = EPS * level.max(1.0);
+        let mut froze_any = false;
+        for &l in active.iter() {
+            let l = l as usize;
+            if unfrozen_on[l] == 0 {
+                continue;
+            }
+            let headroom = capacity[l] - frozen_load[l] - unfrozen_on[l] as f64 * level;
+            if headroom <= tol {
+                for &f in &link_flows[link_off[l] as usize..link_off[l + 1] as usize] {
+                    let f = f as usize;
+                    if frozen[f] {
+                        continue;
+                    }
+                    frozen[f] = true;
+                    froze_any = true;
+                    n_unfrozen -= 1;
+                    rates[f] = level;
+                    for ll in &flow_links[flow_off[f] as usize..flow_off[f + 1] as usize] {
+                        let ll = ll.index();
+                        unfrozen_on[ll] -= 1;
+                        frozen_load[ll] += level;
+                    }
+                }
+            }
+        }
+        if !froze_any {
+            // Numerical stall guard: freeze everything at the current level.
+            for f in 0..nf {
+                if !frozen[f] {
+                    frozen[f] = true;
+                    rates[f] = level;
+                    n_unfrozen -= 1;
+                }
+            }
+        }
+    }
+}
+
 /// Computes max-min fair rates.
 ///
 /// * `capacity[l]` — available capacity of link `l` (bytes/sec); must be
@@ -43,6 +251,12 @@ pub fn max_min_rates(capacity: &[f64], paths: &[&[LinkId]]) -> Vec<f64> {
 
 /// Allocation-reusing variant of [`max_min_rates`]; `rates` must have one
 /// entry per flow and is fully overwritten.
+///
+/// This is the *reference* implementation: it allocates per-link membership
+/// `Vec`s on every call and clones them on every freeze round. The fabric's
+/// hot path uses [`max_min_rates_csr`] instead; this version is retained as
+/// the oracle the randomized property test (and the `fabricbench`
+/// before/after measurement via `ReferenceFairShare`) compares against.
 pub fn max_min_rates_into(capacity: &[f64], paths: &[&[LinkId]], rates: &mut [f64]) {
     assert_eq!(rates.len(), paths.len());
     let nl = capacity.len();
@@ -221,11 +435,81 @@ mod tests {
         assert!(max_min_rates(&caps, &paths).is_empty());
     }
 
+    /// Runs the CSR implementation over `paths` flattened into a flow
+    /// table, reusing `ws` across calls the way the fabric does.
+    fn csr_rates(caps: &[f64], paths: &[&[LinkId]], ws: &mut MaxMinScratch) -> Vec<f64> {
+        let mut flow_off: Vec<u32> = Vec::with_capacity(paths.len() + 1);
+        let mut flow_links: Vec<LinkId> = Vec::new();
+        flow_off.push(0);
+        for p in paths {
+            flow_links.extend_from_slice(p);
+            flow_off.push(flow_links.len() as u32);
+        }
+        let mut rates = vec![0.0; paths.len()];
+        max_min_rates_csr(caps, &flow_off, &flow_links, &mut rates, ws);
+        rates
+    }
+
+    /// Bit-exact equality of two rate vectors (covers ±0.0 and infinities).
+    fn assert_rates_identical(reference: &[f64], csr: &[f64], case: usize) {
+        assert_eq!(reference.len(), csr.len());
+        for (f, (a, b)) in reference.iter().zip(csr).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "case {case} flow {f}: reference {a} vs CSR {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn csr_matches_reference_on_degenerate_cases() {
+        let mut ws = MaxMinScratch::new();
+        // No flows at all.
+        assert!(csr_rates(&[5.0], &[], &mut ws).is_empty());
+        // Single flow, single link.
+        let p = ids(&[0]);
+        let paths: Vec<&[LinkId]> = vec![&p];
+        assert_rates_identical(
+            &max_min_rates(&[7.0], &paths),
+            &csr_rates(&[7.0], &paths, &mut ws),
+            1001,
+        );
+        // Empty path: unconstrained (infinite) rate on both sides.
+        let empty: Vec<LinkId> = vec![];
+        let paths: Vec<&[LinkId]> = vec![&empty, &p];
+        assert_rates_identical(
+            &max_min_rates(&[3.0], &paths),
+            &csr_rates(&[3.0], &paths, &mut ws),
+            1002,
+        );
+        // Zero-capacity link pins its flows to rate 0.
+        let p0 = ids(&[0, 1]);
+        let p1 = ids(&[1]);
+        let paths: Vec<&[LinkId]> = vec![&p0, &p1];
+        let caps = [0.0, 10.0];
+        assert_rates_identical(
+            &max_min_rates(&caps, &paths),
+            &csr_rates(&caps, &paths, &mut ws),
+            1003,
+        );
+        // All links zero-capacity.
+        let caps = [0.0, 0.0];
+        assert_rates_identical(
+            &max_min_rates(&caps, &paths),
+            &csr_rates(&caps, &paths, &mut ws),
+            1004,
+        );
+    }
+
     #[test]
     fn feasibility_and_bottleneck_property_random() {
         // Pseudo-random instances (fixed seeds) checked against the max-min
         // characterization: (a) feasible; (b) every flow has a bottleneck
-        // link — saturated, and on which the flow's rate is maximal.
+        // link — saturated, and on which the flow's rate is maximal; and
+        // (c) the optimized CSR implementation reproduces the reference
+        // rates *bit for bit*, reusing one workspace across all instances
+        // the way the fabric does.
         let mut state = 0x9E3779B97F4A7C15u64;
         let mut next = move || {
             state ^= state << 13;
@@ -233,15 +517,29 @@ mod tests {
             state ^= state << 17;
             state
         };
-        for _case in 0..50 {
+        let mut ws = MaxMinScratch::new();
+        for case in 0..200 {
             let nl = 3 + (next() % 8) as usize;
             let nf = 1 + (next() % 20) as usize;
             let caps: Vec<f64> = (0..nl)
-                .map(|_| 1.0 + (next() % 1000) as f64 / 10.0)
+                .map(|_| {
+                    // ~5% of links have zero capacity, exercising the
+                    // rate-0 pinning path.
+                    if next() % 20 == 0 {
+                        0.0
+                    } else {
+                        1.0 + (next() % 1000) as f64 / 10.0
+                    }
+                })
                 .collect();
             let paths_own: Vec<Vec<LinkId>> = (0..nf)
                 .map(|_| {
-                    let len = 1 + (next() % 3) as usize;
+                    // ~10% of flows are machine-local (empty path).
+                    let len = if next() % 10 == 0 {
+                        0
+                    } else {
+                        1 + (next() % 3) as usize
+                    };
                     let mut p: Vec<LinkId> = (0..len)
                         .map(|_| LinkId((next() % nl as u64) as u32))
                         .collect();
@@ -251,11 +549,17 @@ mod tests {
                 .collect();
             let paths: Vec<&[LinkId]> = paths_own.iter().map(|p| p.as_slice()).collect();
             let rates = max_min_rates(&caps, &paths);
+            assert_rates_identical(&rates, &csr_rates(&caps, &paths, &mut ws), case);
             let loads = link_loads(nl, &paths, &rates);
             for l in 0..nl {
                 assert!(loads[l] <= caps[l] + 1e-6, "link {l} overloaded");
             }
             for f in 0..nf {
+                if paths[f].is_empty() {
+                    // Unconstrained flow: infinite rate, no bottleneck.
+                    assert!(rates[f].is_infinite());
+                    continue;
+                }
                 let has_bottleneck = paths[f].iter().any(|l| {
                     let l = l.index();
                     let saturated = loads[l] >= caps[l] - 1e-6 * caps[l].max(1.0) - 1e-9;

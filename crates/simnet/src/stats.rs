@@ -32,6 +32,15 @@ pub struct FabricStats {
     pub flows_completed: u64,
     /// Number of flows started.
     pub flows_started: u64,
+    /// Number of full rate recomputations (allocator invocations).
+    pub recomputes: u64,
+    /// Cumulative progressive-filling freeze rounds across all recomputes
+    /// (only the CSR max-min path reports rounds; the test-only reference
+    /// path leaves this at zero).
+    pub maxmin_rounds: u64,
+    /// Number of recomputes on which any scratch buffer (re)allocated.
+    /// Flat after warm-up ⇒ the steady-state hot path is allocation-free.
+    pub scratch_grows: u64,
 }
 
 impl FabricStats {

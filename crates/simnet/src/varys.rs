@@ -21,16 +21,57 @@
 //! makes the policy total. (Real Varys only manages shuffle-like transfers;
 //! in our simulations every job transfer carries a coflow id.)
 
-use crate::allocator::{FlowView, RateAllocator};
+use crate::allocator::{AllocScratch, FlowTable, FlowView, RateAllocator};
 use crate::flow::CoflowId;
 use crate::link::{Link, LinkId};
 use crate::maxmin;
 use corral_model::Bandwidth;
 use std::collections::BTreeMap;
 
+/// Reusable buffers for the allocation-free [`VarysSebf::allocate_table`]
+/// path. The `BTreeMap` grouping of the reference implementation is
+/// replaced by a stable sort of `(coflow, flow)` pairs: runs of equal keys
+/// are the groups, visited in ascending-key order with members in
+/// ascending-flow order — exactly the `BTreeMap` iteration order.
+#[derive(Debug, Default)]
+pub struct VarysScratch {
+    /// `(group key, flow index)` pairs, stably sorted by key.
+    keyed: Vec<(CoflowId, u32)>,
+    /// Per-link remaining-byte accumulator (sparse, see `touched`).
+    link_bytes: Vec<f64>,
+    /// Links with a nonzero entry in `link_bytes`.
+    touched: Vec<u32>,
+    /// `(Γ, key, run start, run end)` per coflow, sorted for SEBF.
+    order: Vec<(f64, CoflowId, u32, u32)>,
+    /// Residual capacities consumed by MADD.
+    residual: Vec<f64>,
+    /// Backfill rates from the work-conserving max-min pass.
+    extra: Vec<f64>,
+}
+
+impl VarysScratch {
+    /// Total reserved capacity across the buffers, in elements (part of
+    /// [`AllocScratch::footprint`]).
+    pub fn footprint(&self) -> usize {
+        self.keyed.capacity()
+            + self.link_bytes.capacity()
+            + self.touched.capacity()
+            + self.order.capacity()
+            + self.residual.capacity()
+            + self.extra.capacity()
+    }
+}
+
 /// The Varys SEBF+MADD allocator.
 #[derive(Debug, Default, Clone)]
 pub struct VarysSebf;
+
+/// Singleton-coflow key for a coflow-less flow: disjoint id space via the
+/// high bit, keyed by flow index.
+#[inline]
+fn group_key(coflow: Option<CoflowId>, flow: usize) -> CoflowId {
+    coflow.unwrap_or(CoflowId(1 << 63 | flow as u64))
+}
 
 impl RateAllocator for VarysSebf {
     fn name(&self) -> &'static str {
@@ -46,8 +87,7 @@ impl RateAllocator for VarysSebf {
         // (disjoint id space via the high bit).
         let mut groups: BTreeMap<CoflowId, Vec<usize>> = BTreeMap::new();
         for (i, f) in flows.iter().enumerate() {
-            let key = f.coflow.unwrap_or(CoflowId(1 << 63 | i as u64));
-            groups.entry(key).or_default().push(i);
+            groups.entry(group_key(f.coflow, i)).or_default().push(i);
         }
 
         // Per-link byte scratch with explicit touched-link tracking: only
@@ -133,6 +173,149 @@ impl RateAllocator for VarysSebf {
         for (r, e) in rates.iter_mut().zip(extra) {
             if e.is_finite() {
                 *r += Bandwidth(e);
+            }
+        }
+    }
+
+    /// Allocation-free mirror of [`allocate`](Self::allocate): identical
+    /// grouping order, identical Γ/τ/MADD arithmetic, identical backfill —
+    /// only the data structures differ (sorted runs instead of a `BTreeMap`,
+    /// CSR max-min instead of the `Vec<Vec<u32>>` reference). The property
+    /// and golden tests prove the outputs bit-identical.
+    fn allocate_table(
+        &mut self,
+        links: &[Link],
+        table: &FlowTable<'_>,
+        rates: &mut [f64],
+        scratch: &mut AllocScratch,
+    ) {
+        let nl = links.len();
+        let nf = table.len();
+        scratch.refresh_caps(links);
+        let ws = &mut scratch.varys;
+
+        // Group flows into coflows: stable sort of (key, flow) pairs makes
+        // runs of equal keys the groups, in ascending-key order with
+        // members ascending — the BTreeMap order of the reference path.
+        ws.keyed.clear();
+        ws.keyed
+            .extend((0..nf).map(|i| (group_key(table.coflow[i], i), i as u32)));
+        ws.keyed.sort_by_key(|&(key, _)| key);
+
+        // Per-link byte scratch with explicit touched-link tracking, reused
+        // across coflows and across recomputes.
+        ws.link_bytes.clear();
+        ws.link_bytes.resize(nl, 0.0);
+        ws.touched.clear();
+
+        // Effective bottleneck Γ_c against full capacities, one run of
+        // equal keys at a time.
+        ws.order.clear();
+        let mut start = 0usize;
+        while start < nf {
+            let cid = ws.keyed[start].0;
+            let mut end = start + 1;
+            while end < nf && ws.keyed[end].0 == cid {
+                end += 1;
+            }
+            for &t in &ws.touched {
+                ws.link_bytes[t as usize] = 0.0;
+            }
+            ws.touched.clear();
+            for &(_, fi) in &ws.keyed[start..end] {
+                let fi = fi as usize;
+                for l in table.path(fi) {
+                    let idx = l.index();
+                    if ws.link_bytes[idx] == 0.0 {
+                        ws.touched.push(idx as u32);
+                    }
+                    ws.link_bytes[idx] += table.remaining[fi];
+                }
+            }
+            let gamma = ws
+                .touched
+                .iter()
+                .map(|&t| {
+                    let t = t as usize;
+                    if scratch.caps[t] > 0.0 {
+                        ws.link_bytes[t] / scratch.caps[t]
+                    } else {
+                        f64::INFINITY
+                    }
+                })
+                .fold(0.0_f64, f64::max);
+            ws.order.push((gamma, cid, start as u32, end as u32));
+            start = end;
+        }
+        ws.order
+            .sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+
+        // MADD in SEBF order against residual capacities.
+        ws.residual.clear();
+        ws.residual.extend_from_slice(&scratch.caps);
+        for r in rates.iter_mut() {
+            *r = 0.0;
+        }
+        for oi in 0..ws.order.len() {
+            let (_, _, start, end) = ws.order[oi];
+            let members = &ws.keyed[start as usize..end as usize];
+            for &t in &ws.touched {
+                ws.link_bytes[t as usize] = 0.0;
+            }
+            ws.touched.clear();
+            for &(_, fi) in members {
+                let fi = fi as usize;
+                for l in table.path(fi) {
+                    let idx = l.index();
+                    if ws.link_bytes[idx] == 0.0 {
+                        ws.touched.push(idx as u32);
+                    }
+                    ws.link_bytes[idx] += table.remaining[fi];
+                }
+            }
+            // τ_c: finish time of the coflow using only residual capacity.
+            let tau = ws
+                .touched
+                .iter()
+                .map(|&t| {
+                    let t = t as usize;
+                    if ws.residual[t] > 1e-9 {
+                        ws.link_bytes[t] / ws.residual[t]
+                    } else {
+                        f64::INFINITY
+                    }
+                })
+                .fold(0.0_f64, f64::max);
+            if !tau.is_finite() || tau <= 0.0 {
+                // Starved or empty: leave rates at zero; backfill may still
+                // help.
+                continue;
+            }
+            for &(_, fi) in members {
+                let fi = fi as usize;
+                let rate = table.remaining[fi] / tau;
+                rates[fi] = rate;
+                for l in table.path(fi) {
+                    let r = &mut ws.residual[l.index()];
+                    *r = (*r - rate).max(0.0);
+                }
+            }
+        }
+
+        // Work-conserving backfill: max-min over the residual capacity,
+        // added on top of the MADD rates.
+        ws.extra.clear();
+        ws.extra.resize(nf, 0.0);
+        maxmin::max_min_rates_csr(
+            &ws.residual,
+            table.flow_off,
+            table.flow_links,
+            &mut ws.extra,
+            &mut scratch.maxmin,
+        );
+        for (r, &e) in rates.iter_mut().zip(&ws.extra) {
+            if e.is_finite() {
+                *r += e;
             }
         }
     }
