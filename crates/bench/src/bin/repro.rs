@@ -73,6 +73,7 @@ fn run(args: &[String]) -> Result<(), String> {
             "netseries" => ex::netseries::main(),
             "sweepbench" => ex::sweepbench::main(),
             "fabricbench" => ex::fabricbench::main(),
+            "plannerbench" => ex::plannerbench::main(),
             other => eprintln!("unknown experiment: {other}"),
         }
         eprintln!("[{id}: {:.1}s]", t.elapsed().as_secs_f64());

@@ -19,6 +19,7 @@ pub mod latmodel;
 pub mod lpgap;
 pub mod netseries;
 pub mod phases;
+pub mod plannerbench;
 pub mod pred;
 pub mod replan;
 pub mod sweepbench;

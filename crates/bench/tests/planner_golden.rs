@@ -1,0 +1,206 @@
+//! Golden determinism contract of the planner fast path (ISSUE 5), the
+//! planner twin of `fabric_golden.rs`:
+//!
+//! 1. The offline planner on a fixed workload reproduces *embedded*
+//!    bit-level fingerprints for both objectives — catching any change to
+//!    the provisioning trajectory, the prioritization arithmetic, or the
+//!    objective fold, not just gross regressions.
+//! 2. The pooled planner at `--jobs 1` vs `--jobs 8` produces
+//!    byte-identical plan CSVs on the two planning shapes the experiments
+//!    rerun hottest: the replan-shaped pinned problem (§3.1) and the
+//!    fig13b-shaped forecast problem (plan on perturbed arrivals).
+//! 3. The serial planner and the pooled planner agree with each other and
+//!    with the frozen reference oracle.
+//!
+//! The fingerprints are asserted with the actual values in the panic
+//! message; after an *intentional* planner change, rerun and paste the
+//! printed bits.
+
+use corral_core::planner::perturb_arrivals;
+use corral_core::provision::{provision_reference, ProvisionMode};
+use corral_core::{
+    plan_jobs, plan_jobs_pinned, plan_jobs_pinned_pooled, LatencyModel, Objective, Plan,
+    PlannerConfig, ResponseOptions,
+};
+use corral_model::{ClusterConfig, JobId, JobSpec, RackId, SimTime};
+use corral_sweep::SweepPool;
+use corral_workloads::{assign_uniform_arrivals, w1, Scale};
+use std::collections::BTreeMap;
+
+/// `(objective label, objective_value bits, FNV-1a of the plan CSV)`.
+/// Regenerate from the assertion message after an intentional change.
+const GOLDEN_PLANS: [(&str, u64, u64); 2] = [
+    ("makespan", 0x407b62998d8c58bf, 0x166369d3df7a7680),
+    ("avgjct", 0x4040d7aa207521f1, 0x1e3ad0591bb2703b),
+];
+
+/// The fixed golden workload (same family as `fabric_golden.rs`): 8 W1
+/// jobs, seed 17, tasks and volumes ÷10, arrivals uniform in 5 minutes.
+fn golden_jobsets() -> Vec<JobSpec> {
+    let mut jobs = w1::generate(
+        &w1::W1Params {
+            jobs: 8,
+            ..w1::W1Params::with_seed(17)
+        },
+        Scale {
+            task_divisor: 10.0,
+            data_divisor: 10.0,
+        },
+    );
+    assign_uniform_arrivals(&mut jobs, SimTime::minutes(5.0), 0x1);
+    jobs
+}
+
+fn cluster() -> ClusterConfig {
+    ClusterConfig::tiny_test()
+}
+
+fn objective_of(label: &str) -> Objective {
+    match label {
+        "makespan" => Objective::Makespan,
+        "avgjct" => Objective::AvgCompletionTime,
+        other => panic!("unknown objective {other}"),
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+fn fingerprint(plan: &Plan) -> (u64, u64) {
+    (
+        plan.objective_value.to_bits(),
+        fnv1a(plan.to_csv().as_bytes()),
+    )
+}
+
+#[test]
+fn planner_matches_embedded_golden_bits_for_both_objectives() {
+    let cfg = cluster();
+    let jobs = golden_jobsets();
+    for (label, value_bits, csv_fnv) in GOLDEN_PLANS {
+        let plan = plan_jobs(&cfg, &jobs, objective_of(label), &PlannerConfig::default());
+        assert_eq!(
+            fingerprint(&plan),
+            (value_bits, csv_fnv),
+            "{label}: plan drifted from golden bits (got {:#018x} / {:#018x}) — \
+             paste the new constants only if the change is intentional",
+            plan.objective_value.to_bits(),
+            fnv1a(plan.to_csv().as_bytes()),
+        );
+    }
+}
+
+/// The replan-shaped pinned planning problem (§3.1): an initial plan from
+/// forecast arrivals anchors early jobs' racks; re-plan with true
+/// arrivals and those pins. Mirrors `experiments/replan.rs` and the
+/// plannerbench replan cell.
+fn replan_pins(cfg: &ClusterConfig, jobs: &[JobSpec]) -> BTreeMap<JobId, Vec<RackId>> {
+    let forecast = perturb_arrivals(jobs, 0.5, SimTime::minutes(2.0), 0x8E);
+    let initial = plan_jobs(
+        cfg,
+        &forecast,
+        Objective::AvgCompletionTime,
+        &PlannerConfig::default(),
+    );
+    let uploaded = SimTime::minutes(2.5);
+    jobs.iter()
+        .filter(|j| j.arrival <= uploaded)
+        .filter_map(|j| initial.entry(j.id).map(|e| (j.id, e.racks.clone())))
+        .collect()
+}
+
+#[test]
+fn replan_shaped_plan_is_identical_across_pool_sizes() {
+    let cfg = cluster();
+    let jobs = golden_jobsets();
+    let pins = replan_pins(&cfg, &jobs);
+    assert!(
+        !pins.is_empty() && pins.len() < jobs.len(),
+        "shape check: the replan problem must mix pinned and free jobs"
+    );
+    let pc = PlannerConfig::default();
+    let serial = plan_jobs_pinned(&cfg, &jobs, Objective::AvgCompletionTime, &pc, &pins);
+    for pool_jobs in [1, 8] {
+        let pool = SweepPool::new(pool_jobs).progress(false);
+        let pooled =
+            plan_jobs_pinned_pooled(&pool, &cfg, &jobs, Objective::AvgCompletionTime, &pc, &pins);
+        assert_eq!(serial, pooled, "--jobs {pool_jobs}: plans diverge");
+        assert_eq!(
+            serial.to_csv(),
+            pooled.to_csv(),
+            "--jobs {pool_jobs}: plan CSV bytes diverge"
+        );
+        assert_eq!(
+            serial.provision_stats.candidates, pooled.provision_stats.candidates,
+            "--jobs {pool_jobs}: candidate counts diverge"
+        );
+    }
+}
+
+#[test]
+fn fig13b_shaped_plan_is_identical_across_pool_sizes() {
+    // Fig 13b plans on *perturbed* arrivals (the planner's forecast is
+    // wrong) and both objectives appear across the sweep; cover each.
+    let cfg = cluster();
+    let jobs = golden_jobsets();
+    let forecast = perturb_arrivals(&jobs, 0.5, SimTime::minutes(2.0), 0xF13B);
+    let pc = PlannerConfig::default();
+    let no_pins = BTreeMap::new();
+    for objective in [Objective::Makespan, Objective::AvgCompletionTime] {
+        let serial = plan_jobs(&cfg, &forecast, objective, &pc);
+        for pool_jobs in [1, 8] {
+            let pool = SweepPool::new(pool_jobs).progress(false);
+            let pooled = plan_jobs_pinned_pooled(&pool, &cfg, &forecast, objective, &pc, &no_pins);
+            assert_eq!(
+                serial, pooled,
+                "{objective:?} --jobs {pool_jobs}: plans diverge"
+            );
+            assert_eq!(
+                serial.to_csv(),
+                pooled.to_csv(),
+                "{objective:?} --jobs {pool_jobs}: plan CSV bytes diverge"
+            );
+        }
+    }
+}
+
+#[test]
+fn planner_agrees_with_frozen_reference_oracle_on_golden_workload() {
+    // End-to-end: the plan the fast path builds scores exactly what the
+    // frozen reference provisioner computes on the same inputs.
+    let cfg = cluster();
+    let jobs = golden_jobsets();
+    let pc = PlannerConfig::default();
+    for objective in [Objective::Makespan, Objective::AvgCompletionTime] {
+        let plan = plan_jobs(&cfg, &jobs, objective, &pc);
+        let models: Vec<LatencyModel> = jobs
+            .iter()
+            .map(|j| LatencyModel::build(&j.profile, &cfg, &ResponseOptions::default()))
+            .collect();
+        let meta: Vec<(JobId, SimTime)> = jobs.iter().map(|j| (j.id, j.arrival)).collect();
+        let pins = vec![None; jobs.len()];
+        let oracle = provision_reference(
+            &models,
+            &meta,
+            &pins,
+            cfg.racks,
+            objective,
+            ProvisionMode::Exhaustive,
+        );
+        assert_eq!(
+            plan.objective_value.to_bits(),
+            oracle.objective_value.to_bits(),
+            "{objective:?}: plan and oracle objective bits diverge"
+        );
+        assert_eq!(
+            plan.provision_stats.candidates, oracle.stats.candidates,
+            "{objective:?}: candidate counts diverge"
+        );
+    }
+}

@@ -1614,6 +1614,9 @@ impl Engine {
             flows_completed: stats.flows_completed,
             network_bytes: stats.network_bytes.0,
             cross_rack_bytes: stats.cross_rack_bytes.0,
+            // Planning cost is host wall-clock; only the invoking CLI can
+            // stamp it without breaking run-to-run summary byte-equality.
+            planning: None,
         };
         self.st.tracer.flush();
 

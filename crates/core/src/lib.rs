@@ -51,6 +51,12 @@ pub mod provision;
 pub use latency::{dag_latency, mr_latency, LatencyModel, ResponseOptions};
 pub use objective::Objective;
 pub use plan::{Plan, PlanEntry};
-pub use planner::{plan_jobs, plan_jobs_pinned, plan_jobs_with_tracer, PlannerConfig};
+pub use planner::{
+    plan_jobs, plan_jobs_pinned, plan_jobs_pinned_pooled, plan_jobs_with_tracer, PlannerConfig,
+};
 pub use predict::{HistoryPoint, Predictor};
-pub use provision::{provision, provision_with_mode, ProvisionMode};
+pub use prioritize::{prioritize_jobs, schedule_value, PlannerScratch, PrioritizeJob};
+pub use provision::{
+    provision, provision_pinned, provision_pinned_pooled, provision_reference, provision_with_mode,
+    validate_pins, ProvisionMode, ProvisionStats, PLANNER_COUNTERS,
+};

@@ -16,16 +16,30 @@ impl Objective {
     /// Evaluates the objective over per-job `(arrival, finish)` pairs.
     /// Returns seconds (makespan) or mean seconds (average completion).
     pub fn evaluate(self, jobs: &[(SimTime, SimTime)]) -> f64 {
-        if jobs.is_empty() {
-            return 0.0;
-        }
+        self.evaluate_iter(jobs.iter().copied())
+    }
+
+    /// Evaluates the objective over a stream of `(arrival, finish)` pairs
+    /// without materializing them — the planner's per-candidate scoring
+    /// path, which would otherwise build (and drop) one pairs `Vec` per
+    /// candidate allocation. Arithmetic and accumulation order are
+    /// identical to [`Objective::evaluate`] on the collected pairs, so the
+    /// two are bit-equal for the same stream.
+    pub fn evaluate_iter(self, jobs: impl Iterator<Item = (SimTime, SimTime)>) -> f64 {
         match self {
-            Objective::Makespan => jobs.iter().map(|(_, f)| f.as_secs()).fold(0.0, f64::max),
+            Objective::Makespan => jobs.map(|(_, f)| f.as_secs()).fold(0.0, f64::max),
             Objective::AvgCompletionTime => {
-                jobs.iter()
-                    .map(|(a, f)| (f.as_secs() - a.as_secs()).max(0.0))
-                    .sum::<f64>()
-                    / jobs.len() as f64
+                let mut sum = 0.0;
+                let mut n = 0usize;
+                for (a, f) in jobs {
+                    sum += (f.as_secs() - a.as_secs()).max(0.0);
+                    n += 1;
+                }
+                if n == 0 {
+                    0.0
+                } else {
+                    sum / n as f64
+                }
             }
         }
     }
@@ -58,5 +72,20 @@ mod tests {
     fn empty_is_zero() {
         assert_eq!(Objective::Makespan.evaluate(&[]), 0.0);
         assert_eq!(Objective::AvgCompletionTime.evaluate(&[]), 0.0);
+    }
+
+    #[test]
+    fn iter_matches_slice_bitwise() {
+        let jobs = vec![
+            (SimTime(0.3), SimTime(10.7)),
+            (SimTime(5.1), SimTime(30.9)),
+            (SimTime(0.0), SimTime(20.123)),
+            (SimTime(19.0), SimTime(17.0)), // finish < arrival clamps to 0
+        ];
+        for obj in [Objective::Makespan, Objective::AvgCompletionTime] {
+            let a = obj.evaluate(&jobs);
+            let b = obj.evaluate_iter(jobs.iter().copied());
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 }

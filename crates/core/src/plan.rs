@@ -28,12 +28,27 @@ pub struct PlanEntry {
 }
 
 /// The full offline schedule for a workload.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Plan {
     /// Entries keyed by job id.
     pub entries: BTreeMap<JobId, PlanEntry>,
     /// Value of the planning objective for this schedule (seconds).
     pub objective_value: f64,
+    /// Cost counters of the provisioning run that produced this plan
+    /// (candidates scored, heap pops, scratch grows). Diagnostic only —
+    /// not serialized, and `Plan::from_csv` yields the default.
+    #[serde(skip)]
+    pub provision_stats: crate::provision::ProvisionStats,
+}
+
+/// Equality is over the *schedule* (entries + objective value), not the
+/// diagnostic cost counters: `scratch_grows` depends on which threads
+/// scored candidates, and two bit-identical plans computed on different
+/// pool sizes must compare equal.
+impl PartialEq for Plan {
+    fn eq(&self, other: &Self) -> bool {
+        self.entries == other.entries && self.objective_value == other.objective_value
+    }
 }
 
 impl Plan {

@@ -4,7 +4,9 @@
 use crate::latency::{LatencyModel, ResponseOptions};
 use crate::objective::Objective;
 use crate::plan::{Plan, PlanEntry};
-use crate::provision::{provision_pinned, ProvisionMode, ProvisionOutcome};
+use crate::provision::{
+    provision_pinned, provision_pinned_pooled, ProvisionMode, ProvisionOutcome,
+};
 use corral_model::{ClusterConfig, JobSpec, RackId, SimTime};
 use std::collections::BTreeMap;
 
@@ -32,7 +34,10 @@ pub fn plan_jobs(
 
 /// [`plan_jobs`], also emitting `PlanComputed` / `PlannerAssigned` trace
 /// events. Planning happens before the simulation clock starts, so events
-/// are stamped at `t = 0`.
+/// are stamped at `t = 0`; `PlanComputed` carries the candidate count so
+/// traces record planning cost. (Wall-clock is deliberately kept out of
+/// the event stream — traces are byte-identical across same-seed runs —
+/// and reported via `RunSummary::planning`, stamped by the CLI.)
 pub fn plan_jobs_with_tracer(
     cfg: &ClusterConfig,
     jobs: &[JobSpec],
@@ -51,6 +56,7 @@ pub fn plan_jobs_with_tracer(
             corral_trace::TraceEvent::PlanComputed {
                 jobs: plan.len(),
                 objective: label,
+                candidates: plan.provision_stats.candidates,
             },
         );
         for e in plan.entries.values() {
@@ -77,6 +83,33 @@ pub fn plan_jobs_pinned(
     planner: &PlannerConfig,
     pinned: &BTreeMap<corral_model::JobId, Vec<RackId>>,
 ) -> Plan {
+    plan_jobs_pinned_impl(None, cfg, jobs, objective, planner, pinned)
+}
+
+/// [`plan_jobs_pinned`] with candidate scoring parallelized on `pool`
+/// ([`crate::provision::provision_pinned_pooled`]) — bit-identical to the
+/// serial planner whatever the pool's worker count. Do not call from
+/// inside a sweep cell: cells already run one-per-worker, and a nested
+/// pool would oversubscribe the host.
+pub fn plan_jobs_pinned_pooled(
+    pool: &corral_sweep::SweepPool,
+    cfg: &ClusterConfig,
+    jobs: &[JobSpec],
+    objective: Objective,
+    planner: &PlannerConfig,
+    pinned: &BTreeMap<corral_model::JobId, Vec<RackId>>,
+) -> Plan {
+    plan_jobs_pinned_impl(Some(pool), cfg, jobs, objective, planner, pinned)
+}
+
+fn plan_jobs_pinned_impl(
+    pool: Option<&corral_sweep::SweepPool>,
+    cfg: &ClusterConfig,
+    jobs: &[JobSpec],
+    objective: Objective,
+    planner: &PlannerConfig,
+    pinned: &BTreeMap<corral_model::JobId, Vec<RackId>>,
+) -> Plan {
     let plannable: Vec<&JobSpec> = jobs.iter().filter(|j| j.plannable).collect();
     let models: Vec<LatencyModel> = plannable
         .iter()
@@ -88,14 +121,25 @@ pub fn plan_jobs_pinned(
         .map(|j| pinned.get(&j.id).cloned())
         .collect();
 
-    let outcome: ProvisionOutcome = provision_pinned(
-        &models,
-        &meta,
-        &pins,
-        cfg.racks,
-        objective,
-        ProvisionMode::Exhaustive,
-    );
+    let outcome: ProvisionOutcome = match pool {
+        Some(pool) => provision_pinned_pooled(
+            pool,
+            &models,
+            &meta,
+            &pins,
+            cfg.racks,
+            objective,
+            ProvisionMode::Exhaustive,
+        ),
+        None => provision_pinned(
+            &models,
+            &meta,
+            &pins,
+            cfg.racks,
+            objective,
+            ProvisionMode::Exhaustive,
+        ),
+    };
 
     // Priorities: rank by planned start time (earlier start = higher
     // priority = smaller number), ties by job id.
@@ -108,6 +152,7 @@ pub fn plan_jobs_pinned(
 
     let mut plan = Plan {
         objective_value: outcome.objective_value,
+        provision_stats: outcome.stats,
         ..Default::default()
     };
     for (rank, &idx) in order.iter().enumerate() {

@@ -14,7 +14,9 @@
 //! The resulting start times induce the priority order the cluster
 //! scheduler uses at run time (§3.1).
 
+use crate::objective::Objective;
 use corral_model::{JobId, RackId, SimTime};
+use std::cmp::Ordering;
 
 /// One job's input to the prioritization phase.
 #[derive(Debug, Clone, Default)]
@@ -31,6 +33,53 @@ pub struct PrioritizeInput {
     /// the replanning case, §3.1). Empty = the algorithm chooses freely;
     /// non-empty overrides `racks`.
     pub pinned: Vec<RackId>,
+}
+
+/// One job's input to the prioritization phase, with pins *borrowed*
+/// rather than owned. The provisioning loop re-scores thousands of
+/// candidate allocations against the same pin sets; cloning every pin per
+/// candidate (the old [`PrioritizeInput`]-based path) dominated the
+/// planner's allocation profile.
+#[derive(Debug, Clone, Copy)]
+pub struct PrioritizeJob<'a> {
+    /// Job identity (carried through to the output).
+    pub job: JobId,
+    /// Number of racks `r_j` chosen by the provisioning phase.
+    pub racks: usize,
+    /// Estimated latency `L_j(r_j)` at that allocation.
+    pub latency: SimTime,
+    /// Arrival time `A_j` (zero in the batch scenario).
+    pub arrival: SimTime,
+    /// Racks the job *must* use (see [`PrioritizeInput::pinned`]).
+    pub pinned: &'a [RackId],
+}
+
+impl<'a> PrioritizeJob<'a> {
+    /// Borrowing view of an owned input.
+    pub fn of(inp: &'a PrioritizeInput) -> Self {
+        PrioritizeJob {
+            job: inp.job,
+            racks: inp.racks,
+            latency: inp.latency,
+            arrival: inp.arrival,
+            pinned: &inp.pinned,
+        }
+    }
+}
+
+/// The job-ordering rule of §4.2 — batch: widest first, then longest
+/// (LPT), then id; online: earliest arrival first, same tie breaks.
+fn order_key(a: &PrioritizeJob<'_>, b: &PrioritizeJob<'_>, online: bool) -> Ordering {
+    let batch = b
+        .racks
+        .cmp(&a.racks)
+        .then(b.latency.total_cmp(a.latency))
+        .then(a.job.cmp(&b.job));
+    if online {
+        a.arrival.total_cmp(b.arrival).then(batch)
+    } else {
+        batch
+    }
 }
 
 /// One job's placement in the offline schedule.
@@ -72,26 +121,25 @@ pub fn prioritize(
     total_racks: usize,
     online: bool,
 ) -> Vec<ScheduledJob> {
+    let jobs: Vec<PrioritizeJob<'_>> = inputs.iter().map(PrioritizeJob::of).collect();
+    prioritize_jobs(&jobs, total_racks, online)
+}
+
+/// [`prioritize`] over borrowed-pin inputs — the form the provisioning
+/// loop uses so that re-scoring a candidate never clones a pin set.
+pub fn prioritize_jobs(
+    jobs: &[PrioritizeJob<'_>],
+    total_racks: usize,
+    online: bool,
+) -> Vec<ScheduledJob> {
     assert!(total_racks > 0, "cluster must have racks");
-    let mut order: Vec<&PrioritizeInput> = inputs.iter().collect();
+    let mut order: Vec<&PrioritizeJob<'_>> = jobs.iter().collect();
     // Batch: widest first, then longest, then id (determinism).
     // Online: earliest arrival first, then the batch criteria.
-    order.sort_by(|a, b| {
-        let batch_key = |x: &PrioritizeInput, y: &PrioritizeInput| {
-            y.racks
-                .cmp(&x.racks)
-                .then(y.latency.total_cmp(x.latency))
-                .then(x.job.cmp(&y.job))
-        };
-        if online {
-            a.arrival.total_cmp(b.arrival).then_with(|| batch_key(a, b))
-        } else {
-            batch_key(a, b)
-        }
-    });
+    order.sort_by(|a, b| order_key(a, b, online));
 
     let mut finish_at: Vec<SimTime> = vec![SimTime::ZERO; total_racks];
-    let mut out = Vec::with_capacity(inputs.len());
+    let mut out = Vec::with_capacity(jobs.len());
     for inp in order {
         let chosen: Vec<usize> = if inp.pinned.is_empty() {
             let want = inp.racks.clamp(1, total_racks);
@@ -126,6 +174,174 @@ pub fn prioritize(
         });
     }
     out
+}
+
+/// Reusable buffers for allocation-free candidate scoring
+/// ([`schedule_value_with`]). One scratch per thread lives for the whole
+/// process (the provisioning loop keeps it in a thread-local), so in
+/// steady state a planner run performs **zero** heap allocation per
+/// candidate; [`PlannerScratch::grows`] counts the times any buffer had
+/// to grow, the planner twin of the fabric's `scratch_grows` invariant.
+#[derive(Debug, Default)]
+pub struct PlannerScratch {
+    /// Job indices in scheduling order (the sorted `order` of
+    /// [`prioritize_jobs`], by index instead of reference).
+    order: Vec<u32>,
+    /// Per-rack `F_i` — when rack `i` finishes its assigned jobs.
+    finish_at: Vec<SimTime>,
+    /// Persistent permutation of `0..R` used for k-smallest rack
+    /// selection. Any permutation is valid input to the selection, so it
+    /// is never reset between jobs or candidates.
+    rack_sel: Vec<u32>,
+    grows: u64,
+}
+
+impl PlannerScratch {
+    /// A fresh (empty) scratch; buffers are sized on first use.
+    pub fn new() -> Self {
+        PlannerScratch::default()
+    }
+
+    /// How many times any buffer had to (re)allocate since construction.
+    pub fn grows(&self) -> u64 {
+        self.grows
+    }
+
+    fn ensure(&mut self, jobs: usize, racks: usize) {
+        if self.order.capacity() < jobs
+            || self.finish_at.capacity() < racks
+            || self.rack_sel.capacity() < racks
+        {
+            self.grows += 1;
+        }
+        if self.rack_sel.len() != racks {
+            self.rack_sel.clear();
+            self.rack_sel.extend(0..racks as u32);
+        }
+    }
+}
+
+/// Scores one candidate allocation without materializing a schedule: runs
+/// the §4.2 placement recurrence entirely inside `scratch` and folds
+/// `objective` over the planned `(arrival, finish)` pairs in schedule
+/// order. Bit-identical to
+/// `objective.evaluate_iter(prioritize_jobs(..).iter() pairs)` — the
+/// randomized property test over [`crate::provision::provision_reference`]
+/// holds the two paths together.
+///
+/// `job(i)` returns job `i`'s view for this candidate (`0 <= i < n`); it
+/// is called repeatedly (including inside the sort comparator), so it must
+/// be cheap and pure. Instead of the full `O(R log R)` rack sort the
+/// reference performs per job, unpinned jobs select their `r_j`
+/// cheapest-to-free racks via `select_nth_unstable` — the selected *set*
+/// is unique under the total (F_i, rack-id) order, so the placement is
+/// unchanged.
+pub fn schedule_value_with<'a, F>(
+    n: usize,
+    job: F,
+    total_racks: usize,
+    online: bool,
+    objective: Objective,
+    scratch: &mut PlannerScratch,
+) -> f64
+where
+    F: Fn(usize) -> PrioritizeJob<'a>,
+{
+    assert!(total_racks > 0, "cluster must have racks");
+    scratch.ensure(n, total_racks);
+    let PlannerScratch {
+        order,
+        finish_at,
+        rack_sel,
+        ..
+    } = scratch;
+
+    order.clear();
+    order.extend(0..n as u32);
+    // Unstable sort with a final index tie-break reproduces the reference
+    // path's stable sort exactly.
+    order.sort_unstable_by(|&a, &b| {
+        order_key(&job(a as usize), &job(b as usize), online).then(a.cmp(&b))
+    });
+
+    finish_at.clear();
+    finish_at.resize(total_racks, SimTime::ZERO);
+
+    // Objective accumulators, folded in schedule order — the same order
+    // and arithmetic `Objective::evaluate` applies to the pairs slice.
+    let mut mk = 0.0f64;
+    let mut sum = 0.0f64;
+    for &oi in order.iter() {
+        let inp = job(oi as usize);
+        let (free_at, finish);
+        if inp.pinned.is_empty() {
+            let want = inp.racks.clamp(1, total_racks);
+            if want < total_racks {
+                rack_sel.select_nth_unstable_by(want - 1, |&a, &b| {
+                    finish_at[a as usize]
+                        .total_cmp(finish_at[b as usize])
+                        .then(a.cmp(&b))
+                });
+            }
+            let sel = &rack_sel[..want];
+            free_at = sel
+                .iter()
+                .map(|&i| finish_at[i as usize])
+                .fold(SimTime::ZERO, SimTime::max);
+            finish = free_at.max(inp.arrival) + inp.latency;
+            for &i in sel {
+                finish_at[i as usize] = finish;
+            }
+        } else {
+            let sel = inp
+                .pinned
+                .iter()
+                .map(|r| r.index())
+                .filter(|&i| i < total_racks);
+            free_at = sel
+                .clone()
+                .map(|i| finish_at[i])
+                .fold(SimTime::ZERO, SimTime::max);
+            finish = free_at.max(inp.arrival) + inp.latency;
+            for i in sel {
+                finish_at[i] = finish;
+            }
+        }
+        match objective {
+            Objective::Makespan => mk = mk.max(finish.as_secs()),
+            Objective::AvgCompletionTime => {
+                sum += (finish.as_secs() - inp.arrival.as_secs()).max(0.0);
+            }
+        }
+    }
+    match objective {
+        Objective::Makespan => mk,
+        Objective::AvgCompletionTime => {
+            if n == 0 {
+                0.0
+            } else {
+                sum / n as f64
+            }
+        }
+    }
+}
+
+/// [`schedule_value_with`] over a materialized job slice.
+pub fn schedule_value(
+    jobs: &[PrioritizeJob<'_>],
+    total_racks: usize,
+    online: bool,
+    objective: Objective,
+    scratch: &mut PlannerScratch,
+) -> f64 {
+    schedule_value_with(
+        jobs.len(),
+        |i| jobs[i],
+        total_racks,
+        online,
+        objective,
+        scratch,
+    )
 }
 
 #[cfg(test)]

@@ -206,6 +206,10 @@ fn cmd_plan(args: &[String]) -> Result<(), String> {
         plan.len(),
         plan.objective_value
     );
+    println!(
+        "provisioning scored {} candidate allocations",
+        plan.provision_stats.candidates
+    );
     if let Some(out) = f.value("--out") {
         std::fs::write(out, plan.to_csv()).map_err(|e| format!("writing {out}: {e}"))?;
         println!("wrote plan to {out}");
@@ -326,11 +330,12 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         (None, None) => None,
     };
 
-    let plan = if let Some(path) = f.value("--plan") {
+    let t_plan = std::time::Instant::now();
+    let (plan, planned_here) = if let Some(path) = f.value("--plan") {
         let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-        Plan::from_csv(&text)?
+        (Plan::from_csv(&text)?, false)
     } else if needs_plan {
-        match &tracer {
+        let plan = match &tracer {
             Some(t) => plan_jobs_with_tracer(
                 &cfg,
                 &jobs,
@@ -339,16 +344,27 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
                 t.as_ref(),
             ),
             None => plan_jobs(&cfg, &jobs, objective, &PlannerConfig::default()),
-        }
+        };
+        (plan, true)
     } else {
-        Plan::default()
+        (Plan::default(), false)
     };
+    let plan_wall_s = t_plan.elapsed().as_secs_f64();
 
     let mut engine = Engine::new(params, jobs, &plan, kind);
     if let Some(t) = &tracer {
         engine.set_tracer(t.clone());
     }
-    let report = engine.run();
+    let mut report = engine.run();
+    // Planning cost is host wall-clock, so it is stamped here (the CLI is
+    // what watched planning happen) rather than inside the engine, whose
+    // summary stays a pure function of the simulated run.
+    if planned_here {
+        report.summary.planning = Some(corral::trace::PlanningCost {
+            wall_s: plan_wall_s,
+            candidates: plan.provision_stats.candidates,
+        });
+    }
     println!("scheduler        {}", report.scheduler);
     println!("network          {}", report.net);
     println!("makespan         {:.1}s", report.makespan.as_secs());

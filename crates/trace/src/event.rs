@@ -182,6 +182,11 @@ pub enum TraceEvent {
         jobs: usize,
         /// Objective the planner optimized.
         objective: &'static str,
+        /// Candidate allocations the provisioning loop scored. (Planner
+        /// wall-clock is deliberately *not* in the event: traces are
+        /// byte-identical across same-seed runs, so host time cannot
+        /// appear here — it is reported via `RunSummary::planning`.)
+        candidates: u64,
     },
     /// The planner assigned a job its rack set and priority.
     PlannerAssigned {
@@ -354,9 +359,14 @@ impl TraceEvent {
                 json::field_u64(out, "waits", u64::from(*waits));
                 json::field_u64(out, "machine", u64::from(*machine));
             }
-            TraceEvent::PlanComputed { jobs, objective } => {
+            TraceEvent::PlanComputed {
+                jobs,
+                objective,
+                candidates,
+            } => {
                 json::field_usize(out, "jobs", *jobs);
                 json::field_str(out, "objective", objective);
+                json::field_u64(out, "candidates", *candidates);
             }
             TraceEvent::PlannerAssigned {
                 job,

@@ -37,7 +37,7 @@ pub use event::{FlowClass, LocalityLevel, TraceEvent};
 pub use histogram::LogHistogram;
 pub use metrics::{MetricsRegistry, TimeWeightedGauge};
 pub use perfetto::chrome_trace;
-pub use summary::{LocalityCounts, Percentiles, RunSummary};
+pub use summary::{LocalityCounts, Percentiles, PlanningCost, RunSummary};
 pub use tracer::{
     FanoutTracer, JsonlTracer, MemTracer, NullTracer, SharedTracer, TimedEvent, Tracer,
 };

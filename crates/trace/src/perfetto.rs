@@ -176,9 +176,13 @@ pub fn chrome_trace(events: &[TimedEvent]) -> String {
                     te.t,
                 );
             }
-            TraceEvent::PlanComputed { jobs, objective } => {
+            TraceEvent::PlanComputed {
+                jobs,
+                objective,
+                candidates,
+            } => {
                 w.instant(
-                    &format!("plan {jobs} jobs ({objective})"),
+                    &format!("plan {jobs} jobs ({objective}, {candidates} candidates)"),
                     PID_CONTROL,
                     0,
                     te.t,

@@ -66,6 +66,19 @@ fn rate(num: u64, den: u64) -> f64 {
     }
 }
 
+/// Cost of computing the offline plan for a run — host wall-clock, not
+/// simulated time. Filled in by the CLI (which is what observes planning
+/// happen), never by the engine: the engine's summary must stay a pure
+/// function of the simulated run so byte-equality tests across identical
+/// runs keep holding.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanningCost {
+    /// Planner wall-clock in seconds.
+    pub wall_s: f64,
+    /// Candidate allocations the provisioning loop scored.
+    pub candidates: u64,
+}
+
 /// The end-of-run report printed by `corral-sim simulate --summary`.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunSummary {
@@ -103,6 +116,9 @@ pub struct RunSummary {
     pub network_bytes: f64,
     /// Bytes that crossed the rack-to-core boundary.
     pub cross_rack_bytes: f64,
+    /// Planning cost, when the invoking CLI measured it (`None` for
+    /// unplanned schedulers and for summaries built by the engine alone).
+    pub planning: Option<PlanningCost>,
 }
 
 fn pct(x: f64) -> f64 {
@@ -167,7 +183,15 @@ impl fmt::Display for RunSummary {
             f,
             "  flows                  {} started, {} completed",
             self.flows_started, self.flows_completed
-        )
+        )?;
+        if let Some(p) = &self.planning {
+            writeln!(
+                f,
+                "  planning               {:.3}s wall ({} candidates)",
+                p.wall_s, p.candidates
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -203,6 +227,10 @@ mod tests {
             flows_completed: 1200,
             network_bytes: 5e9,
             cross_rack_bytes: 1.25e9,
+            planning: Some(PlanningCost {
+                wall_s: 0.042,
+                candidates: 1261,
+            }),
         }
     }
 
@@ -226,5 +254,6 @@ mod tests {
         assert!(text.contains("queueing delay"));
         assert!(text.contains("(no samples)"));
         assert!(text.contains("1200 started, 1200 completed"));
+        assert!(text.contains("planning               0.042s wall (1261 candidates)"));
     }
 }
