@@ -74,6 +74,7 @@ fn run(args: &[String]) -> Result<(), String> {
             "sweepbench" => ex::sweepbench::main(),
             "fabricbench" => ex::fabricbench::main(),
             "plannerbench" => ex::plannerbench::main(),
+            "perfreport" => ex::perfreport::main(),
             other => eprintln!("unknown experiment: {other}"),
         }
         eprintln!("[{id}: {:.1}s]", t.elapsed().as_secs_f64());

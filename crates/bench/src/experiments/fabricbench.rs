@@ -223,6 +223,15 @@ fn run_pair(sc: &ScaleSpec) -> (CellResult, CellResult, f64) {
     (best_ref.unwrap(), best_csr.unwrap(), speedup)
 }
 
+/// One small-scale churn pass on the CSR allocator, for `repro
+/// perfreport`: populates the fabric probe spans and counters with live
+/// data. Returns `(recomputes, golden_recomputes)` so the report can
+/// re-check the small-cell tripwire without re-running the full bench.
+pub(crate) fn probe_cell_small() -> (u64, u64) {
+    let c = run_once(&SCALES[0], Box::new(FairShare));
+    (c.recomputes, GOLDEN_RECOMPUTES[0].1)
+}
+
 /// The fig6-shaped real cell: Corral on the W1 smoke workload (same jobset
 /// family sweepbench uses), timed under `Tcp` and `TcpReference`. Returns
 /// (tcp_s, reference_s, summaries_identical).

@@ -18,6 +18,7 @@ pub mod fig9;
 pub mod latmodel;
 pub mod lpgap;
 pub mod netseries;
+pub mod perfreport;
 pub mod phases;
 pub mod plannerbench;
 pub mod pred;

@@ -225,6 +225,32 @@ fn time_fast(p: &PlanProblem, pool: &SweepPool) -> CellResult {
     }
 }
 
+/// Handle for `repro perfreport`: the large synthetic problem built
+/// once, re-runnable under the fast path (probes on or off) without
+/// paying the latency-model construction cost on every pass — exactly
+/// what the probe-overhead measurement needs.
+pub(crate) struct ProbeCell(PlanProblem);
+
+/// Builds the large-scale probe cell (256 jobs, 24 racks — the
+/// acceptance cell of this bench).
+pub(crate) fn probe_cell_large() -> ProbeCell {
+    ProbeCell(synthetic_problem(&SCALES[2]))
+}
+
+impl ProbeCell {
+    /// Runs the fast path once; returns `(candidates, wall_s)`.
+    pub(crate) fn run(&self, pool: &SweepPool) -> (u64, f64) {
+        let c = time_fast(&self.0, pool);
+        (c.outcome.stats.candidates, c.wall_s)
+    }
+
+    /// Golden candidate count for the large cell (the perfreport
+    /// tripwire; same constant the bench itself asserts).
+    pub(crate) fn golden(&self) -> u64 {
+        GOLDEN_CANDIDATES[2].1
+    }
+}
+
 /// Runs one problem [`REPEATS`] times as back-to-back (reference, fast)
 /// pairs, asserting the runtime form of the bit-identity claim on every
 /// pair. Returns (reference best, fast best, median paired speedup).

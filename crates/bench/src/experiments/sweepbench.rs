@@ -33,6 +33,13 @@ fn smoke_jobset(seed: u64) -> Vec<JobSpec> {
     jobs
 }
 
+/// Paired repetitions: serial and parallel passes interleaved, speedup =
+/// median of per-pair ratios (the fabricbench/plannerbench methodology).
+/// A single pass per path is order-biased on busy CI hosts — the second
+/// pass alone can read >10% slow even when both run the same code path.
+/// Per-path walls report the minimum.
+const REPEATS: usize = 3;
+
 fn run_grid(pool: &SweepPool, jobsets: &[Vec<JobSpec>], rc: &RunConfig) -> f64 {
     let nv = Variant::ALL.len();
     let t = Instant::now();
@@ -53,14 +60,25 @@ pub fn main() {
     let cells = jobsets.len() * Variant::ALL.len();
     let jobs = SweepPool::new(crate::config::jobs()).jobs(); // resolve 0 = auto
 
-    let serial_s = run_grid(&SweepPool::new(1), &jobsets, &rc);
-    let parallel_s = run_grid(&SweepPool::new(jobs), &jobsets, &rc);
-    let speedup = serial_s / parallel_s.max(1e-9);
+    let serial_pool = SweepPool::new(1);
+    let parallel_pool = SweepPool::new(jobs);
+    let mut serial_s = f64::INFINITY;
+    let mut parallel_s = f64::INFINITY;
+    let mut ratios = Vec::with_capacity(REPEATS);
+    for _ in 0..REPEATS {
+        let s = run_grid(&serial_pool, &jobsets, &rc);
+        let p = run_grid(&parallel_pool, &jobsets, &rc);
+        ratios.push(s / p.max(1e-9));
+        serial_s = serial_s.min(s);
+        parallel_s = parallel_s.min(p);
+    }
+    ratios.sort_by(f64::total_cmp);
+    let speedup = ratios[ratios.len() / 2];
     // What the host actually exposes (`available_parallelism`, e.g. a
-    // container CPU quota) vs what the pool can actually use: never more
-    // workers than cells.
+    // container CPU quota) vs what the pool will actually use: never
+    // more workers than cells, and serial-inline on a 1-CPU host.
     let host_cpus = corral_sweep::default_jobs();
-    let effective_jobs = jobs.min(cells);
+    let effective_jobs = parallel_pool.effective_jobs(cells);
 
     table::row(&[
         "cells",
@@ -82,7 +100,13 @@ pub fn main() {
     ]);
     // Explain surprising readings rather than leaving them to guesswork,
     // and persist the explanation in the JSON next to the numbers.
-    let note = if host_cpus < effective_jobs {
+    let note = if host_cpus == 1 && jobs > 1 {
+        format!(
+            "host exposes 1 CPU: the pool fell back to serial-inline execution \
+             (no worker threads) for the {cells}-cell grid, so both passes run \
+             the same code path and speedup ≈ 1.0 by construction"
+        )
+    } else if host_cpus < effective_jobs {
         format!(
             "host exposes {host_cpus} CPU(s) < {effective_jobs} effective worker(s); \
              expected speedup is ~min(jobs, host_cpus, cells), and oversubscribed \

@@ -18,6 +18,7 @@
 
 pub mod config;
 pub mod experiments;
+pub mod jsonv;
 pub mod runner;
 pub mod table;
 

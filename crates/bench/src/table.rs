@@ -72,6 +72,8 @@ pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<f64>]) -> PathBuf {
 static WRITTEN: Mutex<Option<HashSet<PathBuf>>> = Mutex::new(None);
 
 fn write_file(path: &Path, contents: &str) {
+    // Export attribution for the probe layer (no-op when disabled).
+    let _probe = corral_trace::probe::span(corral_trace::probe::SpanKind::Export);
     {
         let mut written = WRITTEN.lock().unwrap();
         let set = written.get_or_insert_with(HashSet::new);

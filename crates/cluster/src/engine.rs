@@ -17,7 +17,7 @@ use corral_simnet::{
     CoflowId, CompletedFlow, EventQueue, Fabric, FairShare, FlowKind, FlowSpec, FlowTag, VarysSebf,
 };
 use corral_trace::{
-    LocalityCounts, LocalityLevel, MetricsRegistry, NullTracer, Percentiles, RunSummary,
+    probe, LocalityCounts, LocalityLevel, MetricsRegistry, NullTracer, Percentiles, RunSummary,
     SharedTracer, TraceEvent,
 };
 use rand::rngs::StdRng;
@@ -537,6 +537,9 @@ impl Engine {
     // ------------------------------------------------------------------
 
     fn handle_event(&mut self, ev: Event) {
+        // Per-event decision latency (host wall-clock, observability
+        // only — the probe layer never feeds back into the simulation).
+        let _probe = probe::span(probe::SpanKind::EngineEvent);
         match ev {
             Event::JobArrival(ji) => {
                 let job = &mut self.st.jobs[ji];
@@ -1614,9 +1617,11 @@ impl Engine {
             flows_completed: stats.flows_completed,
             network_bytes: stats.network_bytes.0,
             cross_rack_bytes: stats.cross_rack_bytes.0,
-            // Planning cost is host wall-clock; only the invoking CLI can
-            // stamp it without breaking run-to-run summary byte-equality.
+            // Planning cost and trace-ring drops are host-side facts;
+            // only the invoking CLI can stamp them without breaking
+            // run-to-run summary byte-equality.
             planning: None,
+            trace_drops: None,
         };
         self.st.tracer.flush();
 

@@ -110,6 +110,9 @@ fn plan_jobs_pinned_impl(
     planner: &PlannerConfig,
     pinned: &BTreeMap<corral_model::JobId, Vec<RackId>>,
 ) -> Plan {
+    // Per-plan decision latency: the histogram `corral-serve` will
+    // report against (probe layer, host wall-clock, observability only).
+    let _probe = corral_trace::probe::span(corral_trace::probe::SpanKind::PlanDecision);
     let plannable: Vec<&JobSpec> = jobs.iter().filter(|j| j.plannable).collect();
     let models: Vec<LatencyModel> = plannable
         .iter()

@@ -39,6 +39,7 @@ use crate::prioritize::{
     prioritize_jobs, schedule_value_with, PlannerScratch, PrioritizeJob, ScheduledJob,
 };
 use corral_model::{JobId, RackId, SimTime};
+use corral_trace::probe;
 use std::cell::RefCell;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -282,9 +283,11 @@ fn enumerate_candidates(
             });
         }
         if mode == ProvisionMode::EarlyStop && wide_sum >= total_racks {
+            probe::count(probe::ProbeCounter::EarlyStops, 1);
             break;
         }
     }
+    probe::count(probe::ProbeCounter::HeapPops, pops);
     (widths, pops)
 }
 
@@ -315,6 +318,7 @@ fn provision_fast(
     objective: Objective,
     mode: ProvisionMode,
 ) -> ProvisionOutcome {
+    let _probe = probe::span(probe::SpanKind::Provision);
     assert_eq!(models.len(), jobs.len());
     assert_eq!(pins.len(), jobs.len());
     assert!(total_racks > 0);
@@ -335,18 +339,26 @@ fn provision_fast(
         };
     }
 
-    let (widths, heap_pops) = enumerate_candidates(models, &pins, &initial, total_racks, mode);
+    let (widths, heap_pops) = {
+        let _probe = probe::span(probe::SpanKind::CandidateEnum);
+        enumerate_candidates(models, &pins, &initial, total_racks, mode)
+    };
     let candidates = widths.len() / n;
 
     let pins = &pins;
     let score = |c: usize| -> (f64, u64) {
+        // Runs on pool worker threads too; the span lands in that
+        // thread's probe state and merges when the pool flushes.
+        let _probe = probe::span(probe::SpanKind::CandidateScore);
         let w = &widths[c * n..(c + 1) * n];
         SCRATCH.with(|s| {
             let s = &mut *s.borrow_mut();
             let g0 = s.grows();
             let view = candidate_view(w, models, jobs, pins);
             let v = schedule_value_with(n, view, total_racks, online, objective, s);
-            (v, s.grows() - g0)
+            let g = s.grows() - g0;
+            probe::count(probe::ProbeCounter::PlannerScratchGrow, g);
+            (v, g)
         })
     };
 

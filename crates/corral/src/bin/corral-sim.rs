@@ -21,12 +21,19 @@ use corral::cluster::scheduler::SchedulerKind;
 use corral::core::{plan_jobs, plan_jobs_with_tracer, Objective, Plan, PlannerConfig};
 use corral::model::{ClusterConfig, JobSpec, SimTime};
 use corral::simnet::background::BackgroundModel;
-use corral::trace::{chrome_trace, FanoutTracer, JsonlTracer, MemTracer, SharedTracer, Tracer};
+use corral::trace::probe;
+use corral::trace::{
+    chrome_trace, chrome_trace_with_probe, FanoutTracer, JsonlTracer, MemTracer, SharedTracer,
+    Tracer,
+};
 use corral::workloads::{assign_uniform_arrivals, swim, trace, w1, w2, w3, Scale};
 use std::process::ExitCode;
 use std::sync::Arc;
 
 fn main() -> ExitCode {
+    // Self-profiling can also be switched on without a flag
+    // (CORRAL_PROBE=1) for commands that have no --probe of their own.
+    probe::init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(|s| s.as_str()) {
         Some("gen") => cmd_gen(&args[1..]),
@@ -68,7 +75,7 @@ USAGE:
                  [--seed S] [--seeds N] [-j/--jobs N]
                  [--plan <plan.csv>] [--timeline <gantt.csv>]
                  [--trace <events.jsonl>] [--perfetto <trace.json>]
-                 [--summary]
+                 [--probe <probe.prom>] [--summary]
   corral-sim --version
 
 The cluster is the paper's 210-machine testbed (7 racks x 30 machines,
@@ -77,6 +84,11 @@ The cluster is the paper's 210-machine testbed (7 racks x 30 machines,
 Observability: --trace streams structured events as JSONL, --perfetto
 writes a Chrome/Perfetto trace-viewer file (load at ui.perfetto.dev),
 --summary prints utilization, locality and queueing-delay percentiles.
+--probe FILE enables corral-probe self-profiling (host wall-clock spans
+and counters for the simulator's own hot paths; also via CORRAL_PROBE=1)
+and writes a Prometheus-style text exposition; with --perfetto the probe
+spans also appear as a 'probe (host)' track. Probes never perturb the
+simulation: same-seed runs are byte-identical with probes on or off.
 
 Sweeps: --seeds N runs the simulation under N seeds (--seed plus N-1
 derived from it) and prints per-seed rows plus mean/p50/p90/p99 and a
@@ -240,7 +252,7 @@ fn cmd_plan(args: &[String]) -> Result<(), String> {
 const PERFETTO_RING: usize = 4_000_000;
 
 fn cmd_simulate(args: &[String]) -> Result<(), String> {
-    const SIMULATE_VALUE_FLAGS: [&str; 11] = [
+    const SIMULATE_VALUE_FLAGS: [&str; 12] = [
         "--objective",
         "--background",
         "--seed",
@@ -249,6 +261,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         "--timeline",
         "--trace",
         "--perfetto",
+        "--probe",
         // the shared sweep flags (cli::SWEEP_VALUE_FLAGS)
         "-j",
         "--jobs",
@@ -258,6 +271,9 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         .iter()
         .all(|s| SIMULATE_VALUE_FLAGS.contains(s)));
     let f = Flags::parse(args, &SIMULATE_VALUE_FLAGS, &["--summary"])?;
+    if f.value("--probe").is_some() {
+        probe::set_enabled(true);
+    }
     let path = f.positional(0).ok_or("simulate: trace file required")?;
     let jobs = load_trace(path)?;
     let objective = objective_flag(&f)?;
@@ -290,7 +306,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
 
     if n_seeds > 1 {
         // Per-run exports are ambiguous across a seed pool.
-        for flag in ["--trace", "--perfetto", "--timeline"] {
+        for flag in ["--trace", "--perfetto", "--timeline", "--probe"] {
             if f.value(flag).is_some() {
                 return Err(format!("{flag} requires a single seed (drop --seeds)"));
             }
@@ -365,6 +381,20 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             candidates: plan.provision_stats.candidates,
         });
     }
+    // Ring-drop accounting is host-side too: stamped by the CLI so the
+    // engine's summary stays a pure function of the simulated run, and
+    // warned about loudly — a truncated trace must never be analyzed as
+    // if it were complete.
+    if let Some(m) = &mem {
+        report.summary.trace_drops = Some(m.dropped());
+        if m.dropped() > 0 {
+            eprintln!(
+                "warning: perfetto ring overflowed, {} oldest events dropped — \
+                 the exported trace is truncated",
+                m.dropped()
+            );
+        }
+    }
     println!("scheduler        {}", report.scheduler);
     println!("network          {}", report.net);
     println!("makespan         {:.1}s", report.makespan.as_secs());
@@ -395,17 +425,30 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     if let Some(m) = &mem {
         let out = f.value("--perfetto").unwrap();
         let events = m.events();
-        std::fs::write(out, chrome_trace(&events)).map_err(|e| format!("writing {out}: {e}"))?;
-        if m.dropped() > 0 {
-            eprintln!(
-                "warning: perfetto ring overflowed, {} oldest events dropped",
-                m.dropped()
-            );
-        }
+        let rendered = {
+            let _sp = probe::span(probe::SpanKind::Export);
+            if probe::enabled() {
+                // Include the self-profiling track (pid 4) alongside
+                // the sim tracks.
+                chrome_trace_with_probe(&events, &probe::report())
+            } else {
+                chrome_trace(&events)
+            }
+        };
+        std::fs::write(out, rendered).map_err(|e| format!("writing {out}: {e}"))?;
         println!("perfetto         {out} ({} events)", events.len());
     }
     if f.has("--summary") {
         print!("{}", report.summary);
+    }
+    if let Some(out) = f.value("--probe") {
+        let r = probe::report();
+        std::fs::write(out, r.prometheus()).map_err(|e| format!("writing {out}: {e}"))?;
+        println!(
+            "probe            {out} ({} span kinds, {} threads)",
+            r.spans.len(),
+            r.threads
+        );
     }
     Ok(())
 }

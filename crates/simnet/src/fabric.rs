@@ -13,7 +13,7 @@ use crate::link::LinkId;
 use crate::stats::FabricStats;
 use crate::topology::Topology;
 use corral_model::{Bandwidth, Bytes, ClusterConfig, FlowId, RackId, SimTime};
-use corral_trace::{FlowClass, NullTracer, SharedTracer, TraceEvent};
+use corral_trace::{probe, FlowClass, NullTracer, SharedTracer, TraceEvent};
 
 /// Maps the fabric's [`FlowKind`] onto the dependency-free trace
 /// vocabulary's [`FlowClass`].
@@ -266,7 +266,7 @@ impl Fabric {
         }));
         self.active.push(id);
         self.stats.flows_started += 1;
-        self.dirty = true;
+        self.mark_dirty(probe::ProbeCounter::RecomputeFlowStart);
         if self.trace_on {
             self.tracer.record(
                 self.now.as_secs(),
@@ -298,7 +298,7 @@ impl Fabric {
         }));
         self.active.push(id);
         self.stats.flows_started += 1;
-        self.dirty = true;
+        self.mark_dirty(probe::ProbeCounter::RecomputeFlowStart);
         if self.trace_on {
             self.tracer.record(
                 self.now.as_secs(),
@@ -325,7 +325,7 @@ impl Fabric {
     pub fn cancel_flow(&mut self, id: FlowId) {
         if let Some(slot) = self.flows.get_mut(id.index()) {
             if slot.take().is_some() {
-                self.dirty = true;
+                self.mark_dirty(probe::ProbeCounter::RecomputeFlowCancel);
             }
         }
     }
@@ -333,7 +333,7 @@ impl Fabric {
     /// Sets the background reservation on one directed link.
     pub fn set_background(&mut self, link: LinkId, bw: Bandwidth) {
         self.topo.links_mut()[link.index()].background = bw;
-        self.dirty = true;
+        self.mark_dirty(probe::ProbeCounter::RecomputeBackground);
     }
 
     /// Sets the background reservation on both core links of `rack`.
@@ -424,6 +424,7 @@ impl Fabric {
     /// reusable scratch (growth is tracked by
     /// [`FabricStats::scratch_grows`]).
     fn recompute(&mut self) {
+        let _probe = probe::span(probe::SpanKind::FabricRecompute);
         self.dirty = false;
         self.stats.recomputes += 1;
 
@@ -465,17 +466,23 @@ impl Fabric {
             remaining: &scratch.remaining,
             coflow: &scratch.coflow,
         };
-        self.allocator.allocate_table(
-            self.topo.links(),
-            &table,
-            &mut scratch.rates,
-            &mut scratch.alloc,
-        );
-        self.stats.maxmin_rounds += scratch.alloc.last_rounds();
+        {
+            let _probe = probe::span(probe::SpanKind::FabricMaxMin);
+            self.allocator.allocate_table(
+                self.topo.links(),
+                &table,
+                &mut scratch.rates,
+                &mut scratch.alloc,
+            );
+        }
+        let rounds = scratch.alloc.last_rounds();
+        self.stats.maxmin_rounds += rounds;
+        probe::count(probe::ProbeCounter::MaxMinRounds, rounds);
         let footprint = scratch.footprint();
         if footprint != self.scratch_footprint {
             self.scratch_footprint = footprint;
             self.stats.scratch_grows += 1;
+            probe::count(probe::ProbeCounter::FabricScratchGrow, 1);
         }
 
         // Fold the next completion time straight from the dense scratch
@@ -703,6 +710,17 @@ impl Fabric {
             }
         }
         self.stats.debug_validate();
+        self.mark_dirty(probe::ProbeCounter::RecomputeCompletion);
+    }
+
+    /// Marks the rate table stale, attributing the *first* cause since
+    /// the last recompute to a probe counter (observability only; with
+    /// probes disabled this is exactly `self.dirty = true`).
+    #[inline]
+    fn mark_dirty(&mut self, cause: probe::ProbeCounter) {
+        if !self.dirty {
+            probe::count(cause, 1);
+        }
         self.dirty = true;
     }
 }

@@ -18,7 +18,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use corral_trace::CounterSet;
+use corral_trace::{probe, CounterSet};
 
 /// A cell that panicked instead of producing a value.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -106,6 +106,21 @@ impl SweepPool {
         self.jobs
     }
 
+    /// Workers a sweep of `n` cells will actually use: the configured
+    /// `jobs`, capped by the cell count — and clamped to 1 (serial
+    /// inline execution, no pool threads) when the host itself has only
+    /// one CPU, where worker threads cost context switches and
+    /// contention but can never overlap work (the 0.857× "speedup"
+    /// recorded by `repro sweepbench` on a 1-CPU host).
+    pub fn effective_jobs(&self, n: usize) -> usize {
+        let w = self.jobs.min(n).max(1);
+        if default_jobs() == 1 {
+            1
+        } else {
+            w
+        }
+    }
+
     /// The live counters (`sweep.cells_total/started/done/failed`) —
     /// shareable with an external progress display.
     pub fn counters(&self) -> Arc<CounterSet> {
@@ -127,9 +142,10 @@ impl SweepPool {
         F: Fn(usize) -> T + Sync,
     {
         self.counters.add("sweep.cells_total", n as u64);
-        let workers = self.jobs.min(n).max(1);
+        let workers = self.effective_jobs(n);
         if workers == 1 {
-            // Serial fast path: same per-cell semantics (panic isolation
+            // Serial fast path (explicit `--jobs 1`, single-cell sweeps,
+            // or a 1-CPU host): same per-cell semantics (panic isolation
             // included), no thread machinery.
             return (0..n).map(|i| self.run_cell(i, &f)).collect();
         }
@@ -139,14 +155,21 @@ impl SweepPool {
         let completed = AtomicUsize::new(0);
         std::thread::scope(|s| {
             for _ in 0..workers {
-                s.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
+                s.spawn(|| {
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        probe::queue_depth(n.saturating_sub(i + 1));
+                        let r = self.run_cell(i, &f);
+                        *slots[i].lock().unwrap() = Some(r);
+                        completed.fetch_add(1, Ordering::Release);
                     }
-                    let r = self.run_cell(i, &f);
-                    *slots[i].lock().unwrap() = Some(r);
-                    completed.fetch_add(1, Ordering::Release);
+                    // Merge this worker's probe data before the scope
+                    // joins us; TLS-destructor merging is not ordered
+                    // before `scope` returns.
+                    probe::flush_thread();
                 });
             }
             if self.progress {
@@ -168,6 +191,7 @@ impl SweepPool {
                 });
             }
         });
+        let _probe = probe::span(probe::SpanKind::SweepReduce);
         slots
             .into_iter()
             .map(|m| {
@@ -200,6 +224,7 @@ impl SweepPool {
     where
         F: Fn(usize) -> T,
     {
+        let _probe = probe::span(probe::SpanKind::SweepCell);
         self.counters.inc("sweep.cells_started");
         match catch_unwind(AssertUnwindSafe(|| f(i))) {
             Ok(v) => {
@@ -305,6 +330,21 @@ mod tests {
         assert!(pool.jobs() >= 1);
         let r: Vec<CellResult<u8>> = pool.run(0, |_| 0u8);
         assert!(r.is_empty());
+    }
+
+    #[test]
+    fn effective_jobs_caps_and_falls_back() {
+        let pool = SweepPool::new(8).progress(false);
+        // Never more workers than cells, never fewer than one.
+        assert_eq!(SweepPool::new(1).progress(false).effective_jobs(5), 1);
+        assert_eq!(pool.effective_jobs(1), 1);
+        assert!(pool.effective_jobs(20) >= 1);
+        if default_jobs() == 1 {
+            // 1-CPU host: always serial-inline, whatever --jobs says.
+            assert_eq!(pool.effective_jobs(20), 1);
+        } else {
+            assert_eq!(pool.effective_jobs(20), 8);
+        }
     }
 
     #[test]

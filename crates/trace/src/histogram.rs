@@ -157,6 +157,22 @@ impl LogHistogram {
         Some(self.max)
     }
 
+    /// Folds another histogram into this one (used by the probe layer
+    /// to merge per-thread histograms into the global accumulator).
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.zero_count += other.zero_count;
+        self.overflow += other.overflow;
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
     /// Convenience: the 50th percentile.
     pub fn p50(&self) -> Option<f64> {
         self.quantile(0.50)

@@ -11,8 +11,13 @@
 //!   and log-linear [`histogram::LogHistogram`]s (p50/p90/p99);
 //! * [`counters::CounterSet`] — shared *atomic* counters for
 //!   cross-thread progress (the sweep engine's live cell counts);
+//! * [`probe`] — *corral-probe*, host-side self-profiling of the
+//!   simulator's own hot paths (RAII spans, cause counters, latency
+//!   histograms), strictly outside the deterministic sim-trace stream;
 //! * exporters — JSONL (via [`JsonlTracer`]), Chrome/Perfetto
-//!   [`perfetto::chrome_trace`], and the plain-text
+//!   [`perfetto::chrome_trace`] (with an optional probe track via
+//!   [`perfetto::chrome_trace_with_probe`]), the Prometheus-style
+//!   [`probe::ProbeReport::prometheus`] text, and the plain-text
 //!   [`summary::RunSummary`].
 //!
 //! The crate deliberately depends on nothing (not even the model crate):
@@ -29,6 +34,7 @@ pub mod histogram;
 pub mod json;
 pub mod metrics;
 pub mod perfetto;
+pub mod probe;
 pub mod summary;
 pub mod tracer;
 
@@ -36,7 +42,8 @@ pub use counters::CounterSet;
 pub use event::{FlowClass, LocalityLevel, TraceEvent};
 pub use histogram::LogHistogram;
 pub use metrics::{MetricsRegistry, TimeWeightedGauge};
-pub use perfetto::chrome_trace;
+pub use perfetto::{chrome_trace, chrome_trace_with_probe};
+pub use probe::{ProbeCounter, ProbeReport, SpanKind};
 pub use summary::{LocalityCounts, Percentiles, PlanningCost, RunSummary};
 pub use tracer::{
     FanoutTracer, JsonlTracer, MemTracer, NullTracer, SharedTracer, TimedEvent, Tracer,

@@ -18,11 +18,13 @@ use std::collections::HashMap;
 
 use crate::event::TraceEvent;
 use crate::json;
+use crate::probe::ProbeReport;
 use crate::tracer::TimedEvent;
 
 const PID_TASKS: u32 = 1;
 const PID_NETWORK: u32 = 2;
 const PID_CONTROL: u32 = 3;
+const PID_PROBE: u32 = 4;
 
 fn us(t: f64) -> f64 {
     t * 1e6
@@ -93,10 +95,38 @@ impl EventWriter {
 
 /// Renders recorded events as a Chrome trace JSON document.
 pub fn chrome_trace(events: &[TimedEvent]) -> String {
+    chrome_trace_impl(events, None)
+}
+
+/// Like [`chrome_trace`], with an extra "probe (host)" process
+/// (`pid 4`) carrying the simulator's self-profiling spans. Probe
+/// slices are host wall-clock relative to the probe epoch, while sim
+/// tracks are simulated seconds — the tracks share one viewer but not
+/// one time base, so compare durations, not alignments.
+pub fn chrome_trace_with_probe(events: &[TimedEvent], probe: &ProbeReport) -> String {
+    chrome_trace_impl(events, Some(probe))
+}
+
+fn chrome_trace_impl(events: &[TimedEvent], probe: Option<&ProbeReport>) -> String {
     let mut w = EventWriter::new();
     w.process_name(PID_TASKS, "tasks");
     w.process_name(PID_NETWORK, "network");
     w.process_name(PID_CONTROL, "control");
+    if let Some(p) = probe {
+        if !p.recent.is_empty() {
+            w.process_name(PID_PROBE, "probe (host)");
+            for rec in &p.recent {
+                let start_s = rec.start_ns as f64 / 1e9;
+                w.complete(
+                    rec.kind.label(),
+                    PID_PROBE,
+                    u32::from(rec.depth),
+                    start_s,
+                    start_s + rec.dur_ns as f64 / 1e9,
+                );
+            }
+        }
+    }
 
     // Open flows: id -> (start time, label, src machine).
     let mut open_flows: HashMap<u64, (f64, String, u32)> = HashMap::new();
@@ -266,6 +296,27 @@ mod tests {
         assert!(out.contains("\"ts\":1000000"));
         assert!(out.contains("\"dur\":3000000"));
         assert!(out.contains("process_name"));
+    }
+
+    #[test]
+    fn probe_report_adds_a_host_track() {
+        use crate::probe::{SpanKind, SpanRecord};
+        let probe = ProbeReport {
+            recent: vec![SpanRecord {
+                kind: SpanKind::FabricRecompute,
+                start_ns: 2_000,
+                dur_ns: 1_500,
+                depth: 0,
+            }],
+            ..ProbeReport::default()
+        };
+        let out = chrome_trace_with_probe(&[], &probe);
+        assert!(out.contains("probe (host)"));
+        assert!(out.contains("\"name\":\"fabric.recompute\""));
+        assert!(out.ends_with("]}"));
+        // An empty report adds no probe process.
+        let bare = chrome_trace_with_probe(&[], &ProbeReport::default());
+        assert!(!bare.contains("probe (host)"));
     }
 
     #[test]

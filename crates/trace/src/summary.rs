@@ -119,6 +119,12 @@ pub struct RunSummary {
     /// Planning cost, when the invoking CLI measured it (`None` for
     /// unplanned schedulers and for summaries built by the engine alone).
     pub planning: Option<PlanningCost>,
+    /// Events evicted from a bounded trace ring (`MemTracer`), when the
+    /// invoking CLI used one. Like [`RunSummary::planning`] this is
+    /// stamped by the CLI, never by the engine: ring pressure is a host
+    /// artifact, not part of the simulated run. Non-zero means any
+    /// downstream trace analysis saw a truncated stream.
+    pub trace_drops: Option<u64>,
 }
 
 fn pct(x: f64) -> f64 {
@@ -191,6 +197,16 @@ impl fmt::Display for RunSummary {
                 p.wall_s, p.candidates
             )?;
         }
+        if let Some(d) = self.trace_drops {
+            if d > 0 {
+                writeln!(
+                    f,
+                    "  trace ring             {d} events dropped (truncated!)"
+                )?;
+            } else {
+                writeln!(f, "  trace ring             0 events dropped")?;
+            }
+        }
         Ok(())
     }
 }
@@ -231,6 +247,7 @@ mod tests {
                 wall_s: 0.042,
                 candidates: 1261,
             }),
+            trace_drops: Some(17),
         }
     }
 
@@ -255,5 +272,17 @@ mod tests {
         assert!(text.contains("(no samples)"));
         assert!(text.contains("1200 started, 1200 completed"));
         assert!(text.contains("planning               0.042s wall (1261 candidates)"));
+        assert!(text.contains("trace ring             17 events dropped (truncated!)"));
+    }
+
+    #[test]
+    fn trace_drops_line_is_quiet_when_unmeasured() {
+        let mut s = summary();
+        s.trace_drops = None;
+        assert!(!s.to_string().contains("trace ring"));
+        s.trace_drops = Some(0);
+        assert!(s
+            .to_string()
+            .contains("trace ring             0 events dropped"));
     }
 }

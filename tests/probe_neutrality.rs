@@ -1,0 +1,101 @@
+//! Probe-neutrality test: `corral-probe` is host-side observability
+//! *only*. Turning it on must not perturb the simulation in any way —
+//! the sim-trace JSONL stays byte-identical, the planner emits the same
+//! `Plan`, and the run summary matches, for the same seed.
+//!
+//! Kept as a single `#[test]` in its own binary: the probe's
+//! enabled flag and merge accumulator are process-global, so sharing a
+//! binary with concurrently-running tests (cargo's default) would race
+//! on them.
+
+use corral::cluster::config::DataPlacement;
+use corral::prelude::*;
+use corral::trace::probe;
+use corral::trace::JsonlTracer;
+use corral::workloads::w1;
+use std::sync::Arc;
+
+fn jobs() -> Vec<JobSpec> {
+    w1::generate(
+        &w1::W1Params {
+            jobs: 8,
+            ..w1::W1Params::with_seed(11)
+        },
+        Scale {
+            task_divisor: 10.0,
+            data_divisor: 4.0,
+        },
+    )
+}
+
+fn params(cfg: &ClusterConfig) -> SimParams {
+    SimParams {
+        cluster: cfg.clone(),
+        background: BackgroundModel::Constant {
+            per_rack: cfg.rack_core_bandwidth() * 0.5,
+        },
+        horizon: SimTime::hours(20.0),
+        placement: DataPlacement::PerPlan,
+        ..SimParams::testbed()
+    }
+}
+
+/// Plans and runs the fixed workload with a JSONL tracer; returns the
+/// plan, the trace bytes, and the report.
+fn traced_run() -> (Plan, Vec<u8>, RunReport) {
+    let cfg = ClusterConfig::testbed_210();
+    let jobs = jobs();
+    let plan = plan_jobs(&cfg, &jobs, Objective::Makespan, &PlannerConfig::default());
+    let tracer = Arc::new(JsonlTracer::new(Vec::new()));
+    let mut engine = Engine::new(params(&cfg), jobs, &plan, SchedulerKind::Planned);
+    engine.set_tracer(tracer.clone());
+    let report = engine.run();
+    let bytes = Arc::try_unwrap(tracer)
+        .ok()
+        .expect("engine dropped its tracer handle")
+        .into_inner();
+    (plan, bytes, report)
+}
+
+#[test]
+fn probes_do_not_perturb_the_simulation() {
+    // Baseline: probes off (the default, but make it explicit).
+    probe::set_enabled(false);
+    probe::reset();
+    let (plan_off, trace_off, report_off) = traced_run();
+    assert!(
+        probe::report().is_empty(),
+        "disabled probes must record nothing"
+    );
+
+    // Probed: same seed, probes on.
+    probe::set_enabled(true);
+    probe::reset();
+    let (plan_on, trace_on, report_on) = traced_run();
+    let pr = probe::report();
+    probe::set_enabled(false);
+
+    // The probes actually observed the run — otherwise this test would
+    // pass vacuously with broken wiring.
+    for kind in [
+        probe::SpanKind::EngineEvent,
+        probe::SpanKind::FabricRecompute,
+        probe::SpanKind::PlanDecision,
+    ] {
+        let stat = pr
+            .span_stat(kind)
+            .unwrap_or_else(|| panic!("no `{}` spans recorded", kind.label()));
+        assert!(stat.count > 0);
+        assert!(stat.p50_s <= stat.p99_s);
+    }
+
+    // ...and observed nothing the simulation could see.
+    assert!(!trace_off.is_empty());
+    assert_eq!(
+        trace_off, trace_on,
+        "sim trace must be byte-identical with probes on"
+    );
+    assert_eq!(plan_off, plan_on, "plan must be unchanged with probes on");
+    assert_eq!(report_off.makespan, report_on.makespan);
+    assert_eq!(report_off.summary, report_on.summary);
+}
