@@ -74,6 +74,7 @@ fn run(args: &[String]) -> Result<(), String> {
             "sweepbench" => ex::sweepbench::main(),
             "fabricbench" => ex::fabricbench::main(),
             "plannerbench" => ex::plannerbench::main(),
+            "servebench" => ex::servebench::main(),
             "perfreport" => ex::perfreport::main(),
             other => eprintln!("unknown experiment: {other}"),
         }

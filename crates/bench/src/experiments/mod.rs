@@ -23,6 +23,7 @@ pub mod phases;
 pub mod plannerbench;
 pub mod pred;
 pub mod replan;
+pub mod servebench;
 pub mod sweepbench;
 pub mod table1;
 

@@ -1,20 +1,22 @@
-//! Unified performance report: runs live probe cells for the three hot
+//! Unified performance report: runs live probe cells for the four hot
 //! subsystems (fabric event loop, planner provisioning loop, sweep/engine
-//! path), measures the probe layer's own overhead, merges the result with
+//! path, serving loop), measures the probe layer's own overhead, merges
+//! the result with
 //! every `BENCH_*.json` the other benches have written, and emits
 //! `BENCH_report.json` (machine-readable) plus `PERF.md` (human-readable)
 //! in the working directory.
 //!
 //! Not part of `repro all`; CI runs `repro perfreport` after the
-//! fabricbench/plannerbench perf-smoke steps so the report folds their
-//! fresh JSON in. The live cells double as *regression tripwires*: the
-//! fabric small-scale recompute count and the planner large-scale
-//! candidate count must match the same golden constants the benches
+//! fabricbench/plannerbench/servebench perf-smoke steps so the report
+//! folds their fresh JSON in. The live cells double as *regression
+//! tripwires*: the fabric small-scale recompute count, the planner
+//! large-scale candidate count, and the serve small-cell decision count
+//! must match the same golden constants the benches
 //! assert, and drift panics here too (bless via the owning bench's
 //! `CORRAL_*BENCH_BLESS=1`, then rerun). Wall-clock numbers — including
 //! the probe-overhead measurement — are reported but never asserted.
 
-use crate::experiments::{fabricbench, plannerbench};
+use crate::experiments::{fabricbench, plannerbench, servebench};
 use crate::jsonv::{self, Value};
 use crate::runner::{run_variant, RunConfig, Variant};
 use crate::table;
@@ -33,7 +35,7 @@ const OVERHEAD_REPEATS: usize = 5;
 /// Span kinds the live cells are guaranteed to exercise; an empty stat
 /// for one of these means the probe wiring regressed, and that *is*
 /// asserted (unlike wall-clock, span presence is deterministic).
-const REQUIRED_SPANS: [probe::SpanKind; 8] = [
+const REQUIRED_SPANS: [probe::SpanKind; 9] = [
     probe::SpanKind::FabricRecompute,
     probe::SpanKind::FabricMaxMin,
     probe::SpanKind::CandidateEnum,
@@ -42,6 +44,7 @@ const REQUIRED_SPANS: [probe::SpanKind; 8] = [
     probe::SpanKind::PlanDecision,
     probe::SpanKind::EngineEvent,
     probe::SpanKind::SweepCell,
+    probe::SpanKind::ServeDecision,
 ];
 
 /// One golden-counter tripwire result.
@@ -203,12 +206,14 @@ pub fn main() {
     probe::reset();
 
     // -- Live cells -------------------------------------------------------
-    println!("   running live probe cells (fabric small, planner large, engine grid)");
+    println!("   running live probe cells (fabric small, planner large, engine grid, serve small)");
     let (fab_recomputes, fab_golden) = fabricbench::probe_cell_small();
     let planner_cell = plannerbench::probe_cell_large();
     let pool = crate::config::pool().progress(false);
     let (planner_cands, _) = planner_cell.run(&pool);
     run_engine_cell();
+    let serve_cell = servebench::probe_cell_small();
+    let serve_decisions = serve_cell.run();
 
     // -- Probe overhead on the planner large cell -------------------------
     // Warm once, then min-of-N with probes on vs off. The off passes
@@ -287,6 +292,11 @@ pub fn main() {
             name: "planner_large_candidates",
             observed: planner_cands,
             golden: planner_cell.golden(),
+        },
+        Tripwire {
+            name: "serve_small_decisions",
+            observed: serve_decisions,
+            golden: serve_cell.golden(),
         },
     ];
     let drift: Vec<String> = tripwires

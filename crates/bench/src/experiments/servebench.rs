@@ -1,0 +1,341 @@
+//! Serving-path benchmark: the resident scheduler (`corral-serve`)
+//! under W1- and W2-shaped arrival streams at three cluster scales.
+//! Measures sustained decision throughput and per-decision latency
+//! (`serve.decision` span p50/p99), with the plan-cache and
+//! incremental-replan counters alongside. Writes `BENCH_serve.json` in
+//! the working directory.
+//!
+//! Not part of `repro all` (it times the service, not a paper artifact);
+//! CI runs `repro servebench` as a perf-smoke step. The service loop is
+//! deterministic, so every cell's *decision count* is golden below and
+//! any drift fails the run — a tripwire for accidental changes to
+//! admission, replanning, or the dispatch cascade. The small cells also
+//! run with the oracle tripwire armed: every incremental (or
+//! cache-materialized) replan is asserted plan-equal to a fresh
+//! `plan_jobs_pinned` call. Wall-clock numbers are recorded but never
+//! asserted (CI timing is noisy).
+//!
+//! Regenerate the golden table after an *intentional* behavior change by
+//! running with `CORRAL_SERVEBENCH_BLESS=1` and pasting the printed
+//! constants.
+
+use crate::table;
+use corral_core::Objective;
+use corral_model::{ClusterConfig, JobSpec, SimTime};
+use corral_serve::source::events_from_specs;
+use corral_serve::{Scheduler, ServeConfig, ServeEvent, ServeStats};
+use corral_trace::probe;
+use corral_workloads::{assign_uniform_arrivals, w1, w2};
+use std::time::Instant;
+
+/// One benchmark cell: a workload shape at a cluster scale.
+struct CellSpec {
+    name: &'static str,
+    workload: &'static str,
+    jobs: usize,
+    racks: usize,
+    seed: u64,
+    /// Oracle tripwire on every replan (small cells only — the batch
+    /// oracle is quadratic in queue length and would dominate the
+    /// larger cells' wall time).
+    tripwire: bool,
+}
+
+/// W1/W2 × small/medium/large, plus one recurring-template stream. The
+/// large cells are the acceptance cells: the service must sustain
+/// ≥ 10k decisions/sec there. The `recur` cell replays one W1 template
+/// at a wide spacing so most arrivals see an identical cluster state —
+/// the cell that actually lands plan-cache hits.
+const CELLS: [CellSpec; 7] = [
+    CellSpec {
+        name: "w1-small",
+        workload: "w1",
+        jobs: 40,
+        racks: 7,
+        seed: 0x5E41,
+        tripwire: true,
+    },
+    CellSpec {
+        name: "w2-small",
+        workload: "w2",
+        jobs: 40,
+        racks: 7,
+        seed: 0x5E42,
+        tripwire: true,
+    },
+    CellSpec {
+        name: "w1-medium",
+        workload: "w1",
+        jobs: 120,
+        racks: 12,
+        seed: 0x5E43,
+        tripwire: false,
+    },
+    CellSpec {
+        name: "w2-medium",
+        workload: "w2",
+        jobs: 120,
+        racks: 12,
+        seed: 0x5E44,
+        tripwire: false,
+    },
+    CellSpec {
+        name: "w1-large",
+        workload: "w1",
+        jobs: 320,
+        racks: 24,
+        seed: 0x5E45,
+        tripwire: false,
+    },
+    CellSpec {
+        name: "w2-large",
+        workload: "w2",
+        jobs: 320,
+        racks: 24,
+        seed: 0x5E46,
+        tripwire: false,
+    },
+    CellSpec {
+        name: "recur-medium",
+        workload: "recur",
+        jobs: 200,
+        racks: 12,
+        seed: 0x5E47,
+        tripwire: true,
+    },
+];
+
+/// Golden decision counts per cell (admissions, rejections, dispatches
+/// and completions summed). The service loop is deterministic, so these
+/// are exact; drift means admission, replanning, or the timer cascade
+/// changed behavior. Bless deliberately (see module docs) or find the
+/// regression.
+const GOLDEN_DECISIONS: [(&str, u64); 7] = [
+    ("w1-small", 120),
+    ("w2-small", 120),
+    ("w1-medium", 360),
+    ("w2-medium", 360),
+    ("w1-large", 960),
+    ("w2-large", 960),
+    ("recur-medium", 600),
+];
+
+/// Timed repetitions per cell (fresh scheduler each; minimum wall
+/// reported — the steady-state serving rate, warm caches excluded by
+/// construction since every repetition starts cold).
+const REPEATS: usize = 5;
+
+fn stream(c: &CellSpec) -> Vec<ServeEvent> {
+    let scale = crate::experiments::bench_scale();
+    let mut jobs: Vec<JobSpec> = match c.workload {
+        "w1" => w1::generate(
+            &w1::W1Params {
+                jobs: c.jobs,
+                ..w1::W1Params::with_seed(c.seed)
+            },
+            scale,
+        ),
+        "w2" => w2::generate(
+            &w2::W2Params {
+                jobs: c.jobs,
+                seed: c.seed,
+                ..Default::default()
+            },
+            scale,
+        ),
+        // One template, replayed: take the first generated W1 job and
+        // repeat it at a spacing wide enough for each run to drain
+        // before the next arrives, so the replan key recurs exactly.
+        "recur" => {
+            let template = w1::generate(&w1::W1Params::with_seed(c.seed), scale)
+                .into_iter()
+                .next()
+                .expect("w1 generates at least one job");
+            return events_from_specs(
+                &(0..c.jobs)
+                    .map(|i| JobSpec {
+                        id: corral_model::JobId(i as u32),
+                        name: format!("recur-{i:03}"),
+                        arrival: SimTime::minutes(120.0 * i as f64),
+                        ..template.clone()
+                    })
+                    .collect::<Vec<_>>(),
+            );
+        }
+        other => unreachable!("unknown workload {other}"),
+    };
+    assign_uniform_arrivals(&mut jobs, SimTime::minutes(60.0), c.seed ^ 0xA);
+    events_from_specs(&jobs)
+}
+
+fn config(c: &CellSpec) -> ServeConfig {
+    ServeConfig {
+        cluster: ClusterConfig {
+            racks: c.racks,
+            ..ClusterConfig::testbed_210()
+        },
+        objective: Objective::AvgCompletionTime,
+        tripwire: c.tripwire,
+        ..ServeConfig::default()
+    }
+}
+
+/// One timed pass over a cell's stream. Returns the stats and the wall.
+fn run_once(c: &CellSpec, events: &[ServeEvent]) -> (ServeStats, f64) {
+    let mut sched = Scheduler::new(config(c));
+    let mut out = Vec::with_capacity(events.len() * 3);
+    let t0 = Instant::now();
+    let stats = sched.run(events.iter().cloned(), &mut out);
+    let wall = t0.elapsed().as_secs_f64();
+    assert_eq!(stats.decisions as usize, out.len());
+    (stats, wall)
+}
+
+/// Handle for `repro perfreport`: the w1-small cell (stream built once),
+/// re-runnable with probes on — populates `serve.decision` and the
+/// serve counters, and returns the golden-checked decision count.
+pub(crate) struct ProbeCell {
+    spec: &'static CellSpec,
+    events: Vec<ServeEvent>,
+}
+
+/// Builds the w1-small probe cell (oracle tripwire armed).
+pub(crate) fn probe_cell_small() -> ProbeCell {
+    ProbeCell {
+        spec: &CELLS[0],
+        events: stream(&CELLS[0]),
+    }
+}
+
+impl ProbeCell {
+    /// Runs the cell once; returns its decision count.
+    pub(crate) fn run(&self) -> u64 {
+        run_once(self.spec, &self.events).0.decisions
+    }
+
+    /// Golden decision count (the perfreport tripwire; same constant the
+    /// bench itself asserts).
+    pub(crate) fn golden(&self) -> u64 {
+        GOLDEN_DECISIONS[0].1
+    }
+}
+
+/// Runs every cell, checks golden decision counts, and writes
+/// `BENCH_serve.json`.
+pub fn main() {
+    table::section("servebench: resident scheduler throughput (corral-serve)");
+    let bless = std::env::var_os("CORRAL_SERVEBENCH_BLESS").is_some();
+    let was_enabled = probe::enabled();
+    probe::set_enabled(true);
+
+    table::row(&[
+        "cell", "jobs", "racks", "decs", "wall", "dec/s", "arr/s", "p50", "p99", "hit%", "incr%",
+    ]);
+    let mut cell_json = Vec::new();
+    let mut drift = Vec::new();
+
+    for c in &CELLS {
+        let events = stream(c);
+        // Cells run serially with a fresh probe world each, so the
+        // span histogram and counters below belong to this cell alone.
+        probe::reset();
+        let mut best: Option<(ServeStats, f64)> = None;
+        for _ in 0..REPEATS {
+            let (stats, wall) = run_once(c, &events);
+            if let Some((prev, _)) = &best {
+                assert_eq!(
+                    *prev, stats,
+                    "{}: non-deterministic repeat (stats diverged)",
+                    c.name
+                );
+            }
+            if best.as_ref().is_none_or(|(_, w)| wall < *w) {
+                best = Some((stats, wall));
+            }
+        }
+        let (stats, wall) = best.unwrap();
+        probe::flush_thread();
+        let report = probe::report();
+        let span = report
+            .span_stat(probe::SpanKind::ServeDecision)
+            .expect("serve cells exercise serve.decision");
+
+        let dec_rate = stats.decisions as f64 / wall.max(1e-9);
+        let arr_rate = stats.arrivals as f64 / wall.max(1e-9);
+        let lookups = stats.cache_hits + stats.cache_misses;
+        let hit_pct = 100.0 * stats.cache_hits as f64 / (lookups.max(1)) as f64;
+        let replans = stats.replans_incremental + stats.replans_full;
+        let incr_pct = 100.0 * stats.replans_incremental as f64 / (replans.max(1)) as f64;
+        table::row(&[
+            c.name.to_string(),
+            c.jobs.to_string(),
+            c.racks.to_string(),
+            stats.decisions.to_string(),
+            table::secs(wall),
+            format!("{dec_rate:.0}"),
+            format!("{arr_rate:.0}"),
+            format!("{:.1}us", span.p50_s * 1e6),
+            format!("{:.1}us", span.p99_s * 1e6),
+            format!("{hit_pct:.0}"),
+            format!("{incr_pct:.0}"),
+        ]);
+
+        let golden = GOLDEN_DECISIONS
+            .iter()
+            .find(|(n, _)| *n == c.name)
+            .map(|&(_, v)| v)
+            .unwrap();
+        if stats.decisions != golden {
+            drift.push(format!(
+                "{}: decisions {} != golden {golden}",
+                c.name, stats.decisions
+            ));
+        }
+        if c.name.ends_with("-large") && dec_rate < 10_000.0 {
+            println!(
+                "   warning: {} throughput {dec_rate:.0}/s below the 10k/s target",
+                c.name
+            );
+        }
+        cell_json.push(format!(
+            "    {{\"cell\": \"{}\", \"jobs\": {}, \"racks\": {}, \"decisions\": {}, \
+             \"wall_s\": {:.4}, \"decisions_per_s\": {:.0}, \"arrivals_per_s\": {:.0}, \
+             \"decision_p50_us\": {:.2}, \"decision_p99_us\": {:.2}, \
+             \"cache_hits\": {}, \"cache_misses\": {}, \
+             \"replans_incremental\": {}, \"replans_full\": {}, \"tripwire\": {}}}",
+            c.name,
+            c.jobs,
+            c.racks,
+            stats.decisions,
+            wall,
+            dec_rate,
+            arr_rate,
+            span.p50_s * 1e6,
+            span.p99_s * 1e6,
+            stats.cache_hits,
+            stats.cache_misses,
+            stats.replans_incremental,
+            stats.replans_full,
+            c.tripwire,
+        ));
+    }
+
+    if !drift.is_empty() {
+        if bless {
+            println!("   bless mode: update GOLDEN_DECISIONS to the counts above");
+        } else {
+            panic!(
+                "servebench decision-counter drift:\n  {}",
+                drift.join("\n  ")
+            );
+        }
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"serve_loop\",\n  \"cells\": [\n{}\n  ]\n}}\n",
+        cell_json.join(",\n")
+    );
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    println!("   wrote BENCH_serve.json");
+    probe::set_enabled(was_enabled);
+}

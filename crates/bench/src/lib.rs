@@ -18,8 +18,9 @@
 
 pub mod config;
 pub mod experiments;
-pub mod jsonv;
 pub mod runner;
 pub mod table;
+
+pub use corral_serve::jsonv;
 
 pub use runner::{run_variant, run_variant_grid, RunConfig, Variant};

@@ -1,0 +1,38 @@
+//! The bench harness consumes `BENCH_*.json` through `bench::jsonv`
+//! (now a re-export of `corral_serve::jsonv`, which owns the parser and
+//! its unit suite). This test holds the re-export path down: the exact
+//! documents the harness writes and merges must keep parsing here.
+
+use corral_bench::jsonv::{self, Value};
+
+#[test]
+fn bench_documents_parse_through_the_reexport() {
+    // The shape servebench writes and perfreport merges.
+    let text = r#"{
+  "bench": "serve_loop",
+  "cells": [
+    {"cell": "w1-small", "jobs": 40, "racks": 7, "decisions": 120,
+     "wall_s": 0.0005, "decisions_per_s": 240000, "arrivals_per_s": 80000,
+     "decision_p50_us": 10.21, "decision_p99_us": 55.00,
+     "cache_hits": 0, "cache_misses": 55,
+     "replans_incremental": 30, "replans_full": 25, "tripwire": true}
+  ]
+}"#;
+    let v = jsonv::parse(text).unwrap();
+    assert_eq!(v.get("bench").unwrap().as_str(), Some("serve_loop"));
+    let cells = v.get("cells").unwrap().as_arr().unwrap();
+    assert_eq!(cells[0].get("decisions").unwrap().as_u64(), Some(120));
+    assert!(matches!(
+        cells[0].get("tripwire").unwrap(),
+        Value::Bool(true)
+    ));
+    // Compact emission reparses to the same value (the property
+    // perfreport's merge depends on).
+    assert_eq!(jsonv::parse(&v.to_json()).unwrap(), v);
+}
+
+#[test]
+fn reexport_rejects_what_the_parser_rejects() {
+    assert!(jsonv::parse(r#"{"a":1} trailing"#).is_err());
+    assert!(jsonv::parse(r#"{"a":"#).is_err());
+}

@@ -120,6 +120,13 @@ pub struct Engine {
     dirty_machines: BTreeSet<MachineId>,
     job_index: BTreeMap<JobId, usize>,
     scheduler_label: String,
+    /// The policy kind the engine was built with; late submissions
+    /// ([`Engine::submit_jobs`]) derive constraints/priorities the same
+    /// way construction did.
+    kind: SchedulerKind,
+    /// Completions since the last [`Engine::drain_finished`] call, in
+    /// simulation order — the feed half of the `corral-serve` seam.
+    finished_log: Vec<(JobId, SimTime)>,
     horizon_hit: bool,
     task_log: Vec<crate::metrics::TaskRecord>,
     /// Cached `tracer.enabled()` so untraced runs pay one branch per site.
@@ -219,6 +226,8 @@ impl Engine {
             dirty_machines: BTreeSet::new(),
             job_index,
             scheduler_label: String::new(),
+            kind,
+            finished_log: Vec::new(),
             horizon_hit: false,
             task_log: Vec::new(),
             trace_on: false,
@@ -388,6 +397,122 @@ impl Engine {
     /// Current simulation time.
     pub fn now(&self) -> SimTime {
         self.st.now
+    }
+
+    /// Submits `specs` into a *running* simulation — the feed half of the
+    /// `corral-serve` seam. Each job goes through the same pipeline as at
+    /// construction: constraints/priorities from `plan` (for the planned
+    /// policy; fallback policies get FIFO ranks after the existing jobs),
+    /// DFS ingest under the engine's own RNG stream, order rebuilds, and
+    /// an arrival event clamped to `max(now, spec.arrival)` (the engine
+    /// clock never goes backwards — a spec whose arrival is already in
+    /// the past arrives "now").
+    ///
+    /// Determinism: submissions are part of the input sequence, so two
+    /// runs that submit the same specs at the same simulation times are
+    /// byte-identical. Panics on duplicate job ids, like `new`.
+    pub fn submit_jobs(&mut self, specs: &[JobSpec], plan: &Plan) {
+        if specs.is_empty() {
+            return;
+        }
+        let cluster = self.st.params.cluster.clone();
+        for s in specs {
+            s.validate().expect("invalid job spec");
+        }
+        let base = self.st.jobs.len();
+        let next_rank = self
+            .st
+            .jobs
+            .iter()
+            .map(|j| j.priority.saturating_add(1))
+            .max()
+            .unwrap_or(0);
+        for s in specs {
+            let mut j = RtJob::new(s.clone(), &cluster);
+            let i = self.st.jobs.len();
+            let prev = self.job_index.insert(j.spec.id, i);
+            assert!(prev.is_none(), "duplicate job id {}", j.spec.id);
+            match self.kind {
+                SchedulerKind::Planned => {
+                    if let Some(entry) = plan.entry(j.spec.id) {
+                        j.constrain_to(entry.racks.clone());
+                        j.priority = entry.priority;
+                    }
+                }
+                SchedulerKind::Capacity | SchedulerKind::ShuffleWatcher => {
+                    // FIFO after everything already admitted (specs are
+                    // assumed arrival-ordered within the batch).
+                    j.priority = next_rank + (i - base) as u32;
+                }
+            }
+            self.metrics.insert(
+                j.spec.id,
+                JobMetrics {
+                    arrival: j.spec.arrival.max(self.st.now),
+                    slots_requested: j.spec.profile.slots_requested(),
+                    ..Default::default()
+                },
+            );
+            self.st.jobs.push(j);
+        }
+
+        // Ingest under the engine RNG (same swap pattern as construction:
+        // placement draws come from one stream however jobs arrive).
+        let mut rng = std::mem::replace(&mut self.rng, StdRng::seed_from_u64(0));
+        for ji in base..self.st.jobs.len() {
+            self.ingest_job_inputs(ji, &mut rng);
+        }
+        self.rng = rng;
+        if self.kind == SchedulerKind::ShuffleWatcher {
+            for ji in base..self.st.jobs.len() {
+                let racks = self.shufflewatcher_racks(ji);
+                self.st.jobs[ji].constrain_to(racks);
+            }
+        }
+
+        // Rebuild both orders over the grown job set.
+        let jobs = &self.st.jobs;
+        let mut fifo: Vec<usize> = (0..jobs.len()).collect();
+        fifo.sort_by(|&a, &b| {
+            jobs[a]
+                .spec
+                .arrival
+                .total_cmp(jobs[b].spec.arrival)
+                .then(jobs[a].spec.id.cmp(&jobs[b].spec.id))
+        });
+        let mut prio: Vec<usize> = (0..jobs.len()).collect();
+        prio.sort_by(|&a, &b| {
+            jobs[a]
+                .priority
+                .cmp(&jobs[b].priority)
+                .then(jobs[a].spec.arrival.total_cmp(jobs[b].spec.arrival))
+                .then(jobs[a].spec.id.cmp(&jobs[b].spec.id))
+        });
+        self.st.fifo_order = fifo;
+        self.st.prio_order = prio;
+
+        // Arrival + (simulated) upload events, clamped to now.
+        let now = self.st.now;
+        for i in base..self.st.jobs.len() {
+            let arrival = self.st.jobs[i].spec.arrival.max(now);
+            self.queue.schedule(arrival, Event::JobArrival(i));
+            if let crate::config::IngestMode::Simulated { lead_time } = self.st.params.ingest {
+                if !self.st.jobs[i].files.is_empty() {
+                    let at = (self.st.jobs[i].spec.arrival - lead_time).max(now);
+                    self.queue.schedule(at, Event::IngestStart(i));
+                    self.st.jobs[i].ingest_remaining = 1;
+                }
+            }
+        }
+        self.mark_all_machines_dirty();
+    }
+
+    /// Moves every completion recorded since the last drain into `out`
+    /// (job id, finish time; simulation order) — the drain half of the
+    /// `corral-serve` seam. The buffer is engine-owned and reused, so a
+    /// steady-state serve loop allocates nothing here.
+    pub fn drain_finished(&mut self, out: &mut Vec<(JobId, SimTime)>) {
+        out.append(&mut self.finished_log);
     }
 
     /// Routes structured events for this run into `tracer`: task lifecycle
@@ -1392,6 +1517,7 @@ impl Engine {
             }
         };
         if let Some((id, completion_s)) = finished {
+            self.finished_log.push((id, now));
             self.registry.inc("jobs_finished", 1);
             if self.trace_on {
                 self.emit(TraceEvent::JobFinished {

@@ -113,3 +113,87 @@ fn plan_update_never_touches_started_jobs() {
         );
     }
 }
+
+// ---------------------------------------------------------------------
+// The corral-serve feed/drain seam: submit_jobs / drain_finished.
+// ---------------------------------------------------------------------
+
+/// Drives a run where job 1 is submitted live at t=100 instead of being
+/// present at construction. Returns (completion pairs, report).
+fn seam_run(seed: u64) -> (Vec<(JobId, SimTime)>, corral_cluster::metrics::RunReport) {
+    let mut plan = Plan::default();
+    plan.entries.extend([entry(0, 0, 0)]);
+    let mut engine = Engine::new(
+        SimParams { seed, ..params() },
+        vec![job(0, 0.0)],
+        &plan,
+        SchedulerKind::Planned,
+    );
+    engine.run_until(SimTime(100.0));
+
+    let mut live = Plan::default();
+    live.entries.extend([entry(0, 0, 0), entry(1, 1, 1)]);
+    engine.submit_jobs(&[job(1, 100.0)], &live);
+
+    let mut done = Vec::new();
+    let mut t = 100.0;
+    while engine.run_until(SimTime(t)) {
+        t += 50.0;
+    }
+    engine.drain_finished(&mut done);
+    (done, engine.finish())
+}
+
+#[test]
+fn submit_jobs_feeds_a_live_run_deterministically() {
+    let (done_a, report_a) = seam_run(7);
+    let (done_b, report_b) = seam_run(7);
+
+    assert_eq!(report_a.unfinished, 0);
+    // Both jobs completed and were reported through the drain, in
+    // simulation order.
+    assert_eq!(done_a.len(), 2);
+    assert!(done_a[0].1 <= done_a[1].1);
+    let ids: Vec<JobId> = done_a.iter().map(|c| c.0).collect();
+    assert!(ids.contains(&JobId(0)) && ids.contains(&JobId(1)));
+    // Drain times match the report's finish times exactly.
+    for (id, at) in &done_a {
+        assert_eq!(report_a.jobs[id].finished.unwrap(), *at);
+    }
+    // Same inputs, same submission times → identical runs.
+    assert_eq!(done_a, done_b);
+    assert_eq!(
+        report_a.jobs[&JobId(1)].finished,
+        report_b.jobs[&JobId(1)].finished
+    );
+    // The late job ran where its plan entry pinned it.
+    let cfg = ClusterConfig::tiny_test();
+    for t in report_a.task_log.iter().filter(|t| t.job == JobId(1)) {
+        assert_eq!(cfg.rack_of(t.machine), RackId(1));
+    }
+}
+
+#[test]
+fn drain_is_incremental_and_non_lossy() {
+    let mut plan = Plan::default();
+    plan.entries.extend([entry(0, 0, 0), entry(1, 1, 1)]);
+    let mut engine = Engine::new(
+        params(),
+        vec![job(0, 0.0), job(1, 0.0)],
+        &plan,
+        SchedulerKind::Planned,
+    );
+    let mut seen = Vec::new();
+    let mut t = 25.0;
+    loop {
+        let more = engine.run_until(SimTime(t));
+        engine.drain_finished(&mut seen); // drain as we go
+        if !more {
+            break;
+        }
+        t += 25.0;
+    }
+    let report = engine.finish();
+    assert_eq!(report.unfinished, 0);
+    assert_eq!(seen.len(), 2, "each completion delivered exactly once");
+}

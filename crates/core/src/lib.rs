@@ -39,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod incremental;
 pub mod latency;
 pub mod lp;
 pub mod objective;
@@ -48,6 +49,7 @@ pub mod predict;
 pub mod prioritize;
 pub mod provision;
 
+pub use incremental::{profile_fingerprint, IncrementalPlanner, ReplanKind, ReplanStats};
 pub use latency::{dag_latency, mr_latency, LatencyModel, ResponseOptions};
 pub use objective::Objective;
 pub use plan::{Plan, PlanEntry};

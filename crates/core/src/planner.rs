@@ -123,22 +123,37 @@ fn plan_jobs_pinned_impl(
         .iter()
         .map(|j| pinned.get(&j.id).cloned())
         .collect();
+    plan_with_models(pool, &models, &meta, &pins, cfg.racks, objective)
+}
 
+/// Provisioning + prioritization + plan assembly over prebuilt latency
+/// models. The shared tail of [`plan_jobs_pinned`] and
+/// [`crate::incremental::IncrementalPlanner`]: one code path, so the
+/// incremental planner is bit-identical to the batch oracle by
+/// construction (its only delta is *where the models come from*).
+pub(crate) fn plan_with_models(
+    pool: Option<&corral_sweep::SweepPool>,
+    models: &[LatencyModel],
+    meta: &[(corral_model::JobId, SimTime)],
+    pins: &[Option<Vec<RackId>>],
+    total_racks: usize,
+    objective: Objective,
+) -> Plan {
     let outcome: ProvisionOutcome = match pool {
         Some(pool) => provision_pinned_pooled(
             pool,
-            &models,
-            &meta,
-            &pins,
-            cfg.racks,
+            models,
+            meta,
+            pins,
+            total_racks,
             objective,
             ProvisionMode::Exhaustive,
         ),
         None => provision_pinned(
-            &models,
-            &meta,
-            &pins,
-            cfg.racks,
+            models,
+            meta,
+            pins,
+            total_racks,
             objective,
             ProvisionMode::Exhaustive,
         ),

@@ -40,6 +40,7 @@ fn main() -> ExitCode {
         Some("import-swim") => cmd_import_swim(&args[1..]),
         Some("plan") => cmd_plan(&args[1..]),
         Some("simulate") => cmd_simulate(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("--version") | Some("-V") => {
             println!("corral-sim {}", env!("CARGO_PKG_VERSION"));
             Ok(())
@@ -76,6 +77,12 @@ USAGE:
                  [--plan <plan.csv>] [--timeline <gantt.csv>]
                  [--trace <events.jsonl>] [--perfetto <trace.json>]
                  [--probe <probe.prom>] [--summary]
+  corral-sim serve <events.jsonl|trace.csv|->
+                 [--objective makespan|avgjct] [--cluster testbed|sim2000|tiny]
+                 [--max-queue N] [--cache N] [--tripwire]
+                 [--decisions <out.jsonl>] [--quiet] [--summary]
+                 [--snapshot <file> --snapshot-after N] [--restore <file>]
+                 [--probe <probe.prom>]
   corral-sim --version
 
 The cluster is the paper's 210-machine testbed (7 racks x 30 machines,
@@ -95,7 +102,19 @@ derived from it) and prints per-seed rows plus mean/p50/p90/p99 and a
 95% CI half-width; -j/--jobs sets the worker count (default: all host
 cores). Per-seed results are byte-identical to running each seed
 serially; per-run exports (--trace/--perfetto/--timeline/--summary)
-require a single seed."
+require a single seed.
+
+Serve: runs the planner as a resident scheduling service over a JSONL
+event stream (one {{\"type\":\"arrival\",...}} or {{\"type\":\"completion\",...}}
+object per line; a .csv trace is adapted to pure arrivals, '-' reads
+stdin). Decisions stream to stdout (or --decisions FILE) as JSONL.
+Every arrival/completion replans the queue incrementally against a plan
+cache; --tripwire re-runs the full batch planner as an oracle on every
+replan and aborts on any divergence. --snapshot FILE --snapshot-after N
+stops after N input events and writes resumable scheduler state;
+--restore FILE resumes, skipping the already-consumed prefix of the
+input — the combined decision stream is byte-identical to the
+uninterrupted run."
     );
 }
 
@@ -241,6 +260,145 @@ fn cmd_plan(args: &[String]) -> Result<(), String> {
             e.planned_start.as_secs(),
             e.planned_finish.as_secs(),
             e.racks.iter().map(|r| r.0).collect::<Vec<_>>(),
+        );
+    }
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    use corral::serve::{snapshot, source, wire, Scheduler, ServeConfig};
+
+    const SERVE_VALUE_FLAGS: [&str; 9] = [
+        "--objective",
+        "--cluster",
+        "--max-queue",
+        "--cache",
+        "--decisions",
+        "--snapshot",
+        "--snapshot-after",
+        "--restore",
+        "--probe",
+    ];
+    let f = Flags::parse(
+        args,
+        &SERVE_VALUE_FLAGS,
+        &["--summary", "--tripwire", "--quiet"],
+    )?;
+    if f.value("--probe").is_some() {
+        probe::set_enabled(true);
+    }
+    let path = f
+        .positional(0)
+        .ok_or("serve: event stream required (events.jsonl | trace.csv | -)")?;
+    let cluster = match f.value("--cluster").unwrap_or("testbed") {
+        "testbed" => ClusterConfig::testbed_210(),
+        "sim2000" => ClusterConfig::sim_2000(),
+        "tiny" => ClusterConfig::tiny_test(),
+        other => return Err(format!("unknown cluster {other:?} (testbed|sim2000|tiny)")),
+    };
+    let cfg = ServeConfig {
+        cluster,
+        objective: objective_flag(&f)?,
+        max_queue: f.parse_or("--max-queue", 64)?,
+        cache_capacity: f.parse_or("--cache", 256)?,
+        tripwire: f.has("--tripwire"),
+        ..ServeConfig::default()
+    };
+
+    let events = if path == "-" {
+        source::read_events(std::io::stdin().lock())?
+    } else if path.ends_with(".csv") {
+        source::events_from_specs(&load_trace(path)?)
+    } else {
+        let file = std::fs::File::open(path).map_err(|e| format!("reading {path}: {e}"))?;
+        source::read_events(std::io::BufReader::new(file))?
+    };
+
+    let mut sched = match f.value("--restore") {
+        Some(p) => {
+            let text = std::fs::read_to_string(p).map_err(|e| format!("reading {p}: {e}"))?;
+            snapshot::read(&text, cfg)?
+        }
+        None => Scheduler::new(cfg),
+    };
+    // A restored scheduler has already consumed a prefix of the stream.
+    let skip = sched.stats().events as usize;
+    if skip > events.len() {
+        return Err(format!(
+            "snapshot has consumed {skip} events but the stream only has {}",
+            events.len()
+        ));
+    }
+
+    let snapshot_after: usize = f.parse_or("--snapshot-after", 0)?;
+    let snapshot_path = f.value("--snapshot");
+    if (snapshot_after > 0) != snapshot_path.is_some() {
+        return Err("serve: --snapshot FILE and --snapshot-after N go together".into());
+    }
+
+    let mut out = Vec::new();
+    let mut interrupted = false;
+    for (i, ev) in events.into_iter().enumerate().skip(skip) {
+        sched.on_event(ev, &mut out);
+        if snapshot_after > 0 && i + 1 == skip + snapshot_after {
+            interrupted = true;
+            break;
+        }
+    }
+    if interrupted {
+        let text = snapshot::write(&sched)?;
+        let p = snapshot_path.expect("checked above");
+        std::fs::write(p, text).map_err(|e| format!("writing {p}: {e}"))?;
+        eprintln!(
+            "snapshot: {} events consumed, {} queued, {} active -> {p}",
+            sched.stats().events,
+            sched.queue_len(),
+            sched.active_len(),
+        );
+    } else {
+        sched.finish(&mut out);
+    }
+
+    let mut text = String::with_capacity(out.len() * 80);
+    for (t, d) in &out {
+        text.push_str(&wire::format_decision(*t, d));
+        text.push('\n');
+    }
+    match f.value("--decisions") {
+        Some(p) => std::fs::write(p, &text).map_err(|e| format!("writing {p}: {e}"))?,
+        None => {
+            if !f.has("--quiet") {
+                print!("{text}");
+            }
+        }
+    }
+
+    if f.has("--summary") {
+        let s = sched.stats();
+        eprintln!(
+            "serve: {} events -> {} decisions ({} admitted, {} rejected, {} dispatched, \
+             {} completed; {} late arrivals, {} unknown completions)",
+            s.events,
+            s.decisions,
+            s.admitted,
+            s.rejected,
+            s.dispatched,
+            s.completed,
+            s.late_arrivals,
+            s.unknown_completions,
+        );
+        eprintln!(
+            "plans: {} cache hits, {} misses; {} incremental replans, {} full",
+            s.cache_hits, s.cache_misses, s.replans_incremental, s.replans_full,
+        );
+    }
+    if let Some(p) = f.value("--probe") {
+        let r = probe::report();
+        std::fs::write(p, r.prometheus()).map_err(|e| format!("writing {p}: {e}"))?;
+        eprintln!(
+            "probe: {p} ({} span kinds, {} threads)",
+            r.spans.len(),
+            r.threads
         );
     }
     Ok(())

@@ -49,6 +49,7 @@ pub use corral_cluster as cluster;
 pub use corral_core as core;
 pub use corral_dfs as dfs;
 pub use corral_model as model;
+pub use corral_serve as serve;
 pub use corral_simnet as simnet;
 pub use corral_sweep as sweep;
 pub use corral_trace as trace;

@@ -1,0 +1,121 @@
+//! Snapshot/restore determinism across **processes**: interrupt a
+//! `corral-sim serve` run mid-stream, resume it in a brand-new process,
+//! and the stitched decision stream must be byte-identical to the
+//! uninterrupted run. This is the strongest form of the serve crate's
+//! in-process round-trip test — nothing may survive in memory.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn sim() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_corral-sim"))
+}
+
+fn run_ok(cmd: &mut Command) -> String {
+    let out = cmd.output().expect("spawn corral-sim");
+    assert!(
+        out.status.success(),
+        "corral-sim failed: {}\n{}",
+        String::from_utf8_lossy(&out.stderr),
+        String::from_utf8_lossy(&out.stdout),
+    );
+    String::from_utf8(out.stdout).expect("utf-8 stdout")
+}
+
+#[test]
+fn interrupted_serve_resumes_byte_identically_in_a_fresh_process() {
+    let dir = std::env::temp_dir().join(format!("corral-serve-snap-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let p = |name: &str| -> PathBuf { dir.join(name) };
+    let s = |pb: &PathBuf| pb.to_str().unwrap().to_string();
+
+    let trace = p("w1.csv");
+    run_ok(sim().args([
+        "gen",
+        "w1",
+        "--jobs",
+        "14",
+        "--seed",
+        "11",
+        "--window-min",
+        "20",
+        "-o",
+        &s(&trace),
+    ]));
+
+    // Uninterrupted reference run (tripwire on: every replan is also
+    // checked against the batch oracle).
+    let full = p("full.jsonl");
+    run_ok(sim().args([
+        "serve",
+        &s(&trace),
+        "--cluster",
+        "tiny",
+        "--tripwire",
+        "--quiet",
+        "--decisions",
+        &s(&full),
+    ]));
+
+    // Interrupt after 7 of 14 input events; process 1 dies here.
+    let snap = p("state.snap");
+    let head = p("head.jsonl");
+    run_ok(sim().args([
+        "serve",
+        &s(&trace),
+        "--cluster",
+        "tiny",
+        "--tripwire",
+        "--quiet",
+        "--snapshot",
+        &s(&snap),
+        "--snapshot-after",
+        "7",
+        "--decisions",
+        &s(&head),
+    ]));
+
+    // Process 2: restore and run the remainder.
+    let tail = p("tail.jsonl");
+    run_ok(sim().args([
+        "serve",
+        &s(&trace),
+        "--cluster",
+        "tiny",
+        "--tripwire",
+        "--restore",
+        &s(&snap),
+        "--quiet",
+        "--decisions",
+        &s(&tail),
+    ]));
+
+    let full_text = std::fs::read_to_string(&full).unwrap();
+    let stitched =
+        std::fs::read_to_string(&head).unwrap() + &std::fs::read_to_string(&tail).unwrap();
+    assert_eq!(
+        stitched, full_text,
+        "snapshot/restore across processes must not change a single byte"
+    );
+    assert!(!full_text.is_empty());
+
+    // Restoring against a different configuration is refused.
+    let out = sim()
+        .args([
+            "serve",
+            &s(&trace),
+            "--cluster",
+            "tiny",
+            "--max-queue",
+            "3",
+            "--restore",
+            &s(&snap),
+            "--quiet",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("fingerprint"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,121 @@
+//! The service's vocabulary: input events and output decisions.
+
+use corral_model::{JobId, JobSpec, RackId, SimTime};
+
+/// One input to the scheduling service.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeEvent {
+    /// A job submission. The spec's `arrival` is the submission time; an
+    /// arrival earlier than the service clock is clamped to "now" (and
+    /// counted as late).
+    Arrival(JobSpec),
+    /// An executor reports a job finished at simulation time `at`. Only
+    /// meaningful when an external executor (e.g. the cluster engine)
+    /// drives completions; in self-clocked mode the scheduler
+    /// synthesizes these itself.
+    Completion {
+        /// The finished job.
+        job: JobId,
+        /// Completion time.
+        at: SimTime,
+    },
+}
+
+impl ServeEvent {
+    /// The simulation time the event is stamped with.
+    pub fn at(&self) -> SimTime {
+        match self {
+            ServeEvent::Arrival(s) => s.arrival,
+            ServeEvent::Completion { at, .. } => *at,
+        }
+    }
+}
+
+/// Why an arrival was turned away.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectCause {
+    /// The bounded admission queue is at capacity.
+    QueueFull,
+    /// The job is not plannable (ad hoc) — this service plans; fallback
+    /// policies live in the cluster engine, not here.
+    Unplannable,
+    /// A job with this id is already queued or running.
+    Duplicate,
+}
+
+impl RejectCause {
+    /// Stable wire label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RejectCause::QueueFull => "queue_full",
+            RejectCause::Unplannable => "unplannable",
+            RejectCause::Duplicate => "duplicate",
+        }
+    }
+}
+
+/// One output of the scheduling service. Decisions are emitted in
+/// simulation order as `(time, Decision)` pairs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Decision {
+    /// The job was admitted: its data anchor (rack set), plan priority,
+    /// and planned timeline from the admission replan.
+    Admit {
+        /// Admitted job.
+        job: JobId,
+        /// Racks the job is anchored to (its data uploads here; replans
+        /// keep it pinned to exactly this set).
+        racks: Vec<RackId>,
+        /// Priority rank in the admission plan (0 = first).
+        priority: u32,
+        /// Planned start (absolute service time).
+        planned_start: SimTime,
+        /// Planned finish (absolute service time).
+        planned_finish: SimTime,
+    },
+    /// The job was turned away.
+    Reject {
+        /// Rejected job.
+        job: JobId,
+        /// Why.
+        cause: RejectCause,
+    },
+    /// The job left the queue for execution on its anchored racks.
+    Dispatch {
+        /// Dispatched job.
+        job: JobId,
+        /// The anchored rack set.
+        racks: Vec<RackId>,
+        /// Monotonic dispatch sequence number — the execution priority
+        /// handed to the engine (earlier dispatch = higher priority;
+        /// no preemption, §4.1).
+        priority: u32,
+    },
+    /// The job finished.
+    Complete {
+        /// Finished job.
+        job: JobId,
+    },
+}
+
+impl Decision {
+    /// The job the decision is about.
+    pub fn job(&self) -> JobId {
+        match self {
+            Decision::Admit { job, .. }
+            | Decision::Reject { job, .. }
+            | Decision::Dispatch { job, .. }
+            | Decision::Complete { job } => *job,
+        }
+    }
+
+    /// Stable wire label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Decision::Admit { .. } => "admit",
+            Decision::Reject { .. } => "reject",
+            Decision::Dispatch { .. } => "dispatch",
+            Decision::Complete { .. } => "complete",
+        }
+    }
+}

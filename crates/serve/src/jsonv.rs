@@ -1,6 +1,7 @@
-//! A minimal JSON value: parser + serializer, just enough for
-//! `repro perfreport` to re-read the `BENCH_*.json` files the other
-//! benches emit and embed them into the merged report.
+//! A minimal JSON value: parser + serializer — the wire format of the
+//! `corral-sim serve` JSONL frontend, also re-exported as
+//! `corral_bench::jsonv` for `repro perfreport` (which re-reads the
+//! `BENCH_*.json` files the benches emit and merges them).
 //!
 //! The workspace stays dependency-free, and `corral_trace::json` is a
 //! write-only escaper, so the read side lives here. The subset is full
@@ -327,5 +328,87 @@ mod tests {
     fn whole_floats_serialize_as_integers() {
         assert_eq!(Value::Num(7992.0).to_json(), "7992");
         assert_eq!(Value::Num(0.857).to_json(), "0.857");
+    }
+
+    #[test]
+    fn escape_sequences_decode_and_bad_ones_are_rejected() {
+        let v = parse(r#""Aé\t\r\n\b\f\/\"\\""#).unwrap();
+        assert_eq!(v.as_str(), Some("Aé\t\r\n\u{8}\u{c}/\"\\"));
+        // Unpaired surrogate: decoded to U+FFFD, not stitched (documented
+        // omission — the emitters are ASCII).
+        assert_eq!(parse(r#""\ud834""#).unwrap().as_str(), Some("\u{fffd}"));
+        assert!(parse(r#""\u12""#).is_err(), "truncated \\u escape");
+        assert!(parse(r#""\u12zz""#).is_err(), "non-hex \\u escape");
+        assert!(parse(r#""\q""#).is_err(), "unknown escape letter");
+        assert!(parse("\"a\\").is_err(), "escape at end of input");
+    }
+
+    #[test]
+    fn nested_arrays_and_objects_roundtrip() {
+        let text = r#"{"a":[[1,[2,[3]]],{"b":{"c":[{"d":null}]}}],"e":[]}"#;
+        let v = parse(text).unwrap();
+        let a = v.get("a").unwrap().as_arr().unwrap();
+        assert_eq!(
+            a[0].as_arr().unwrap()[1].as_arr().unwrap()[1]
+                .as_arr()
+                .unwrap()[0]
+                .as_u64(),
+            Some(3)
+        );
+        assert!(matches!(
+            a[1].get("b").unwrap().get("c").unwrap().as_arr().unwrap()[0]
+                .get("d")
+                .unwrap(),
+            Value::Null
+        ));
+        assert_eq!(v.get("e").unwrap().as_arr().unwrap().len(), 0);
+        assert_eq!(parse(&v.to_json()).unwrap(), v);
+    }
+
+    #[test]
+    fn duplicate_keys_last_one_wins() {
+        // BTreeMap::insert semantics: the later binding replaces the
+        // earlier one, matching what most JSON readers do.
+        let v = parse(r#"{"k":1,"k":2,"j":0,"k":3}"#).unwrap();
+        assert_eq!(v.get("k").unwrap().as_u64(), Some(3));
+        assert_eq!(v.get("j").unwrap().as_u64(), Some(0));
+        assert_eq!(v.to_json(), r#"{"j":0,"k":3}"#);
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        assert!(parse("{}x").is_err());
+        assert!(parse("[1] [2]").is_err());
+        assert!(parse("null,").is_err());
+        assert!(parse("true false").is_err());
+        assert!(parse(r#"{"a":1}{"#).is_err());
+        // Trailing whitespace alone is fine.
+        assert!(parse("{\"a\":1} \n\t").is_ok());
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        for bad in [
+            "",
+            "   ",
+            "{\"a\"}",
+            "{\"a\":}",
+            "{\"a\":1,}",
+            "{,}",
+            "[1 2]",
+            "[,1]",
+            "{1:2}",
+            "nul",
+            "tru",
+            "+",
+            "--1",
+            "1.2.3",
+            "[",
+            "]",
+            "}",
+            "\"\\u",
+        ] {
+            assert!(parse(bad).is_err(), "expected parse error for {bad:?}");
+        }
     }
 }

@@ -1,0 +1,55 @@
+//! # corral-serve
+//!
+//! The Corral planner as a **long-lived scheduling service**. The paper
+//! evaluates "plan when you can" batch-style — one planning problem per
+//! experiment. This crate turns the same planner into the resident form
+//! network-aware schedulers are actually deployed in: a deterministic
+//! service loop that consumes a stream of job arrivals and completions
+//! and emits admission, dispatch, and completion decisions.
+//!
+//! Architecture (DESIGN.md §7):
+//!
+//! * [`scheduler`] — the state machine. Admission control with a bounded
+//!   queue; on every arrival/completion it **incrementally replans** the
+//!   queued (not-yet-dispatched) jobs: survivors are pinned to the racks
+//!   chosen at their admission (their data is already uploaded — §3.1),
+//!   so an arrival perturbs only the newcomer's candidates and a
+//!   completion re-times a fully pinned problem. Latency response tables
+//!   are reused across replans via
+//!   [`corral_core::IncrementalPlanner`]; the full
+//!   [`corral_core::plan_jobs_pinned`] stays the oracle, and tripwire
+//!   mode asserts plan-equality on every replan.
+//! * [`cache`] — a plan cache keyed by (cluster-config fingerprint, job
+//!   template hashes, relative arrivals, pins, id-order permutation),
+//!   with probe-counted hits/misses. Replans happen in *now-relative*
+//!   time, so an empty-queue arrival of a recurring template hits the
+//!   cache no matter when it lands.
+//! * [`event`] — the event/decision vocabulary of the service.
+//! * [`source`] — frontends: an in-process channel service and the JSONL
+//!   stream reader behind `corral-sim serve`.
+//! * [`wire`] — the JSONL wire format (events in, decisions out), built
+//!   on [`jsonv`].
+//! * [`snapshot`] — versioned text snapshot/restore of scheduler state;
+//!   a restored run's decision stream is byte-identical to the
+//!   uninterrupted one.
+//! * [`driver`] — co-simulation: the scheduler driving a live
+//!   [`corral_cluster::engine::Engine`] through its feed/drain seam
+//!   (`submit_jobs` / `drain_finished`) instead of self-clocking.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod driver;
+pub mod event;
+pub mod jsonv;
+pub mod scheduler;
+pub mod snapshot;
+pub mod source;
+pub mod wire;
+
+pub use cache::PlanCache;
+pub use driver::EngineDriver;
+pub use event::{Decision, RejectCause, ServeEvent};
+pub use scheduler::{Scheduler, ServeConfig, ServeStats};
+pub use source::{spawn_service, ServiceHandle, ServiceResult};

@@ -1,0 +1,376 @@
+//! Snapshot / restore of scheduler state.
+//!
+//! A versioned, line-oriented text format (the serde shim in this
+//! workspace is marker-only, so serialization is hand-rolled). Every
+//! `f64` is written with Rust's `{}` Display — the shortest string that
+//! parses back to the identical bits — so a restored scheduler is
+//! *numerically exact*, and the decision stream after a restore is
+//! byte-identical to the uninterrupted run (enforced by
+//! `tests/serve_snapshot.rs` in a fresh process).
+//!
+//! What is saved: config fingerprint (restore refuses a mismatched
+//! config), service clock, dispatch sequence, stats, the admission
+//! queue (specs via the `corral-workloads` CSV codec + per-job plan
+//! state), and the active set. What is *not* saved: the incremental
+//! planner's latency tables and the plan cache — both start cold on
+//! restore, which is safe because cached state only reproduces what a
+//! cold replan computes bit-identically (cache warmth affects speed and
+//! probe counters, never decisions).
+//!
+//! Queued specs ride the MapReduce CSV codec, so snapshots cover the
+//! `corral-sim serve` domain (MapReduce jobs — the JSONL wire format's
+//! own limit); a DAG job submitted through the in-process channel makes
+//! [`write`] return an error rather than a lossy snapshot.
+
+use crate::scheduler::{Active, Queued, Scheduler, ServeConfig, ServeStats};
+use corral_model::{JobId, RackId, SimTime};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+const MAGIC: &str = "corral-serve-snapshot v1";
+
+fn racks_str(racks: &[RackId]) -> String {
+    if racks.is_empty() {
+        return "-".into();
+    }
+    let mut s = String::new();
+    for (i, r) in racks.iter().enumerate() {
+        if i > 0 {
+            s.push(';');
+        }
+        let _ = write!(s, "{}", r.0);
+    }
+    s
+}
+
+fn parse_racks(s: &str) -> Result<Vec<RackId>, String> {
+    if s == "-" || s.is_empty() {
+        return Ok(Vec::new());
+    }
+    s.split(';')
+        .map(|p| {
+            p.parse::<u32>()
+                .map(RackId)
+                .map_err(|_| format!("bad rack id {p:?}"))
+        })
+        .collect()
+}
+
+fn parse_f64(s: &str) -> Result<f64, String> {
+    s.parse::<f64>().map_err(|_| format!("bad float {s:?}"))
+}
+
+fn parse_u64(s: &str) -> Result<u64, String> {
+    s.parse::<u64>().map_err(|_| format!("bad integer {s:?}"))
+}
+
+/// Serializes the scheduler to the versioned text format. Errors if a
+/// queued spec cannot ride the CSV codec (DAG jobs).
+pub fn write(sched: &Scheduler) -> Result<String, String> {
+    let (config_fp, now, dispatch_seq, stats, queue, active) = sched.snapshot_parts();
+    let mut s = String::new();
+    let _ = writeln!(s, "{MAGIC}");
+    let _ = writeln!(s, "config {config_fp}");
+    let _ = writeln!(s, "now {}", now.0);
+    let _ = writeln!(s, "dispatch_seq {dispatch_seq}");
+    let _ = writeln!(
+        s,
+        "stats {} {} {} {} {} {} {} {} {} {} {} {} {}",
+        stats.events,
+        stats.decisions,
+        stats.arrivals,
+        stats.admitted,
+        stats.rejected,
+        stats.dispatched,
+        stats.completed,
+        stats.late_arrivals,
+        stats.unknown_completions,
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.replans_incremental,
+        stats.replans_full,
+    );
+    let _ = writeln!(s, "queue {}", queue.len());
+    let specs: Vec<_> = queue.iter().map(|q| q.spec.clone()).collect();
+    let csv = corral_workloads::trace::to_csv(&specs)
+        .map_err(|e| format!("queued spec not snapshot-serializable: {e}"))?;
+    s.push_str(&csv);
+    if !csv.ends_with('\n') {
+        s.push('\n');
+    }
+    for q in queue {
+        let _ = writeln!(
+            s,
+            "qstate {} {} {} {} {} {}",
+            q.spec.id.0,
+            racks_str(&q.racks),
+            q.priority,
+            q.planned_start.0,
+            q.planned_finish.0,
+            q.predicted_latency.0,
+        );
+    }
+    let _ = writeln!(s, "active {}", active.len());
+    let aspecs: Vec<_> = active.values().map(|a| a.spec.clone()).collect();
+    let acsv = corral_workloads::trace::to_csv(&aspecs)
+        .map_err(|e| format!("active spec not snapshot-serializable: {e}"))?;
+    s.push_str(&acsv);
+    if !acsv.ends_with('\n') {
+        s.push('\n');
+    }
+    for (id, a) in active {
+        let _ = writeln!(
+            s,
+            "astate {} {} {} {} {}",
+            id.0,
+            racks_str(&a.racks),
+            a.priority,
+            a.dispatched_at.0,
+            a.planned_finish.0,
+        );
+    }
+    let _ = writeln!(s, "end");
+    Ok(s)
+}
+
+fn field<'a>(parts: &mut impl Iterator<Item = &'a str>, what: &str) -> Result<&'a str, String> {
+    parts.next().ok_or_else(|| format!("missing field: {what}"))
+}
+
+fn expect_line<'a>(lines: &mut std::str::Lines<'a>, tag: &str) -> Result<Vec<&'a str>, String> {
+    let line = lines
+        .next()
+        .ok_or_else(|| format!("truncated snapshot at {tag:?}"))?;
+    let mut parts = line.split_whitespace();
+    let got = parts.next().unwrap_or("");
+    if got != tag {
+        return Err(format!("expected {tag:?}, got {got:?}"));
+    }
+    Ok(parts.collect())
+}
+
+/// Rebuilds a scheduler from [`write`] output. `cfg` must fingerprint-
+/// match the snapshotting configuration; the planner and plan cache
+/// start cold (see module docs). The restored scheduler's stats carry
+/// on from the snapshot values — in particular `stats.events` is the
+/// number of input events already consumed, which is what a restoring
+/// frontend skips.
+pub fn read(text: &str, cfg: ServeConfig) -> Result<Scheduler, String> {
+    let mut lines = text.lines();
+    if lines.next() != Some(MAGIC) {
+        return Err(format!("not a {MAGIC:?} file"));
+    }
+
+    let config_fp = parse_u64(expect_line(&mut lines, "config")?[0])?;
+    if config_fp != cfg.fingerprint() {
+        return Err(format!(
+            "snapshot config fingerprint {config_fp} does not match the \
+             current configuration ({}) — restore with the same cluster, \
+             objective, planner options, and queue bound",
+            cfg.fingerprint()
+        ));
+    }
+    let now = SimTime(parse_f64(expect_line(&mut lines, "now")?[0])?);
+    let dispatch_seq = parse_u64(expect_line(&mut lines, "dispatch_seq")?[0])? as u32;
+    let st = expect_line(&mut lines, "stats")?;
+    if st.len() != 13 {
+        return Err(format!("stats wants 13 fields, got {}", st.len()));
+    }
+    let stats = ServeStats {
+        events: parse_u64(st[0])?,
+        decisions: parse_u64(st[1])?,
+        arrivals: parse_u64(st[2])?,
+        admitted: parse_u64(st[3])?,
+        rejected: parse_u64(st[4])?,
+        dispatched: parse_u64(st[5])?,
+        completed: parse_u64(st[6])?,
+        late_arrivals: parse_u64(st[7])?,
+        unknown_completions: parse_u64(st[8])?,
+        cache_hits: parse_u64(st[9])?,
+        cache_misses: parse_u64(st[10])?,
+        replans_incremental: parse_u64(st[11])?,
+        replans_full: parse_u64(st[12])?,
+    };
+
+    let n_queue = parse_u64(expect_line(&mut lines, "queue")?[0])? as usize;
+    // CSV block: header + n rows.
+    let mut csv = String::new();
+    for _ in 0..n_queue + 1 {
+        let line = lines.next().ok_or("truncated snapshot in queue CSV")?;
+        csv.push_str(line);
+        csv.push('\n');
+    }
+    let specs = corral_workloads::trace::from_csv(&csv).map_err(|e| format!("queue CSV: {e}"))?;
+    if specs.len() != n_queue {
+        return Err(format!("queue wants {n_queue} specs, got {}", specs.len()));
+    }
+    let mut queue = Vec::with_capacity(n_queue);
+    for spec in specs {
+        let line = lines.next().ok_or("truncated snapshot at qstate")?;
+        let mut parts = line.split_whitespace();
+        if field(&mut parts, "qstate tag")? != "qstate" {
+            return Err("expected qstate line".into());
+        }
+        let id = JobId(parse_u64(field(&mut parts, "id")?)? as u32);
+        if id != spec.id {
+            return Err(format!("qstate id {id} does not match CSV row {}", spec.id));
+        }
+        queue.push(Queued {
+            spec,
+            racks: parse_racks(field(&mut parts, "racks")?)?,
+            priority: parse_u64(field(&mut parts, "priority")?)? as u32,
+            planned_start: SimTime(parse_f64(field(&mut parts, "start")?)?),
+            planned_finish: SimTime(parse_f64(field(&mut parts, "finish")?)?),
+            predicted_latency: SimTime(parse_f64(field(&mut parts, "latency")?)?),
+        });
+    }
+
+    let n_active = parse_u64(expect_line(&mut lines, "active")?[0])? as usize;
+    let mut acsv = String::new();
+    for _ in 0..n_active + 1 {
+        let line = lines.next().ok_or("truncated snapshot in active CSV")?;
+        acsv.push_str(line);
+        acsv.push('\n');
+    }
+    let aspecs =
+        corral_workloads::trace::from_csv(&acsv).map_err(|e| format!("active CSV: {e}"))?;
+    if aspecs.len() != n_active {
+        return Err(format!(
+            "active wants {n_active} specs, got {}",
+            aspecs.len()
+        ));
+    }
+    let mut active = BTreeMap::new();
+    for spec in aspecs {
+        let line = lines.next().ok_or("truncated snapshot at astate")?;
+        let mut parts = line.split_whitespace();
+        if field(&mut parts, "astate tag")? != "astate" {
+            return Err("expected astate line".into());
+        }
+        let id = JobId(parse_u64(field(&mut parts, "id")?)? as u32);
+        if id != spec.id {
+            return Err(format!("astate id {id} does not match CSV row {}", spec.id));
+        }
+        active.insert(
+            id,
+            Active {
+                racks: parse_racks(field(&mut parts, "racks")?)?,
+                priority: parse_u64(field(&mut parts, "priority")?)? as u32,
+                dispatched_at: SimTime(parse_f64(field(&mut parts, "dispatched")?)?),
+                planned_finish: SimTime(parse_f64(field(&mut parts, "finish")?)?),
+                spec,
+            },
+        );
+    }
+    expect_line(&mut lines, "end")?;
+    Ok(Scheduler::from_parts(
+        cfg,
+        now,
+        dispatch_seq,
+        stats,
+        queue,
+        active,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::ServeEvent;
+    use corral_model::{Bandwidth, Bytes, ClusterConfig, JobSpec, MapReduceProfile};
+
+    fn cfg() -> ServeConfig {
+        ServeConfig {
+            cluster: ClusterConfig::tiny_test(),
+            tripwire: true,
+            ..ServeConfig::default()
+        }
+    }
+
+    fn spec(id: u32, arrival: f64, gb: f64) -> JobSpec {
+        JobSpec::map_reduce(
+            JobId(id),
+            format!("j{id}"),
+            MapReduceProfile {
+                input: Bytes::gb(gb),
+                shuffle: Bytes::gb(gb / 3.0),
+                output: Bytes::gb(gb / 7.0),
+                maps: 10,
+                reduces: 5,
+                map_rate: Bandwidth::mbytes_per_sec(47.0),
+                reduce_rate: Bandwidth::mbytes_per_sec(53.0),
+            },
+        )
+        .arriving_at(SimTime(arrival))
+    }
+
+    /// In-process round trip: snapshot mid-stream, restore, and the
+    /// remaining decisions are identical to the uninterrupted run.
+    /// (The fresh-*process* version lives in `tests/serve_snapshot.rs`.)
+    #[test]
+    fn roundtrip_resumes_byte_identically() {
+        let events: Vec<ServeEvent> = (0..12u32)
+            .map(|i| ServeEvent::Arrival(spec(i + 1, i as f64 * 3.7, 1.0 + (i % 4) as f64)))
+            .collect();
+
+        // Uninterrupted run.
+        let mut full = Vec::new();
+        let mut a = crate::Scheduler::new(cfg());
+        let full_stats = a.run(events.clone(), &mut full);
+
+        // Interrupted at event 5: snapshot, restore, continue.
+        let mut head = Vec::new();
+        let mut b = crate::Scheduler::new(cfg());
+        for ev in events.iter().take(5) {
+            b.on_event(ev.clone(), &mut head);
+        }
+        let snap = write(&b).unwrap();
+        drop(b);
+        let mut c = read(&snap, cfg()).unwrap();
+        let mut tail = Vec::new();
+        let skip = c.stats().events as usize;
+        assert_eq!(skip, 5);
+        let resumed_stats = c.run(events.into_iter().skip(skip), &mut tail);
+
+        head.extend(tail);
+        assert_eq!(head, full, "snapshot+restore must not change decisions");
+        // Everything *about the decisions* matches. Cache/replan
+        // counters may not: the restored planner and plan cache start
+        // cold, so the tail re-plans problems the warm run had cached —
+        // same plans (that is what the decision equality above proves),
+        // different hit/miss split.
+        let normalize = |mut s: ServeStats| {
+            s.cache_hits = 0;
+            s.cache_misses = 0;
+            s.replans_incremental = 0;
+            s.replans_full = 0;
+            s
+        };
+        assert_eq!(normalize(resumed_stats), normalize(full_stats));
+
+        // And the snapshot of two identical schedulers is identical text.
+        let mut d = crate::Scheduler::new(cfg());
+        let mut scratch = Vec::new();
+        for ev in (0..12u32)
+            .map(|i| ServeEvent::Arrival(spec(i + 1, i as f64 * 3.7, 1.0 + (i % 4) as f64)))
+            .take(5)
+        {
+            d.on_event(ev, &mut scratch);
+        }
+        assert_eq!(write(&d).unwrap(), snap);
+    }
+
+    #[test]
+    fn config_mismatch_is_refused() {
+        let s = crate::Scheduler::new(cfg());
+        let snap = write(&s).unwrap();
+        let other = ServeConfig {
+            max_queue: 7,
+            ..cfg()
+        };
+        let err = read(&snap, other).unwrap_err();
+        assert!(err.contains("fingerprint"), "{err}");
+        assert!(read("garbage", cfg()).is_err());
+        assert!(read(&snap.replace("end", ""), cfg()).is_err());
+    }
+}

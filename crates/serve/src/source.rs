@@ -1,0 +1,154 @@
+//! Event-stream frontends: JSONL readers, trace adapters, and the
+//! in-process channel service.
+
+use crate::event::{Decision, ServeEvent};
+use crate::scheduler::{Scheduler, ServeConfig, ServeStats};
+use crate::wire;
+use corral_model::{JobSpec, SimTime};
+use corral_trace::probe;
+use std::io::BufRead;
+use std::sync::mpsc;
+
+/// Reads a JSONL event stream (see [`crate::wire`]); blank lines are
+/// skipped. Errors carry the 1-based line number.
+pub fn read_events(reader: impl BufRead) -> Result<Vec<ServeEvent>, String> {
+    let mut events = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| format!("line {}: read error: {e}", i + 1))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        events.push(wire::parse_event(&line).map_err(|e| format!("line {}: {e}", i + 1))?);
+    }
+    Ok(events)
+}
+
+/// Adapts a batch workload (e.g. a CSV trace) into an arrival stream,
+/// sorted by `(arrival, id)`.
+pub fn events_from_specs(specs: &[JobSpec]) -> Vec<ServeEvent> {
+    let mut specs: Vec<JobSpec> = specs.to_vec();
+    specs.sort_by(|a, b| a.arrival.total_cmp(b.arrival).then(a.id.cmp(&b.id)));
+    specs.into_iter().map(ServeEvent::Arrival).collect()
+}
+
+/// Producer handle for an in-process service: send events, then drop
+/// (or [`ServiceHandle::close`]) to let the service drain and finish.
+pub struct ServiceHandle {
+    tx: mpsc::Sender<ServeEvent>,
+}
+
+impl ServiceHandle {
+    /// Queues one event. Errors if the service thread is gone.
+    pub fn send(&self, ev: ServeEvent) -> Result<(), String> {
+        self.tx
+            .send(ev)
+            .map_err(|_| "service thread hung up".to_string())
+    }
+
+    /// Closes the stream; the service drains its timers and returns.
+    pub fn close(self) {}
+}
+
+/// What the service thread hands back when it drains: the full decision
+/// log and the final stats.
+pub type ServiceResult = (Vec<(SimTime, Decision)>, ServeStats);
+
+/// Spawns the scheduler on its own thread behind a bounded-queue
+/// channel frontend. The thread consumes events until the handle is
+/// dropped, runs the scheduler dry, and returns the full decision log
+/// and final stats. (Admission control bounds the *scheduler's* queue;
+/// the channel itself is the transport buffer.)
+pub fn spawn_service(cfg: ServeConfig) -> (ServiceHandle, std::thread::JoinHandle<ServiceResult>) {
+    let (tx, rx) = mpsc::channel::<ServeEvent>();
+    let join = std::thread::spawn(move || {
+        let mut sched = Scheduler::new(cfg);
+        let mut out = Vec::new();
+        while let Ok(ev) = rx.recv() {
+            sched.on_event(ev, &mut out);
+        }
+        sched.finish(&mut out);
+        let stats = sched.stats();
+        // Probe spans/counters recorded on this thread must be folded
+        // into the global report before the thread dies.
+        probe::flush_thread();
+        (out, stats)
+    });
+    (ServiceHandle { tx }, join)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corral_model::{Bandwidth, Bytes, ClusterConfig, JobId, MapReduceProfile};
+
+    fn spec(id: u32, arrival: f64) -> JobSpec {
+        JobSpec::map_reduce(
+            JobId(id),
+            format!("j{id}"),
+            MapReduceProfile {
+                input: Bytes::gb(4.0),
+                shuffle: Bytes::gb(2.0),
+                output: Bytes::gb(0.4),
+                maps: 12,
+                reduces: 6,
+                map_rate: Bandwidth::mbytes_per_sec(50.0),
+                reduce_rate: Bandwidth::mbytes_per_sec(50.0),
+            },
+        )
+        .arriving_at(SimTime(arrival))
+    }
+
+    #[test]
+    fn jsonl_reader_skips_blanks_and_reports_line_numbers() {
+        let text = format!(
+            "{}\n\n{}\n",
+            wire::format_event(&ServeEvent::Arrival(spec(1, 0.0))).unwrap(),
+            wire::format_event(&ServeEvent::Completion {
+                job: JobId(1),
+                at: SimTime(9.0)
+            })
+            .unwrap(),
+        );
+        let events = read_events(text.as_bytes()).unwrap();
+        assert_eq!(events.len(), 2);
+
+        let err = read_events("{}\n".as_bytes()).unwrap_err();
+        assert!(err.starts_with("line 1:"), "{err}");
+    }
+
+    #[test]
+    fn specs_adapt_to_a_sorted_arrival_stream() {
+        let events = events_from_specs(&[spec(2, 5.0), spec(3, 1.0), spec(1, 5.0)]);
+        let order: Vec<u32> = events
+            .iter()
+            .map(|e| match e {
+                ServeEvent::Arrival(s) => s.id.0,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, [3, 1, 2]);
+    }
+
+    #[test]
+    fn channel_service_matches_the_inline_scheduler() {
+        let cfg = ServeConfig {
+            cluster: ClusterConfig::tiny_test(),
+            ..ServeConfig::default()
+        };
+        let events: Vec<ServeEvent> = (1..=6u32)
+            .map(|i| ServeEvent::Arrival(spec(i, i as f64 * 3.0)))
+            .collect();
+
+        let (handle, join) = spawn_service(cfg.clone());
+        for ev in &events {
+            handle.send(ev.clone()).unwrap();
+        }
+        handle.close();
+        let (threaded, thread_stats) = join.join().unwrap();
+
+        let mut inline = Vec::new();
+        let inline_stats = Scheduler::new(cfg).run(events, &mut inline);
+        assert_eq!(threaded, inline);
+        assert_eq!(thread_stats, inline_stats);
+    }
+}

@@ -67,11 +67,15 @@ pub enum SpanKind {
     SweepReduce,
     /// Serde/export work: CSV, JSONL flush, Perfetto rendering.
     Export,
+    /// One `corral-serve` service decision: event intake, admission,
+    /// cache probe, and (on misses) the replan (the per-decision
+    /// latency histogram of the scheduling service).
+    ServeDecision,
 }
 
 impl SpanKind {
     /// Every kind, in stable report order.
-    pub const ALL: [SpanKind; 10] = [
+    pub const ALL: [SpanKind; 11] = [
         SpanKind::FabricRecompute,
         SpanKind::FabricMaxMin,
         SpanKind::CandidateEnum,
@@ -82,6 +86,7 @@ impl SpanKind {
         SpanKind::SweepCell,
         SpanKind::SweepReduce,
         SpanKind::Export,
+        SpanKind::ServeDecision,
     ];
 
     /// Stable dotted label used in expositions and reports.
@@ -97,6 +102,7 @@ impl SpanKind {
             SpanKind::SweepCell => "sweep.cell",
             SpanKind::SweepReduce => "sweep.reduce",
             SpanKind::Export => "export.write",
+            SpanKind::ServeDecision => "serve.decision",
         }
     }
 
@@ -137,11 +143,25 @@ pub enum ProbeCounter {
     StackOverflows,
     /// Closed span records evicted from rings (per-thread + merged).
     RingDrops,
+    /// Serve plan-cache lookups answered from the cache (no replan).
+    PlanCacheHit,
+    /// Serve plan-cache lookups that missed and forced a replan.
+    PlanCacheMiss,
+    /// Replans that reused at least one cached latency model
+    /// (only the delta jobs were re-modelled).
+    ReplanIncremental,
+    /// Replans that rebuilt every latency model (cold or invalidated).
+    ReplanFull,
+    /// Jobs admitted by the serve loop.
+    ServeAdmitted,
+    /// Jobs rejected by serve admission control (bounded queue,
+    /// unplannable profile, or duplicate id).
+    ServeRejected,
 }
 
 impl ProbeCounter {
     /// Every counter, in stable report order.
-    pub const ALL: [ProbeCounter; 14] = [
+    pub const ALL: [ProbeCounter; 20] = [
         ProbeCounter::RecomputeFlowStart,
         ProbeCounter::RecomputeFlowCancel,
         ProbeCounter::RecomputeBackground,
@@ -156,6 +176,12 @@ impl ProbeCounter {
         ProbeCounter::UnbalancedSpans,
         ProbeCounter::StackOverflows,
         ProbeCounter::RingDrops,
+        ProbeCounter::PlanCacheHit,
+        ProbeCounter::PlanCacheMiss,
+        ProbeCounter::ReplanIncremental,
+        ProbeCounter::ReplanFull,
+        ProbeCounter::ServeAdmitted,
+        ProbeCounter::ServeRejected,
     ];
 
     /// Stable dotted label used in expositions and reports.
@@ -175,6 +201,12 @@ impl ProbeCounter {
             ProbeCounter::UnbalancedSpans => "probe.unbalanced_spans",
             ProbeCounter::StackOverflows => "probe.stack_overflows",
             ProbeCounter::RingDrops => "probe.ring_drops",
+            ProbeCounter::PlanCacheHit => "serve.cache_hits",
+            ProbeCounter::PlanCacheMiss => "serve.cache_misses",
+            ProbeCounter::ReplanIncremental => "serve.replan_incremental",
+            ProbeCounter::ReplanFull => "serve.replan_full",
+            ProbeCounter::ServeAdmitted => "serve.admitted",
+            ProbeCounter::ServeRejected => "serve.rejected",
         }
     }
 
