@@ -75,6 +75,7 @@ fn run(args: &[String]) -> Result<(), String> {
             "fabricbench" => ex::fabricbench::main(),
             "plannerbench" => ex::plannerbench::main(),
             "servebench" => ex::servebench::main(),
+            "chaosbench" => ex::chaosbench::main(),
             "perfreport" => ex::perfreport::main(),
             other => eprintln!("unknown experiment: {other}"),
         }

@@ -1,0 +1,426 @@
+//! Chaos benchmark: the serving stack under deterministic failure
+//! injection (`corral-serve` + [`corral_serve::chaos`]). Sweeps churn
+//! rate × workload with the §7 fallback on and off, in two modes:
+//!
+//! * **self-clock cells** — the scheduler alone under W1/W2 arrival
+//!   streams merged with a seeded Poisson churn schedule; measures
+//!   decision throughput/latency while failures force re-anchors,
+//!   dispatch retries, and cache-keyed replans;
+//! * **co-sim cells** — [`corral_serve::EngineDriver`] with the *same*
+//!   churn schedule injected into the cluster engine
+//!   (`SimParams.failures`) and the serve wire, so goodput is execution
+//!   ground truth, not a planner prediction.
+//!
+//! Every chaos schedule is a pure function of its seed, so the decision
+//! count of every cell is golden below — drift means failure handling,
+//! re-anchoring, or the retry cascade changed behavior. The small cells
+//! run with the oracle tripwire armed: every post-failure replan is
+//! asserted plan-equal to a fresh `plan_jobs_pinned` on the masked
+//! cluster. Writes `BENCH_chaos.json` in the working directory.
+//!
+//! Not part of `repro all` (robustness artifact, not a paper figure);
+//! CI runs `repro chaosbench` as a perf-smoke step. Regenerate the
+//! golden table after an *intentional* behavior change by running with
+//! `CORRAL_CHAOSBENCH_BLESS=1` and pasting the printed constants.
+
+use crate::table;
+use corral_cluster::config::{DataPlacement, SimParams};
+use corral_core::Objective;
+use corral_model::{Bandwidth, Bytes, ClusterConfig, JobId, JobSpec, MapReduceProfile, SimTime};
+use corral_serve::source::events_from_specs;
+use corral_serve::{
+    chaos, ChaosSpec, EngineDriver, Scheduler, ServeConfig, ServeEvent, ServeStats,
+};
+use corral_trace::probe;
+use corral_workloads::{assign_uniform_arrivals, w1, w2};
+use std::time::Instant;
+
+/// One benchmark cell: a workload under a churn rate, fallback on/off.
+struct CellSpec {
+    name: &'static str,
+    /// `"w1"` / `"w2"` self-clock the scheduler on the 210-machine
+    /// testbed shape; `"cosim"` drives the engine on the tiny cluster.
+    workload: &'static str,
+    jobs: usize,
+    racks: usize,
+    seed: u64,
+    /// Per-machine mean time between failures (seconds). The horizon
+    /// covers the whole arrival span, so expected machine failures are
+    /// `machines · horizon / mtbf`.
+    mtbf: f64,
+    /// §7 failure fallback: mask dead capacity and re-anchor queued
+    /// jobs (`true`), or keep stale pins and lean on dispatch
+    /// retry/unpin (`false`).
+    fallback: bool,
+    /// Oracle tripwire on every replan (all cells here are small
+    /// enough to afford the quadratic batch oracle).
+    tripwire: bool,
+}
+
+/// W1/W2 × low/high churn, the high-churn pair again with the fallback
+/// off (the degraded-mode comparison axis), and the co-sim pair. Low
+/// churn ≈ 17 expected machine failures over the hour, high ≈ 70.
+const CELLS: [CellSpec; 8] = [
+    CellSpec {
+        name: "w1-lochurn",
+        workload: "w1",
+        jobs: 40,
+        racks: 7,
+        seed: 0xC4A1,
+        mtbf: 43_200.0,
+        fallback: true,
+        tripwire: true,
+    },
+    CellSpec {
+        name: "w2-lochurn",
+        workload: "w2",
+        jobs: 40,
+        racks: 7,
+        seed: 0xC4A2,
+        mtbf: 43_200.0,
+        fallback: true,
+        tripwire: true,
+    },
+    CellSpec {
+        name: "w1-hichurn",
+        workload: "w1",
+        jobs: 40,
+        racks: 7,
+        seed: 0xC4A3,
+        mtbf: 10_800.0,
+        fallback: true,
+        tripwire: true,
+    },
+    CellSpec {
+        name: "w2-hichurn",
+        workload: "w2",
+        jobs: 40,
+        racks: 7,
+        seed: 0xC4A4,
+        mtbf: 10_800.0,
+        fallback: true,
+        tripwire: true,
+    },
+    CellSpec {
+        name: "w1-hichurn-nofb",
+        workload: "w1",
+        jobs: 40,
+        racks: 7,
+        seed: 0xC4A3,
+        mtbf: 10_800.0,
+        fallback: false,
+        tripwire: true,
+    },
+    CellSpec {
+        name: "w2-hichurn-nofb",
+        workload: "w2",
+        jobs: 40,
+        racks: 7,
+        seed: 0xC4A4,
+        mtbf: 10_800.0,
+        fallback: false,
+        tripwire: true,
+    },
+    CellSpec {
+        name: "cosim-fb",
+        workload: "cosim",
+        jobs: 8,
+        racks: 3,
+        seed: 0xC4A7,
+        mtbf: 400.0,
+        fallback: true,
+        tripwire: true,
+    },
+    CellSpec {
+        name: "cosim-nofb",
+        workload: "cosim",
+        jobs: 8,
+        racks: 3,
+        seed: 0xC4A7,
+        mtbf: 400.0,
+        fallback: false,
+        tripwire: true,
+    },
+];
+
+/// Golden decision counts per cell. Chaos schedules and the serve loop
+/// are both deterministic, so these are exact; drift means the failure
+/// path (masking, re-anchoring, retry, or the cache key) changed
+/// behavior. Bless deliberately (see module docs) or find the
+/// regression.
+const GOLDEN_DECISIONS: [(&str, u64); 8] = [
+    ("w1-lochurn", 120),
+    ("w2-lochurn", 120),
+    ("w1-hichurn", 122),
+    ("w2-hichurn", 133),
+    ("w1-hichurn-nofb", 120),
+    ("w2-hichurn-nofb", 120),
+    ("cosim-fb", 24),
+    ("cosim-nofb", 24),
+];
+
+/// Timed repetitions per cell (fresh scheduler each; minimum wall
+/// reported). Every repetition's stats must be identical — the
+/// determinism tripwire for chaos runs.
+const REPEATS: usize = 3;
+
+/// Churn covers the whole arrival span (plus slack for queue drain).
+/// Repairs are slow relative to the span so dead capacity accumulates
+/// to fractions that actually cross the re-anchor threshold.
+const CHURN_HORIZON: f64 = 3600.0;
+const MEAN_REPAIR: f64 = 600.0;
+
+/// Re-anchor threshold for the bench cells: a rack counts as degraded
+/// once > 10% of its machines are down (the default 50% would need
+/// implausible pile-ups at these churn rates — 30 machines per rack).
+const THRESHOLD: f64 = 0.1;
+
+fn chaos_spec(c: &CellSpec) -> ChaosSpec {
+    ChaosSpec {
+        mtbf: SimTime(c.mtbf),
+        mean_repair: SimTime(if c.workload == "cosim" {
+            60.0
+        } else {
+            MEAN_REPAIR
+        }),
+        horizon: SimTime(if c.workload == "cosim" {
+            600.0
+        } else {
+            CHURN_HORIZON
+        }),
+        seed: c.seed ^ 0xC0441,
+    }
+}
+
+fn cluster(c: &CellSpec) -> ClusterConfig {
+    if c.workload == "cosim" {
+        ClusterConfig::tiny_test()
+    } else {
+        ClusterConfig {
+            racks: c.racks,
+            ..ClusterConfig::testbed_210()
+        }
+    }
+}
+
+fn config(c: &CellSpec) -> ServeConfig {
+    ServeConfig {
+        cluster: cluster(c),
+        objective: Objective::AvgCompletionTime,
+        tripwire: c.tripwire,
+        fallback: c.fallback,
+        failure_threshold: THRESHOLD,
+        ..ServeConfig::default()
+    }
+}
+
+/// Co-sim job shape (GB-scale map-reduce on the tiny cluster, arrivals
+/// every 20 s — the same shape the driver's unit tests use).
+fn cosim_spec(id: u32, arrival: f64, gb: f64) -> JobSpec {
+    JobSpec::map_reduce(
+        JobId(id),
+        format!("j{id}"),
+        MapReduceProfile {
+            input: Bytes::gb(gb),
+            shuffle: Bytes::gb(gb / 2.0),
+            output: Bytes::gb(gb / 10.0),
+            maps: 8,
+            reduces: 4,
+            map_rate: Bandwidth::mbytes_per_sec(50.0),
+            reduce_rate: Bandwidth::mbytes_per_sec(50.0),
+        },
+    )
+    .arriving_at(SimTime(arrival))
+}
+
+fn arrivals(c: &CellSpec) -> Vec<ServeEvent> {
+    let scale = crate::experiments::bench_scale();
+    match c.workload {
+        "w1" => {
+            let mut jobs = w1::generate(
+                &w1::W1Params {
+                    jobs: c.jobs,
+                    ..w1::W1Params::with_seed(c.seed)
+                },
+                scale,
+            );
+            assign_uniform_arrivals(&mut jobs, SimTime::minutes(30.0), c.seed ^ 0xA);
+            events_from_specs(&jobs)
+        }
+        "w2" => {
+            let mut jobs = w2::generate(
+                &w2::W2Params {
+                    jobs: c.jobs,
+                    seed: c.seed,
+                    ..Default::default()
+                },
+                scale,
+            );
+            assign_uniform_arrivals(&mut jobs, SimTime::minutes(30.0), c.seed ^ 0xA);
+            events_from_specs(&jobs)
+        }
+        "cosim" => (1..=c.jobs as u32)
+            .map(|i| ServeEvent::Arrival(cosim_spec(i, i as f64 * 20.0, 1.0 + (i % 3) as f64)))
+            .collect(),
+        other => unreachable!("unknown workload {other}"),
+    }
+}
+
+/// The cell's full input: arrivals merged with the chaos stream (chaos
+/// first at equal times, as the wire guarantees).
+fn stream(c: &CellSpec) -> Vec<ServeEvent> {
+    chaos::merge(arrivals(c), chaos_spec(c).events(&cluster(c)))
+}
+
+/// One timed pass over a cell's stream. Self-clock cells run the bare
+/// scheduler; co-sim cells run the engine driver with the *same* churn
+/// schedule injected on both sides of the seam.
+fn run_once(c: &CellSpec, events: &[ServeEvent]) -> (ServeStats, f64) {
+    let t0 = Instant::now();
+    if c.workload == "cosim" {
+        let params = SimParams {
+            cluster: cluster(c),
+            placement: DataPlacement::PerPlan,
+            failures: chaos_spec(c).schedule(&cluster(c)),
+            ..SimParams::testbed()
+        };
+        let mut out = Vec::new();
+        let (stats, report) = EngineDriver::new(config(c), params).run(events, &mut out);
+        let wall = t0.elapsed().as_secs_f64();
+        assert_eq!(
+            report.unfinished, 0,
+            "{}: transient churn must not strand jobs in the engine",
+            c.name
+        );
+        assert_eq!(stats.decisions as usize, out.len());
+        (stats, wall)
+    } else {
+        let mut sched = Scheduler::new(config(c));
+        let mut out = Vec::with_capacity(events.len() * 3);
+        let stats = sched.run(events.iter().cloned(), &mut out);
+        let wall = t0.elapsed().as_secs_f64();
+        assert_eq!(stats.decisions as usize, out.len());
+        (stats, wall)
+    }
+}
+
+/// Runs every cell, checks golden decision counts and determinism
+/// across repeats, and writes `BENCH_chaos.json`.
+pub fn main() {
+    table::section("chaosbench: serving under deterministic failure injection");
+    let bless = std::env::var_os("CORRAL_CHAOSBENCH_BLESS").is_some();
+    let was_enabled = probe::enabled();
+    probe::set_enabled(true);
+
+    table::row(&[
+        "cell", "jobs", "fb", "decs", "wall", "dec/s", "p99", "fail", "reanch", "retry", "unpin",
+        "good%",
+    ]);
+    let mut cell_json = Vec::new();
+    let mut drift = Vec::new();
+
+    for c in &CELLS {
+        let events = stream(c);
+        // Fresh probe world per cell: the span histogram below belongs
+        // to this cell alone.
+        probe::reset();
+        let mut best: Option<(ServeStats, f64)> = None;
+        for _ in 0..REPEATS {
+            let (stats, wall) = run_once(c, &events);
+            if let Some((prev, _)) = &best {
+                assert_eq!(
+                    *prev, stats,
+                    "{}: non-deterministic chaos repeat (stats diverged)",
+                    c.name
+                );
+            }
+            if best.as_ref().is_none_or(|(_, w)| wall < *w) {
+                best = Some((stats, wall));
+            }
+        }
+        let (stats, wall) = best.unwrap();
+        probe::flush_thread();
+        let report = probe::report();
+        let span = report
+            .span_stat(probe::SpanKind::ServeDecision)
+            .expect("chaos cells exercise serve.decision");
+
+        let dec_rate = stats.decisions as f64 / wall.max(1e-9);
+        let goodput = 100.0 * stats.completed as f64 / (stats.admitted.max(1)) as f64;
+        table::row(&[
+            c.name.to_string(),
+            c.jobs.to_string(),
+            if c.fallback { "on" } else { "off" }.to_string(),
+            stats.decisions.to_string(),
+            table::secs(wall),
+            format!("{dec_rate:.0}"),
+            format!("{:.1}us", span.p99_s * 1e6),
+            stats.machine_failures.to_string(),
+            stats.reanchored.to_string(),
+            stats.dispatch_retries.to_string(),
+            stats.fallback_dispatches.to_string(),
+            format!("{goodput:.0}"),
+        ]);
+
+        let golden = GOLDEN_DECISIONS
+            .iter()
+            .find(|(n, _)| *n == c.name)
+            .map(|&(_, v)| v)
+            .unwrap();
+        if stats.decisions != golden {
+            drift.push(format!(
+                "(\"{}\", {}),  // was {golden}",
+                c.name, stats.decisions
+            ));
+        }
+        cell_json.push(format!(
+            "    {{\"cell\": \"{}\", \"jobs\": {}, \"racks\": {}, \"mtbf_s\": {}, \
+             \"fallback\": {}, \"cosim\": {}, \"decisions\": {}, \"wall_s\": {:.4}, \
+             \"decisions_per_s\": {:.0}, \"decision_p50_us\": {:.2}, \
+             \"decision_p99_us\": {:.2}, \"machine_failures\": {}, \"machine_repairs\": {}, \
+             \"reanchored\": {}, \"dispatch_retries\": {}, \"fallback_dispatches\": {}, \
+             \"admitted\": {}, \"completed\": {}, \"goodput_pct\": {:.1}}}",
+            c.name,
+            c.jobs,
+            c.racks,
+            c.mtbf,
+            c.fallback,
+            c.workload == "cosim",
+            stats.decisions,
+            wall,
+            dec_rate,
+            span.p50_s * 1e6,
+            span.p99_s * 1e6,
+            stats.machine_failures,
+            stats.machine_repairs,
+            stats.reanchored,
+            stats.dispatch_retries,
+            stats.fallback_dispatches,
+            stats.admitted,
+            stats.completed,
+            goodput,
+        ));
+    }
+
+    if !drift.is_empty() {
+        if bless {
+            println!("   bless mode: update GOLDEN_DECISIONS to:");
+            for d in &drift {
+                println!("     {d}");
+            }
+        } else {
+            panic!(
+                "chaosbench decision-counter drift:\n  {}",
+                drift.join("\n  ")
+            );
+        }
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"chaos_serve\",\n  \"cells\": [\n{}\n  ]\n}}\n",
+        cell_json.join(",\n")
+    );
+    std::fs::write("BENCH_chaos.json", &json).expect("write BENCH_chaos.json");
+    println!("   wrote BENCH_chaos.json");
+    probe::set_enabled(was_enabled);
+}

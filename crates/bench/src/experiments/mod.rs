@@ -2,6 +2,7 @@
 //! writes CSVs under `results/`; ids match DESIGN.md's experiment index.
 
 pub mod ablations;
+pub mod chaosbench;
 pub mod fabricbench;
 pub mod fig1;
 pub mod fig10;

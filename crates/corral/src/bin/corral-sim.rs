@@ -79,7 +79,10 @@ USAGE:
                  [--probe <probe.prom>] [--summary]
   corral-sim serve <events.jsonl|trace.csv|->
                  [--objective makespan|avgjct] [--cluster testbed|sim2000|tiny]
-                 [--max-queue N] [--cache N] [--tripwire]
+                 [--max-queue N] [--cache N] [--tripwire] [--strict]
+                 [--no-fallback] [--fail-threshold F] [--retries N]
+                 [--backoff SECS] [--churn-mtbf SECS] [--churn-repair SECS]
+                 [--churn-horizon SECS] [--churn-seed S]
                  [--decisions <out.jsonl>] [--quiet] [--summary]
                  [--snapshot <file> --snapshot-after N] [--restore <file>]
                  [--probe <probe.prom>]
@@ -111,10 +114,21 @@ stdin). Decisions stream to stdout (or --decisions FILE) as JSONL.
 Every arrival/completion replans the queue incrementally against a plan
 cache; --tripwire re-runs the full batch planner as an oracle on every
 replan and aborts on any divergence. --snapshot FILE --snapshot-after N
-stops after N input events and writes resumable scheduler state;
---restore FILE resumes, skipping the already-consumed prefix of the
-input — the combined decision stream is byte-identical to the
-uninterrupted run."
+stops after N input events and writes resumable, checksummed scheduler
+state; --restore FILE resumes, skipping the already-consumed prefix of
+the input — the combined decision stream is byte-identical to the
+uninterrupted run.
+
+Failures: machine_failed / machine_repaired / rack_failed events flow
+through the same stream. By default the scheduler masks dead capacity
+out of the planning problem and re-anchors queued jobs whose racks died
+(the paper's §7 fallback; tune with --fail-threshold, default 0.5);
+--no-fallback plans failure-blind and degrades at dispatch time instead
+(--retries deferrals with exponential --backoff, then the pins drop).
+--churn-mtbf SECS injects a deterministic seeded Poisson churn schedule
+(mean repair --churn-repair, up to --churn-horizon, seed --churn-seed)
+into the input stream. Malformed input lines become structured
+'malformed' rejects by default; --strict aborts on the first one."
     );
 }
 
@@ -266,9 +280,9 @@ fn cmd_plan(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
-    use corral::serve::{snapshot, source, wire, Scheduler, ServeConfig};
+    use corral::serve::{chaos, snapshot, source, wire, ChaosSpec, Scheduler, ServeConfig};
 
-    const SERVE_VALUE_FLAGS: [&str; 9] = [
+    const SERVE_VALUE_FLAGS: [&str; 16] = [
         "--objective",
         "--cluster",
         "--max-queue",
@@ -278,11 +292,24 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         "--snapshot-after",
         "--restore",
         "--probe",
+        "--fail-threshold",
+        "--retries",
+        "--backoff",
+        "--churn-mtbf",
+        "--churn-repair",
+        "--churn-horizon",
+        "--churn-seed",
     ];
     let f = Flags::parse(
         args,
         &SERVE_VALUE_FLAGS,
-        &["--summary", "--tripwire", "--quiet"],
+        &[
+            "--summary",
+            "--tripwire",
+            "--quiet",
+            "--no-fallback",
+            "--strict",
+        ],
     )?;
     if f.value("--probe").is_some() {
         probe::set_enabled(true);
@@ -302,16 +329,48 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         max_queue: f.parse_or("--max-queue", 64)?,
         cache_capacity: f.parse_or("--cache", 256)?,
         tripwire: f.has("--tripwire"),
+        fallback: !f.has("--no-fallback"),
+        failure_threshold: f.parse_or("--fail-threshold", 0.5)?,
+        dispatch_retries: f.parse_or("--retries", 3)?,
+        retry_backoff: SimTime(f.parse_or("--backoff", 30.0)?),
         ..ServeConfig::default()
     };
 
+    // Default reading is lossy: malformed lines become structured
+    // rejects instead of taking the service down. --strict restores
+    // abort-on-first-error for validating curated streams.
+    let strict = f.has("--strict");
     let events = if path == "-" {
-        source::read_events(std::io::stdin().lock())?
+        let stdin = std::io::stdin().lock();
+        if strict {
+            source::read_events(stdin)?
+        } else {
+            source::read_events_lossy(stdin)?
+        }
     } else if path.ends_with(".csv") {
         source::events_from_specs(&load_trace(path)?)
     } else {
         let file = std::fs::File::open(path).map_err(|e| format!("reading {path}: {e}"))?;
-        source::read_events(std::io::BufReader::new(file))?
+        let reader = std::io::BufReader::new(file);
+        if strict {
+            source::read_events(reader)?
+        } else {
+            source::read_events_lossy(reader)?
+        }
+    };
+    // Deterministic chaos injection: same flags + seed ⇒ same merged
+    // stream, so snapshots/restores and goldens stay byte-stable.
+    let events = match f.value("--churn-mtbf") {
+        Some(_) => {
+            let spec = ChaosSpec {
+                mtbf: SimTime(f.parse_or("--churn-mtbf", 600.0)?),
+                mean_repair: SimTime(f.parse_or("--churn-repair", 120.0)?),
+                horizon: SimTime(f.parse_or("--churn-horizon", 3600.0)?),
+                seed: f.parse_or("--churn-seed", 0xC0441)?,
+            };
+            chaos::merge(events, spec.events(&cfg.cluster))
+        }
+        None => events,
     };
 
     let mut sched = match f.value("--restore") {
@@ -390,6 +449,17 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         eprintln!(
             "plans: {} cache hits, {} misses; {} incremental replans, {} full",
             s.cache_hits, s.cache_misses, s.replans_incremental, s.replans_full,
+        );
+        eprintln!(
+            "failures: {} machine down, {} repaired, {} racks down; \
+             {} malformed lines, {} reanchors, {} dispatch retries, {} unpinned dispatches",
+            s.machine_failures,
+            s.machine_repairs,
+            s.rack_failures,
+            s.malformed,
+            s.reanchored,
+            s.dispatch_retries,
+            s.fallback_dispatches,
         );
     }
     if let Some(p) = f.value("--probe") {

@@ -68,14 +68,21 @@ pub type CacheKey = (u64, u64);
 
 /// Computes the cache key for one replanning problem. `problem` must be
 /// in canonical `(arrival, id)` order with *relative* arrivals; `pins`
-/// maps queued survivors to their anchored racks.
+/// maps queued survivors to their anchored racks. `dead_fp` is the
+/// dead-machine-set fingerprint (`0` while the cluster is fully live):
+/// a failure changes the virtual cluster the planner sees, so plans
+/// cached before it must not answer problems after it — and a full
+/// repair restores `dead_fp = 0`, making the pre-failure entries valid
+/// (and hittable) again.
 pub fn problem_key(
     config_fp: u64,
+    dead_fp: u64,
     problem: &[JobSpec],
     pins: &BTreeMap<JobId, Vec<RackId>>,
 ) -> CacheKey {
     let mut h = Hasher2::new();
     h.u64(config_fp);
+    h.u64(dead_fp);
     h.u64(problem.len() as u64);
     // Rank of each position's id within the problem's id set: the
     // planner's tie-breaks compare ids, so the permutation is part of
@@ -267,8 +274,8 @@ mod tests {
         let pins = BTreeMap::new();
         let p1 = vec![spec(5, 0.0, 2.0)];
         let p2 = vec![spec(9, 0.0, 2.0)];
-        let k1 = problem_key(42, &p1, &pins);
-        let k2 = problem_key(42, &p2, &pins);
+        let k1 = problem_key(42, 0, &p1, &pins);
+        let k2 = problem_key(42, 0, &p2, &pins);
         assert_eq!(k1, k2, "template + shape match ⇒ same key");
 
         let mut cache = PlanCache::new(4);
@@ -289,23 +296,23 @@ mod tests {
     fn key_separates_arrivals_pins_and_id_order() {
         let pins = BTreeMap::new();
         let base = vec![spec(1, -3.0, 2.0), spec(2, 0.0, 4.0)];
-        let k = problem_key(42, &base, &pins);
+        let k = problem_key(42, 0, &base, &pins);
 
         // Different relative age.
         let aged = vec![spec(1, -4.0, 2.0), spec(2, 0.0, 4.0)];
-        assert_ne!(k, problem_key(42, &aged, &pins));
+        assert_ne!(k, problem_key(42, 0, &aged, &pins));
 
         // Same shapes, inverted id order (ties would break differently).
         let inverted = vec![spec(2, -3.0, 2.0), spec(1, 0.0, 4.0)];
-        assert_ne!(k, problem_key(42, &inverted, &pins));
+        assert_ne!(k, problem_key(42, 0, &inverted, &pins));
 
         // A pin changes the problem.
         let mut pinned = BTreeMap::new();
         pinned.insert(JobId(1), vec![RackId(0), RackId(2)]);
-        assert_ne!(k, problem_key(42, &base, &pinned));
+        assert_ne!(k, problem_key(42, 0, &base, &pinned));
 
         // Different config fingerprint.
-        assert_ne!(k, problem_key(43, &base, &pins));
+        assert_ne!(k, problem_key(43, 0, &base, &pins));
     }
 
     #[test]
@@ -315,7 +322,7 @@ mod tests {
         let mut plan = Plan::default();
         plan.entries.insert(JobId(1), entry(1, 0));
         let keys: Vec<CacheKey> = (0..3)
-            .map(|i| problem_key(i, &[spec(1, 0.0, 2.0)], &pins))
+            .map(|i| problem_key(i, 0, &[spec(1, 0.0, 2.0)], &pins))
             .collect();
         for k in &keys {
             cache.insert(*k, &[JobId(1)], &plan);

@@ -160,7 +160,9 @@ impl EngineDriver {
                 Decision::Reject { job, .. } => {
                     self.parked.remove(&job);
                 }
-                Decision::Admit { .. } | Decision::Complete { .. } => {}
+                // Re-anchors concern only still-queued jobs; the engine
+                // hears about them at dispatch time.
+                Decision::Admit { .. } | Decision::Reanchor { .. } | Decision::Complete { .. } => {}
             }
         }
     }
@@ -226,6 +228,38 @@ mod tests {
         }
         // The serve clock followed the engine's completion times.
         assert_eq!(stats.decisions, out.len() as u64);
+    }
+
+    /// Chaos co-simulation: the engine executes under the *same* seeded
+    /// churn schedule the scheduler hears about as failure events, so
+    /// both sides agree on which machines are down.
+    #[test]
+    fn cosimulation_under_churn_completes_and_is_deterministic() {
+        let run = || {
+            let (cfg, mut params) = setup();
+            let chaos = crate::chaos::ChaosSpec {
+                mtbf: SimTime(400.0),
+                mean_repair: SimTime(60.0),
+                horizon: SimTime(600.0),
+                seed: 7,
+            };
+            params.failures = chaos.schedule(&cfg.cluster);
+            let stream =
+                crate::chaos::merge(events(), crate::chaos::failure_events(&params.failures));
+            let mut out = Vec::new();
+            let (stats, report) = EngineDriver::new(cfg, params).run(&stream, &mut out);
+            (stats, report, out)
+        };
+        let (sa, ra, out_a) = run();
+        let (sb, rb, out_b) = run();
+        assert_eq!(out_a, out_b, "chaos co-simulation must be deterministic");
+        assert_eq!(sa, sb);
+        assert_eq!(ra.makespan, rb.makespan);
+        assert!(sa.machine_failures > 0, "churn schedule must be non-empty");
+        assert_eq!(sa.admitted, 5);
+        // Transient churn (machines rejoin): every job still finishes.
+        assert_eq!(sa.completed, 5);
+        assert_eq!(ra.unfinished, 0);
     }
 
     #[test]

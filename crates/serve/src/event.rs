@@ -1,6 +1,6 @@
 //! The service's vocabulary: input events and output decisions.
 
-use corral_model::{JobId, JobSpec, RackId, SimTime};
+use corral_model::{JobId, JobSpec, MachineId, RackId, SimTime};
 
 /// One input to the scheduling service.
 #[derive(Debug, Clone, PartialEq)]
@@ -19,14 +19,53 @@ pub enum ServeEvent {
         /// Completion time.
         at: SimTime,
     },
+    /// Infrastructure report: one machine went down at `at`. The
+    /// scheduler masks the lost capacity (§7 fallback) but never kills
+    /// dispatched work itself — the executor owns running jobs.
+    MachineFailed {
+        /// The failed machine.
+        machine: MachineId,
+        /// When it failed.
+        at: SimTime,
+    },
+    /// Infrastructure report: a previously failed machine rejoined.
+    MachineRepaired {
+        /// The repaired machine.
+        machine: MachineId,
+        /// When it rejoined.
+        at: SimTime,
+    },
+    /// Infrastructure report: a whole rack went down at `at`.
+    RackFailed {
+        /// The failed rack.
+        rack: RackId,
+        /// When it failed.
+        at: SimTime,
+    },
+    /// A wire line that did not parse. Carrying it as an event (rather
+    /// than aborting the stream) keeps the input-event count — and thus
+    /// snapshot/restore stitching — aligned with the raw line stream.
+    /// Processed at the current service clock; when the line yielded a
+    /// job id, the service answers with a structured
+    /// [`RejectCause::Malformed`] decision.
+    Malformed {
+        /// Best-effort job id recovered from the broken line.
+        job: Option<JobId>,
+    },
 }
 
 impl ServeEvent {
-    /// The simulation time the event is stamped with.
+    /// The simulation time the event is stamped with. Malformed lines
+    /// have no trustworthy timestamp and report `SimTime::ZERO` (they
+    /// process at the service clock, which is never rewound).
     pub fn at(&self) -> SimTime {
         match self {
             ServeEvent::Arrival(s) => s.arrival,
-            ServeEvent::Completion { at, .. } => *at,
+            ServeEvent::Completion { at, .. }
+            | ServeEvent::MachineFailed { at, .. }
+            | ServeEvent::MachineRepaired { at, .. }
+            | ServeEvent::RackFailed { at, .. } => *at,
+            ServeEvent::Malformed { .. } => SimTime::ZERO,
         }
     }
 }
@@ -41,6 +80,12 @@ pub enum RejectCause {
     Unplannable,
     /// A job with this id is already queued or running.
     Duplicate,
+    /// The submission line did not parse; the id was recoverable, the
+    /// rest was not.
+    Malformed,
+    /// Every rack is masked by the failure fallback — there is no live
+    /// capacity to anchor the job to.
+    NoCapacity,
 }
 
 impl RejectCause {
@@ -50,6 +95,8 @@ impl RejectCause {
             RejectCause::QueueFull => "queue_full",
             RejectCause::Unplannable => "unplannable",
             RejectCause::Duplicate => "duplicate",
+            RejectCause::Malformed => "malformed",
+            RejectCause::NoCapacity => "no_capacity",
         }
     }
 }
@@ -96,6 +143,23 @@ pub enum Decision {
         /// Finished job.
         job: JobId,
     },
+    /// The §7 failure fallback dropped the job's rack anchor (too much
+    /// of its pinned capacity died) and the post-failure replan chose a
+    /// fresh one. The job stays admitted; its data re-uploads to the new
+    /// racks.
+    Reanchor {
+        /// Re-anchored job.
+        job: JobId,
+        /// The fresh rack set (empty when every rack is masked — the
+        /// job will dispatch unconstrained).
+        racks: Vec<RackId>,
+        /// Priority rank in the post-failure replan.
+        priority: u32,
+        /// New planned start (absolute service time).
+        planned_start: SimTime,
+        /// New planned finish (absolute service time).
+        planned_finish: SimTime,
+    },
 }
 
 impl Decision {
@@ -105,7 +169,8 @@ impl Decision {
             Decision::Admit { job, .. }
             | Decision::Reject { job, .. }
             | Decision::Dispatch { job, .. }
-            | Decision::Complete { job } => *job,
+            | Decision::Complete { job }
+            | Decision::Reanchor { job, .. } => *job,
         }
     }
 
@@ -116,6 +181,7 @@ impl Decision {
             Decision::Reject { .. } => "reject",
             Decision::Dispatch { .. } => "dispatch",
             Decision::Complete { .. } => "complete",
+            Decision::Reanchor { .. } => "reanchor",
         }
     }
 }

@@ -9,6 +9,16 @@
 //! stitching (escapes decode to their code point; the benches emit
 //! ASCII) and numbers parse via `f64` (plenty for wall-clock seconds
 //! and counters < 2^53).
+//!
+//! The parser is hardened against adversarial input: nesting is bounded
+//! by [`MAX_DEPTH`] (a 100k-`[` line returns `Err` instead of blowing
+//! the stack), every byte access goes through `get` (the lone slice in
+//! [`parse`]'s `expect` helper is guarded by the preceding `get`), and
+//! no input can make it loop — `pos` strictly advances on every
+//! recursion. The unwrap/expect sites in this file live in `#[cfg(test)]`
+//! code or are `unwrap_or` defaults; the malformed-input property test
+//! (`crates/serve/tests/prop_wire.rs`) mutates valid documents at random
+//! and asserts `Err`, never a panic.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -137,11 +147,18 @@ fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
 }
 
+/// Maximum container nesting the parser accepts. Deeper documents are
+/// rejected with an error rather than risking stack exhaustion — the
+/// parser recurses once per `[`/`{` level. Generous for every legitimate
+/// producer in this workspace (wire events are depth ≤ 2, `BENCH_*.json`
+/// depth ≤ 4).
+pub const MAX_DEPTH: usize = 128;
+
 /// Parses a complete JSON document; trailing non-whitespace is an error.
 pub fn parse(text: &str) -> Result<Value, String> {
     let b = text.as_bytes();
     let mut pos = 0;
-    let v = parse_value(b, &mut pos)?;
+    let v = parse_value(b, &mut pos, 0)?;
     skip_ws(b, &mut pos);
     if pos != b.len() {
         return Err(format!("trailing garbage at byte {pos}"));
@@ -164,7 +181,10 @@ fn expect(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
     }
 }
 
-fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+fn parse_value(b: &[u8], pos: &mut usize, depth: usize) -> Result<Value, String> {
+    if depth > MAX_DEPTH {
+        return Err(format!("nesting deeper than {MAX_DEPTH} at byte {pos}"));
+    }
     skip_ws(b, pos);
     match b.get(*pos) {
         None => Err("unexpected end of input".into()),
@@ -181,7 +201,7 @@ fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
                 return Ok(Value::Arr(arr));
             }
             loop {
-                arr.push(parse_value(b, pos)?);
+                arr.push(parse_value(b, pos, depth + 1)?);
                 skip_ws(b, pos);
                 match b.get(*pos) {
                     Some(b',') => *pos += 1,
@@ -206,7 +226,7 @@ fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
                 let key = parse_string(b, pos)?;
                 skip_ws(b, pos);
                 expect(b, pos, ":")?;
-                map.insert(key, parse_value(b, pos)?);
+                map.insert(key, parse_value(b, pos, depth + 1)?);
                 skip_ws(b, pos);
                 match b.get(*pos) {
                     Some(b',') => *pos += 1,
@@ -373,6 +393,27 @@ mod tests {
         assert_eq!(v.get("k").unwrap().as_u64(), Some(3));
         assert_eq!(v.get("j").unwrap().as_u64(), Some(0));
         assert_eq!(v.to_json(), r#"{"j":0,"k":3}"#);
+    }
+
+    #[test]
+    fn pathological_nesting_is_an_error_not_a_stack_overflow() {
+        // Well past any real document; without the depth bound these
+        // would recurse ~100k frames deep.
+        let deep_open = "[".repeat(100_000);
+        assert!(parse(&deep_open).is_err());
+        let deep_balanced = format!("{}1{}", "[".repeat(100_000), "]".repeat(100_000));
+        assert!(parse(&deep_balanced).is_err());
+        let deep_obj = "{\"k\":".repeat(100_000);
+        assert!(parse(&deep_obj).is_err());
+        // At the bound itself, parsing still works.
+        let ok = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(parse(&ok).is_ok());
+        let too_deep = format!(
+            "{}1{}",
+            "[".repeat(MAX_DEPTH + 1),
+            "]".repeat(MAX_DEPTH + 1)
+        );
+        assert!(!too_deep.is_empty() && parse(&too_deep).is_err());
     }
 
     #[test]

@@ -35,13 +35,32 @@
 //! * [`driver`] — co-simulation: the scheduler driving a live
 //!   [`corral_cluster::engine::Engine`] through its feed/drain seam
 //!   (`submit_jobs` / `drain_finished`) instead of self-clocking.
+//!
+//! Failure model (DESIGN.md §8): machine/rack failure and repair events
+//! flow through the same wire as arrivals. With the §7 fallback on, the
+//! scheduler masks dead capacity behind a **virtual rack map** (the
+//! planner's rack symmetry makes masking exact), re-anchors queued jobs
+//! whose racks died, and keys the plan cache on the dead set. Degraded
+//! modes never panic:
+//!
+//! * [`error`] — the structured [`error::ServeError`] every fallible
+//!   serving path returns (malformed lines, corrupt snapshots, overload).
+//! * [`chaos`] — deterministic seeded failure-schedule injection for
+//!   tests and `repro chaosbench`.
+//! * malformed input degrades to [`event::ServeEvent::Malformed`]
+//!   (counted + structured reject), snapshots are checksummed, the
+//!   channel frontend is bounded with explicit shed-load, and dispatch
+//!   onto dead racks retries with backoff before dropping its pins.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod chaos;
 pub mod driver;
+pub mod error;
 pub mod event;
+pub(crate) mod fault;
 pub mod jsonv;
 pub mod scheduler;
 pub mod snapshot;
@@ -49,7 +68,9 @@ pub mod source;
 pub mod wire;
 
 pub use cache::PlanCache;
+pub use chaos::ChaosSpec;
 pub use driver::EngineDriver;
+pub use error::ServeError;
 pub use event::{Decision, RejectCause, ServeEvent};
 pub use scheduler::{Scheduler, ServeConfig, ServeStats};
-pub use source::{spawn_service, ServiceHandle, ServiceResult};
+pub use source::{spawn_service, spawn_service_bounded, ServiceHandle, ServiceResult};

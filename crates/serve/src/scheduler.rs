@@ -35,10 +35,11 @@
 
 use crate::cache::{problem_key, PlanCache};
 use crate::event::{Decision, RejectCause, ServeEvent};
+use crate::fault::{RackMask, Topology};
 use corral_core::{
     plan_jobs_pinned, IncrementalPlanner, Objective, Plan, PlannerConfig, ReplanKind,
 };
-use corral_model::{ClusterConfig, JobId, JobSpec, RackId, SimTime};
+use corral_model::{ClusterConfig, JobId, JobSpec, MachineId, RackId, SimTime};
 use corral_trace::probe::{self, ProbeCounter, SpanKind};
 use std::collections::BTreeMap;
 
@@ -66,6 +67,22 @@ pub struct ServeConfig {
     /// Re-run the full batch oracle on every replan and panic unless
     /// the incremental (or cache-materialized) plan is equal.
     pub tripwire: bool,
+    /// The §7 failure fallback: racks past [`ServeConfig::failure_threshold`]
+    /// dead capacity are masked out of the planning problem, and queued
+    /// jobs anchored to them are re-anchored. When off the planner stays
+    /// failure-blind (the paper's no-fallback baseline) and only the
+    /// dispatch-time retry/backoff degrades gracefully.
+    pub fallback: bool,
+    /// Dead-machine fraction past which a rack (or a job's pinned rack
+    /// set) counts as gone (strict `>`; the paper's default is 0.5).
+    pub failure_threshold: f64,
+    /// How many times a dispatch timer whose target racks are
+    /// effectively dead is deferred with backoff before dispatching
+    /// unconstrained (rack pins dropped).
+    pub dispatch_retries: u32,
+    /// Base backoff for deferred dispatches; attempt `k` waits
+    /// `retry_backoff · 2^(k-1)`.
+    pub retry_backoff: SimTime,
 }
 
 impl Default for ServeConfig {
@@ -78,6 +95,10 @@ impl Default for ServeConfig {
             cache_capacity: 256,
             self_clock: true,
             tripwire: false,
+            fallback: true,
+            failure_threshold: 0.5,
+            dispatch_retries: 3,
+            retry_backoff: SimTime(30.0),
         }
     }
 }
@@ -94,7 +115,7 @@ impl ServeConfig {
                 h = (h ^ b as u64).wrapping_mul(PRIME);
             }
         };
-        put(1); // format version
+        put(2); // format version (v2: failure-path fields below)
         put(self.cluster.racks as u64);
         put(self.cluster.machines_per_rack as u64);
         put(self.cluster.slots_per_machine as u64);
@@ -115,6 +136,10 @@ impl ServeConfig {
         }
         put(self.planner.response.volume_error.to_bits());
         put(self.max_queue as u64);
+        put(self.fallback as u64);
+        put(self.failure_threshold.to_bits());
+        put(self.dispatch_retries as u64);
+        put(self.retry_backoff.0.to_bits());
         h
     }
 }
@@ -150,6 +175,20 @@ pub struct ServeStats {
     pub replans_incremental: u64,
     /// Replans that rebuilt every table.
     pub replans_full: u64,
+    /// Machine-failure events consumed.
+    pub machine_failures: u64,
+    /// Machine-repair events consumed.
+    pub machine_repairs: u64,
+    /// Rack-failure events consumed.
+    pub rack_failures: u64,
+    /// Malformed wire lines absorbed (reject decision or counted skip).
+    pub malformed: u64,
+    /// Queued jobs whose anchor was dropped by the §7 fallback.
+    pub reanchored: u64,
+    /// Dispatch timers deferred with backoff (target racks dead).
+    pub dispatch_retries: u64,
+    /// Dispatches that gave up their rack pins after exhausting retries.
+    pub fallback_dispatches: u64,
 }
 
 /// An admitted, not-yet-dispatched job.
@@ -167,6 +206,9 @@ pub(crate) struct Queued {
     pub planned_finish: SimTime,
     /// Predicted run latency from the latest plan.
     pub predicted_latency: SimTime,
+    /// Dispatch attempts deferred because the anchored racks were
+    /// effectively dead (resets when the job is re-anchored).
+    pub attempts: u32,
 }
 
 /// A dispatched, still-running job. Active jobs stay in the replanning
@@ -202,6 +244,26 @@ pub struct Scheduler {
     cache: PlanCache,
     dispatch_seq: u32,
     stats: ServeStats,
+    /// Per-machine liveness (fed by failure/repair events).
+    topo: Topology,
+    /// Live↔virtual rack map at the current dead set (identity while
+    /// fully live or with the fallback off).
+    mask: RackMask,
+    /// Dead-set fingerprint mixed into cache keys (0 while fully live).
+    dead_fp: u64,
+    /// The virtual cluster the planner and tripwire oracle see
+    /// (= `cfg.cluster` with `racks` shrunk to the mask).
+    masked_cluster: ClusterConfig,
+    /// Rack count the incremental planner was built for (its latency
+    /// tables depend on the count, not on which racks are live).
+    planner_racks: usize,
+}
+
+/// One topology delta from the event stream.
+enum TopologyChange {
+    Fail(MachineId),
+    Repair(MachineId),
+    FailRack(RackId),
 }
 
 impl Scheduler {
@@ -211,6 +273,10 @@ impl Scheduler {
             IncrementalPlanner::new(cfg.cluster.clone(), cfg.objective, cfg.planner.clone());
         let cache = PlanCache::new(cfg.cache_capacity);
         let config_fp = cfg.fingerprint();
+        let topo = Topology::new(&cfg.cluster);
+        let mask = RackMask::identity(cfg.cluster.racks);
+        let masked_cluster = cfg.cluster.clone();
+        let planner_racks = cfg.cluster.racks;
         Scheduler {
             cfg,
             config_fp,
@@ -221,6 +287,11 @@ impl Scheduler {
             cache,
             dispatch_seq: 0,
             stats: ServeStats::default(),
+            topo,
+            mask,
+            dead_fp: 0,
+            masked_cluster,
+            planner_racks,
         }
     }
 
@@ -284,6 +355,16 @@ impl Scheduler {
         match ev {
             ServeEvent::Arrival(spec) => self.on_arrival(spec, out),
             ServeEvent::Completion { job, at } => self.on_completion(job, at, out),
+            ServeEvent::MachineFailed { machine, at } => {
+                self.on_topology(at, TopologyChange::Fail(machine), out)
+            }
+            ServeEvent::MachineRepaired { machine, at } => {
+                self.on_topology(at, TopologyChange::Repair(machine), out)
+            }
+            ServeEvent::RackFailed { rack, at } => {
+                self.on_topology(at, TopologyChange::FailRack(rack), out)
+            }
+            ServeEvent::Malformed { job } => self.on_malformed(job, out),
         }
     }
 
@@ -346,6 +427,11 @@ impl Scheduler {
             Some(RejectCause::Duplicate)
         } else if self.queue.len() >= self.cfg.max_queue {
             Some(RejectCause::QueueFull)
+        } else if self.cfg.fallback && self.mask.is_empty() {
+            // Every rack is past the failure threshold: there is no
+            // virtual cluster to plan against. Shed the arrival rather
+            // than fabricate an anchor on dead capacity.
+            Some(RejectCause::NoCapacity)
         } else {
             None
         };
@@ -372,6 +458,7 @@ impl Scheduler {
             planned_start: self.now + e.planned_start,
             planned_finish: self.now + e.planned_finish,
             predicted_latency: e.predicted_latency,
+            attempts: 0,
             spec: eff,
         };
         self.stats.admitted += 1;
@@ -401,8 +488,8 @@ impl Scheduler {
         } else if let Some(idx) = self.queue.iter().position(|q| q.spec.id == job) {
             // The executor ran a job we still considered queued: it is
             // done in the real world, so force the dispatch bookkeeping
-            // through, then complete it.
-            self.dispatch(idx, out);
+            // through (no dead-rack deferral), then complete it.
+            self.dispatch(idx, out, true);
             self.active.remove(&job);
             self.complete(job, out);
         } else {
@@ -417,10 +504,126 @@ impl Scheduler {
     fn complete(&mut self, job: JobId, out: &mut Vec<(SimTime, Decision)>) {
         self.stats.completed += 1;
         self.emit(out, Decision::Complete { job });
-        if !self.queue.is_empty() {
+        let starved = self.cfg.fallback && self.mask.is_empty();
+        if !self.queue.is_empty() && !starved {
             // Fully pinned re-timing of the survivors. An empty queue
-            // skips the (trivial, but cache-churning) empty replan.
+            // skips the (trivial, but cache-churning) empty replan; a
+            // fully masked cluster has nothing to plan against, so the
+            // queue stays frozen until capacity returns.
             self.replan(None);
+        }
+    }
+
+    /// Absorbs one malformed input line. Counted always; when a job id
+    /// could be recovered from the garbled line, the job is rejected so
+    /// the submitter sees a decision instead of silence.
+    fn on_malformed(&mut self, job: Option<JobId>, out: &mut Vec<(SimTime, Decision)>) {
+        self.stats.malformed += 1;
+        probe::count(ProbeCounter::ServeMalformed, 1);
+        if let Some(job) = job {
+            self.stats.rejected += 1;
+            probe::count(ProbeCounter::ServeRejected, 1);
+            self.emit(
+                out,
+                Decision::Reject {
+                    job,
+                    cause: RejectCause::Malformed,
+                },
+            );
+        }
+    }
+
+    /// Applies one failure/repair event. With the §7 fallback on, the
+    /// rack mask is refreshed, queued jobs anchored past the threshold
+    /// are re-anchored (pins dropped, fresh replan), and the new anchors
+    /// are announced as [`Decision::Reanchor`]. With the fallback off
+    /// the dead set is still tracked — the dispatch-time retry path
+    /// reads it — but plans stay failure-blind.
+    fn on_topology(
+        &mut self,
+        at: SimTime,
+        change: TopologyChange,
+        out: &mut Vec<(SimTime, Decision)>,
+    ) {
+        let t = at.max(self.now);
+        self.advance_to(t, out);
+        self.now = t;
+        let changed = match change {
+            TopologyChange::Fail(m) => {
+                self.stats.machine_failures += 1;
+                self.topo.fail_machine(m)
+            }
+            TopologyChange::Repair(m) => {
+                self.stats.machine_repairs += 1;
+                self.topo.repair_machine(m)
+            }
+            TopologyChange::FailRack(r) => {
+                self.stats.rack_failures += 1;
+                self.topo.fail_rack(r)
+            }
+        };
+        if !changed || !self.cfg.fallback {
+            return;
+        }
+        self.refresh_mask();
+        // §7 fallback: a queued job whose anchored racks are past the
+        // threshold (or individually masked) drops its placement
+        // constraint and gets a fresh anchor from the next replan.
+        let threshold = self.cfg.failure_threshold;
+        let mut reanchored: Vec<JobId> = Vec::new();
+        for q in &mut self.queue {
+            if q.racks.is_empty() {
+                continue;
+            }
+            let hit_mask = q.racks.iter().any(|r| self.mask.is_masked(*r));
+            if hit_mask || self.topo.dead_fraction(&q.racks) > threshold {
+                q.racks.clear();
+                q.attempts = 0;
+                reanchored.push(q.spec.id);
+            }
+        }
+        if !self.queue.is_empty() && !self.mask.is_empty() {
+            self.replan(None);
+        }
+        for id in reanchored {
+            if let Some(q) = self.queue.iter().find(|q| q.spec.id == id) {
+                let d = Decision::Reanchor {
+                    job: id,
+                    racks: q.racks.clone(),
+                    priority: q.priority,
+                    planned_start: q.planned_start,
+                    planned_finish: q.planned_finish,
+                };
+                self.stats.reanchored += 1;
+                probe::count(ProbeCounter::ServeReanchored, 1);
+                self.emit(out, d);
+            }
+        }
+        // The replan may have pulled a survivor's start up to now.
+        self.advance_to(self.now, out);
+    }
+
+    /// Recomputes the rack mask, dead-set fingerprint, and virtual
+    /// cluster after a topology change; rebuilds the incremental planner
+    /// only when the live rack *count* changed (its latency tables are
+    /// sized by count, not identity).
+    fn refresh_mask(&mut self) {
+        if !self.cfg.fallback {
+            return;
+        }
+        self.mask = self.topo.mask(self.cfg.failure_threshold);
+        self.dead_fp = self.topo.dead_fp();
+        self.masked_cluster = ClusterConfig {
+            racks: self.mask.len(),
+            ..self.cfg.cluster.clone()
+        };
+        if self.mask.len() != self.planner_racks && !self.mask.is_empty() {
+            self.planner = IncrementalPlanner::new(
+                self.masked_cluster.clone(),
+                self.cfg.objective,
+                self.cfg.planner.clone(),
+            );
+            self.planner_racks = self.mask.len();
         }
     }
 
@@ -428,7 +631,33 @@ impl Scheduler {
     /// dispatch decision. Does **not** replan: the survivors' stale
     /// timeline is conservative, and the next arrival or completion
     /// re-times them anyway.
-    fn dispatch(&mut self, idx: usize, out: &mut Vec<(SimTime, Decision)>) {
+    ///
+    /// When the job's anchored racks are effectively dead at dispatch
+    /// time (past the failure threshold) and `force` is off, the timer
+    /// is deferred with exponential backoff up to
+    /// [`ServeConfig::dispatch_retries`] times, then the pins are
+    /// dropped and the job dispatches unconstrained. Returns `false`
+    /// when the dispatch was deferred (the job stays queued).
+    fn dispatch(&mut self, idx: usize, out: &mut Vec<(SimTime, Decision)>, force: bool) -> bool {
+        if !force
+            && !self.queue[idx].racks.is_empty()
+            && self.topo.dead_fraction(&self.queue[idx].racks) > self.cfg.failure_threshold
+        {
+            let backoff = self.cfg.retry_backoff;
+            let now = self.now;
+            let q = &mut self.queue[idx];
+            if q.attempts < self.cfg.dispatch_retries {
+                q.attempts += 1;
+                // Attempts strictly increase, so even a zero backoff
+                // terminates after `dispatch_retries` deferrals.
+                q.planned_start = now + SimTime(backoff.0 * (1u64 << (q.attempts - 1)) as f64);
+                self.stats.dispatch_retries += 1;
+                probe::count(ProbeCounter::ServeDispatchRetry, 1);
+                return false;
+            }
+            q.racks.clear();
+            self.stats.fallback_dispatches += 1;
+        }
         let q = self.queue.remove(idx);
         let prio = self.dispatch_seq;
         self.dispatch_seq += 1;
@@ -452,6 +681,7 @@ impl Scheduler {
                 priority: prio,
             },
         );
+        true
     }
 
     /// Fires every timer due at or before `t`, in deterministic order:
@@ -487,12 +717,14 @@ impl Scheduler {
                     } else {
                         let (st, _, idx) = disp.unwrap();
                         self.now = self.now.max(st);
-                        self.dispatch(idx, out);
+                        // A deferred dispatch pushed its timer into the
+                        // future; the loop re-selects.
+                        self.dispatch(idx, out, false);
                     }
                 }
                 (None, Some((st, _, idx))) => {
                     self.now = self.now.max(st);
-                    self.dispatch(idx, out);
+                    self.dispatch(idx, out, false);
                 }
             }
         }
@@ -501,9 +733,18 @@ impl Scheduler {
     /// One replan: canonical relative-time problem over the queue (+
     /// optional unpinned newcomer), cache probe, incremental plan on a
     /// miss, optional oracle tripwire, fold back into the queue.
-    /// Returns the plan in *relative* time.
+    /// Returns the plan in *relative* time, racks remapped to **live**
+    /// ids.
+    ///
+    /// With dead capacity masked, the whole pipeline — problem pins,
+    /// cache entries, planner output, and the tripwire oracle — runs in
+    /// **virtual** rack space (the live racks renumbered `0..n_live`);
+    /// only after the tripwire does the plan remap to live ids. The
+    /// planner's rack symmetry (tables keyed by count, index tie-breaks
+    /// preserved by the monotone map) makes this exact.
     fn replan(&mut self, newcomer: Option<&JobSpec>) -> Plan {
         let now = self.now;
+        let identity = !self.cfg.fallback || self.mask.is_identity();
         let mut problem: Vec<JobSpec> =
             Vec::with_capacity(self.active.len() + self.queue.len() + 1);
         let mut pins: BTreeMap<JobId, Vec<RackId>> = BTreeMap::new();
@@ -513,15 +754,36 @@ impl Scheduler {
         // until the modeled occupancy drains (no preemption, §4.1, so
         // their own fold-back entries are ignored).
         for a in self.active.values() {
+            let vracks = if identity {
+                a.racks.clone()
+            } else {
+                self.mask.to_virtual_lossy(&a.racks)
+            };
+            if vracks.is_empty() {
+                // Unpinned (forced) dispatches and occupancy entirely on
+                // dead racks constrain nothing in the virtual cluster.
+                continue;
+            }
             let mut s = a.spec.clone();
             s.arrival = SimTime(a.dispatched_at.0 - now.0);
-            pins.insert(s.id, a.racks.clone());
+            pins.insert(s.id, vracks);
             problem.push(s);
         }
         for q in &self.queue {
             let mut s = q.spec.clone();
             s.arrival = SimTime(s.arrival.0 - now.0);
-            pins.insert(s.id, q.racks.clone());
+            if !q.racks.is_empty() {
+                // Re-anchored jobs (cleared racks) go in unpinned and
+                // pick up a fresh anchor from this plan. Invariant:
+                // surviving pins never reference a masked rack — the
+                // reanchor pass in `on_topology` cleared those.
+                let vr = if identity {
+                    q.racks.clone()
+                } else {
+                    self.mask.to_virtual_lossy(&q.racks)
+                };
+                pins.insert(s.id, vr);
+            }
             problem.push(s);
         }
         if let Some(nc) = newcomer {
@@ -533,7 +795,7 @@ impl Scheduler {
         problem.sort_by(|a, b| a.arrival.total_cmp(b.arrival).then(a.id.cmp(&b.id)));
         let ids: Vec<JobId> = problem.iter().map(|s| s.id).collect();
 
-        let key = problem_key(self.config_fp, &problem, &pins);
+        let key = problem_key(self.config_fp, self.dead_fp, &problem, &pins);
         let plan = match self.cache.lookup(key, &ids) {
             Some(plan) => plan,
             None => {
@@ -548,8 +810,11 @@ impl Scheduler {
         };
 
         if self.cfg.tripwire {
+            // The oracle plans the same virtual problem on the masked
+            // cluster — covering cache hits and post-failure replans
+            // alike (masked_cluster == cfg.cluster while fully live).
             let oracle = plan_jobs_pinned(
-                &self.cfg.cluster,
+                &self.masked_cluster,
                 &problem,
                 self.cfg.objective,
                 &self.cfg.planner,
@@ -558,21 +823,35 @@ impl Scheduler {
             assert!(
                 plan == oracle,
                 "serve replan diverged from the plan_jobs_pinned oracle at t={} \
-                 (queue={}, newcomer={:?}): served {:?} vs oracle {:?}",
+                 (queue={}, newcomer={:?}, live_racks={}): served {:?} vs oracle {:?}",
                 now.as_secs(),
                 self.queue.len(),
                 newcomer.map(|s| s.id),
+                self.mask.len(),
                 plan,
                 oracle,
             );
         }
 
-        // Fold: survivors keep their pinned racks; priorities and the
+        // Leave virtual rack space: every plan entry's racks map back to
+        // live ids (the cache kept the virtual-space plan).
+        let mut plan = plan;
+        if !identity {
+            for e in plan.entries.values_mut() {
+                e.racks = self.mask.to_live(&e.racks);
+            }
+        }
+
+        // Fold: survivors keep their pinned racks (re-anchored ones
+        // adopt the plan's fresh, live-space anchor); priorities and the
         // planned timeline come from the fresh plan (absolute = now+rel).
         for q in &mut self.queue {
             let e = plan
                 .entry(q.spec.id)
                 .expect("every queued job is in the replan");
+            if q.racks.is_empty() {
+                q.racks = e.racks.clone();
+            }
             q.priority = e.priority;
             q.planned_start = now + e.planned_start;
             q.planned_finish = now + e.planned_finish;
@@ -584,17 +863,22 @@ impl Scheduler {
     // ------------------------------------------------------------------
     // Snapshot plumbing (crate-private; see `crate::snapshot`).
     // ------------------------------------------------------------------
+}
 
-    pub(crate) fn snapshot_parts(
-        &self,
-    ) -> (
-        u64,
-        SimTime,
-        u32,
-        ServeStats,
-        &[Queued],
-        &BTreeMap<JobId, Active>,
-    ) {
+/// Everything a snapshot records, in write order: config fingerprint,
+/// clock, dispatch sequence, stats, queue, active set, dead machines.
+pub(crate) type SnapshotParts<'a> = (
+    u64,
+    SimTime,
+    u32,
+    ServeStats,
+    &'a [Queued],
+    &'a BTreeMap<JobId, Active>,
+    Vec<MachineId>,
+);
+
+impl Scheduler {
+    pub(crate) fn snapshot_parts(&self) -> SnapshotParts<'_> {
         (
             self.config_fp,
             self.now,
@@ -602,12 +886,15 @@ impl Scheduler {
             self.stats(),
             &self.queue,
             &self.active,
+            self.topo.dead_machines(),
         )
     }
 
     /// Rebuilds a scheduler from snapshot state. Planner and plan cache
     /// start cold — safe, because cached state only ever reproduces
-    /// what a cold replan computes bit-identically.
+    /// what a cold replan computes bit-identically. The dead-machine
+    /// set is replayed into the topology so the rack mask, dead-set
+    /// fingerprint, and virtual planner come back exactly.
     pub(crate) fn from_parts(
         cfg: ServeConfig,
         now: SimTime,
@@ -615,6 +902,7 @@ impl Scheduler {
         stats: ServeStats,
         queue: Vec<Queued>,
         active: BTreeMap<JobId, Active>,
+        dead: Vec<MachineId>,
     ) -> Self {
         let mut s = Scheduler::new(cfg);
         s.now = now;
@@ -626,6 +914,10 @@ impl Scheduler {
         s.cache.misses = stats.cache_misses;
         s.queue = queue;
         s.active = active;
+        for m in dead {
+            s.topo.fail_machine(m);
+        }
+        s.refresh_mask();
         s
     }
 }
@@ -819,6 +1111,193 @@ mod tests {
         );
         assert_eq!(s.stats().unknown_completions, 1);
         assert_eq!(out.len(), 0);
+    }
+
+    #[test]
+    fn rack_failure_reanchors_queued_jobs_and_repair_restores_identity() {
+        let mut s = Scheduler::new(cfg());
+        let mut out = Vec::new();
+        // Burst of wide jobs: the first dispatches immediately, the rest
+        // queue behind its occupancy.
+        for id in 1..=3u32 {
+            s.on_event(ServeEvent::Arrival(spec(id, 0.0, 40.0)), &mut out);
+        }
+        assert!(s.queue_len() >= 1, "burst must leave survivors queued");
+        let victim_job = s.queue[0].spec.id;
+        let victim_rack = s.queue[0].racks[0];
+        s.on_event(
+            ServeEvent::RackFailed {
+                rack: victim_rack,
+                at: SimTime(1.0),
+            },
+            &mut out,
+        );
+        let stats = s.stats();
+        assert_eq!(stats.rack_failures, 1);
+        assert!(stats.reanchored >= 1, "anchored job must re-anchor");
+        assert_ne!(s.dead_fp, 0);
+        assert!(!s.mask.is_identity());
+        // The re-anchor decision carries a fresh, live anchor.
+        let reanchor = out
+            .iter()
+            .find_map(|(_, d)| match d {
+                Decision::Reanchor { job, racks, .. } if *job == victim_job => Some(racks.clone()),
+                _ => None,
+            })
+            .expect("reanchor decision for the victim job");
+        assert!(!reanchor.is_empty());
+        assert!(
+            !reanchor.contains(&victim_rack),
+            "anchor left the dead rack"
+        );
+        // Full repair: mask back to identity, dead fingerprint back to
+        // 0 (pre-failure cache entries valid again).
+        let per_rack = s.cfg.cluster.machines_per_rack;
+        for m in 0..per_rack {
+            s.on_event(
+                ServeEvent::MachineRepaired {
+                    machine: corral_model::MachineId::from_index(
+                        victim_rack.index() * per_rack + m,
+                    ),
+                    at: SimTime(2.0),
+                },
+                &mut out,
+            );
+        }
+        assert_eq!(s.dead_fp, 0);
+        assert!(s.mask.is_identity());
+        s.finish(&mut out);
+        let stats = s.stats();
+        assert_eq!(stats.admitted, 3);
+        assert_eq!(stats.completed, 3, "every admitted job still finishes");
+    }
+
+    #[test]
+    fn all_racks_dead_sheds_arrivals_with_no_capacity() {
+        let mut s = Scheduler::new(cfg());
+        let mut out = Vec::new();
+        for r in 0..s.cfg.cluster.racks {
+            s.on_event(
+                ServeEvent::RackFailed {
+                    rack: RackId::from_index(r),
+                    at: SimTime::ZERO,
+                },
+                &mut out,
+            );
+        }
+        assert!(s.mask.is_empty());
+        s.on_event(ServeEvent::Arrival(spec(1, 1.0, 4.0)), &mut out);
+        let causes: Vec<RejectCause> = out
+            .iter()
+            .filter_map(|(_, d)| match d {
+                Decision::Reject { cause, .. } => Some(*cause),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(causes, vec![RejectCause::NoCapacity]);
+        assert_eq!(s.stats().admitted, 0);
+    }
+
+    #[test]
+    fn malformed_lines_are_counted_and_reject_when_the_id_survives() {
+        let mut s = Scheduler::new(cfg());
+        let mut out = Vec::new();
+        s.on_event(ServeEvent::Malformed { job: None }, &mut out);
+        s.on_event(
+            ServeEvent::Malformed {
+                job: Some(JobId(7)),
+            },
+            &mut out,
+        );
+        let stats = s.stats();
+        assert_eq!(stats.malformed, 2);
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.events, 2, "malformed lines count as events");
+        assert!(matches!(
+            out.as_slice(),
+            [(
+                _,
+                Decision::Reject {
+                    job: JobId(7),
+                    cause: RejectCause::Malformed
+                }
+            )]
+        ));
+    }
+
+    #[test]
+    fn fallback_off_defers_dispatch_then_drops_the_pins() {
+        let mut s = Scheduler::new(ServeConfig {
+            fallback: false,
+            dispatch_retries: 2,
+            retry_backoff: SimTime(5.0),
+            ..cfg()
+        });
+        let mut out = Vec::new();
+        for id in 1..=2u32 {
+            s.on_event(ServeEvent::Arrival(spec(id, 0.0, 40.0)), &mut out);
+        }
+        assert!(s.queue_len() >= 1);
+        let victim_job = s.queue[0].spec.id;
+        // Kill every rack the queued job is anchored to: failure-blind
+        // planning keeps the anchor, so the dispatch timer must degrade.
+        for r in s.queue[0].racks.clone() {
+            s.on_event(
+                ServeEvent::RackFailed {
+                    rack: r,
+                    at: SimTime(1.0),
+                },
+                &mut out,
+            );
+        }
+        assert_eq!(s.stats().reanchored, 0, "fallback off never re-anchors");
+        s.finish(&mut out);
+        let stats = s.stats();
+        assert_eq!(stats.dispatch_retries, 2);
+        assert_eq!(stats.fallback_dispatches, 1);
+        assert_eq!(stats.completed, 2);
+        let dispatched_racks = out
+            .iter()
+            .find_map(|(_, d)| match d {
+                Decision::Dispatch { job, racks, .. } if *job == victim_job => Some(racks.clone()),
+                _ => None,
+            })
+            .expect("victim eventually dispatches");
+        assert!(
+            dispatched_racks.is_empty(),
+            "exhausted retries dispatch unconstrained"
+        );
+    }
+
+    #[test]
+    fn chaotic_streams_are_byte_identical() {
+        let mut events = Vec::new();
+        for i in 0..12u32 {
+            events.push(ServeEvent::Arrival(spec(
+                i + 1,
+                (i as f64) * 15.0,
+                4.0 + (i % 4) as f64 * 8.0,
+            )));
+        }
+        // Interleave machine churn: fail at 10s strides, repair 25s later.
+        for m in 0..6u32 {
+            events.push(ServeEvent::MachineFailed {
+                machine: corral_model::MachineId(m),
+                at: SimTime(5.0 + m as f64 * 10.0),
+            });
+            events.push(ServeEvent::MachineRepaired {
+                machine: corral_model::MachineId(m),
+                at: SimTime(30.0 + m as f64 * 10.0),
+            });
+        }
+        events.sort_by(|a, b| a.at().total_cmp(b.at()));
+        let mut out_a = Vec::new();
+        let mut out_b = Vec::new();
+        let sa = Scheduler::new(cfg()).run(events.clone(), &mut out_a);
+        let sb = Scheduler::new(cfg()).run(events, &mut out_b);
+        assert_eq!(out_a, out_b);
+        assert_eq!(sa, sb);
+        assert!(sa.machine_failures > 0);
     }
 
     #[test]

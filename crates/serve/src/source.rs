@@ -1,6 +1,8 @@
-//! Event-stream frontends: JSONL readers, trace adapters, and the
-//! in-process channel service.
+//! Event-stream frontends: JSONL readers (strict and lossy), trace
+//! adapters, and the in-process channel service with bounded transport
+//! and shed-load overflow.
 
+use crate::error::ServeError;
 use crate::event::{Decision, ServeEvent};
 use crate::scheduler::{Scheduler, ServeConfig, ServeStats};
 use crate::wire;
@@ -9,16 +11,51 @@ use corral_trace::probe;
 use std::io::BufRead;
 use std::sync::mpsc;
 
-/// Reads a JSONL event stream (see [`crate::wire`]); blank lines are
-/// skipped. Errors carry the 1-based line number.
-pub fn read_events(reader: impl BufRead) -> Result<Vec<ServeEvent>, String> {
+/// Default transport-channel capacity for [`spawn_service`]: deep
+/// enough to decouple producer bursts from the scheduler, shallow
+/// enough that a stuck consumer surfaces as backpressure (or, via
+/// [`ServiceHandle::try_send`], an explicit shed) instead of unbounded
+/// memory growth.
+pub const DEFAULT_TRANSPORT_CAPACITY: usize = 1024;
+
+/// Reads a JSONL event stream (see [`crate::wire`]) strictly: the first
+/// malformed line aborts with an error carrying its 1-based line
+/// number. Blank lines are skipped. Use [`read_events_lossy`] for a
+/// frontend that degrades instead of aborting.
+pub fn read_events(reader: impl BufRead) -> Result<Vec<ServeEvent>, ServeError> {
     let mut events = Vec::new();
     for (i, line) in reader.lines().enumerate() {
-        let line = line.map_err(|e| format!("line {}: read error: {e}", i + 1))?;
+        let line =
+            line.map_err(|e| ServeError::parse(format!("read error: {e}")).at_line(i as u64 + 1))?;
         if line.trim().is_empty() {
             continue;
         }
-        events.push(wire::parse_event(&line).map_err(|e| format!("line {}: {e}", i + 1))?);
+        events.push(wire::parse_event(&line).map_err(|e| e.at_line(i as u64 + 1))?);
+    }
+    Ok(events)
+}
+
+/// Reads a JSONL event stream **lossily**: a malformed line becomes a
+/// [`ServeEvent::Malformed`] (carrying the job id when one could be
+/// recovered from the garbled line) instead of aborting, so one bad
+/// producer cannot take the service down. Only I/O errors are fatal.
+/// The returned stream is positionally aligned with the input — every
+/// non-blank line yields exactly one event — which keeps snapshot
+/// restore's skip-by-event-count correct across malformed input.
+pub fn read_events_lossy(reader: impl BufRead) -> Result<Vec<ServeEvent>, ServeError> {
+    let mut events = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line =
+            line.map_err(|e| ServeError::parse(format!("read error: {e}")).at_line(i as u64 + 1))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        events.push(match wire::parse_event(&line) {
+            Ok(ev) => ev,
+            Err(_) => ServeEvent::Malformed {
+                job: wire::lossy_job_id(&line),
+            },
+        });
     }
     Ok(events)
 }
@@ -34,15 +71,28 @@ pub fn events_from_specs(specs: &[JobSpec]) -> Vec<ServeEvent> {
 /// Producer handle for an in-process service: send events, then drop
 /// (or [`ServiceHandle::close`]) to let the service drain and finish.
 pub struct ServiceHandle {
-    tx: mpsc::Sender<ServeEvent>,
+    tx: mpsc::SyncSender<ServeEvent>,
 }
 
 impl ServiceHandle {
-    /// Queues one event. Errors if the service thread is gone.
-    pub fn send(&self, ev: ServeEvent) -> Result<(), String> {
-        self.tx
-            .send(ev)
-            .map_err(|_| "service thread hung up".to_string())
+    /// Queues one event, blocking while the transport is full. Errors
+    /// if the service thread is gone.
+    pub fn send(&self, ev: ServeEvent) -> Result<(), ServeError> {
+        self.tx.send(ev).map_err(|_| ServeError::Disconnected)
+    }
+
+    /// Queues one event **without blocking**. When the transport is
+    /// full the event is handed back with [`ServeError::Overloaded`] —
+    /// an explicit shed-load decision for the producer (drop, retry
+    /// later, or divert) instead of silent queue growth. The large
+    /// `Err` is the point: the rejected event rides back un-boxed.
+    #[allow(clippy::result_large_err)]
+    pub fn try_send(&self, ev: ServeEvent) -> Result<(), (ServeEvent, ServeError)> {
+        match self.tx.try_send(ev) {
+            Ok(()) => Ok(()),
+            Err(mpsc::TrySendError::Full(ev)) => Err((ev, ServeError::Overloaded)),
+            Err(mpsc::TrySendError::Disconnected(ev)) => Err((ev, ServeError::Disconnected)),
+        }
     }
 
     /// Closes the stream; the service drains its timers and returns.
@@ -53,13 +103,25 @@ impl ServiceHandle {
 /// log and the final stats.
 pub type ServiceResult = (Vec<(SimTime, Decision)>, ServeStats);
 
-/// Spawns the scheduler on its own thread behind a bounded-queue
-/// channel frontend. The thread consumes events until the handle is
-/// dropped, runs the scheduler dry, and returns the full decision log
-/// and final stats. (Admission control bounds the *scheduler's* queue;
-/// the channel itself is the transport buffer.)
+/// Spawns the scheduler on its own thread behind a **bounded** channel
+/// frontend ([`DEFAULT_TRANSPORT_CAPACITY`] events). The thread
+/// consumes events until the handle is dropped, runs the scheduler dry,
+/// and returns the full decision log and final stats. (Admission
+/// control bounds the *scheduler's* queue; the channel bounds the
+/// transport buffer — see [`spawn_service_bounded`] to pick the
+/// capacity.)
 pub fn spawn_service(cfg: ServeConfig) -> (ServiceHandle, std::thread::JoinHandle<ServiceResult>) {
-    let (tx, rx) = mpsc::channel::<ServeEvent>();
+    spawn_service_bounded(cfg, DEFAULT_TRANSPORT_CAPACITY)
+}
+
+/// [`spawn_service`] with an explicit transport capacity. A full
+/// channel blocks [`ServiceHandle::send`] (backpressure) and rejects
+/// [`ServiceHandle::try_send`] (shed load).
+pub fn spawn_service_bounded(
+    cfg: ServeConfig,
+    capacity: usize,
+) -> (ServiceHandle, std::thread::JoinHandle<ServiceResult>) {
+    let (tx, rx) = mpsc::sync_channel::<ServeEvent>(capacity);
     let join = std::thread::spawn(move || {
         let mut sched = Scheduler::new(cfg);
         let mut out = Vec::new();
@@ -112,8 +174,33 @@ mod tests {
         let events = read_events(text.as_bytes()).unwrap();
         assert_eq!(events.len(), 2);
 
-        let err = read_events("{}\n".as_bytes()).unwrap_err();
+        let err = read_events("{}\n".as_bytes()).unwrap_err().to_string();
         assert!(err.starts_with("line 1:"), "{err}");
+    }
+
+    #[test]
+    fn lossy_reader_degrades_malformed_lines_in_place() {
+        let good = wire::format_event(&ServeEvent::Arrival(spec(1, 0.0))).unwrap();
+        let text = format!(
+            "{good}\nnot json at all\n{{\"type\":\"mystery\",\"id\":7}}\n\n{good2}\n",
+            good2 = wire::format_event(&ServeEvent::Completion {
+                job: JobId(1),
+                at: SimTime(9.0)
+            })
+            .unwrap(),
+        );
+        let events = read_events_lossy(text.as_bytes()).unwrap();
+        // 4 non-blank lines → exactly 4 events, positions preserved.
+        assert_eq!(events.len(), 4);
+        assert!(matches!(events[0], ServeEvent::Arrival(_)));
+        assert!(matches!(events[1], ServeEvent::Malformed { job: None }));
+        assert!(matches!(
+            events[2],
+            ServeEvent::Malformed {
+                job: Some(JobId(7))
+            }
+        ));
+        assert!(matches!(events[3], ServeEvent::Completion { .. }));
     }
 
     #[test]
@@ -150,5 +237,38 @@ mod tests {
         let inline_stats = Scheduler::new(cfg).run(events, &mut inline);
         assert_eq!(threaded, inline);
         assert_eq!(thread_stats, inline_stats);
+    }
+
+    #[test]
+    fn overflow_sheds_explicitly_instead_of_growing() {
+        let cfg = ServeConfig {
+            cluster: ClusterConfig::tiny_test(),
+            ..ServeConfig::default()
+        };
+        // Capacity 1: a fast producer must see Overloaded sheds. How
+        // many is a race (the consumer drains concurrently), but the
+        // conservation law is exact: every event is either delivered or
+        // handed back, and the scheduler consumes exactly the
+        // delivered ones.
+        let (handle, join) = spawn_service_bounded(cfg, 1);
+        let total = 64u32;
+        let mut delivered = 0u64;
+        let mut shed = 0u64;
+        for i in 1..=total {
+            match handle.try_send(ServeEvent::Arrival(spec(i, i as f64))) {
+                Ok(()) => delivered += 1,
+                Err((ev, ServeError::Overloaded)) => {
+                    shed += 1;
+                    // The event comes back intact — a real producer
+                    // could retry or divert it.
+                    assert!(matches!(ev, ServeEvent::Arrival(_)));
+                }
+                Err((_, e)) => panic!("unexpected send error: {e}"),
+            }
+        }
+        handle.close();
+        let (_, stats) = join.join().unwrap();
+        assert_eq!(delivered + shed, total as u64);
+        assert_eq!(stats.events, delivered);
     }
 }

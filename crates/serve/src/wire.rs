@@ -8,6 +8,9 @@
 //!  "input_b":1e9,"shuffle_b":5e8,"output_b":1e8,"maps":40,"reduces":10,
 //!  "map_bps":5e7,"reduce_bps":5e7}
 //! {"type":"completion","id":1,"t_s":340.2}
+//! {"type":"machine_failed","machine":42,"t_s":500.0}
+//! {"type":"machine_repaired","machine":42,"t_s":800.0}
+//! {"type":"rack_failed","rack":3,"t_s":950.0}
 //! ```
 //!
 //! `name` defaults to `job<id>`, `plannable` to `true`. Decisions go
@@ -18,34 +21,47 @@
 //! {"t_s":12.5,"decision":"admit","job":1,"racks":[0,1],"priority":0,
 //!  "start_s":12.5,"finish_s":64.1}
 //! ```
+//!
+//! Parsing never panics: any malformed line returns a structured
+//! [`ServeError::Parse`], and [`lossy_job_id`] recovers a best-effort
+//! job id from broken lines so the service can answer with a
+//! `"cause":"malformed"` reject instead of dying.
 
+use crate::error::ServeError;
 use crate::event::{Decision, ServeEvent};
 use crate::jsonv::{self, Value};
-use corral_model::{Bandwidth, Bytes, JobId, JobSpec, MapReduceProfile, RackId, SimTime};
+use corral_model::{
+    Bandwidth, Bytes, JobId, JobSpec, MachineId, MapReduceProfile, RackId, SimTime,
+};
 use std::fmt::Write as _;
 
-fn need_f64(v: &Value, key: &str) -> Result<f64, String> {
+fn need_f64(v: &Value, key: &str) -> Result<f64, ServeError> {
     v.get(key)
         .and_then(|x| x.as_f64())
-        .ok_or_else(|| format!("missing/non-numeric field {key:?}"))
+        .ok_or_else(|| ServeError::parse(format!("missing/non-numeric field {key:?}")))
 }
 
-fn need_u64(v: &Value, key: &str) -> Result<u64, String> {
+fn need_u64(v: &Value, key: &str) -> Result<u64, ServeError> {
     v.get(key)
         .and_then(|x| x.as_u64())
-        .ok_or_else(|| format!("missing/non-integer field {key:?}"))
+        .ok_or_else(|| ServeError::parse(format!("missing/non-integer field {key:?}")))
+}
+
+fn need_u32(v: &Value, key: &str) -> Result<u32, ServeError> {
+    let raw = need_u64(v, key)?;
+    u32::try_from(raw).map_err(|_| ServeError::parse(format!("field {key:?} out of range: {raw}")))
 }
 
 /// Parses one JSONL input line into a [`ServeEvent`].
-pub fn parse_event(line: &str) -> Result<ServeEvent, String> {
-    let v = jsonv::parse(line)?;
+pub fn parse_event(line: &str) -> Result<ServeEvent, ServeError> {
+    let v = jsonv::parse(line).map_err(ServeError::parse)?;
     let kind = v
         .get("type")
         .and_then(|x| x.as_str())
-        .ok_or("missing \"type\"")?;
+        .ok_or_else(|| ServeError::parse("missing \"type\""))?;
     match kind {
         "arrival" => {
-            let id = need_u64(&v, "id")? as u32;
+            let id = need_u32(&v, "id")?;
             let name = v
                 .get("name")
                 .and_then(|x| x.as_str())
@@ -54,7 +70,7 @@ pub fn parse_event(line: &str) -> Result<ServeEvent, String> {
             let plannable = match v.get("plannable") {
                 Some(Value::Bool(b)) => *b,
                 None => true,
-                Some(_) => return Err("\"plannable\" must be a bool".into()),
+                Some(_) => return Err(ServeError::parse("\"plannable\" must be a bool")),
             };
             let spec = JobSpec {
                 id: JobId(id),
@@ -72,26 +88,54 @@ pub fn parse_event(line: &str) -> Result<ServeEvent, String> {
                 }),
             };
             spec.validate()
-                .map_err(|e| format!("invalid arrival: {e}"))?;
+                .map_err(|e| ServeError::parse(format!("invalid arrival: {e}")))?;
             Ok(ServeEvent::Arrival(spec))
         }
         "completion" => Ok(ServeEvent::Completion {
-            job: JobId(need_u64(&v, "id")? as u32),
+            job: JobId(need_u32(&v, "id")?),
             at: SimTime(need_f64(&v, "t_s")?),
         }),
-        other => Err(format!("unknown event type {other:?}")),
+        "machine_failed" => Ok(ServeEvent::MachineFailed {
+            machine: MachineId(need_u32(&v, "machine")?),
+            at: SimTime(need_f64(&v, "t_s")?),
+        }),
+        "machine_repaired" => Ok(ServeEvent::MachineRepaired {
+            machine: MachineId(need_u32(&v, "machine")?),
+            at: SimTime(need_f64(&v, "t_s")?),
+        }),
+        "rack_failed" => Ok(ServeEvent::RackFailed {
+            rack: RackId(need_u32(&v, "rack")?),
+            at: SimTime(need_f64(&v, "t_s")?),
+        }),
+        other => Err(ServeError::parse(format!("unknown event type {other:?}"))),
     }
 }
 
+/// Best-effort job id recovery from a line [`parse_event`] rejected:
+/// if the line is still JSON with a numeric `id` (or `job`) field, that
+/// id lets the service emit a structured malformed-reject for it.
+pub fn lossy_job_id(line: &str) -> Option<JobId> {
+    let v = jsonv::parse(line).ok()?;
+    let raw = v
+        .get("id")
+        .or_else(|| v.get("job"))
+        .and_then(|x| x.as_u64())?;
+    u32::try_from(raw).ok().map(JobId)
+}
+
 /// Serializes an event to its JSONL line (inverse of [`parse_event`]
-/// for MapReduce arrivals; DAG jobs are not wire-representable).
-pub fn format_event(ev: &ServeEvent) -> Result<String, String> {
+/// for MapReduce arrivals; DAG jobs and [`ServeEvent::Malformed`]
+/// markers are not wire-representable).
+pub fn format_event(ev: &ServeEvent) -> Result<String, ServeError> {
     match ev {
         ServeEvent::Arrival(s) => {
             let mr = match &s.profile {
                 corral_model::JobProfile::MapReduce(mr) => mr,
                 corral_model::JobProfile::Dag(_) => {
-                    return Err(format!("job {} is a DAG: not wire-representable", s.id))
+                    return Err(ServeError::parse(format!(
+                        "job {} is a DAG: not wire-representable",
+                        s.id
+                    )))
                 }
             };
             let mut o = String::from("{\"type\":\"arrival\"");
@@ -115,6 +159,21 @@ pub fn format_event(ev: &ServeEvent) -> Result<String, String> {
             "{{\"type\":\"completion\",\"id\":{},\"t_s\":{}}}",
             job.0, at.0
         )),
+        ServeEvent::MachineFailed { machine, at } => Ok(format!(
+            "{{\"type\":\"machine_failed\",\"machine\":{},\"t_s\":{}}}",
+            machine.0, at.0
+        )),
+        ServeEvent::MachineRepaired { machine, at } => Ok(format!(
+            "{{\"type\":\"machine_repaired\",\"machine\":{},\"t_s\":{}}}",
+            machine.0, at.0
+        )),
+        ServeEvent::RackFailed { rack, at } => Ok(format!(
+            "{{\"type\":\"rack_failed\",\"rack\":{},\"t_s\":{}}}",
+            rack.0, at.0
+        )),
+        ServeEvent::Malformed { .. } => Err(ServeError::parse(
+            "malformed-line markers are not wire-representable",
+        )),
     }
 }
 
@@ -137,6 +196,13 @@ pub fn format_decision(t: SimTime, d: &Decision) -> String {
     let _ = write!(o, ",\"job\":{}", d.job().0);
     match d {
         Decision::Admit {
+            racks,
+            priority,
+            planned_start,
+            planned_finish,
+            ..
+        }
+        | Decision::Reanchor {
             racks,
             priority,
             planned_start,
@@ -200,10 +266,23 @@ mod tests {
                 job: JobId(3),
                 at: SimTime(340.25),
             },
+            ServeEvent::MachineFailed {
+                machine: MachineId(42),
+                at: SimTime(500.0),
+            },
+            ServeEvent::MachineRepaired {
+                machine: MachineId(42),
+                at: SimTime(800.5),
+            },
+            ServeEvent::RackFailed {
+                rack: RackId(3),
+                at: SimTime(950.0),
+            },
         ] {
             let line = format_event(&ev).unwrap();
             assert_eq!(parse_event(&line).unwrap(), ev, "line: {line}");
         }
+        assert!(format_event(&ServeEvent::Malformed { job: None }).is_err());
     }
 
     #[test]
@@ -229,6 +308,21 @@ mod tests {
         assert!(parse_event(r#"{"type":"mystery"}"#).is_err());
         assert!(parse_event(r#"{"id":1}"#).is_err());
         assert!(parse_event("not json").is_err());
+        // Ids past u32 are structured errors, not silent truncation.
+        assert!(parse_event(r#"{"type":"completion","id":4294967296,"t_s":1}"#).is_err());
+        assert!(parse_event(r#"{"type":"machine_failed","machine":-1,"t_s":1}"#).is_err());
+    }
+
+    #[test]
+    fn lossy_id_recovery() {
+        // Parseable JSON, unparseable event: id is recoverable.
+        assert_eq!(lossy_job_id(r#"{"type":"mystery","id":9}"#), Some(JobId(9)));
+        assert_eq!(lossy_job_id(r#"{"job":4,"t_s":"oops"}"#), Some(JobId(4)));
+        // No id, non-numeric id, or not JSON at all: nothing to say.
+        assert_eq!(lossy_job_id(r#"{"type":"arrival"}"#), None);
+        assert_eq!(lossy_job_id(r#"{"id":"seven"}"#), None);
+        assert_eq!(lossy_job_id(r#"{"id":4294967296}"#), None);
+        assert_eq!(lossy_job_id("not json"), None);
     }
 
     #[test]
@@ -252,10 +346,31 @@ mod tests {
             format_decision(SimTime(1.0), &r),
             r#"{"t_s":1,"decision":"reject","job":2,"cause":"queue_full"}"#
         );
+        let m = Decision::Reject {
+            job: JobId(5),
+            cause: RejectCause::Malformed,
+        };
+        assert_eq!(
+            format_decision(SimTime(2.0), &m),
+            r#"{"t_s":2,"decision":"reject","job":5,"cause":"malformed"}"#
+        );
+        let re = Decision::Reanchor {
+            job: JobId(7),
+            racks: vec![RackId(1)],
+            priority: 2,
+            planned_start: SimTime(20.0),
+            planned_finish: SimTime(95.5),
+        };
+        assert_eq!(
+            format_decision(SimTime(18.0), &re),
+            r#"{"t_s":18,"decision":"reanchor","job":7,"racks":[1],"priority":2,"start_s":20,"finish_s":95.5}"#
+        );
         // Decision lines parse as JSON (and are thus machine-readable).
         for line in [
             format_decision(SimTime(12.5), &d),
             format_decision(SimTime(1.0), &r),
+            format_decision(SimTime(2.0), &m),
+            format_decision(SimTime(18.0), &re),
         ] {
             assert!(crate::jsonv::parse(&line).is_ok());
         }

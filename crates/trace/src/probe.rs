@@ -157,11 +157,20 @@ pub enum ProbeCounter {
     /// Jobs rejected by serve admission control (bounded queue,
     /// unplannable profile, or duplicate id).
     ServeRejected,
+    /// Malformed wire lines absorbed by the serve loop (structured
+    /// reject or counted skip, never a crash).
+    ServeMalformed,
+    /// Queued jobs whose rack anchor was dropped by the §7 failure
+    /// fallback (re-anchored in the post-failure replan).
+    ServeReanchored,
+    /// Dispatch timers deferred with backoff because the target rack
+    /// set was effectively dead.
+    ServeDispatchRetry,
 }
 
 impl ProbeCounter {
     /// Every counter, in stable report order.
-    pub const ALL: [ProbeCounter; 20] = [
+    pub const ALL: [ProbeCounter; 23] = [
         ProbeCounter::RecomputeFlowStart,
         ProbeCounter::RecomputeFlowCancel,
         ProbeCounter::RecomputeBackground,
@@ -182,6 +191,9 @@ impl ProbeCounter {
         ProbeCounter::ReplanFull,
         ProbeCounter::ServeAdmitted,
         ProbeCounter::ServeRejected,
+        ProbeCounter::ServeMalformed,
+        ProbeCounter::ServeReanchored,
+        ProbeCounter::ServeDispatchRetry,
     ];
 
     /// Stable dotted label used in expositions and reports.
@@ -207,6 +219,9 @@ impl ProbeCounter {
             ProbeCounter::ReplanFull => "serve.replan_full",
             ProbeCounter::ServeAdmitted => "serve.admitted",
             ProbeCounter::ServeRejected => "serve.rejected",
+            ProbeCounter::ServeMalformed => "serve.malformed",
+            ProbeCounter::ServeReanchored => "serve.reanchored",
+            ProbeCounter::ServeDispatchRetry => "serve.dispatch_retries",
         }
     }
 
