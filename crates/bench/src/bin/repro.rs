@@ -73,6 +73,8 @@ fn run(args: &[String]) -> Result<(), String> {
             "netseries" => ex::netseries::main(),
             "sweepbench" => ex::sweepbench::main(),
             "fabricbench" => ex::fabricbench::main(),
+            "fig14xl" => ex::fig14xl::main(),
+            "scalebench" => ex::fig14xl::smoke(),
             "plannerbench" => ex::plannerbench::main(),
             "servebench" => ex::servebench::main(),
             "chaosbench" => ex::chaosbench::main(),

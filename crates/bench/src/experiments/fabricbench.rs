@@ -43,8 +43,11 @@ struct ScaleSpec {
 }
 
 /// Small / medium / large synthetic fabrics. The large scale (20 racks ×
-/// 16 machines, 640 concurrent flows) is the acceptance cell: the
-/// optimized path must beat the reference by ≥ 2× there.
+/// 16 machines, 640 concurrent flows) was the original acceptance cell
+/// (CSR ≥ 2× over reference). Since the incremental fabric landed, both
+/// allocators share the component decomposition and only the per-component
+/// kernel differs, so the gap here is structurally smaller; the scale-out
+/// story lives in fig14-xl (`BENCH_scale.json`) instead.
 const SCALES: [ScaleSpec; 3] = [
     ScaleSpec {
         name: "small",
@@ -76,7 +79,7 @@ const SCALES: [ScaleSpec; 3] = [
 /// allocators — that identity is itself asserted). Drift here means the
 /// fabric's event ordering or rate arithmetic changed; bless deliberately
 /// (see module docs) or find the regression.
-const GOLDEN_RECOMPUTES: [(&str, u64); 3] = [("small", 7992), ("medium", 11906), ("large", 23876)];
+const GOLDEN_RECOMPUTES: [(&str, u64); 3] = [("small", 7996), ("medium", 11954), ("large", 23940)];
 
 fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -128,6 +131,12 @@ struct CellResult {
 impl CellResult {
     fn events_per_sec(&self) -> f64 {
         self.events as f64 / self.wall_s.max(1e-9)
+    }
+
+    /// Mean waterfilling rounds per recompute — the per-event cost the
+    /// incremental fabric is supposed to hold flat as scale grows.
+    fn rounds_per_recompute(&self) -> f64 {
+        self.maxmin_rounds as f64 / self.recomputes.max(1) as f64
     }
 }
 
@@ -311,7 +320,8 @@ pub fn main() {
         cell_json.push(format!(
             "    {{\"scale\": \"{}\", \"events\": {}, \"reference_s\": {:.3}, \
              \"csr_s\": {:.3}, \"speedup\": {:.3}, \"recomputes\": {}, \
-             \"maxmin_rounds\": {}, \"scratch_grows\": {}}}",
+             \"maxmin_rounds\": {}, \"rounds_per_recompute\": {:.3}, \
+             \"scratch_grows\": {}}}",
             sc.name,
             optimized.events,
             reference.wall_s,
@@ -319,6 +329,7 @@ pub fn main() {
             speedup,
             optimized.recomputes,
             optimized.maxmin_rounds,
+            optimized.rounds_per_recompute(),
             optimized.scratch_grows,
         ));
         if sc.name == "large" && speedup < 2.0 {

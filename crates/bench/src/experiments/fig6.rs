@@ -5,8 +5,8 @@
 //! W2); LocalShuffle mixed (can be negative); ShuffleWatcher significantly
 //! negative on all three.
 
-use crate::experiments::workload;
-use crate::runner::{run_variant_grid, RunConfig, Variant};
+use crate::experiments::workload_shared;
+use crate::runner::{run_variant_grid_shared, RunConfig, Variant};
 use crate::table;
 use corral_cluster::metrics::reduction_pct;
 use corral_core::Objective;
@@ -41,8 +41,8 @@ impl Fig6Row {
 /// one parallel `(workload × variant)` sweep.
 pub fn run(workloads: &[&str]) -> Vec<Fig6Row> {
     let rc = RunConfig::testbed(Objective::Makespan);
-    let jobsets: Vec<_> = workloads.iter().map(|&w| workload(w)).collect();
-    let grid = run_variant_grid(&jobsets, &rc);
+    let jobsets: Vec<_> = workloads.iter().map(|&w| workload_shared(w)).collect();
+    let grid = run_variant_grid_shared(&jobsets, &rc);
     let mut rows = Vec::new();
     for (&w, reports) in workloads.iter().zip(&grid) {
         let mut makespans = [0.0; 4];

@@ -9,8 +9,8 @@
 //!   median under Corral);
 //! * bal: CoV of per-rack input bytes (Corral ≤ 0.004, HDFS ≈ 0.014).
 
-use crate::experiments::workload;
-use crate::runner::{run_variant_grid, RunConfig, Variant};
+use crate::experiments::workload_shared;
+use crate::runner::{run_variant_grid_shared, RunConfig, Variant};
 use crate::table;
 use corral_cluster::metrics::{percentile, reduction_pct};
 use corral_core::Objective;
@@ -25,8 +25,8 @@ pub fn main() {
     let mut covs = vec![[0.0; 4]; workloads.len()];
     let mut w1_reduce_cdfs: Vec<(String, Vec<f64>)> = Vec::new();
 
-    let jobsets: Vec<_> = workloads.iter().map(|&w| workload(w)).collect();
-    let grid = run_variant_grid(&jobsets, &rc);
+    let jobsets: Vec<_> = workloads.iter().map(|&w| workload_shared(w)).collect();
+    let grid = run_variant_grid_shared(&jobsets, &rc);
     for (wi, w) in workloads.iter().enumerate() {
         for (vi, (v, r)) in Variant::ALL.iter().zip(&grid[wi]).enumerate() {
             cross[wi][vi] = r.cross_rack_bytes.0;

@@ -10,6 +10,7 @@ pub mod fig11;
 pub mod fig12;
 pub mod fig13;
 pub mod fig14;
+pub mod fig14xl;
 pub mod fig2;
 pub mod fig5;
 pub mod fig6;
@@ -31,6 +32,8 @@ pub mod table1;
 use corral_model::JobSpec;
 use corral_model::SimTime;
 use corral_workloads::{assign_uniform_arrivals, w1, w2, w3, Scale};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// The workload scale used by the simulator experiments (see DESIGN.md §1
 /// and EXPERIMENTS.md): task counts divided by 4, volumes intact.
@@ -53,7 +56,29 @@ pub fn w2_scale() -> Scale {
 /// counts are chosen so the scaled cluster sees production-like contention
 /// (see EXPERIMENTS.md): W1 100 jobs with 512 MB map shares, W2 the paper's
 /// full 400 jobs (98% tiny), W3 150 jobs.
+///
+/// Construction is memoized process-wide: experiments that run many cells
+/// over the same base workload (seed sweeps, scale sweeps, `repro all`)
+/// generate it once and share the cached copy. Callers that mutate the
+/// jobs (arrival assignment) get their own clone via [`workload`];
+/// read-only sweeps should hold the [`workload_shared`] `Arc` instead.
 pub fn workload(name: &str) -> Vec<JobSpec> {
+    workload_shared(name).as_ref().clone()
+}
+
+/// [`workload`] without the defensive clone: the cached, immutable base
+/// jobset behind an `Arc`, cheap to share across sweep cells (groundwork
+/// for cross-run workload reuse in the sweep pool, ROADMAP 5a).
+pub fn workload_shared(name: &str) -> Arc<Vec<JobSpec>> {
+    static CACHE: OnceLock<Mutex<BTreeMap<String, Arc<Vec<JobSpec>>>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(BTreeMap::new()));
+    let mut map = cache.lock().unwrap();
+    map.entry(name.to_string())
+        .or_insert_with(|| Arc::new(workload_uncached(name)))
+        .clone()
+}
+
+fn workload_uncached(name: &str) -> Vec<JobSpec> {
     match name {
         "W1" => w1::generate(
             &w1::W1Params {

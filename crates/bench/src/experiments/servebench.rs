@@ -41,12 +41,15 @@ struct CellSpec {
     tripwire: bool,
 }
 
-/// W1/W2 × small/medium/large, plus one recurring-template stream. The
-/// large cells are the acceptance cells: the service must sustain
-/// ≥ 10k decisions/sec there. The `recur` cell replays one W1 template
-/// at a wide spacing so most arrivals see an identical cluster state —
-/// the cell that actually lands plan-cache hits.
-const CELLS: [CellSpec; 7] = [
+/// W1/W2 × small/medium/large, plus one recurring-template stream and
+/// one 10k-machine cell. The large cells are the acceptance cells: the
+/// service must sustain ≥ 10k decisions/sec there. The `recur` cell
+/// replays one W1 template at a wide spacing so most arrivals see an
+/// identical cluster state — the cell that actually lands plan-cache
+/// hits. The `w1-xl` cell runs the planner + admission loop against a
+/// 334-rack (10,020-machine) cluster — the serving-side companion of
+/// fig14-xl's fabric scale-out.
+const CELLS: [CellSpec; 8] = [
     CellSpec {
         name: "w1-small",
         workload: "w1",
@@ -103,6 +106,14 @@ const CELLS: [CellSpec; 7] = [
         seed: 0x5E47,
         tripwire: true,
     },
+    CellSpec {
+        name: "w1-xl",
+        workload: "w1",
+        jobs: 320,
+        racks: 334,
+        seed: 0x5E48,
+        tripwire: false,
+    },
 ];
 
 /// Golden decision counts per cell (admissions, rejections, dispatches
@@ -110,7 +121,7 @@ const CELLS: [CellSpec; 7] = [
 /// are exact; drift means admission, replanning, or the timer cascade
 /// changed behavior. Bless deliberately (see module docs) or find the
 /// regression.
-const GOLDEN_DECISIONS: [(&str, u64); 7] = [
+const GOLDEN_DECISIONS: [(&str, u64); 8] = [
     ("w1-small", 120),
     ("w2-small", 120),
     ("w1-medium", 360),
@@ -118,6 +129,7 @@ const GOLDEN_DECISIONS: [(&str, u64); 7] = [
     ("w1-large", 960),
     ("w2-large", 960),
     ("recur-medium", 600),
+    ("w1-xl", 960),
 ];
 
 /// Timed repetitions per cell (fresh scheduler each; minimum wall

@@ -150,9 +150,28 @@ pub fn run_variant_grid(jobsets: &[Vec<JobSpec>], rc: &RunConfig) -> Vec<Vec<Run
     let reports = crate::config::pool().run_all(jobsets.len() * nv, |i| {
         run_variant(Variant::ALL[i % nv], &jobsets[i / nv], rc)
     });
-    let mut out: Vec<Vec<RunReport>> = Vec::with_capacity(jobsets.len());
+    collect_grid(reports, jobsets.len(), nv)
+}
+
+/// [`run_variant_grid`] over memoized jobsets: cells borrow the cached
+/// `Arc<Vec<JobSpec>>` from `experiments::workload_shared`, so same-
+/// workload cells across a sweep share one constructed jobset instead of
+/// cloning per cell (SweepPool cross-run awareness groundwork).
+pub fn run_variant_grid_shared(
+    jobsets: &[std::sync::Arc<Vec<JobSpec>>],
+    rc: &RunConfig,
+) -> Vec<Vec<RunReport>> {
+    let nv = Variant::ALL.len();
+    let reports = crate::config::pool().run_all(jobsets.len() * nv, |i| {
+        run_variant(Variant::ALL[i % nv], &jobsets[i / nv], rc)
+    });
+    collect_grid(reports, jobsets.len(), nv)
+}
+
+fn collect_grid(reports: Vec<RunReport>, njobsets: usize, nv: usize) -> Vec<Vec<RunReport>> {
+    let mut out: Vec<Vec<RunReport>> = Vec::with_capacity(njobsets);
     let mut it = reports.into_iter();
-    for _ in 0..jobsets.len() {
+    for _ in 0..njobsets {
         out.push(it.by_ref().take(nv).collect());
     }
     out

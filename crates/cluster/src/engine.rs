@@ -1685,6 +1685,9 @@ impl Engine {
     // ------------------------------------------------------------------
 
     fn finalize(mut self) -> RunReport {
+        // Incremental fabric mode accounts bytes lazily; settle everything
+        // still in flight before reading the counters.
+        self.fabric.flush_accounting();
         let stats = self.fabric.stats();
         for (id, m) in self.metrics.iter_mut() {
             m.cross_rack_bytes = stats.cross_rack_of(*id);

@@ -142,6 +142,31 @@ pub trait RateAllocator: Send {
             *r = b.0;
         }
     }
+
+    /// True when the policy's rates depend only on flow paths and
+    /// effective link capacities — not on remaining bytes or coflow
+    /// grouping. Memoryless policies decompose over connected components
+    /// of the link↔flow graph, which is what the fabric's incremental
+    /// recompute exploits; policies with cross-component coupling (Varys'
+    /// SEBF ordering) keep the eager full solve.
+    fn memoryless(&self) -> bool {
+        false
+    }
+
+    /// Solves one connected component on its compacted subproblem:
+    /// `caps[l]` is the effective capacity of compact link `l`, and the
+    /// table's `flow_links` are compact link ids in `0..caps.len()`.
+    /// Only called when [`memoryless`](Self::memoryless) returns true.
+    fn allocate_component(
+        &mut self,
+        caps: &[f64],
+        table: &FlowTable<'_>,
+        rates: &mut [f64],
+        scratch: &mut AllocScratch,
+    ) {
+        let _ = (caps, table, rates, scratch);
+        unreachable!("allocate_component called on a non-memoryless allocator");
+    }
 }
 
 /// Max-min fair sharing: the fluid proxy for long-lived TCP with ideal
@@ -180,6 +205,26 @@ impl RateAllocator for FairShare {
             &mut scratch.maxmin,
         );
     }
+
+    fn memoryless(&self) -> bool {
+        true
+    }
+
+    fn allocate_component(
+        &mut self,
+        caps: &[f64],
+        table: &FlowTable<'_>,
+        rates: &mut [f64],
+        scratch: &mut AllocScratch,
+    ) {
+        maxmin::max_min_rates_csr(
+            caps,
+            table.flow_off,
+            table.flow_links,
+            rates,
+            &mut scratch.maxmin,
+        );
+    }
 }
 
 /// The pre-optimization fair-share path, kept verbatim as a benchmarking
@@ -197,6 +242,22 @@ impl RateAllocator for ReferenceFairShare {
 
     fn allocate(&mut self, links: &[Link], flows: &[FlowView<'_>], rates: &mut [Bandwidth]) {
         FairShare.allocate(links, flows, rates);
+    }
+
+    fn memoryless(&self) -> bool {
+        true
+    }
+
+    fn allocate_component(
+        &mut self,
+        caps: &[f64],
+        table: &FlowTable<'_>,
+        rates: &mut [f64],
+        scratch: &mut AllocScratch,
+    ) {
+        let _ = scratch;
+        let paths: Vec<&[LinkId]> = (0..table.len()).map(|f| table.path(f)).collect();
+        maxmin::max_min_rates_into(caps, &paths, rates);
     }
 }
 

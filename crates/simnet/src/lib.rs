@@ -70,7 +70,7 @@ pub mod varys;
 pub use allocator::{
     AllocScratch, FairShare, FlowTable, RateAllocator, ReferenceFairShare, VarysSebf,
 };
-pub use engine::EventQueue;
+pub use engine::{CalendarQueue, EventQueue, HeapEventQueue};
 pub use fabric::{CompletedFlow, Fabric};
 pub use flow::{CoflowId, FlowKind, FlowSpec, FlowTag};
 pub use link::{LinkClass, LinkId};

@@ -54,6 +54,13 @@ impl MaxMinScratch {
         self.rounds
     }
 
+    /// Zeroes the round counter. Callers that dispatch to kernels which
+    /// may not touch the scratch (the reference path) reset first so
+    /// `last_rounds` never reports a stale previous solve.
+    pub fn reset_rounds(&mut self) {
+        self.rounds = 0;
+    }
+
     /// Summed capacity of all retained buffers, in elements. Constant
     /// across calls once the workspace has warmed up; a change means a
     /// reallocation happened.

@@ -41,6 +41,17 @@ pub struct FabricStats {
     /// Number of recomputes on which any scratch buffer (re)allocated.
     /// Flat after warm-up ⇒ the steady-state hot path is allocation-free.
     pub scratch_grows: u64,
+    /// Recomputes served by the incremental path (only dirty bottleneck
+    /// components re-solved). `recomputes` stays the total across both
+    /// paths.
+    pub recomputes_incremental: u64,
+    /// Recomputes served by the eager full solve (non-memoryless
+    /// allocators such as Varys re-solve every flow).
+    pub recomputes_full: u64,
+    /// Cumulative dirty-set size: candidate flows re-solved across all
+    /// incremental recomputes (divide by `recomputes_incremental` for
+    /// the mean dirty-set size).
+    pub dirty_flows: u64,
 }
 
 impl FabricStats {

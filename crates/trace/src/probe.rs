@@ -166,11 +166,23 @@ pub enum ProbeCounter {
     /// Dispatch timers deferred with backoff because the target rack
     /// set was effectively dead.
     ServeDispatchRetry,
+    /// Fabric recomputes that re-solved only the dirty bottleneck
+    /// components (the incremental path).
+    RecomputeIncremental,
+    /// Fabric recomputes that fell back to the full eager solve
+    /// (non-memoryless allocators such as Varys).
+    RecomputeFullFallback,
+    /// Sum of dirty-set sizes (candidate flows re-solved) across
+    /// incremental recomputes.
+    FabricDirtyFlowsSum,
+    /// Number of dirty-set samples (divide into the sum for the mean
+    /// dirty-set size).
+    FabricDirtyFlowsSamples,
 }
 
 impl ProbeCounter {
     /// Every counter, in stable report order.
-    pub const ALL: [ProbeCounter; 23] = [
+    pub const ALL: [ProbeCounter; 27] = [
         ProbeCounter::RecomputeFlowStart,
         ProbeCounter::RecomputeFlowCancel,
         ProbeCounter::RecomputeBackground,
@@ -194,6 +206,10 @@ impl ProbeCounter {
         ProbeCounter::ServeMalformed,
         ProbeCounter::ServeReanchored,
         ProbeCounter::ServeDispatchRetry,
+        ProbeCounter::RecomputeIncremental,
+        ProbeCounter::RecomputeFullFallback,
+        ProbeCounter::FabricDirtyFlowsSum,
+        ProbeCounter::FabricDirtyFlowsSamples,
     ];
 
     /// Stable dotted label used in expositions and reports.
@@ -222,6 +238,10 @@ impl ProbeCounter {
             ProbeCounter::ServeMalformed => "serve.malformed",
             ProbeCounter::ServeReanchored => "serve.reanchored",
             ProbeCounter::ServeDispatchRetry => "serve.dispatch_retries",
+            ProbeCounter::RecomputeIncremental => "fabric.recompute_incremental",
+            ProbeCounter::RecomputeFullFallback => "fabric.recompute_full",
+            ProbeCounter::FabricDirtyFlowsSum => "fabric.dirty_flows_sum",
+            ProbeCounter::FabricDirtyFlowsSamples => "fabric.dirty_flows_samples",
         }
     }
 
