@@ -2,9 +2,12 @@
 //! simulator under synthetic arrival/completion churn at several cluster
 //! scales, comparing the optimized CSR max-min path
 //! ([`corral_simnet::FairShare`]) against the pre-optimization reference
-//! ([`corral_simnet::ReferenceFairShare`]), plus one real fig6-shaped
-//! scheduling cell (Corral on the W1 smoke workload, `Tcp` vs
-//! `TcpReference`). Writes `BENCH_fabric.json` in the working directory.
+//! ([`corral_simnet::ReferenceFairShare`]), plus one interleaved Varys
+//! cell pair — the verbatim eager per-event SEBF solve
+//! ([`Fabric::new_eager`]) against the coflow-incremental mode — and one
+//! real fig6-shaped scheduling cell (Corral on the W1 smoke workload,
+//! `Tcp` vs `TcpReference`). Writes `BENCH_fabric.json` in the working
+//! directory (each synthetic cell carries a `policy` field).
 //!
 //! Not part of `repro all` (it times the simulator, not a paper artifact);
 //! CI runs `repro fabricbench` as a perf-smoke step. Because both
@@ -25,6 +28,7 @@ use corral_core::Objective;
 use corral_model::{Bytes, ClusterConfig, MachineId, SimTime};
 use corral_simnet::{
     CoflowId, Fabric, FairShare, FlowKind, FlowSpec, FlowTag, RateAllocator, ReferenceFairShare,
+    VarysSebf,
 };
 use corral_trace::CounterSet;
 use corral_workloads::{assign_uniform_arrivals, w1};
@@ -80,6 +84,13 @@ const SCALES: [ScaleSpec; 3] = [
 /// fabric's event ordering or rate arithmetic changed; bless deliberately
 /// (see module docs) or find the regression.
 const GOLDEN_RECOMPUTES: [(&str, u64); 3] = [("small", 7996), ("medium", 11954), ("large", 23940)];
+
+/// Golden recompute counts of the *coflow-incremental* Varys pass (the
+/// eager pass recomputes per event batch by construction and is the
+/// wall-clock baseline, not a counter oracle). `varys-small` backs the
+/// perfreport tripwire, `varys-medium` the interleaved bench cell.
+const GOLDEN_VARYS_RECOMPUTES: [(&str, u64); 2] =
+    [("varys-small", 7913), ("varys-medium", 11904)];
 
 fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -151,6 +162,13 @@ const REPEATS: usize = 7;
 /// replace every completed flow with a fresh one until `completions`
 /// events have been processed, timing the whole event loop.
 fn run_once(sc: &ScaleSpec, allocator: Box<dyn RateAllocator>) -> CellResult {
+    run_once_with(sc, allocator, false)
+}
+
+/// [`run_once`] with an engine selector: `eager` forces the verbatim
+/// per-event full-recompute fabric ([`Fabric::new_eager`]) — the
+/// baseline side of the Varys pair.
+fn run_once_with(sc: &ScaleSpec, allocator: Box<dyn RateAllocator>, eager: bool) -> CellResult {
     let cfg = ClusterConfig {
         racks: sc.racks,
         machines_per_rack: sc.machines_per_rack,
@@ -158,7 +176,12 @@ fn run_once(sc: &ScaleSpec, allocator: Box<dyn RateAllocator>) -> CellResult {
     };
     let nm = cfg.total_machines() as u64;
     let mpr = cfg.machines_per_rack as u64;
-    let mut fab = Fabric::new(cfg, allocator);
+    let mut fab = if eager {
+        Fabric::new_eager(cfg, allocator)
+    } else {
+        Fabric::new(cfg, allocator)
+    };
+    fab.set_full_oracle(false);
     let mut rng = sc.seed;
     let mut seq = 0u64;
     for _ in 0..sc.concurrency {
@@ -232,6 +255,51 @@ fn run_pair(sc: &ScaleSpec) -> (CellResult, CellResult, f64) {
     (best_ref.unwrap(), best_csr.unwrap(), speedup)
 }
 
+/// Runs one scale as interleaved (eager, coflow-incremental) Varys
+/// pairs — same churn script, same coflow tagging, two engines. Repeat
+/// determinism is asserted per engine; the *cross*-engine counters are
+/// not compared (the eager path schedules on live remaining bytes, the
+/// incremental path on frozen-at-admission bytes — same SEBF family,
+/// different clairvoyance; bit-identity of the incremental path is
+/// asserted against the from-scratch oracle in fig14-xl and the simnet
+/// property tests). Returns (eager best, incremental best, median
+/// paired speedup).
+fn run_varys_pair(sc: &ScaleSpec) -> (CellResult, CellResult, f64) {
+    let mut best_eager: Option<CellResult> = None;
+    let mut best_inc: Option<CellResult> = None;
+    let mut ratios = Vec::with_capacity(REPEATS);
+    for _ in 0..REPEATS {
+        let e = run_once_with(sc, Box::new(VarysSebf), true);
+        let c = run_once_with(sc, Box::new(VarysSebf), false);
+        if let Some(b) = &best_eager {
+            assert_eq!(b.events, e.events, "{}: non-deterministic repeat", sc.name);
+            assert_eq!(
+                b.recomputes, e.recomputes,
+                "{}: non-deterministic repeat",
+                sc.name
+            );
+        }
+        if let Some(b) = &best_inc {
+            assert_eq!(b.events, c.events, "{}: non-deterministic repeat", sc.name);
+            assert_eq!(
+                b.recomputes, c.recomputes,
+                "{}: non-deterministic repeat",
+                sc.name
+            );
+        }
+        ratios.push(e.wall_s / c.wall_s.max(1e-9));
+        if best_eager.as_ref().is_none_or(|b| e.wall_s < b.wall_s) {
+            best_eager = Some(e);
+        }
+        if best_inc.as_ref().is_none_or(|b| c.wall_s < b.wall_s) {
+            best_inc = Some(c);
+        }
+    }
+    ratios.sort_by(f64::total_cmp);
+    let speedup = ratios[ratios.len() / 2];
+    (best_eager.unwrap(), best_inc.unwrap(), speedup)
+}
+
 /// One small-scale churn pass on the CSR allocator, for `repro
 /// perfreport`: populates the fabric probe spans and counters with live
 /// data. Returns `(recomputes, golden_recomputes)` so the report can
@@ -239,6 +307,19 @@ fn run_pair(sc: &ScaleSpec) -> (CellResult, CellResult, f64) {
 pub(crate) fn probe_cell_small() -> (u64, u64) {
     let c = run_once(&SCALES[0], Box::new(FairShare));
     (c.recomputes, GOLDEN_RECOMPUTES[0].1)
+}
+
+/// The Varys companion to [`probe_cell_small`]: one eager and one
+/// coflow-incremental churn pass at the small scale, so the probe
+/// report sees both sides of the split recompute counters
+/// (`fabric.recompute_full_eager` from the eager pass,
+/// `fabric.recompute_full_boundary` / `fabric.recompute_incremental` /
+/// `fabric.varys_scratch_elems` from the incremental one). Returns the
+/// incremental pass's `(recomputes, golden_recomputes)` tripwire pair.
+pub(crate) fn probe_cell_varys() -> (u64, u64) {
+    let _ = run_once_with(&SCALES[0], Box::new(VarysSebf), true);
+    let c = run_once_with(&SCALES[0], Box::new(VarysSebf), false);
+    (c.recomputes, GOLDEN_VARYS_RECOMPUTES[0].1)
 }
 
 /// The fig6-shaped real cell: Corral on the W1 smoke workload (same jobset
@@ -318,7 +399,8 @@ pub fn main() {
             ));
         }
         cell_json.push(format!(
-            "    {{\"scale\": \"{}\", \"events\": {}, \"reference_s\": {:.3}, \
+            "    {{\"scale\": \"{}\", \"policy\": \"fair\", \"events\": {}, \
+             \"reference_s\": {:.3}, \
              \"csr_s\": {:.3}, \"speedup\": {:.3}, \"recomputes\": {}, \
              \"maxmin_rounds\": {}, \"rounds_per_recompute\": {:.3}, \
              \"scratch_grows\": {}}}",
@@ -335,6 +417,53 @@ pub fn main() {
         if sc.name == "large" && speedup < 2.0 {
             println!("   warning: large-scale speedup {speedup:.2}x below the 2x target");
         }
+    }
+
+    // Varys pair: the eager (per-event full SEBF solve) fabric against
+    // the coflow-incremental one, medium scale, same interleaved-pair
+    // protocol as the fair cells.
+    {
+        let sc = &SCALES[1];
+        let (eager, inc, speedup) = run_varys_pair(sc);
+        for (label, c) in [("eager", &eager), ("coflow", &inc)] {
+            table::row(&[
+                "varys-med".to_string(),
+                label.to_string(),
+                c.events.to_string(),
+                table::secs(c.wall_s),
+                format!("{:.0}", c.events_per_sec()),
+                c.recomputes.to_string(),
+                c.maxmin_rounds.to_string(),
+                c.scratch_grows.to_string(),
+                if label == "coflow" {
+                    format!("{speedup:.2}x")
+                } else {
+                    "-".into()
+                },
+            ]);
+        }
+        let golden = GOLDEN_VARYS_RECOMPUTES[1].1;
+        if inc.recomputes != golden {
+            drift.push(format!(
+                "varys-medium: recomputes {} != golden {golden}",
+                inc.recomputes
+            ));
+        }
+        cell_json.push(format!(
+            "    {{\"scale\": \"medium\", \"policy\": \"varys\", \"events\": {}, \
+             \"reference_s\": {:.3}, \
+             \"csr_s\": {:.3}, \"speedup\": {:.3}, \"recomputes\": {}, \
+             \"maxmin_rounds\": {}, \"rounds_per_recompute\": {:.3}, \
+             \"scratch_grows\": {}}}",
+            inc.events,
+            eager.wall_s,
+            inc.wall_s,
+            speedup,
+            inc.recomputes,
+            inc.maxmin_rounds,
+            inc.rounds_per_recompute(),
+            inc.scratch_grows,
+        ));
     }
 
     let (tcp_s, ref_s, identical) = run_fig6_cell();
@@ -361,7 +490,10 @@ pub fn main() {
 
     if !drift.is_empty() {
         if bless {
-            println!("   bless mode: update GOLDEN_RECOMPUTES to the counts above");
+            println!(
+                "   bless mode: update GOLDEN_RECOMPUTES / GOLDEN_VARYS_RECOMPUTES \
+                 to the counts above"
+            );
         } else {
             panic!(
                 "fabricbench recompute-counter drift:\n  {}",

@@ -13,36 +13,79 @@
 //! recompute exploits; an all-to-all ring would collapse into one
 //! component and show nothing.
 //!
-//! The "full" pass is the same run with the shadow oracle armed
-//! ([`Fabric::set_full_oracle`]): every recompute additionally re-solves
-//! the entire alive flow set from scratch — exactly what the
-//! pre-incremental fabric did per event — and asserts rate-bit equality
-//! with the incremental table while it's at it. The reported speedup is
-//! the median paired wall ratio (full / incremental); both passes must
-//! agree on every deterministic counter (asserted). Writes
-//! `BENCH_scale.json` in the working directory.
+//! Two cell families:
+//!
+//! * **fair** — the memoryless max-min path. The "full" pass is the same
+//!   run with the shadow oracle armed ([`Fabric::set_full_oracle`]):
+//!   every recompute additionally re-solves the entire alive flow set
+//!   from scratch — exactly what the pre-incremental fabric did per
+//!   event — and asserts rate-bit equality with the incremental table
+//!   while it's at it. Oracle-on and oracle-off passes must agree on
+//!   every deterministic counter *and* on a digest of the completion
+//!   stream (asserted).
+//! * **varys** — the stateful Varys/SEBF path, flows grouped into
+//!   band-local coflows. The "full" pass is the verbatim eager fabric
+//!   ([`Fabric::new_eager`]): the whole SEBF + MADD + backfill solve per
+//!   event batch, untouched pre-incremental code. The "incremental" pass
+//!   is the coflow-local mode (frozen-at-admission SEBF bytes, dirty
+//!   coflow re-rank, per-component backfill). The two engines schedule
+//!   under *different* SEBF byte semantics (live vs frozen remaining),
+//!   so their completion streams are not comparable; correctness is
+//!   instead asserted by one extra untimed pass per cell with the
+//!   from-scratch oracle armed, which must match the timed incremental
+//!   pass on every counter and on the completion digest while asserting
+//!   per-flow `rate.to_bits()` equality on every recompute internally.
+//!
+//! The reported speedup is the median paired wall ratio
+//! (full / incremental). Writes `BENCH_scale.json` in the working
+//! directory (each cell carries a `policy` field).
 //!
 //! Not part of `repro all` (it times the simulator, not a paper
-//! artifact); CI runs the 2k-machine cells as `repro scalebench`. The
-//! recompute and waterfilling-round counts per cell are golden below:
-//! drift means event ordering, the dirty-set propagation, or the rate
-//! arithmetic changed. Regenerate after an *intentional* change with
-//! `CORRAL_SCALEBENCH_BLESS=1` and paste the printed constants.
+//! artifact); CI runs the 2k-machine cells of both families as
+//! `repro scalebench`. Cells outside the selected subset are logged as
+//! skipped, never silently dropped. The recompute and waterfilling-round
+//! counts per cell are golden below: drift means event ordering, the
+//! dirty-set propagation, or the rate arithmetic changed. Regenerate
+//! after an *intentional* change with `CORRAL_SCALEBENCH_BLESS=1` and
+//! paste the printed constants.
 
 use crate::table;
 use corral_model::{Bytes, ClusterConfig, MachineId};
-use corral_simnet::{Fabric, FairShare, FlowKind, FlowSpec, FlowTag};
+use corral_simnet::{CoflowId, Fabric, FairShare, FlowKind, FlowSpec, FlowTag, VarysSebf};
 use std::time::Instant;
 
 /// Racks per traffic band: flows never leave their band, so each band is
 /// (at most) one connected component of the link↔flow graph.
 const BAND_RACKS: usize = 5;
 
+/// Consecutive same-band spawns grouped into one coflow under the varys
+/// policy (≈ one small shuffle wave per band).
+const COFLOW_WIDTH: u64 = 4;
+
+/// Network scheduling policy of a cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Policy {
+    /// Memoryless max-min fair sharing ([`FairShare`]).
+    Fair,
+    /// Varys SEBF + MADD + backfill ([`VarysSebf`]), coflow-tagged flows.
+    Varys,
+}
+
+impl Policy {
+    fn label(self) -> &'static str {
+        match self {
+            Policy::Fair => "fair",
+            Policy::Varys => "varys",
+        }
+    }
+}
+
 /// One scale-out cell: a workload shape at a machine count.
 struct CellSpec {
     name: &'static str,
     /// Workload whose per-task shuffle sizes shape the flow sizes.
     workload: &'static str,
+    policy: Policy,
     racks: usize,
     machines_per_rack: usize,
     /// Concurrent flows maintained throughout the run.
@@ -58,13 +101,15 @@ impl CellSpec {
     }
 }
 
-/// {2k, 10k, 50k} machines × {W1, W2}. The 50k cells are the acceptance
-/// cells: the incremental path must beat the full re-solve by ≥ 5×
-/// there. The first two (2k) cells double as the CI smoke subset.
-static CELLS: [CellSpec; 6] = [
+/// {2k, 10k, 50k} machines × {W1, W2} × {fair, varys}. The 50k cells are
+/// the acceptance cells: each incremental path must beat its full
+/// re-solve by ≥ 5× there. The first four (2k) cells double as the CI
+/// smoke subset, so the coflow-incremental path is smoke-covered too.
+static CELLS: [CellSpec; 12] = [
     CellSpec {
         name: "w1-2k",
         workload: "W1",
+        policy: Policy::Fair,
         racks: 50,
         machines_per_rack: 40,
         concurrency: 1000,
@@ -74,6 +119,7 @@ static CELLS: [CellSpec; 6] = [
     CellSpec {
         name: "w2-2k",
         workload: "W2",
+        policy: Policy::Fair,
         racks: 50,
         machines_per_rack: 40,
         concurrency: 1000,
@@ -81,8 +127,29 @@ static CELLS: [CellSpec; 6] = [
         seed: 0x5CA1_0002,
     },
     CellSpec {
+        name: "varys-w1-2k",
+        workload: "W1",
+        policy: Policy::Varys,
+        racks: 50,
+        machines_per_rack: 40,
+        concurrency: 1000,
+        completions: 2000,
+        seed: 0x5CA1_1001,
+    },
+    CellSpec {
+        name: "varys-w2-2k",
+        workload: "W2",
+        policy: Policy::Varys,
+        racks: 50,
+        machines_per_rack: 40,
+        concurrency: 1000,
+        completions: 2000,
+        seed: 0x5CA1_1002,
+    },
+    CellSpec {
         name: "w1-10k",
         workload: "W1",
+        policy: Policy::Fair,
         racks: 250,
         machines_per_rack: 40,
         concurrency: 2500,
@@ -92,6 +159,7 @@ static CELLS: [CellSpec; 6] = [
     CellSpec {
         name: "w2-10k",
         workload: "W2",
+        policy: Policy::Fair,
         racks: 250,
         machines_per_rack: 40,
         concurrency: 2500,
@@ -99,8 +167,29 @@ static CELLS: [CellSpec; 6] = [
         seed: 0x5CA1_0004,
     },
     CellSpec {
+        name: "varys-w1-10k",
+        workload: "W1",
+        policy: Policy::Varys,
+        racks: 250,
+        machines_per_rack: 40,
+        concurrency: 2500,
+        completions: 2500,
+        seed: 0x5CA1_1003,
+    },
+    CellSpec {
+        name: "varys-w2-10k",
+        workload: "W2",
+        policy: Policy::Varys,
+        racks: 250,
+        machines_per_rack: 40,
+        concurrency: 2500,
+        completions: 2500,
+        seed: 0x5CA1_1004,
+    },
+    CellSpec {
         name: "w1-50k",
         workload: "W1",
+        policy: Policy::Fair,
         racks: 1250,
         machines_per_rack: 40,
         concurrency: 6000,
@@ -110,26 +199,55 @@ static CELLS: [CellSpec; 6] = [
     CellSpec {
         name: "w2-50k",
         workload: "W2",
+        policy: Policy::Fair,
         racks: 1250,
         machines_per_rack: 40,
         concurrency: 6000,
         completions: 3000,
         seed: 0x5CA1_0006,
     },
+    CellSpec {
+        name: "varys-w1-50k",
+        workload: "W1",
+        policy: Policy::Varys,
+        racks: 1250,
+        machines_per_rack: 40,
+        concurrency: 6000,
+        completions: 3000,
+        seed: 0x5CA1_1005,
+    },
+    CellSpec {
+        name: "varys-w2-50k",
+        workload: "W2",
+        policy: Policy::Varys,
+        racks: 1250,
+        machines_per_rack: 40,
+        concurrency: 6000,
+        completions: 3000,
+        seed: 0x5CA1_1006,
+    },
 ];
 
-/// Golden `(recomputes, maxmin_rounds)` per cell. Identical between the
-/// oracle-on and oracle-off passes (that identity is itself asserted —
-/// the oracle must not perturb the run); drift against these constants
+/// Golden `(recomputes, maxmin_rounds)` of the timed incremental pass
+/// per cell. For fair cells these are identical between the oracle-on
+/// and oracle-off passes (that identity is itself asserted — the oracle
+/// must not perturb the run); for varys cells the identity is asserted
+/// against the extra oracle-armed pass. Drift against these constants
 /// means the fabric's behavior changed. Bless deliberately (module docs)
 /// or find the regression.
-const GOLDEN: [(&str, u64, u64); 6] = [
+const GOLDEN: [(&str, u64, u64); 12] = [
     ("w1-2k", 3985, 45448),
     ("w2-2k", 3990, 45376),
+    ("varys-w1-2k", 3928, 61170),
+    ("varys-w2-2k", 3915, 66920),
     ("w1-10k", 4616, 21922),
     ("w2-10k", 4801, 22531),
+    ("varys-w1-10k", 3864, 96117),
+    ("varys-w2-10k", 3915, 94923),
     ("w1-50k", 3805, 13751),
     ("w2-50k", 4187, 13569),
+    ("varys-w1-50k", 1380, 83595),
+    ("varys-w2-50k", 1693, 85628),
 ];
 
 /// Timed (full, incremental) pairs per cell in the full bench; the smoke
@@ -163,10 +281,20 @@ fn size_table(workload: &str) -> Vec<f64> {
 /// Starts one flow: round-robin over bands, random endpoints within the
 /// band (source and destination racks forced distinct, so every flow
 /// crosses the oversubscribed core), size drawn from the workload's
-/// per-task shuffle table.
+/// per-task shuffle table. Under the varys policy, [`COFLOW_WIDTH`]
+/// consecutive same-band spawns share a coflow id (band in the high
+/// half, wave in the low — band-local coflows keep the coflow↔component
+/// structure the incremental path exploits).
 fn spawn_flow(fab: &mut Fabric, c: &CellSpec, sizes: &[f64], seq: &mut u64, rng: &mut u64) {
     let bands = c.racks / BAND_RACKS;
     let band = (*seq as usize) % bands;
+    let coflow = match c.policy {
+        Policy::Fair => None,
+        Policy::Varys => {
+            let wave = (*seq / bands as u64) / COFLOW_WIDTH;
+            Some(CoflowId(((band as u64) << 32) | wave))
+        }
+    };
     *seq += 1;
     let r = splitmix64(rng);
     let src_rack = band * BAND_RACKS + (r as usize >> 8) % BAND_RACKS;
@@ -183,18 +311,23 @@ fn spawn_flow(fab: &mut Fabric, c: &CellSpec, sizes: &[f64], seq: &mut u64, rng:
         dst: MachineId::from_index(dst_rack * c.machines_per_rack + dst_m),
         bytes,
         tag: FlowTag::infrastructure(FlowKind::Shuffle),
-        coflow: None,
+        coflow,
     });
 }
 
-/// Deterministic counters of one pass (wall excluded).
+/// Deterministic counters of one pass (wall excluded). `digest` folds
+/// every completion's `(id, finished-time bits, byte bits)` through
+/// FNV-1a in completion order — byte-identical completion streams and
+/// nothing less.
 #[derive(Debug, PartialEq, Eq, Clone, Copy)]
 struct PassCounts {
     events: u64,
     recomputes: u64,
     recomputes_incremental: u64,
+    recomputes_full_boundary: u64,
     maxmin_rounds: u64,
     dirty_flows: u64,
+    digest: u64,
 }
 
 struct PassResult {
@@ -203,22 +336,51 @@ struct PassResult {
     links: usize,
 }
 
+/// Which engine/oracle combination a pass runs.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Pass {
+    /// The timed baseline. Fair: the incremental fabric with the shadow
+    /// from-scratch oracle armed (the pre-incremental per-event cost).
+    /// Varys: the verbatim eager fabric ([`Fabric::new_eager`]).
+    Full,
+    /// The timed incremental pass, oracle off.
+    Incremental,
+    /// Untimed correctness pass (varys only): the incremental fabric
+    /// with the from-scratch oracle armed.
+    Check,
+}
+
+fn fnv1a(h: u64, word: u64) -> u64 {
+    let mut h = h;
+    for b in word.to_le_bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
 /// One churn pass: fill to `concurrency`, replace each completion until
-/// `completions` events, timing the whole loop. `full_oracle` arms the
-/// shadow from-scratch re-solve on every recompute.
-fn run_once(c: &CellSpec, sizes: &[f64], full_oracle: bool) -> PassResult {
+/// `completions` events, timing the whole loop.
+fn run_once(c: &CellSpec, sizes: &[f64], pass: Pass) -> PassResult {
     let cfg = ClusterConfig {
         racks: c.racks,
         machines_per_rack: c.machines_per_rack,
         ..ClusterConfig::tiny_test()
     };
-    let mut fab = Fabric::new(cfg, Box::new(FairShare));
-    fab.set_full_oracle(full_oracle);
+    let mut fab = match (c.policy, pass) {
+        (Policy::Fair, _) => Fabric::new(cfg, Box::new(FairShare)),
+        (Policy::Varys, Pass::Full) => Fabric::new_eager(cfg, Box::new(VarysSebf)),
+        (Policy::Varys, _) => Fabric::new(cfg, Box::new(VarysSebf)),
+    };
+    fab.set_full_oracle(match c.policy {
+        Policy::Fair => pass == Pass::Full,
+        Policy::Varys => pass == Pass::Check,
+    });
     let links = fab.topology().links().len();
     let mut rng = c.seed;
     let mut seq = 0u64;
     let mut done = Vec::new();
     let mut events = 0u64;
+    let mut digest = 0xCBF2_9CE4_8422_2325u64;
     let t0 = Instant::now();
     for _ in 0..c.concurrency {
         spawn_flow(&mut fab, c, sizes, &mut seq, &mut rng);
@@ -230,6 +392,11 @@ fn run_once(c: &CellSpec, sizes: &[f64], full_oracle: bool) -> PassResult {
         done.clear();
         fab.advance_collect(tc, &mut done);
         events += done.len() as u64;
+        for f in &done {
+            digest = fnv1a(digest, f.id.0);
+            digest = fnv1a(digest, f.finished.0.to_bits());
+            digest = fnv1a(digest, f.bytes.0.to_bits());
+        }
         for _ in 0..done.len() {
             spawn_flow(&mut fab, c, sizes, &mut seq, &mut rng);
         }
@@ -242,8 +409,10 @@ fn run_once(c: &CellSpec, sizes: &[f64], full_oracle: bool) -> PassResult {
             events,
             recomputes: st.recomputes,
             recomputes_incremental: st.recomputes_incremental,
+            recomputes_full_boundary: st.recomputes_full_boundary,
             maxmin_rounds: st.maxmin_rounds,
             dirty_flows: st.dirty_flows,
+            digest,
         },
         links,
     }
@@ -253,8 +422,10 @@ fn run_once(c: &CellSpec, sizes: &[f64], full_oracle: bool) -> PassResult {
 struct CellResult {
     name: &'static str,
     workload: &'static str,
+    policy: Policy,
     machines: usize,
     links: usize,
+    /// Counters of the timed incremental pass (golden-checked).
     counts: PassCounts,
     full_s: f64,
     incremental_s: f64,
@@ -263,38 +434,61 @@ struct CellResult {
 }
 
 /// Runs one cell `repeats` times as (full, incremental) pairs, asserting
-/// every deterministic counter identical across passes and repeats.
+/// every deterministic counter identical across repeats. Fair cells
+/// additionally assert the oracle-armed pass identical to the plain one
+/// (counters *and* completion digest); varys cells run one extra untimed
+/// oracle-armed incremental pass and assert the same identity against it
+/// (the eager baseline schedules under live-remaining SEBF, so it is a
+/// wall-clock baseline only).
 fn run_cell(c: &CellSpec, sizes: &[f64], repeats: usize) -> CellResult {
     let mut best_full = f64::INFINITY;
     let mut best_inc = f64::INFINITY;
-    let mut counts: Option<PassCounts> = None;
+    let mut full_counts: Option<PassCounts> = None;
+    let mut inc_counts: Option<PassCounts> = None;
     let mut links = 0;
     let mut ratios = Vec::with_capacity(repeats);
     for _ in 0..repeats {
-        let full = run_once(c, sizes, true);
-        let inc = run_once(c, sizes, false);
-        assert_eq!(
-            full.counts, inc.counts,
-            "{}: oracle-armed pass diverged from the plain pass — the oracle \
-             must be observation-only",
-            c.name
-        );
-        if let Some(prev) = &counts {
+        let full = run_once(c, sizes, Pass::Full);
+        let inc = run_once(c, sizes, Pass::Incremental);
+        if c.policy == Policy::Fair {
+            assert_eq!(
+                full.counts, inc.counts,
+                "{}: oracle-armed pass diverged from the plain pass — the oracle \
+                 must be observation-only",
+                c.name
+            );
+        }
+        if let Some(prev) = &full_counts {
+            assert_eq!(*prev, full.counts, "{}: non-deterministic repeat", c.name);
+        }
+        if let Some(prev) = &inc_counts {
             assert_eq!(*prev, inc.counts, "{}: non-deterministic repeat", c.name);
         }
-        counts = Some(inc.counts);
+        full_counts = Some(full.counts);
+        inc_counts = Some(inc.counts);
         links = inc.links;
         ratios.push(full.wall_s / inc.wall_s.max(1e-9));
         best_full = best_full.min(full.wall_s);
         best_inc = best_inc.min(inc.wall_s);
     }
+    let inc_counts = inc_counts.unwrap();
+    if c.policy == Policy::Varys {
+        let check = run_once(c, sizes, Pass::Check);
+        assert_eq!(
+            check.counts, inc_counts,
+            "{}: oracle-armed coflow pass diverged from the plain pass — the \
+             oracle must be observation-only",
+            c.name
+        );
+    }
     ratios.sort_by(f64::total_cmp);
     CellResult {
         name: c.name,
         workload: c.workload,
+        policy: c.policy,
         machines: c.machines(),
         links,
-        counts: counts.unwrap(),
+        counts: inc_counts,
         full_s: best_full,
         incremental_s: best_inc,
         speedup: ratios[ratios.len() / 2],
@@ -302,14 +496,19 @@ fn run_cell(c: &CellSpec, sizes: &[f64], repeats: usize) -> CellResult {
 }
 
 /// Shared driver: runs `cells` under the sweep pool, prints the table,
-/// checks goldens, and writes `BENCH_scale.json`.
+/// checks goldens, logs skipped cells, and writes `BENCH_scale.json`.
 fn run(cells: &[CellSpec], repeats: usize, smoke: bool) {
     table::section(if smoke {
-        "scalebench: fig14-xl smoke subset (2k machines)"
+        "scalebench: fig14-xl smoke subset (2k machines, fair + varys)"
     } else {
         "fig14-xl: fabric scale-out, incremental vs full recompute"
     });
     let bless = std::env::var_os("CORRAL_SCALEBENCH_BLESS").is_some();
+    for c in &CELLS {
+        if !cells.iter().any(|s| s.name == c.name) {
+            println!("   skipping cell {} (not in this subset)", c.name);
+        }
+    }
     // Same-workload cells share one memoized jobset; build the two size
     // tables up front so pooled cells only read.
     let w1_sizes = size_table("W1");
@@ -350,11 +549,27 @@ fn run(cells: &[CellSpec], repeats: usize, smoke: bool) {
             table::secs(r.incremental_s),
             format!("{:.2}x", r.speedup),
         ]);
-        assert_eq!(
-            r.counts.recomputes, r.counts.recomputes_incremental,
-            "{}: FairShare cells must run fully incremental",
-            r.name
-        );
+        match r.policy {
+            Policy::Fair => assert_eq!(
+                r.counts.recomputes, r.counts.recomputes_incremental,
+                "{}: FairShare cells must run fully incremental",
+                r.name
+            ),
+            Policy::Varys => {
+                assert!(
+                    r.counts.recomputes_incremental > 0,
+                    "{}: varys cells must exercise the coflow-incremental path",
+                    r.name
+                );
+                assert_eq!(
+                    r.counts.recomputes,
+                    r.counts.recomputes_incremental + r.counts.recomputes_full_boundary,
+                    "{}: varys recomputes must split into incremental + boundary-full \
+                     (an Unsupported fallback leaked in)",
+                    r.name
+                );
+            }
+        }
         if let Some(&(_, g_rc, g_rounds)) = GOLDEN.iter().find(|(n, _, _)| *n == r.name) {
             if (r.counts.recomputes, r.counts.maxmin_rounds) != (g_rc, g_rounds) {
                 drift.push(format!(
@@ -370,12 +585,14 @@ fn run(cells: &[CellSpec], repeats: usize, smoke: bool) {
             );
         }
         cell_json.push(format!(
-            "    {{\"cell\": \"{}\", \"workload\": \"{}\", \"machines\": {}, \"links\": {}, \
+            "    {{\"cell\": \"{}\", \"workload\": \"{}\", \"policy\": \"{}\", \
+             \"machines\": {}, \"links\": {}, \
              \"events\": {}, \"recomputes\": {}, \"maxmin_rounds\": {}, \
              \"rounds_per_recompute\": {rounds_per:.3}, \"dirty_per_recompute\": {dirty_per:.3}, \
              \"full_s\": {:.4}, \"incremental_s\": {:.4}, \"speedup\": {:.3}}}",
             r.name,
             r.workload,
+            r.policy.label(),
             r.machines,
             r.links,
             r.counts.events,
@@ -407,13 +624,14 @@ fn run(cells: &[CellSpec], repeats: usize, smoke: bool) {
     println!("   wrote BENCH_scale.json");
 }
 
-/// The full sweep: all six cells, [`REPEATS`] timed pairs each.
+/// The full sweep: all twelve cells, [`REPEATS`] timed pairs each.
 pub fn main() {
     run(&CELLS, REPEATS, false);
 }
 
-/// CI smoke subset (`repro scalebench`): the two 2k-machine cells, one
-/// timed pair each — same goldens, a fraction of the wall time.
+/// CI smoke subset (`repro scalebench`): the four 2k-machine cells —
+/// both policies — one timed pair each; same goldens, a fraction of the
+/// wall time.
 pub fn smoke() {
-    run(&CELLS[..2], 1, true);
+    run(&CELLS[..4], 1, true);
 }

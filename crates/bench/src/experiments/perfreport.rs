@@ -47,6 +47,20 @@ const REQUIRED_SPANS: [probe::SpanKind; 9] = [
     probe::SpanKind::ServeDecision,
 ];
 
+/// Probe counters the live cells must leave non-zero; a zero means the
+/// counter wiring (or the code path that feeds it) regressed. The split
+/// fabric recompute counters are fed by the Varys live cell: the eager
+/// pass feeds `recompute_full_eager`, the coflow-incremental pass feeds
+/// `recompute_full_boundary` / `recompute_incremental` and the
+/// `varys_scratch_elems` footprint gauge.
+const REQUIRED_COUNTERS: [&str; 5] = [
+    "fabric.recompute_incremental",
+    "fabric.recompute_full_eager",
+    "fabric.recompute_full_boundary",
+    "fabric.varys_scratch_elems",
+    "fabric.scratch_grows",
+];
+
 /// One golden-counter tripwire result.
 struct Tripwire {
     name: &'static str,
@@ -206,8 +220,12 @@ pub fn main() {
     probe::reset();
 
     // -- Live cells -------------------------------------------------------
-    println!("   running live probe cells (fabric small, planner large, engine grid, serve small)");
+    println!(
+        "   running live probe cells (fabric small fair + varys, planner large, \
+         engine grid, serve small)"
+    );
     let (fab_recomputes, fab_golden) = fabricbench::probe_cell_small();
+    let (fab_varys_recomputes, fab_varys_golden) = fabricbench::probe_cell_varys();
     let planner_cell = plannerbench::probe_cell_large();
     let pool = crate::config::pool().progress(false);
     let (planner_cands, _) = planner_cell.run(&pool);
@@ -280,6 +298,21 @@ pub fn main() {
         "perfreport: live cells left required span(s) empty: {}",
         missing.join(", ")
     );
+    let zero_counters: Vec<&str> = REQUIRED_COUNTERS
+        .iter()
+        .filter(|&&want| {
+            !report
+                .counters
+                .iter()
+                .any(|&(label, v)| label == want && v > 0)
+        })
+        .copied()
+        .collect();
+    assert!(
+        zero_counters.is_empty(),
+        "perfreport: live cells left required counter(s) zero: {}",
+        zero_counters.join(", ")
+    );
 
     // -- Tripwires --------------------------------------------------------
     let tripwires = [
@@ -287,6 +320,11 @@ pub fn main() {
             name: "fabric_small_recomputes",
             observed: fab_recomputes,
             golden: fab_golden,
+        },
+        Tripwire {
+            name: "fabric_varys_small_recomputes",
+            observed: fab_varys_recomputes,
+            golden: fab_varys_golden,
         },
         Tripwire {
             name: "planner_large_candidates",

@@ -106,6 +106,57 @@ impl AllocScratch {
     }
 }
 
+/// Event delta handed to [`RateAllocator::allocate_dirty`]: which flows
+/// arrived or departed since the previous recompute, which links those
+/// events touched, and whether effective capacities moved. Group keys are
+/// the fabric's stable per-coflow keys (synthetic singleton keys for
+/// coflow-less flows), so an allocator can dirty exactly the touched
+/// groups. All slot lists ride ascending flow-id order.
+#[derive(Debug, Clone, Copy)]
+pub struct DirtyCtx<'a> {
+    /// Fabric flow slot of each CSR row, ascending (parallel to `rates`).
+    pub slots: &'a [u32],
+    /// Row index per fabric slot; `u32::MAX` when the slot has no row
+    /// (departed, local, or never-networked flows).
+    pub row_of: &'a [u32],
+    /// Flows admitted since the last recompute, `(group_key, slot)` in
+    /// admission (= ascending slot) order. Flows that already departed
+    /// again are filtered out by the fabric.
+    pub added: &'a [(u64, u32)],
+    /// Flows departed (completed or cancelled) since the last recompute,
+    /// `(group_key, slot)` in event order.
+    pub departed: &'a [(u64, u32)],
+    /// Links touched by arrivals/departures/background events since the
+    /// last recompute (may contain duplicates).
+    pub dirty_links: &'a [LinkId],
+    /// Effective link capacities changed since the last recompute
+    /// (background-traffic epoch); invalidates every cached residual.
+    pub caps_changed: bool,
+}
+
+/// What [`RateAllocator::allocate_dirty`] actually did. The fabric uses
+/// this to attribute the recompute to the right probe counter and stats
+/// bucket; in every case `rates` is fully written.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirtyOutcome {
+    /// The allocator has no incremental form; the default full solve ran.
+    Unsupported,
+    /// The dirtied priority boundary covered the whole order (capacity
+    /// change or cold cache): a full pass ran and rebuilt the caches.
+    Full {
+        /// Max-min freeze rounds executed across all component solves.
+        rounds: u64,
+    },
+    /// Coflow-local incremental solve: only dirtied groups were
+    /// re-ranked and only dirtied components re-solved.
+    Incremental {
+        /// Flows living in re-solved components (the dirty set).
+        dirty_flows: u64,
+        /// Max-min freeze rounds executed across the dirty components.
+        rounds: u64,
+    },
+}
+
 /// A bandwidth allocation policy.
 pub trait RateAllocator: Send {
     /// Human-readable policy name (used in experiment output).
@@ -148,9 +199,53 @@ pub trait RateAllocator: Send {
     /// grouping. Memoryless policies decompose over connected components
     /// of the link↔flow graph, which is what the fabric's incremental
     /// recompute exploits; policies with cross-component coupling (Varys'
-    /// SEBF ordering) keep the eager full solve.
+    /// SEBF ordering) instead advertise a coflow-local incremental form
+    /// via [`coflow_incremental`](Self::coflow_incremental), or keep the
+    /// eager full solve.
     fn memoryless(&self) -> bool {
         false
+    }
+
+    /// True when the policy implements the coflow-granular
+    /// [`allocate_dirty`](Self::allocate_dirty) entry point. The fabric
+    /// then runs `Mode::CoflowIncremental`: lazy byte accounting with
+    /// per-coflow dirty tracking instead of eager full recomputes.
+    fn coflow_incremental(&self) -> bool {
+        false
+    }
+
+    /// Coflow-granular incremental entry point. Given the full current
+    /// CSR `table` plus the event delta in `ctx`, writes every rate in
+    /// `rates` — re-ranking only the touched coflows and re-solving only
+    /// the dirtied components when possible. The default falls back to
+    /// [`allocate_table`](Self::allocate_table) (a full solve) so
+    /// FairShare and future zoo policies are untouched.
+    fn allocate_dirty(
+        &mut self,
+        links: &[Link],
+        table: &FlowTable<'_>,
+        rates: &mut [f64],
+        scratch: &mut AllocScratch,
+        ctx: &DirtyCtx<'_>,
+    ) -> DirtyOutcome {
+        let _ = ctx;
+        self.allocate_table(links, table, rates, scratch);
+        DirtyOutcome::Unsupported
+    }
+
+    /// From-scratch reference solve used by the fabric's shadow oracle
+    /// against the coflow-incremental path. Must compute the same rates
+    /// [`allocate_dirty`](Self::allocate_dirty) converges to, using no
+    /// state cached across calls (the oracle owns dedicated scratch and
+    /// this method must reset any incremental cache living in it).
+    fn allocate_from_scratch(
+        &mut self,
+        links: &[Link],
+        table: &FlowTable<'_>,
+        rates: &mut [f64],
+        scratch: &mut AllocScratch,
+    ) {
+        self.allocate_table(links, table, rates, scratch);
     }
 
     /// Solves one connected component on its compacted subproblem:

@@ -7,14 +7,15 @@
 //! "advance" moves exact byte amounts and completions are computed in
 //! closed form.
 //!
-//! ## Two recompute modes
+//! ## Three recompute modes
 //!
-//! The fabric picks one of two rate-maintenance strategies at construction,
-//! keyed off [`RateAllocator::memoryless`]:
+//! The fabric picks one of three rate-maintenance strategies at
+//! construction, keyed off [`RateAllocator::memoryless`] and
+//! [`RateAllocator::coflow_incremental`]:
 //!
-//! * **Eager** (Varys and any future stateful policy): every dirty event
-//!   rebuilds the full CSR flow table and re-solves every flow — the
-//!   original path, kept verbatim.
+//! * **Eager** (stateful policies with no incremental form): every dirty
+//!   event rebuilds the full CSR flow table and re-solves every flow —
+//!   the original path, kept verbatim.
 //! * **Incremental** (max-min fair sharing): rates of a memoryless policy
 //!   depend only on flow paths and effective capacities, so the link↔flow
 //!   bipartite graph decomposes into connected components that solve
@@ -25,6 +26,20 @@
 //!   its completion deadline stays queued in a calendar queue
 //!   ([`CalendarQueue`]), and its byte accounting is materialized lazily
 //!   (at re-solve, completion, cancellation, or [`Fabric::flush_accounting`]).
+//! * **CoflowIncremental** (Varys/SEBF): the policy couples flows across
+//!   components through a priority order, but that order depends only on
+//!   per-coflow *scheduling* bytes, which this fabric freezes at admission
+//!   (clairvoyant SEBF, as in the Varys paper — the coflow's size is known
+//!   up front and does not shrink as it transfers). The fabric hands the
+//!   allocator the full CSR each recompute plus the event delta (added /
+//!   departed coflow members, dirtied links, capacity epoch) through
+//!   [`RateAllocator::allocate_dirty`]; the allocator re-ranks only the
+//!   touched coflows and re-solves only the dirtied bottleneck
+//!   components, and the fabric splices back exactly the rates whose bits
+//!   changed. Byte accounting, deadlines, and the completion calendar are
+//!   shared with the Incremental mode. Coflow identity uses stable keys:
+//!   the coflow id when present, else a synthetic per-slot singleton key
+//!   (bit 63 set), so group membership never shifts as rows come and go.
 //!
 //! Both decompositions — incremental and from-scratch — produce the same
 //! canonical per-component subproblem (members ascending by flow slot,
@@ -33,10 +48,13 @@
 //! enforced by a shadow oracle ([`Fabric::recompute_full`]): armed by
 //! default in debug builds, it re-solves *every* component from scratch
 //! after each incremental recompute and panics on any rate-bit divergence.
+//! (In CoflowIncremental mode the oracle is
+//! [`RateAllocator::allocate_from_scratch`] over the same CSR — the
+//! canonical SEBF + MADD + per-component backfill with no cached state.)
 //! The oracle never drives simulation state, so runs with it on and off
 //! produce byte-identical event streams and statistics.
 
-use crate::allocator::{AllocScratch, FlowTable, RateAllocator};
+use crate::allocator::{AllocScratch, DirtyCtx, DirtyOutcome, FlowTable, RateAllocator};
 use crate::engine::CalendarQueue;
 use crate::flow::{CoflowId, FlowKind, FlowSpec, FlowState, FlowTag};
 use crate::link::LinkId;
@@ -79,6 +97,20 @@ enum Mode {
     /// Dirty-set component re-solve with lazy byte accounting (memoryless
     /// allocators: rates depend only on paths and capacities).
     Incremental,
+    /// Coflow-local dirty re-solve with lazy byte accounting (stateful
+    /// allocators advertising [`RateAllocator::coflow_incremental`]: the
+    /// allocator owns the dirty decomposition, the fabric owns deltas,
+    /// deadlines, and splice-back).
+    CoflowIncremental,
+}
+
+/// Stable coflow group key: the coflow id when present, else a synthetic
+/// per-slot singleton key with bit 63 set. Unlike the eager path's
+/// row-index sentinel this never shifts as rows come and go, which is
+/// what lets the allocator cache per-coflow state across recomputes.
+#[inline]
+fn stable_coflow_key(coflow: Option<CoflowId>, slot: usize) -> u64 {
+    coflow.map(|c| c.0).unwrap_or((1u64 << 63) | slot as u64)
 }
 
 /// Sentinel for "no component" in the per-flow/per-link component maps.
@@ -247,6 +279,22 @@ struct IncState {
     pending_links: Vec<LinkId>,
     /// Newly started network flows not yet in any component.
     pending_new: Vec<u32>,
+    /// Coflow mode: network flows departed (completed or cancelled) since
+    /// the last recompute, `(stable group key, slot)` in event order.
+    pending_departed: Vec<(u64, u32)>,
+    /// Coflow mode: effective capacities changed since the last recompute
+    /// (background-traffic epoch) — invalidates the allocator's caches.
+    caps_dirty: bool,
+    // -- coflow-mode CSR mapping --
+    /// Fabric slot of each CSR row from the last coflow recompute,
+    /// ascending (parallel to the rate scratch).
+    csr_slots: Vec<u32>,
+    /// Row index per fabric slot (`u32::MAX` when absent). Reset sparsely
+    /// via `csr_slots`, so maintenance is O(rows), not O(all slots ever).
+    row_of: Vec<u32>,
+    /// `(stable group key, slot)` of flows admitted since the last coflow
+    /// recompute, ascending slot order, dead-filtered.
+    added: Vec<(u64, u32)>,
     /// Completion calendar: `(flow slot, generation)` at the deadline.
     queue: CalendarQueue<(u32, u32)>,
     // -- recompute scratch --
@@ -307,10 +355,10 @@ impl IncState {
     /// Reserved capacity of the *steady-state-bounded* buffers, in
     /// elements. Deliberately O(1) to compute — an O(live flows) walk per
     /// recompute would defeat the incremental path's point. Excluded by
-    /// design: the per-flow arrays (they grow with the flow id space, not
-    /// with leaks), the calendar queue (its bucket count tracks pending
-    /// entries), `comp_flows` inner vectors, and the oracle scratch
-    /// (arming the oracle must not perturb stats).
+    /// design: the per-flow arrays including `row_of` (they grow with the
+    /// flow id space, not with leaks), the calendar queue (its bucket
+    /// count tracks pending entries), `comp_flows` inner vectors, and the
+    /// oracle scratch (arming the oracle must not perturb stats).
     fn footprint(&self) -> usize {
         self.link_comp.capacity()
             + self.link_first.capacity()
@@ -321,6 +369,9 @@ impl IncState {
             + self.free_comps.capacity()
             + self.pending_links.capacity()
             + self.pending_new.capacity()
+            + self.pending_departed.capacity()
+            + self.csr_slots.capacity()
+            + self.added.capacity()
             + self.cand.capacity()
             + self.uf.capacity()
             + self.root_comp.capacity()
@@ -367,6 +418,9 @@ pub struct Fabric {
     scratch: RecomputeScratch,
     /// Footprint after the previous recompute, to detect growth.
     scratch_footprint: usize,
+    /// Last Varys workspace footprint pushed to the
+    /// `fabric.varys_scratch_elems` gauge (coflow mode only).
+    last_varys_footprint: usize,
     /// Rate-maintenance strategy, fixed at construction from
     /// [`RateAllocator::memoryless`].
     mode: Mode,
@@ -379,18 +433,36 @@ pub struct Fabric {
 
 impl Fabric {
     /// Builds a fabric for `cfg` with the given allocation policy.
+    /// Memoryless policies run `Mode::Incremental`, policies advertising a
+    /// coflow-granular dirty entry point run `Mode::CoflowIncremental`,
+    /// and everything else runs the eager full-recompute path.
     pub fn new(cfg: ClusterConfig, allocator: Box<dyn RateAllocator>) -> Self {
-        let local_rate = cfg.nic_bandwidth * 2.0; // loopback: faster than NIC
-        let topo = Topology::new(cfg);
         let mode = if allocator.memoryless() {
             Mode::Incremental
+        } else if allocator.coflow_incremental() {
+            Mode::CoflowIncremental
         } else {
             Mode::Eager
         };
-        let nlinks = if mode == Mode::Incremental {
-            topo.links().len()
-        } else {
+        Self::with_mode(cfg, allocator, mode)
+    }
+
+    /// Builds a fabric that *forces* the eager full-recompute path even
+    /// for allocators with an incremental form. Benchmark baselines use
+    /// this to measure the incremental speedup against the verbatim
+    /// original path; simulation results are identical either way (the
+    /// armed oracle is the proof obligation).
+    pub fn new_eager(cfg: ClusterConfig, allocator: Box<dyn RateAllocator>) -> Self {
+        Self::with_mode(cfg, allocator, Mode::Eager)
+    }
+
+    fn with_mode(cfg: ClusterConfig, allocator: Box<dyn RateAllocator>, mode: Mode) -> Self {
+        let local_rate = cfg.nic_bandwidth * 2.0; // loopback: faster than NIC
+        let topo = Topology::new(cfg);
+        let nlinks = if mode == Mode::Eager {
             0
+        } else {
+            topo.links().len()
         };
         Fabric {
             topo,
@@ -407,6 +479,7 @@ impl Fabric {
             trace_on: false,
             scratch: RecomputeScratch::default(),
             scratch_footprint: 0,
+            last_varys_footprint: 0,
             mode,
             oracle: cfg!(debug_assertions),
             inc: IncState::new(nlinks),
@@ -485,7 +558,7 @@ impl Fabric {
     /// eager mode (which accounts continuously) and on quiesced fabrics;
     /// safe to call at any point.
     pub fn flush_accounting(&mut self) {
-        if self.mode != Mode::Incremental {
+        if self.mode == Mode::Eager {
             return;
         }
         let now = self.now.0;
@@ -552,7 +625,7 @@ impl Fabric {
         let f = self.flows.get(id.index()).and_then(|f| f.as_ref())?;
         match self.mode {
             Mode::Eager => Some(f.remaining),
-            Mode::Incremental => {
+            Mode::Incremental | Mode::CoflowIncremental => {
                 // Virtual read: project the materialized remainder forward
                 // at the flow's current rate (rates stay valid through
                 // `now`; dirt only accrues at the current instant).
@@ -597,7 +670,7 @@ impl Fabric {
         self.active.push(id);
         self.stats.flows_started += 1;
         self.mark_dirty(probe::ProbeCounter::RecomputeFlowStart);
-        if self.mode == Mode::Incremental {
+        if self.mode != Mode::Eager {
             self.register_started(id);
         }
         if self.trace_on {
@@ -632,7 +705,7 @@ impl Fabric {
         self.active.push(id);
         self.stats.flows_started += 1;
         self.mark_dirty(probe::ProbeCounter::RecomputeFlowStart);
-        if self.mode == Mode::Incremental {
+        if self.mode != Mode::Eager {
             self.register_started(id);
         }
         if self.trace_on {
@@ -668,7 +741,7 @@ impl Fabric {
                     }
                 }
             }
-            Mode::Incremental => {
+            Mode::Incremental | Mode::CoflowIncremental => {
                 let s = id.index();
                 if !matches!(self.flows.get(s), Some(Some(_))) {
                     return;
@@ -678,6 +751,10 @@ impl Fabric {
                 self.materialize_flow(s, self.now.0);
                 let f = self.flows[s].take().unwrap();
                 let inc = &mut self.inc;
+                if self.mode == Mode::CoflowIncremental && !f.path.is_empty() {
+                    inc.pending_departed
+                        .push((stable_coflow_key(f.spec.coflow, s), s as u32));
+                }
                 inc.gen[s] = inc.gen[s].wrapping_add(1);
                 inc.dead += 1;
                 for &l in f.path.as_slice() {
@@ -692,8 +769,11 @@ impl Fabric {
     /// Sets the background reservation on one directed link.
     pub fn set_background(&mut self, link: LinkId, bw: Bandwidth) {
         self.topo.links_mut()[link.index()].background = bw;
-        if self.mode == Mode::Incremental {
+        if self.mode != Mode::Eager {
             self.inc.pending_links.push(link);
+            // Coflow mode: a capacity epoch invalidates every cached Γ
+            // and residual on the allocator side.
+            self.inc.caps_dirty = true;
         }
         self.mark_dirty(probe::ProbeCounter::RecomputeBackground);
     }
@@ -718,9 +798,9 @@ impl Fabric {
                     .is_finite()
                     .then_some(self.next_completion)
             }
-            Mode::Incremental => {
+            Mode::Incremental | Mode::CoflowIncremental => {
                 if self.dirty {
-                    self.recompute_incremental();
+                    self.recompute_lazy();
                 }
                 let now = self.now;
                 self.peek_fresh().map(|t| SimTime(t).max(now))
@@ -759,7 +839,9 @@ impl Fabric {
         let t = t.max(self.now);
         match self.mode {
             Mode::Eager => self.advance_collect_eager(t, out),
-            Mode::Incremental => self.advance_collect_incremental(t, out),
+            Mode::Incremental | Mode::CoflowIncremental => {
+                self.advance_collect_incremental(t, out)
+            }
         }
     }
 
@@ -789,13 +871,31 @@ impl Fabric {
     /// Recomputes first if the fabric is dirty; reads but never writes
     /// simulation state or statistics.
     pub fn recompute_full(&mut self) {
-        if self.mode != Mode::Incremental {
-            return;
+        match self.mode {
+            Mode::Eager => {}
+            Mode::Incremental => {
+                if self.dirty {
+                    self.recompute_incremental();
+                }
+                self.oracle_check();
+            }
+            Mode::CoflowIncremental => {
+                if self.dirty {
+                    self.recompute_coflow();
+                }
+                self.oracle_check_coflow();
+            }
         }
-        if self.dirty {
-            self.recompute_incremental();
+    }
+
+    /// Dispatches to the lazy recompute of the active non-eager mode.
+    #[inline]
+    fn recompute_lazy(&mut self) {
+        match self.mode {
+            Mode::Incremental => self.recompute_incremental(),
+            Mode::CoflowIncremental => self.recompute_coflow(),
+            Mode::Eager => unreachable!("eager mode recomputes inline"),
         }
-        self.oracle_check();
     }
 
     // -- eager internals -----------------------------------------------------
@@ -828,7 +928,7 @@ impl Fabric {
         self.dirty = false;
         self.stats.recomputes += 1;
         self.stats.recomputes_full += 1;
-        probe::count(probe::ProbeCounter::RecomputeFullFallback, 1);
+        probe::count(probe::ProbeCounter::RecomputeFullEager, 1);
 
         // One pass over `active`: purge flows cancelled since the last
         // recompute (preserving the ascending-FlowId order determinism
@@ -1258,33 +1358,28 @@ impl Fabric {
     fn advance_collect_incremental(&mut self, t: SimTime, out: &mut Vec<CompletedFlow>) {
         loop {
             if self.dirty {
-                self.recompute_incremental();
+                self.recompute_lazy();
             }
             match self.peek_fresh() {
                 Some(tc) if tc <= t.0 => {
                     let (time, (slot, _gen)) = self.inc.queue.pop().unwrap();
-                    let s = slot as usize;
                     let tc = SimTime(time).max(self.now);
                     self.now = tc;
-                    // Settle its bytes over [epoch, deadline); the solved
-                    // deadline is exact, so the flow completes here
-                    // unconditionally (the sub-byte residual closed-form
-                    // arithmetic may leave is dropped, as in eager mode).
-                    self.materialize_flow(s, tc.0);
-                    {
-                        let f = self.flows[s].as_ref().unwrap();
-                        let path = f.path;
-                        let inc = &mut self.inc;
-                        inc.gen[s] = inc.gen[s].wrapping_add(1);
-                        inc.dead += 1;
-                        for &l in path.as_slice() {
-                            inc.pending_links.push(l);
+                    self.complete_incremental(slot as usize, tc, out);
+                    // Coflow mode: drain the *exact*-equal-time batch
+                    // before recomputing. Every such entry's remaining
+                    // hits zero at `time` under the current rates, so
+                    // completing them together is byte-identical to
+                    // interleaving recomputes (which would re-queue each
+                    // at the same instant) — and it restores the fused
+                    // batching the eager step has, instead of paying one
+                    // full MADD replay per same-time completion.
+                    if self.mode == Mode::CoflowIncremental {
+                        while self.peek_fresh() == Some(time) {
+                            let (_, (s2, _g2)) = self.inc.queue.pop().unwrap();
+                            self.complete_incremental(s2 as usize, tc, out);
                         }
                     }
-                    self.emit_completion(FlowId(s as u64), tc, out);
-                    self.stats.debug_validate();
-                    self.mark_dirty(probe::ProbeCounter::RecomputeCompletion);
-                    self.maybe_purge_active();
                 }
                 _ => {
                     self.now = t;
@@ -1292,6 +1387,34 @@ impl Fabric {
                 }
             }
         }
+    }
+
+    /// Completes one calendar-popped flow at `tc`: settles its lazy byte
+    /// accounting over `[epoch, deadline)` (the solved deadline is exact,
+    /// so the flow completes here unconditionally — the sub-byte residual
+    /// closed-form arithmetic may leave is dropped, as in eager mode),
+    /// records its departure, dirties its freed links, and emits the
+    /// completion.
+    fn complete_incremental(&mut self, s: usize, tc: SimTime, out: &mut Vec<CompletedFlow>) {
+        self.materialize_flow(s, tc.0);
+        {
+            let f = self.flows[s].as_ref().unwrap();
+            let path = f.path;
+            let key = stable_coflow_key(f.spec.coflow, s);
+            let inc = &mut self.inc;
+            if self.mode == Mode::CoflowIncremental && !path.is_empty() {
+                inc.pending_departed.push((key, s as u32));
+            }
+            inc.gen[s] = inc.gen[s].wrapping_add(1);
+            inc.dead += 1;
+            for &l in path.as_slice() {
+                inc.pending_links.push(l);
+            }
+        }
+        self.emit_completion(FlowId(s as u64), tc, out);
+        self.stats.debug_validate();
+        self.mark_dirty(probe::ProbeCounter::RecomputeCompletion);
+        self.maybe_purge_active();
     }
 
     /// Incremental rate maintenance: dissolve only the components owning a
@@ -1523,6 +1646,260 @@ impl Fabric {
         }
         if self.oracle {
             self.oracle_check();
+        }
+    }
+
+    /// Coflow-local rate maintenance: rebuild the CSR over the alive
+    /// network flows (O(alive) — cheap; the expense eager mode pays is
+    /// the O(alive·links) *solve*), hand the allocator the event delta,
+    /// and splice back exactly the rates whose bits changed. Unchanged
+    /// flows keep their rate, deadline, queued calendar entry, and lazy
+    /// byte accounting epoch.
+    ///
+    /// The CSR's `remaining` column carries the *frozen-at-admission*
+    /// scheduling bytes (`spec.bytes`), not the live remainder: SEBF here
+    /// is clairvoyant (the Varys paper's setting — coflow sizes are known
+    /// up front), which is precisely what makes the priority order a pure
+    /// function of the alive set rather than of elapsed time. True byte
+    /// accounting stays lazy in `inc.rem`/`inc.epoch`; completions are
+    /// exact because deadlines are computed from the true remainder.
+    fn recompute_coflow(&mut self) {
+        let _probe = probe::span(probe::SpanKind::FabricRecompute);
+        self.dirty = false;
+        self.stats.recomputes += 1;
+        let now = self.now.0;
+
+        // CSR build over `active`, purging dead slots in the same retain
+        // pass as eager mode (the walk is O(alive) either way). The
+        // `row_of` map is reset sparsely through the previous round's
+        // `csr_slots` so maintenance never touches retired slots.
+        {
+            let flows = &self.flows;
+            let scratch = &mut self.scratch;
+            let inc = &mut self.inc;
+            for i in 0..inc.csr_slots.len() {
+                inc.row_of[inc.csr_slots[i] as usize] = u32::MAX;
+            }
+            inc.row_of.resize(flows.len(), u32::MAX);
+            inc.csr_slots.clear();
+            scratch.flow_off.clear();
+            scratch.flow_links.clear();
+            scratch.remaining.clear();
+            scratch.coflow.clear();
+            scratch.view_ids.clear();
+            scratch.flow_off.push(0);
+            self.active.retain(|&id| {
+                let Some(f) = flows[id.index()].as_ref() else {
+                    return false;
+                };
+                if !f.path.is_empty() {
+                    let s = id.index();
+                    scratch.flow_links.extend_from_slice(f.path.as_slice());
+                    scratch.flow_off.push(scratch.flow_links.len() as u32);
+                    scratch
+                        .remaining
+                        .push(f.spec.bytes.clamp_non_negative().0);
+                    scratch
+                        .coflow
+                        .push(Some(CoflowId(stable_coflow_key(f.spec.coflow, s))));
+                    scratch.view_ids.push(id);
+                    inc.row_of[s] = inc.csr_slots.len() as u32;
+                    inc.csr_slots.push(s as u32);
+                }
+                true
+            });
+            inc.dead = 0;
+            // Keep the departure log sized to the row high-water mark so
+            // the first completions after a growth spurt don't allocate.
+            let add = inc
+                .csr_slots
+                .len()
+                .saturating_sub(inc.pending_departed.len());
+            inc.pending_departed.reserve(add);
+            // Admissions since the last recompute, dead-filtered.
+            // `pending_new` holds network flows in start (= ascending
+            // slot) order, which is the order `added` promises.
+            inc.added.clear();
+            for pi in 0..inc.pending_new.len() {
+                let s = inc.pending_new[pi] as usize;
+                if let Some(f) = flows[s].as_ref() {
+                    inc.added
+                        .push((stable_coflow_key(f.spec.coflow, s), s as u32));
+                }
+            }
+            inc.pending_new.clear();
+        }
+
+        // Solve: the allocator sees the full table plus the delta and
+        // decides whether the event admits a coflow-local pass.
+        let nrows = self.inc.csr_slots.len();
+        let outcome = {
+            let _mm = probe::span(probe::SpanKind::FabricMaxMin);
+            let scratch = &mut self.scratch;
+            scratch.rates.clear();
+            scratch.rates.resize(nrows, 0.0);
+            let RecomputeScratch {
+                flow_off,
+                flow_links,
+                remaining,
+                coflow,
+                rates,
+                alloc,
+                ..
+            } = scratch;
+            let table = FlowTable {
+                flow_off,
+                flow_links,
+                remaining,
+                coflow,
+            };
+            let inc = &self.inc;
+            let ctx = DirtyCtx {
+                slots: &inc.csr_slots,
+                row_of: &inc.row_of,
+                added: &inc.added,
+                departed: &inc.pending_departed,
+                dirty_links: &inc.pending_links,
+                caps_changed: inc.caps_dirty,
+            };
+            self.allocator
+                .allocate_dirty(self.topo.links(), &table, rates, alloc, &ctx)
+        };
+        self.inc.pending_departed.clear();
+        self.inc.pending_links.clear();
+        self.inc.caps_dirty = false;
+        let (rounds, dirtied) = match outcome {
+            DirtyOutcome::Unsupported => {
+                self.stats.recomputes_full += 1;
+                probe::count(probe::ProbeCounter::RecomputeFullEager, 1);
+                (self.scratch.alloc.last_rounds(), nrows as u64)
+            }
+            DirtyOutcome::Full { rounds } => {
+                self.stats.recomputes_full += 1;
+                self.stats.recomputes_full_boundary += 1;
+                probe::count(probe::ProbeCounter::RecomputeFullBoundary, 1);
+                (rounds, nrows as u64)
+            }
+            DirtyOutcome::Incremental { dirty_flows, rounds } => {
+                self.stats.recomputes_incremental += 1;
+                probe::count(probe::ProbeCounter::RecomputeIncremental, 1);
+                (rounds, dirty_flows)
+            }
+        };
+        self.stats.maxmin_rounds += rounds;
+        probe::count(probe::ProbeCounter::MaxMinRounds, rounds);
+        self.stats.dirty_flows += dirtied;
+        probe::count(probe::ProbeCounter::FabricDirtyFlowsSum, dirtied);
+        probe::count(probe::ProbeCounter::FabricDirtyFlowsSamples, 1);
+
+        // Splice: settle accounting and refresh deadline + calendar entry
+        // for exactly the flows whose rate bits moved.
+        for row in 0..nrows {
+            let s = self.inc.csr_slots[row] as usize;
+            let rate = self.scratch.rates[row];
+            if rate.to_bits() == self.inc.rate[s].to_bits() {
+                continue;
+            }
+            self.materialize_flow(s, now);
+            let inc = &mut self.inc;
+            inc.rate[s] = rate;
+            let d = deadline_for(now, inc.rem[s], rate);
+            inc.deadline[s] = d;
+            inc.gen[s] = inc.gen[s].wrapping_add(1);
+            if d.is_finite() {
+                inc.queue.push(d, (s as u32, inc.gen[s]));
+            }
+        }
+        // New flows whose solved rate equals the registration default
+        // (0.0) never hit the splice above; zero-byte ones still complete
+        // *now* (matching the eager fold), so force their deadline in.
+        for ai in 0..self.inc.added.len() {
+            let s = self.inc.added[ai].1 as usize;
+            let inc = &mut self.inc;
+            if inc.deadline[s].is_infinite() {
+                let d = deadline_for(now, inc.rem[s], inc.rate[s]);
+                if d.is_finite() {
+                    inc.deadline[s] = d;
+                    inc.gen[s] = inc.gen[s].wrapping_add(1);
+                    inc.queue.push(d, (s as u32, inc.gen[s]));
+                }
+            }
+        }
+
+        // Footprint + gauges, mirroring the memoryless path's bookkeeping.
+        let footprint = self.inc.footprint() + self.scratch.footprint();
+        if footprint != self.scratch_footprint {
+            self.scratch_footprint = footprint;
+            self.stats.scratch_grows += 1;
+            probe::count(probe::ProbeCounter::FabricScratchGrow, 1);
+        }
+        let varys_fp = self.scratch.alloc.varys.footprint();
+        if varys_fp > self.last_varys_footprint {
+            probe::count(
+                probe::ProbeCounter::VarysScratchElems,
+                (varys_fp - self.last_varys_footprint) as u64,
+            );
+            self.last_varys_footprint = varys_fp;
+        }
+        // Calendar hygiene: once stale entries dominate the live flows,
+        // vacuum them in one deterministic pass.
+        let alive = self.active.len();
+        if self.inc.queue.len() > 4 * alive + 1024 {
+            let IncState {
+                queue, gen: gens, ..
+            } = &mut self.inc;
+            let flows = &self.flows;
+            queue.retain(|&(s, g)| flows[s as usize].is_some() && gens[s as usize] == g);
+        }
+        if self.oracle {
+            self.oracle_check_coflow();
+        }
+    }
+
+    /// The coflow-mode shadow oracle: re-solves the *entire* CSR through
+    /// [`RateAllocator::allocate_from_scratch`] — canonical SEBF + MADD +
+    /// per-component backfill with no cached state, on the oracle's own
+    /// workspaces — and asserts per-flow rate bits match the spliced
+    /// table. Reads but never writes simulation state, stats, or the live
+    /// allocator cache, so arming it cannot change any observable result.
+    ///
+    /// Reuses the CSR left by the last [`Fabric::recompute_coflow`]: the
+    /// fabric is clean here (any flow/capacity event since that build
+    /// would have set `dirty` and forced a recompute first).
+    fn oracle_check_coflow(&mut self) {
+        if self.mode != Mode::CoflowIncremental {
+            return;
+        }
+        debug_assert!(!self.dirty, "oracle ran on a dirty fabric");
+        let scratch = &self.scratch;
+        let inc = &mut self.inc;
+        let orc = &mut inc.oracle;
+        let table = FlowTable {
+            flow_off: &scratch.flow_off,
+            flow_links: &scratch.flow_links,
+            remaining: &scratch.remaining,
+            coflow: &scratch.coflow,
+        };
+        let nrows = inc.csr_slots.len();
+        orc.rates.clear();
+        orc.rates.resize(nrows, 0.0);
+        self.allocator.allocate_from_scratch(
+            self.topo.links(),
+            &table,
+            &mut orc.rates,
+            &mut orc.alloc,
+        );
+        for row in 0..nrows {
+            let s = inc.csr_slots[row] as usize;
+            let got = inc.rate[s];
+            let want = orc.rates[row];
+            assert!(
+                got.to_bits() == want.to_bits(),
+                "coflow-incremental/full rate divergence on flow {s}: \
+                 incremental {got} ({:#x}) vs full {want} ({:#x})",
+                got.to_bits(),
+                want.to_bits()
+            );
         }
     }
 
@@ -1943,18 +2320,87 @@ mod tests {
     }
 
     #[test]
-    fn varys_keeps_the_eager_path() {
+    fn varys_drives_the_coflow_incremental_path() {
         use crate::varys::VarysSebf;
         let mut f = Fabric::new(ClusterConfig::tiny_test(), Box::new(VarysSebf));
         for i in 0..3 {
             f.start_flow(spec(i, 4 + i, 0.4));
         }
-        f.recompute_full(); // no-op for eager allocators
+        f.recompute_full(); // armed mid-run oracle pass
         f.drain();
         let s = f.stats();
-        assert!(s.recomputes_full > 0, "{s:?}");
-        assert_eq!(s.recomputes_incremental, 0, "{s:?}");
-        assert_eq!(s.recomputes, s.recomputes_full, "{s:?}");
+        // First recompute is a cold-cache full (attributed to the
+        // boundary counter); completions then ride the coflow-local path.
+        assert!(s.recomputes_full_boundary >= 1, "{s:?}");
+        assert_eq!(s.recomputes_full, s.recomputes_full_boundary, "{s:?}");
+        assert!(s.recomputes_incremental > 0, "{s:?}");
+        assert_eq!(
+            s.recomputes,
+            s.recomputes_full + s.recomputes_incremental,
+            "{s:?}"
+        );
+        assert_eq!(s.flows_completed, 3, "{s:?}");
+    }
+
+    #[test]
+    fn varys_background_change_forces_boundary_full() {
+        use crate::varys::VarysSebf;
+        let mut f = Fabric::new(ClusterConfig::tiny_test(), Box::new(VarysSebf));
+        for i in 0..4 {
+            f.start_flow(spec(i, 4 + i, 0.6));
+        }
+        f.advance_to(SimTime::secs(0.1));
+        let before = f.stats().recomputes_full_boundary;
+        f.set_rack_background(RackId(0), Bandwidth::gbps(4.0));
+        f.drain();
+        assert!(f.stats().recomputes_full_boundary > before, "{:?}", f.stats());
+    }
+
+    #[test]
+    fn new_eager_forces_full_recomputes_with_identical_results() {
+        use crate::varys::VarysSebf;
+        let run = |eager: bool| {
+            let mut f = if eager {
+                Fabric::new_eager(ClusterConfig::tiny_test(), Box::new(VarysSebf))
+            } else {
+                Fabric::new(ClusterConfig::tiny_test(), Box::new(VarysSebf))
+            };
+            for i in 0..6 {
+                let mut sp = spec(i % 4, 4 + (i % 8), 0.3 + 0.07 * i as f64);
+                sp.coflow = Some(crate::flow::CoflowId((i % 2) as u64));
+                f.start_flow(sp);
+            }
+            let done = f
+                .drain()
+                .into_iter()
+                .map(|c| (c.id, c.finished.0.to_bits()))
+                .collect::<Vec<_>>();
+            (done, f.stats().recomputes_full, f.stats().recomputes_incremental)
+        };
+        let (done_e, full_e, inc_e) = run(true);
+        let (done_i, _full_i, inc_i) = run(false);
+        assert_eq!(done_e, done_i, "eager and coflow-incremental must agree");
+        assert!(full_e > 0 && inc_e == 0, "forced-eager ran eager");
+        assert!(inc_i > 0, "default mode ran incrementally");
+    }
+
+    #[test]
+    fn varys_incremental_scratch_settles() {
+        use crate::varys::VarysSebf;
+        let mut f = Fabric::new(ClusterConfig::tiny_test(), Box::new(VarysSebf));
+        // All flows admitted up front: the first (cold-cache) recompute
+        // sizes every buffer; the completion churn that follows must not
+        // allocate again.
+        for i in 0..24 {
+            let mut sp = spec(i % 4, 4 + (i % 8), 0.2 + 0.01 * i as f64);
+            sp.coflow = Some(crate::flow::CoflowId((i % 4) as u64));
+            f.start_flow(sp);
+        }
+        f.drain();
+        let s = f.stats();
+        assert!(s.recomputes_incremental > 0, "{s:?}");
+        assert_eq!(s.scratch_grows, 1, "steady state must not allocate: {s:?}");
+        assert_eq!(s.flows_completed, 24, "{s:?}");
     }
 
     #[test]

@@ -68,7 +68,8 @@ pub mod topology;
 pub mod varys;
 
 pub use allocator::{
-    AllocScratch, FairShare, FlowTable, RateAllocator, ReferenceFairShare, VarysSebf,
+    AllocScratch, DirtyCtx, DirtyOutcome, FairShare, FlowTable, RateAllocator,
+    ReferenceFairShare, VarysSebf,
 };
 pub use engine::{CalendarQueue, EventQueue, HeapEventQueue};
 pub use fabric::{CompletedFlow, Fabric};

@@ -45,9 +45,15 @@ pub struct FabricStats {
     /// components re-solved). `recomputes` stays the total across both
     /// paths.
     pub recomputes_incremental: u64,
-    /// Recomputes served by the eager full solve (non-memoryless
-    /// allocators such as Varys re-solve every flow).
+    /// Recomputes served by a full solve. For eager allocators every
+    /// recompute lands here; for the coflow-incremental path this counts
+    /// the degenerate events where the dirtied priority boundary forced
+    /// a full pass (also tallied in `recomputes_full_boundary`).
     pub recomputes_full: u64,
+    /// Subset of `recomputes_full` forced by a coflow-local dirty
+    /// boundary covering the whole order (capacity change or cold
+    /// cache) rather than by the allocator lacking an incremental form.
+    pub recomputes_full_boundary: u64,
     /// Cumulative dirty-set size: candidate flows re-solved across all
     /// incremental recomputes (divide by `recomputes_incremental` for
     /// the mean dirty-set size).

@@ -1,15 +1,17 @@
 //! Property tests for the incremental fabric path and the calendar-queue
 //! event scheduler.
 //!
-//! The incremental max-min path (memoryless allocators) must be
-//! *bit-identical* to a from-scratch solve at every recompute: the fabric
-//! carries a same-process oracle (`Fabric::set_full_oracle`) that
-//! re-derives every component from scratch on dedicated scratch buffers
-//! and asserts `rate.to_bits()` equality per flow. These tests drive the
-//! fabric through random churn scripts — flow starts, partial advances,
-//! cancels, background changes — with the oracle armed, and additionally
-//! assert the oracle itself is invisible (oracle-on and oracle-off runs
-//! produce byte-identical completion streams and `FabricStats`).
+//! The incremental max-min path (memoryless allocators) and the
+//! coflow-incremental Varys/SEBF path must each be *bit-identical* to a
+//! from-scratch solve at every recompute: the fabric carries a
+//! same-process oracle (`Fabric::set_full_oracle`) that re-derives the
+//! full solution from scratch on dedicated scratch buffers and asserts
+//! `rate.to_bits()` equality per flow. These tests drive the fabric
+//! through random churn scripts — flow starts (coflow-tagged and
+//! singleton), partial advances, cancels, background changes — with the
+//! oracle armed, and additionally assert the oracle itself is invisible
+//! (oracle-on and oracle-off runs produce byte-identical completion
+//! streams and `FabricStats`).
 //!
 //! The calendar queue must preserve the `BinaryHeap` scheduler's exact
 //! `(time, insertion order)` pop order, including equal-time ties and
@@ -18,7 +20,7 @@
 use corral_model::{Bandwidth, Bytes, ClusterConfig, MachineId, RackId, SimTime};
 use corral_simnet::{
     CoflowId, EventQueue, Fabric, FairShare, FlowKind, FlowSpec, FlowTag, HeapEventQueue,
-    RateAllocator, ReferenceFairShare,
+    RateAllocator, ReferenceFairShare, VarysSebf,
 };
 use proptest::prelude::*;
 
@@ -148,6 +150,40 @@ proptest! {
         let (done_csr, _) = run_script(&script, Box::new(FairShare), true);
         let (done_ref, _) = run_script(&script, Box::new(ReferenceFairShare), true);
         prop_assert_eq!(done_csr, done_ref);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Varys/SEBF churn with the from-scratch oracle armed: on *every*
+    /// coflow-incremental recompute the fabric re-solves the entire CSR
+    /// through `allocate_from_scratch` (canonical SEBF + MADD +
+    /// per-component backfill, no cached state) and panics unless each
+    /// flow's `rate.to_bits()` matches the incrementally maintained
+    /// table. Scripts interleave coflow-tagged and singleton starts,
+    /// cancels, exact completion boundaries, and background (capacity
+    /// epoch) changes — the capacity changes force full-boundary rebuilds
+    /// mid-script, so cache rebuild + re-dirty transitions are covered
+    /// too.
+    #[test]
+    fn varys_incremental_matches_full_solve_under_churn(script in steps(1..40)) {
+        let (done, _) = run_script(&script, Box::new(VarysSebf), true);
+        // Completion times never go backwards.
+        for w in done.windows(2) {
+            prop_assert!(f64::from_bits(w[1].1) >= f64::from_bits(w[0].1) - 1e-9);
+        }
+    }
+
+    /// The coflow-mode oracle is observation-only, exactly like the
+    /// memoryless one: arming it changes no completion time, no byte
+    /// count, and no stats counter.
+    #[test]
+    fn varys_oracle_is_invisible(script in steps(1..32)) {
+        let (done_on, stats_on) = run_script(&script, Box::new(VarysSebf), true);
+        let (done_off, stats_off) = run_script(&script, Box::new(VarysSebf), false);
+        prop_assert_eq!(done_on, done_off);
+        prop_assert_eq!(stats_on, stats_off);
     }
 }
 

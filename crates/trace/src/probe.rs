@@ -169,20 +169,28 @@ pub enum ProbeCounter {
     /// Fabric recomputes that re-solved only the dirty bottleneck
     /// components (the incremental path).
     RecomputeIncremental,
-    /// Fabric recomputes that fell back to the full eager solve
-    /// (non-memoryless allocators such as Varys).
-    RecomputeFullFallback,
+    /// Fabric recomputes that ran the full eager solve because the
+    /// allocator has no incremental form at all.
+    RecomputeFullEager,
+    /// Coflow-local recomputes that degenerated to a full pass because
+    /// the dirtied priority boundary covered the whole order (capacity
+    /// change, cold cache, or an oversized dirty set).
+    RecomputeFullBoundary,
     /// Sum of dirty-set sizes (candidate flows re-solved) across
     /// incremental recomputes.
     FabricDirtyFlowsSum,
     /// Number of dirty-set samples (divide into the sum for the mean
     /// dirty-set size).
     FabricDirtyFlowsSamples,
+    /// Current element footprint of the Varys allocator scratch
+    /// (incremental cache included); reported as a running gauge — each
+    /// growth adds the delta, so the sum reads as the latest footprint.
+    VarysScratchElems,
 }
 
 impl ProbeCounter {
     /// Every counter, in stable report order.
-    pub const ALL: [ProbeCounter; 27] = [
+    pub const ALL: [ProbeCounter; 29] = [
         ProbeCounter::RecomputeFlowStart,
         ProbeCounter::RecomputeFlowCancel,
         ProbeCounter::RecomputeBackground,
@@ -207,9 +215,11 @@ impl ProbeCounter {
         ProbeCounter::ServeReanchored,
         ProbeCounter::ServeDispatchRetry,
         ProbeCounter::RecomputeIncremental,
-        ProbeCounter::RecomputeFullFallback,
+        ProbeCounter::RecomputeFullEager,
+        ProbeCounter::RecomputeFullBoundary,
         ProbeCounter::FabricDirtyFlowsSum,
         ProbeCounter::FabricDirtyFlowsSamples,
+        ProbeCounter::VarysScratchElems,
     ];
 
     /// Stable dotted label used in expositions and reports.
@@ -239,9 +249,11 @@ impl ProbeCounter {
             ProbeCounter::ServeReanchored => "serve.reanchored",
             ProbeCounter::ServeDispatchRetry => "serve.dispatch_retries",
             ProbeCounter::RecomputeIncremental => "fabric.recompute_incremental",
-            ProbeCounter::RecomputeFullFallback => "fabric.recompute_full",
+            ProbeCounter::RecomputeFullEager => "fabric.recompute_full_eager",
+            ProbeCounter::RecomputeFullBoundary => "fabric.recompute_full_boundary",
             ProbeCounter::FabricDirtyFlowsSum => "fabric.dirty_flows_sum",
             ProbeCounter::FabricDirtyFlowsSamples => "fabric.dirty_flows_samples",
+            ProbeCounter::VarysScratchElems => "fabric.varys_scratch_elems",
         }
     }
 
